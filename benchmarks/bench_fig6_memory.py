@@ -1,0 +1,100 @@
+"""Experiment fig6 — Minimal Memory factor-size gains (paper Figure 6).
+
+Paper artifact: for the six matrices, the ratio ``memory(BLR factors) /
+memory(dense factors)`` under the Minimal Memory scenario, for SVD and
+RRQR kernels at τ ∈ {1e-4, 1e-8, 1e-12}, with backward errors on top.
+
+Shape expectations checked:
+
+* every ratio is ≤ 1 (compression never loses memory — the rank cap
+  guarantees it);
+* SVD compresses at least as well as RRQR at equal τ;
+* ratios grow as τ shrinks (1e-12 keeps larger ranks than 1e-4);
+* the easy matrices (lap/atmosmodj) compress better than the hard ones
+  (audi/geo1438) — the paper's compressibility spectrum.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from common import (
+    TOLERANCES,
+    bench_config,
+    bench_scale,
+    build_suite,
+    print_header,
+    run_solver,
+    save_json,
+)
+
+
+def run_experiment(scale: str) -> dict:
+    suite = build_suite(scale)
+    out = {"scale": scale, "matrices": {}}
+    for name, (a, factotype) in suite.items():
+        rows = {}
+        for kernel in ("rrqr", "svd"):
+            for tol in TOLERANCES:
+                cfg = bench_config(scale, strategy="minimal-memory",
+                                   kernel=kernel, tolerance=tol,
+                                   factotype=factotype)
+                rows[f"{kernel}@{tol:.0e}"] = run_solver(a, cfg)
+        out["matrices"][name] = rows
+    return out
+
+
+def print_report(res: dict) -> None:
+    print_header("fig6: Minimal Memory factor size / dense factor size")
+    header = f"{'matrix':>12}"
+    for tol in TOLERANCES:
+        header += f" | {'rrqr ' + format(tol, '.0e'):>11}" \
+                  f" {'svd ' + format(tol, '.0e'):>11}"
+    print(header)
+    for name, rows in res["matrices"].items():
+        line = f"{name:>12}"
+        for tol in TOLERANCES:
+            rr = rows[f"rrqr@{tol:.0e}"]["memory_ratio"]
+            sv = rows[f"svd@{tol:.0e}"]["memory_ratio"]
+            line += f" | {rr:11.3f} {sv:11.3f}"
+        print(line)
+    print("\nbackward errors (rrqr):")
+    for name, rows in res["matrices"].items():
+        errs = " ".join(f"{rows[f'rrqr@{t:.0e}']['backward_error']:9.1e}"
+                        for t in TOLERANCES)
+        print(f"{name:>12} {errs}")
+
+
+def check_shape(res: dict) -> None:
+    for name, rows in res["matrices"].items():
+        for key, r in rows.items():
+            assert r["memory_ratio"] <= 1.0 + 1e-9, (name, key)
+        for tol in TOLERANCES:
+            sv = rows[f"svd@{tol:.0e}"]["memory_ratio"]
+            rr = rows[f"rrqr@{tol:.0e}"]["memory_ratio"]
+            assert sv <= rr * 1.05, (name, tol)
+        # monotone in tolerance for each kernel
+        for kernel in ("rrqr", "svd"):
+            ratios = [rows[f"{kernel}@{t:.0e}"]["memory_ratio"]
+                      for t in TOLERANCES]
+            assert ratios[0] <= ratios[1] * 1.02 <= ratios[2] * 1.05, \
+                (name, kernel, ratios)
+
+
+def test_fig6_memory(benchmark):
+    scale = bench_scale()
+    res = benchmark.pedantic(lambda: run_experiment(scale), rounds=1,
+                             iterations=1)
+    print_report(res)
+    save_json("fig6_memory", res)
+    check_shape(res)
+
+
+if __name__ == "__main__":
+    import sys
+
+    scale = sys.argv[1] if len(sys.argv) > 1 else bench_scale("standard")
+    res = run_experiment(scale)
+    print_report(res)
+    save_json("fig6_memory", res)
+    check_shape(res)

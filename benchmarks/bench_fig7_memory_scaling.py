@@ -1,0 +1,98 @@
+"""Experiment fig7 — memory scalability on growing 3D Laplacians.
+
+Paper artifact: Figure 7 plots, against the Laplacian grid size, the factor
+size and the total memory consumption of the dense solver and of Minimal
+Memory/RRQR at three tolerances.  The paper's punchline: the dense curves
+blow past the 128 GB node while MM at τ = 1e-4 fits problems 3x larger.
+
+We sweep scaled-down grids and check the shape: the MM peak stays below
+the dense peak, the gap *widens* with problem size, and looser tolerances
+give flatter curves.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from common import (
+    SCALE_PARAMS,
+    bench_config,
+    bench_scale,
+    print_header,
+    run_solver,
+    save_json,
+)
+
+from repro.sparse.generators import laplacian_3d
+
+FIG7_TOLERANCES = (1e-4, 1e-8, 1e-12)
+
+
+def run_experiment(scale: str) -> dict:
+    grids = SCALE_PARAMS[scale]["lap_sweep"]
+    out = {"scale": scale, "grids": list(grids), "series": {}}
+    dense_rows, mm_rows = [], {f"{t:.0e}": [] for t in FIG7_TOLERANCES}
+    for nx in grids:
+        a = laplacian_3d(nx)
+        dense_rows.append(run_solver(
+            a, bench_config(scale, strategy="dense")))
+        for tol in FIG7_TOLERANCES:
+            cfg = bench_config(scale, strategy="minimal-memory",
+                               kernel="rrqr", tolerance=tol)
+            mm_rows[f"{tol:.0e}"].append(run_solver(a, cfg))
+    out["series"]["dense"] = dense_rows
+    out["series"].update(mm_rows)
+    return out
+
+
+def print_report(res: dict) -> None:
+    print_header("fig7: memory vs problem size (3D Laplacians), "
+                 "factor size / tracked peak in MB")
+    grids = res["grids"]
+    print(f"{'grid':>6} {'n':>8} | {'dense':>15} |" + "".join(
+        f" {'MM ' + key:>15} |" for key in res["series"] if key != "dense"))
+    for i, nx in enumerate(grids):
+        d = res["series"]["dense"][i]
+        line = (f"{nx:>6} {d['n']:>8} | {d['factor_nbytes']/1e6:6.1f}/"
+                f"{d['peak_nbytes']/1e6:6.1f} |")
+        for key, rows in res["series"].items():
+            if key == "dense":
+                continue
+            r = rows[i]
+            line += (f" {r['factor_nbytes']/1e6:6.1f}/"
+                     f"{r['peak_nbytes']/1e6:6.1f} |")
+        print(line)
+
+
+def check_shape(res: dict) -> None:
+    dense = res["series"]["dense"]
+    mm4 = res["series"]["1e-04"]
+    # on the largest problem, MM@1e-4 must beat the dense peak
+    assert mm4[-1]["peak_nbytes"] < dense[-1]["peak_nbytes"]
+    # the absolute gap must widen with problem size
+    gaps = [d["peak_nbytes"] - m["peak_nbytes"]
+            for d, m in zip(dense, mm4)]
+    assert gaps[-1] > gaps[0]
+    # tighter tolerance => more memory, per grid
+    mm12 = res["series"]["1e-12"]
+    for r4, r12 in zip(mm4, mm12):
+        assert r4["factor_nbytes"] <= r12["factor_nbytes"] * 1.02
+
+
+def test_fig7_memory_scaling(benchmark):
+    scale = bench_scale()
+    res = benchmark.pedantic(lambda: run_experiment(scale), rounds=1,
+                             iterations=1)
+    print_report(res)
+    save_json("fig7_memory_scaling", res)
+    check_shape(res)
+
+
+if __name__ == "__main__":
+    import sys
+
+    scale = sys.argv[1] if len(sys.argv) > 1 else bench_scale("standard")
+    res = run_experiment(scale)
+    print_report(res)
+    save_json("fig7_memory_scaling", res)
+    check_shape(res)

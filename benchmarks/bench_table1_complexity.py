@@ -1,0 +1,158 @@
+"""Experiment tab1 — complexity of the update kernels (paper Table 1).
+
+Table 1 gives the main complexity factors of the three update families:
+
+* GEMM (dense):        Θ(mA mB nA)
+* LR2GE (Just-In-Time): Θ(mA mB rAB)
+* LR2LR (Minimal Memory): Θ(mC (rC + rAB) rC') for RRQR,
+                          Θ(mC (rC + rAB)²)    for SVD
+
+We validate the *scaling* empirically: sweep one dimension at a time with
+everything else fixed, measure the flops our instrumented kernels charge,
+and fit the growth exponent against the model.  The early-exit property of
+the Householder RRQR (Θ(m n r), not Θ(m n min(m,n))) is also demonstrated
+by timing it at fixed rank and growing size.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from common import print_header, save_json
+
+from repro.analysis.complexity import (
+    gemm_cost,
+    lr2ge_cost,
+    lr2lr_cost_rrqr,
+    lr2lr_cost_svd,
+)
+from repro.lowrank.kernels import lr2ge_update, lr2lr_update, lr_product
+from repro.lowrank.rrqr import rrqr, rrqr_compress
+from repro.runtime.stats import KernelStats
+
+
+def _lowrank(rng, m, n, r):
+    u = np.linalg.qr(rng.standard_normal((m, r)))[0]
+    v = rng.standard_normal((n, r))
+    return rrqr_compress(u @ v.T, 1e-13)
+
+
+def growth_exponent(xs, ys):
+    """Least-squares slope of log(y) vs log(x)."""
+    lx, ly = np.log(np.asarray(xs, float)), np.log(np.asarray(ys, float))
+    return float(np.polyfit(lx, ly, 1)[0])
+
+
+def sweep_lr2ge(rng, sizes=(64, 128, 256, 512), rank=8):
+    """LR2GE flops must grow like m² at fixed rank (model Θ(mA mB rAB))."""
+    measured, model = [], []
+    for m in sizes:
+        a = _lowrank(rng, m, 64, rank)
+        b = _lowrank(rng, m, 64, rank)
+        stats = KernelStats()
+        contrib = lr_product(a, b, 1e-10, "rrqr", stats)
+        target = rng.standard_normal((m, m))
+        lr2ge_update(target, contrib, 0, 0, stats)
+        measured.append(stats.total_flops())
+        model.append(lr2ge_cost(m, m, 64, rank, rank, contrib.rank))
+    return {"sizes": list(sizes), "measured": measured, "model": model,
+            "exponent": growth_exponent(sizes, measured)}
+
+
+def sweep_lr2lr(rng, kernel, sizes=(64, 128, 256, 512), rank=8):
+    """LR2LR flops must grow linearly with the *target* size mC."""
+    measured, model = [], []
+    for m in sizes:
+        target = _lowrank(rng, m, m, rank)
+        contrib = _lowrank(rng, 48, 48, rank)  # fixed-size contribution
+        stats = KernelStats()
+        lr2lr_update(target, contrib, 0, 0, 1e-10, kernel, stats=stats)
+        measured.append(stats.flop("lr_addition"))
+        cost = lr2lr_cost_svd if kernel == "svd" else lr2lr_cost_rrqr
+        model.append(cost(m, m, rank, rank, rank))
+    return {"sizes": list(sizes), "measured": measured, "model": model,
+            "exponent": growth_exponent(sizes, measured)}
+
+
+def sweep_gemm(sizes=(64, 128, 256, 512)):
+    measured = [gemm_cost(m, m, 64) for m in sizes]
+    return {"sizes": list(sizes), "measured": measured,
+            "exponent": growth_exponent(sizes, measured)}
+
+
+def sweep_rrqr_early_exit(rng, rank=6, sizes=(64, 128, 256, 512)):
+    """Wall-clock of the Householder RRQR at fixed rank: the early exit
+    makes it ~linear in n, while a full QR would be quadratic."""
+    times = []
+    for n in sizes:
+        a = _lowrank(rng, n, n, rank).to_dense()
+        t0 = time.perf_counter()
+        for _ in range(3):
+            res = rrqr(a, 1e-8)
+        times.append((time.perf_counter() - t0) / 3)
+        assert res.q.shape[1] <= rank + 3
+    return {"sizes": list(sizes), "seconds": times,
+            "exponent": growth_exponent(sizes, times)}
+
+
+def run_experiment() -> dict:
+    rng = np.random.default_rng(0)
+    return {
+        "gemm": sweep_gemm(),
+        "lr2ge": sweep_lr2ge(rng),
+        "lr2lr_rrqr": sweep_lr2lr(rng, "rrqr"),
+        "lr2lr_svd": sweep_lr2lr(rng, "svd"),
+        "rrqr_early_exit": sweep_rrqr_early_exit(rng),
+    }
+
+
+def print_report(res: dict) -> None:
+    print_header("tab1: update-kernel complexity scaling (paper Table 1)")
+    print(f"{'kernel':>16} {'measured exponent':>18} {'model':>28}")
+    print(f"{'GEMM (dense)':>16} {res['gemm']['exponent']:18.2f} "
+          f"{'Θ(mA mB nA): 2 at fixed nA':>28}")
+    print(f"{'LR2GE':>16} {res['lr2ge']['exponent']:18.2f} "
+          f"{'Θ(mA mB rAB): 2 at fixed r':>28}")
+    print(f"{'LR2LR/RRQR':>16} {res['lr2lr_rrqr']['exponent']:18.2f} "
+          f"{'Θ(mC (rC+rAB) rC1): 1':>28}")
+    print(f"{'LR2LR/SVD':>16} {res['lr2lr_svd']['exponent']:18.2f} "
+          f"{'Θ(mC (rC+rAB)^2): 1':>28}")
+    print(f"{'RRQR early exit':>16} "
+          f"{res['rrqr_early_exit']['exponent']:18.2f} "
+          f"{'Θ(m n r): ~<2 wall-clock':>28}")
+
+
+def test_tab1_lr2ge_quadratic_in_block_size(benchmark):
+    rng = np.random.default_rng(0)
+    res = benchmark.pedantic(lambda: sweep_lr2ge(rng), rounds=1,
+                             iterations=1)
+    assert 1.6 <= res["exponent"] <= 2.4
+
+
+def test_tab1_lr2lr_linear_in_target_size(benchmark):
+    rng = np.random.default_rng(0)
+    res = benchmark.pedantic(lambda: sweep_lr2lr(rng, "rrqr"), rounds=1,
+                             iterations=1)
+    assert 0.6 <= res["exponent"] <= 1.5
+
+
+def test_tab1_rrqr_early_exit_subquadratic(benchmark):
+    rng = np.random.default_rng(0)
+    res = benchmark.pedantic(lambda: sweep_rrqr_early_exit(rng), rounds=1,
+                             iterations=1)
+    # full QR would be ~3 (m n min(mn)); early exit must stay well below 2.5
+    assert res["exponent"] <= 2.2
+
+
+def test_tab1_full_report():
+    res = run_experiment()
+    print_report(res)
+    save_json("tab1_complexity", res)
+
+
+if __name__ == "__main__":
+    res = run_experiment()
+    print_report(res)
+    save_json("tab1_complexity", res)

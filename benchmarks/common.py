@@ -1,0 +1,146 @@
+"""Shared infrastructure for the benchmark harness.
+
+Every paper artifact (Table 1/2, Figures 1 and 5-8) has a bench module that
+can run two ways:
+
+* under pytest (``pytest benchmarks/ --benchmark-only``): a small
+  representative configuration is timed with pytest-benchmark and the
+  artifact's table is printed and written as JSON;
+* directly (``python benchmarks/bench_*.py [scale]``): the full sweep at
+  ``quick`` / ``standard`` / ``full`` scale, producing the numbers recorded
+  in EXPERIMENTS.md.
+
+The scale also honours the ``REPRO_BENCH_SCALE`` environment variable.
+Problem sizes are scaled-down proxies of the paper's suite (DESIGN.md §3):
+the paper runs 1M+ unknowns on 24 Xeon cores; we run 1.7k-33k unknowns in
+pure Python and compare *ratios*, not absolute seconds.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro import Solver, SolverConfig
+from repro.sparse.csc import CSCMatrix
+from repro.sparse.generators import (
+    anisotropic_laplacian_3d,
+    convection_diffusion_3d,
+    elasticity_3d,
+    heterogeneous_poisson_3d,
+    laplacian_3d,
+)
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+#: per-scale grid and blocking parameters for the six-matrix suite.
+#: ``split``/``wmin``/``hmin`` scale the paper's 256/128-wide tiles and
+#: 128/20 compression thresholds down with the problem size so that the
+#: block-to-separator proportions stay comparable.
+SCALE_PARAMS = {
+    "quick": dict(lap=16, atmos=14, audi=6, hook=(14, 4, 4), serena=14,
+                  geo=14, lap_sweep=(10, 12, 14, 16), table2=16,
+                  split=(48, 24), wmin=24, hmin=6),
+    "standard": dict(lap=20, atmos=20, audi=8, hook=(24, 6, 6), serena=20,
+                     geo=20, lap_sweep=(12, 16, 20, 24), table2=24,
+                     split=(64, 32), wmin=32, hmin=8),
+    "full": dict(lap=28, atmos=28, audi=11, hook=(36, 8, 8), serena=28,
+                 geo=28, lap_sweep=(16, 20, 24, 28, 32), table2=32,
+                 split=(128, 64), wmin=48, hmin=16),
+}
+
+#: the paper's tolerance sweep
+TOLERANCES = (1e-4, 1e-8, 1e-12)
+
+
+def bench_scale(default: str = "quick") -> str:
+    scale = os.environ.get("REPRO_BENCH_SCALE", default)
+    if scale not in SCALE_PARAMS:
+        raise ValueError(f"unknown scale {scale!r}; "
+                         f"choose from {sorted(SCALE_PARAMS)}")
+    return scale
+
+
+def build_suite(scale: str) -> Dict[str, Tuple[CSCMatrix, str]]:
+    """The six-matrix evaluation suite: (matrix, factotype) per name.
+
+    Names map to the paper's matrices as documented in DESIGN.md §3:
+    lap120→lap, Atmosmodj→atmosmodj, Audi→audi, Hook→hook, Serena→serena,
+    Geo1438→geo1438 (all but ``lap`` are synthetic proxies).
+    """
+    p = SCALE_PARAMS[scale]
+    return {
+        "lap": (laplacian_3d(p["lap"]), "lu"),
+        "atmosmodj": (convection_diffusion_3d(p["atmos"]), "lu"),
+        "audi": (elasticity_3d(p["audi"]), "cholesky"),
+        "hook": (elasticity_3d(*p["hook"]), "cholesky"),
+        "serena": (heterogeneous_poisson_3d(p["serena"]), "cholesky"),
+        "geo1438": (anisotropic_laplacian_3d(p["geo"]), "lu"),
+    }
+
+
+def bench_config(scale: str, **overrides) -> SolverConfig:
+    """Solver configuration used by the benches: the paper's §4 setup with
+    the tile/threshold sizes scaled down per SCALE_PARAMS."""
+    p = SCALE_PARAMS[scale]
+    base = dict(split_size=p["split"][0], split_min=p["split"][1],
+                compress_min_width=p["wmin"], compress_min_height=p["hmin"],
+                rank_ratio=0.5, cmin=15, frat=0.08)
+    base.update(overrides)
+    return SolverConfig(**base)
+
+
+def run_solver(a: CSCMatrix, cfg: SolverConfig,
+               rhs_seed: int = 0) -> Dict[str, float]:
+    """Factorize + solve once; return the record the bench tables print."""
+    rng = np.random.default_rng(rhs_seed)
+    b = rng.standard_normal(a.n)
+    solver = Solver(a, cfg)
+    solver.analyze()
+    t0 = time.perf_counter()
+    stats = solver.factorize()
+    facto_time = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    x = solver.solve(b)
+    solve_time = time.perf_counter() - t0
+    out = {
+        "n": a.n,
+        "strategy": cfg.strategy,
+        "kernel": cfg.kernel,
+        "tolerance": cfg.tolerance,
+        "facto_time": facto_time,
+        "solve_time": solve_time,
+        "backward_error": solver.backward_error(x, b),
+        "factor_nbytes": stats.factor_nbytes,
+        "dense_factor_nbytes": stats.dense_factor_nbytes,
+        "peak_nbytes": stats.peak_nbytes,
+        "memory_ratio": stats.memory_ratio,
+        "total_flops": stats.kernels.total_flops(),
+        "nblocks_compressed": stats.nblocks_compressed,
+        "nblocks_dense": stats.nblocks_dense,
+    }
+    for cat in ("compress", "block_facto", "panel_solve", "lr_product",
+                "lr_addition", "dense_update"):
+        out[f"time_{cat}"] = stats.kernels.time(cat)
+        out[f"flops_{cat}"] = stats.kernels.flop(cat)
+    return out
+
+
+def save_json(name: str, payload) -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.json"
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, default=float)
+    return path
+
+
+def print_header(title: str) -> None:
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)

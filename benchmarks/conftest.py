@@ -1,0 +1,6 @@
+"""Make the benchmark package importable when running ``pytest benchmarks/``."""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))

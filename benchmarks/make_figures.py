@@ -1,0 +1,151 @@
+"""Regenerate the paper's figures as SVG images from benchmark JSON.
+
+Reads the ``benchmarks/results/*.json`` snapshots produced by the bench
+modules and renders:
+
+* ``fig1_structure.svg`` — the symbolic block structure of the 10³
+  Laplacian (Figure 1's picture), recomputed directly;
+* ``fig5a.svg`` / ``fig5b.svg`` — BLR/dense time-ratio bars with backward
+  errors above each bar (Figures 5a/5b);
+* ``fig6.svg`` — Minimal Memory factor-memory ratio bars (Figure 6);
+* ``fig7.svg`` — memory vs Laplacian size lines (Figure 7);
+* ``fig8.svg`` — convergence curves on a log scale (Figure 8).
+
+Run the bench modules first (or ``pytest benchmarks/ --benchmark-only``),
+then::
+
+    python benchmarks/make_figures.py [outdir]
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+from common import RESULTS_DIR, TOLERANCES
+
+from repro.analysis.charts import Series, bar_chart, line_chart
+from repro.analysis.visualize import structure_to_svg
+from repro.symbolic.factorization import SymbolicOptions, symbolic_factorization
+from repro.sparse.generators import laplacian_3d
+
+
+def _load(name: str):
+    path = RESULTS_DIR / f"{name}.json"
+    if not path.exists():
+        print(f"  [skip] {name}: run the bench first ({path} missing)")
+        return None
+    return json.loads(path.read_text())
+
+
+def make_fig1(outdir: Path) -> None:
+    symb, _ = symbolic_factorization(
+        laplacian_3d(10), SymbolicOptions(cmin=15, frat=0.08))
+    out = structure_to_svg(symb, outdir / "fig1_structure.svg")
+    print(f"  wrote {out}")
+
+
+def make_fig5(outdir: Path) -> None:
+    data = _load("fig5_performance")
+    if data is None:
+        return
+    cats = list(data["matrices"])
+    for strategy, fig in (("just-in-time", "fig5a"),
+                          ("minimal-memory", "fig5b")):
+        series = []
+        for tol in TOLERANCES:
+            key = f"{strategy}@{tol:.0e}"
+            vals, labels = [], []
+            for m in cats:
+                rows = data["matrices"][m]
+                r = rows[key]
+                vals.append(r["facto_time"] / rows["dense"]["facto_time"])
+                labels.append(f"{r['backward_error']:.1e}")
+            series.append(Series(f"tau={tol:.0e}", vals, labels))
+        out = bar_chart(outdir / f"{fig}.svg", cats, series,
+                        title=f"{fig}: {strategy}/RRQR vs dense "
+                              "(wall-clock ratio)",
+                        ylabel="time BLR / time dense",
+                        reference_line=1.0)
+        print(f"  wrote {out}")
+
+
+def make_fig6(outdir: Path) -> None:
+    data = _load("fig6_memory")
+    if data is None:
+        return
+    cats = list(data["matrices"])
+    series = []
+    for kernel in ("rrqr", "svd"):
+        for tol in TOLERANCES:
+            key = f"{kernel}@{tol:.0e}"
+            vals, labels = [], []
+            for m in cats:
+                r = data["matrices"][m][key]
+                vals.append(r["memory_ratio"])
+                labels.append(f"{r['backward_error']:.0e}")
+            series.append(Series(f"{kernel} {tol:.0e}", vals, labels))
+    out = bar_chart(outdir / "fig6.svg", cats, series,
+                    title="fig6: Minimal Memory factor size / dense",
+                    ylabel="memory BLR / memory dense",
+                    reference_line=1.0, width=1100)
+    print(f"  wrote {out}")
+
+
+def make_fig7(outdir: Path) -> None:
+    data = _load("fig7_memory_scaling")
+    if data is None:
+        return
+    grids = data["grids"]
+    xs = [g ** 3 for g in grids]
+    series = []
+    for key, rows in data["series"].items():
+        name = "dense" if key == "dense" else f"MM {key}"
+        series.append(Series(f"{name} (factors)",
+                             [r["factor_nbytes"] / 1e6 for r in rows]))
+        series.append(Series(f"{name} (peak)",
+                             [r["peak_nbytes"] / 1e6 for r in rows]))
+    out = line_chart(outdir / "fig7.svg", xs, series,
+                     title="fig7: memory vs 3D Laplacian size",
+                     xlabel="unknowns", ylabel="MB")
+    print(f"  wrote {out}")
+
+
+def make_fig8(outdir: Path) -> None:
+    data = _load("fig8_convergence")
+    if data is None:
+        return
+    series = []
+    maxlen = 0
+    for m, rows in data["matrices"].items():
+        for tol_key, r in rows.items():
+            hist = [max(h, 1e-17) for h in r["history"]]
+            maxlen = max(maxlen, len(hist))
+            series.append(Series(f"{m} {tol_key}", hist))
+    # pad histories so every series spans the same x grid
+    for s in series:
+        s.values = list(s.values) + [None] * (maxlen - len(s.values))
+    xs = list(range(maxlen))
+    out = line_chart(outdir / "fig8.svg", xs, series,
+                     title="fig8: refinement convergence "
+                           "(MM/RRQR preconditioner)",
+                     xlabel="iteration", ylabel="backward error",
+                     log_y=True, height=560)
+    print(f"  wrote {out}")
+
+
+def main(outdir: Path) -> None:
+    outdir.mkdir(parents=True, exist_ok=True)
+    print(f"rendering figures into {outdir}")
+    make_fig1(outdir)
+    make_fig5(outdir)
+    make_fig6(outdir)
+    make_fig7(outdir)
+    make_fig8(outdir)
+
+
+if __name__ == "__main__":
+    target = Path(sys.argv[1]) if len(sys.argv) > 1 else \
+        Path(__file__).resolve().parent / "figures"
+    main(target)

@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Memory scalability study (the scenario of the paper's Figure 7).
+
+The paper's headline for Minimal Memory: problems that do not fit in memory
+with the dense solver become tractable because the dense factor structure is
+never allocated.  This example sweeps 3D Laplacian sizes and reports, for
+the dense solver and Minimal Memory at several tolerances, the factor size
+and the tracked memory peak — the same two series Figure 7 plots.
+
+Usage::
+
+    python examples/memory_study.py [max_grid]
+"""
+
+import sys
+
+import numpy as np
+
+from repro import Solver, SolverConfig, laplacian_3d
+
+
+def run(nx: int, strategy: str, tol: float) -> dict:
+    cfg = SolverConfig.laptop_scale(strategy=strategy, tolerance=tol,
+                                    split_size=64, split_min=32)
+    solver = Solver(laplacian_3d(nx), cfg)
+    stats = solver.factorize()
+    return {
+        "factor_mb": stats.factor_nbytes / 1e6,
+        "peak_mb": stats.peak_nbytes / 1e6,
+    }
+
+
+def main() -> None:
+    max_grid = int(sys.argv[1]) if len(sys.argv) > 1 else 22
+    grids = [g for g in (10, 14, 18, 22, 26, 30) if g <= max_grid]
+    tols = (1e-4, 1e-8)
+
+    print(f"{'grid':>5} {'n':>7} | {'dense factor':>12} {'dense peak':>10} |"
+          + "".join(f" {'MM ' + format(t, '.0e'):>11} {'peak':>7} |"
+                    for t in tols))
+    for nx in grids:
+        n = nx ** 3
+        dense = run(nx, "dense", 1e-8)
+        row = (f"{nx:>5} {n:>7} | {dense['factor_mb']:>10.1f}MB "
+               f"{dense['peak_mb']:>8.1f}MB |")
+        for tol in tols:
+            mm = run(nx, "minimal-memory", tol)
+            row += f" {mm['factor_mb']:>9.1f}MB {mm['peak_mb']:>5.1f}MB |"
+        print(row)
+
+    print("\nThe Minimal Memory peak tracks its own (compressed) factor "
+          "size,\nwhile the dense peak grows with the full structure — "
+          "the separation\nwidens with problem size exactly as in Figure 7.")
+
+
+if __name__ == "__main__":
+    main()

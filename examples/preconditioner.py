@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Using the BLR factorization as a preconditioner (paper §4.4, Figure 8).
+
+A low-tolerance (τ = 1e-4 / 1e-8) Minimal Memory factorization costs a
+fraction of the dense factorization's memory, and GMRES (general matrices)
+or CG (SPD matrices) preconditioned with it converges to machine precision
+in a few iterations.  This example reproduces that workflow on two
+workloads from the evaluation suite:
+
+* a nonsymmetric convection–diffusion operator (the Atmosmodj proxy),
+  refined with GMRES;
+* a heterogeneous reservoir-style Poisson problem (the Serena proxy, SPD),
+  factored with Cholesky and refined with CG.
+
+Usage::
+
+    python examples/preconditioner.py [grid_size]
+"""
+
+import sys
+
+import numpy as np
+
+from repro import (
+    Solver,
+    SolverConfig,
+    convection_diffusion_3d,
+    heterogeneous_poisson_3d,
+)
+
+
+def study(name: str, a, factotype: str, tolerances=(1e-4, 1e-8)) -> None:
+    rng = np.random.default_rng(1)
+    b = rng.standard_normal(a.n)
+    print(f"\n== {name} (n = {a.n}, factotype = {factotype}) ==")
+    for tol in tolerances:
+        cfg = SolverConfig.laptop_scale(strategy="minimal-memory",
+                                        kernel="rrqr", tolerance=tol,
+                                        factotype=factotype)
+        solver = Solver(a, cfg)
+        stats = solver.factorize()
+        res = solver.refine(b, tol=1e-12, maxiter=20)
+        trace = " -> ".join(f"{e:.1e}" for e in res.history[:8])
+        print(f" tau={tol:.0e}: memory ratio {stats.memory_ratio:.2f}, "
+              f"{res.iterations} iterations, final {res.backward_error:.2e}")
+        print(f"   convergence: {trace}{' -> ...' if len(res.history) > 8 else ''}")
+
+
+def main() -> None:
+    nx = int(sys.argv[1]) if len(sys.argv) > 1 else 14
+
+    study("convection-diffusion 3D (GMRES refinement)",
+          convection_diffusion_3d(nx, peclet=0.6), "lu")
+    study("heterogeneous Poisson 3D (CG refinement)",
+          heterogeneous_poisson_3d(nx, contrast=1e4), "cholesky")
+
+    print("\nAs in Figure 8: tau=1e-8 needs only a few iterations to reach "
+          "1e-12;\ntau=1e-4 converges more slowly but still reaches ~1e-8 "
+          "quickly,\nwhile using substantially less memory than the exact "
+          "factorization.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Quickstart: factorize a 3D Laplacian with BLR compression and solve.
+
+Runs the same system under the three strategies of the paper — the original
+dense solver, Just-In-Time (time-oriented compression, Algorithm 2) and
+Minimal Memory (memory-oriented compression, Algorithm 1) — and prints the
+time / memory / accuracy trade-off each one makes.
+
+Usage::
+
+    python examples/quickstart.py [grid_size] [tolerance]
+"""
+
+import sys
+import time
+
+import numpy as np
+
+from repro import Solver, SolverConfig, laplacian_3d
+
+
+def main() -> None:
+    nx = int(sys.argv[1]) if len(sys.argv) > 1 else 20
+    tol = float(sys.argv[2]) if len(sys.argv) > 2 else 1e-8
+
+    a = laplacian_3d(nx)
+    rng = np.random.default_rng(0)
+    b = rng.standard_normal(a.n)
+    print(f"3D Laplacian {nx}^3: n = {a.n}, nnz = {a.nnz}")
+    print(f"tolerance tau = {tol:.0e}\n")
+
+    header = (f"{'strategy':>16} {'kernel':>6} {'facto(s)':>9} "
+              f"{'solve(s)':>9} {'mem ratio':>9} {'peak MB':>8} "
+              f"{'backward err':>13}")
+    print(header)
+    print("-" * len(header))
+
+    for strategy, kernel in (("dense", "-"),
+                             ("just-in-time", "rrqr"),
+                             ("minimal-memory", "rrqr"),
+                             ("minimal-memory", "svd")):
+        cfg = SolverConfig.laptop_scale(
+            strategy=strategy,
+            kernel=kernel if kernel != "-" else "rrqr",
+            tolerance=tol,
+        )
+        solver = Solver(a, cfg)
+        t0 = time.perf_counter()
+        stats = solver.factorize()
+        facto_time = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        x = solver.solve(b)
+        solve_time = time.perf_counter() - t0
+
+        err = solver.backward_error(x, b)
+        print(f"{strategy:>16} {kernel:>6} {facto_time:9.2f} "
+              f"{solve_time:9.3f} {stats.memory_ratio:9.3f} "
+              f"{stats.peak_nbytes / 1e6:8.1f} {err:13.2e}")
+
+    # the BLR factorization doubles as a preconditioner (paper §4.4)
+    cfg = SolverConfig.laptop_scale(strategy="minimal-memory",
+                                    tolerance=1e-4)
+    solver = Solver(a, cfg)
+    solver.factorize()
+    res = solver.refine(b, tol=1e-12, maxiter=20)
+    print(f"\nGMRES preconditioned by the tau=1e-4 factorization: "
+          f"{res.iterations} iterations -> backward error "
+          f"{res.backward_error:.2e}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+"""repro — a Block Low-Rank supernodal sparse direct solver.
+
+A from-scratch Python reproduction of
+
+    G. Pichon, E. Darve, M. Faverge, P. Ramet, J. Roman,
+    "Sparse Supernodal Solver Using Block Low-Rank Compression",
+    IPDPS/PDSEC 2017 (Inria RR-9022).
+
+Public API highlights:
+
+* :class:`~repro.core.solver.Solver` — analyze / factorize / solve / refine.
+* :class:`~repro.config.SolverConfig` — strategy (``dense`` /
+  ``just-in-time`` / ``minimal-memory``), kernel (``rrqr`` / ``svd``),
+  tolerance τ, and every threshold of the paper's §4 setup.
+* :mod:`repro.sparse.generators` — the evaluation workloads (3D Laplacians
+  and proxies for the paper's SuiteSparse suite).
+* :mod:`repro.lowrank` — the compression and extend-add kernels of §3,
+  usable standalone on dense blocks.
+"""
+
+from repro.config import SolverConfig
+from repro.core.solver import Solver
+from repro.core.refinement import gmres, conjugate_gradient, iterative_refinement
+from repro.sparse.csc import CSCMatrix
+from repro.sparse.generators import (
+    laplacian_2d,
+    laplacian_3d,
+    convection_diffusion_3d,
+    elasticity_3d,
+    heterogeneous_poisson_3d,
+    anisotropic_laplacian_3d,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Solver",
+    "SolverConfig",
+    "CSCMatrix",
+    "gmres",
+    "conjugate_gradient",
+    "iterative_refinement",
+    "laplacian_2d",
+    "laplacian_3d",
+    "convection_diffusion_3d",
+    "elasticity_3d",
+    "heterogeneous_poisson_3d",
+    "anisotropic_laplacian_3d",
+    "__version__",
+]

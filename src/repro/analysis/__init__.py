@@ -1,0 +1,39 @@
+"""Analytic models and metrics for the evaluation.
+
+:mod:`repro.analysis.complexity` encodes the Θ-expressions of the paper's
+Table 1 so the complexity benchmark can compare measured flops against the
+model; :mod:`repro.analysis.metrics` provides the evaluation metrics
+(backward error, compression rates, rank histograms).
+"""
+
+from repro.analysis.complexity import (
+    gemm_cost,
+    lr2ge_cost,
+    lr2lr_cost_rrqr,
+    lr2lr_cost_svd,
+    solver_flop_model,
+)
+from repro.analysis.metrics import (
+    backward_error,
+    compression_report,
+    rank_histogram,
+)
+from repro.analysis.visualize import (
+    structure_stats_table,
+    structure_to_ascii,
+    structure_to_svg,
+)
+
+__all__ = [
+    "gemm_cost",
+    "lr2ge_cost",
+    "lr2lr_cost_rrqr",
+    "lr2lr_cost_svd",
+    "solver_flop_model",
+    "backward_error",
+    "compression_report",
+    "rank_histogram",
+    "structure_stats_table",
+    "structure_to_ascii",
+    "structure_to_svg",
+]

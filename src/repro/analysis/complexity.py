@@ -1,0 +1,102 @@
+"""The complexity models of Table 1 (paper §3.4).
+
+Each function returns the *main factor* operation count for one update
+``C = C − A Bᵗ`` under the given kernel family, using the paper's notation:
+``A`` is ``mA x nA`` with rank ``rA``, ``B`` is ``mB x nA`` with rank
+``rB``, the target ``C`` is ``mC x nC`` with rank ``rC`` before and ``rC'``
+after the update, and ``rAB`` is the rank of the product.
+
+The models are Θ-expressions: constants are chosen to match our kernels'
+flop accounting so that ``benchmarks/bench_table1_complexity.py`` can
+overlay measured flops on the model curves, but only the *scaling* is
+asserted anywhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+def gemm_cost(m_a: int, m_b: int, n_a: int) -> float:
+    """Dense update (original solver): Θ(mA · mB · nA)."""
+    return 2.0 * m_a * m_b * n_a
+
+
+def lr_product_cost(m_a: int, m_b: int, n_a: int,
+                    r_a: int, r_b: int, r_ab: int) -> float:
+    """Low-rank product, eqs. (1)-(4): Θ(nA rA rB + mA rA rAB + mB rB rAB)."""
+    return (2.0 * n_a * r_a * r_b
+            + 2.0 * m_a * r_a * r_ab
+            + 2.0 * m_b * r_b * r_ab)
+
+
+def lr2ge_cost(m_a: int, m_b: int, n_a: int,
+               r_a: int, r_b: int, r_ab: int) -> float:
+    """Just-In-Time update: product + dense apply, main factor
+    Θ(mA · mB · rAB)."""
+    return lr_product_cost(m_a, m_b, n_a, r_a, r_b, r_ab) \
+        + 2.0 * m_a * m_b * r_ab
+
+
+def lr2lr_cost_svd(m_c: int, n_c: int, r_c: int, r_ab: int,
+                   r_c_new: int) -> float:
+    """Minimal Memory + SVD recompression, eqs. (7)-(8): main factor
+    Θ(mC (rC + rAB)²)."""
+    r = r_c + r_ab
+    return (2.0 * (m_c + n_c) * r * r      # the two QRs
+            + 22.0 * r ** 3                # SVD of the core
+            + 2.0 * (m_c + n_c) * r * r_c_new)
+
+
+def lr2lr_cost_rrqr(m_c: int, n_c: int, r_c: int, r_ab: int,
+                    r_c_new: int) -> float:
+    """Minimal Memory + RRQR recompression, eqs. (9)-(12): main factor
+    Θ(mC (rC + rAB) rC')."""
+    return (2.0 * m_c * r_c * r_ab          # eq. (9)
+            + 2.0 * m_c * r_ab * r_ab       # QR of the new directions
+            + 2.0 * n_c * r_ab * r_c        # eq. (11) core assembly
+            + 4.0 * (r_c + r_ab) * n_c * r_c_new   # truncated RRQR
+            + 2.0 * m_c * (r_c + r_ab) * r_c_new)  # eq. (12)
+
+
+@dataclass
+class SolverComplexity:
+    """Asymptotic whole-solver costs for a 3D mesh problem (paper §5)."""
+
+    n: int
+
+    @property
+    def dense_time(self) -> float:
+        """Θ(n²) factorization time for a 3D mesh direct solver."""
+        return float(self.n) ** 2
+
+    @property
+    def blr_time_target(self) -> float:
+        """The Θ(n^{4/3}) target the paper expects from BLR."""
+        return float(self.n) ** (4.0 / 3.0)
+
+    @property
+    def dense_memory(self) -> float:
+        """Θ(n^{4/3}) factor storage of the dense solver."""
+        return float(self.n) ** (4.0 / 3.0)
+
+    @property
+    def blr_memory_target(self) -> float:
+        """The Θ(n log n) storage target."""
+        import math
+
+        return self.n * math.log(max(self.n, 2))
+
+
+def solver_flop_model(n: int, kind: str = "dense") -> float:
+    """Whole-factorization flop model for 3D mesh problems.
+
+    ``kind``: ``"dense"`` → Θ(n²); ``"blr"`` → Θ(n^{4/3}) (the paper's §5
+    target for a bounded-rank compressed solver).
+    """
+    c = SolverComplexity(n)
+    if kind == "dense":
+        return c.dense_time
+    if kind == "blr":
+        return c.blr_time_target
+    raise ValueError(f"unknown kind {kind!r}")

@@ -1,0 +1,102 @@
+"""Factor-based diagnostics: determinant, inertia, condition estimate.
+
+Classic byproducts a direct solver exposes for free:
+
+* ``slogdet`` — the (sign, log|det|) of A from the diagonal of the factors
+  (U's diagonal for LU, L's squared diagonal for Cholesky, D for LDLᵗ);
+  with BLR compression the result is exact up to the τ-perturbation of the
+  factorization.
+* ``inertia`` — (#negative, #zero, #positive) eigenvalues of a symmetric
+  matrix from the signs of D in an LDLᵗ factorization (Sylvester's law of
+  inertia).
+* ``condest`` — a lower bound on κ₁(A) = ‖A‖₁ ‖A⁻¹‖₁ via Hager–Higham
+  1-norm power iteration on A⁻¹, using the factorization's solve (and its
+  transpose solve) as the operator.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.core.factor import NumericFactor
+from repro.core.trisolve import solve_factored
+from repro.sparse.csc import CSCMatrix
+
+
+def factor_slogdet(fac: NumericFactor) -> Tuple[float, float]:
+    """(sign, log|det(A)|) from the factored diagonal blocks."""
+    sign = 1.0
+    logdet = 0.0
+    for nc in fac.cblks:
+        d = np.diag(nc.diag)
+        if fac.config.factotype == "cholesky":
+            # det = prod(L_ii)^2: always positive
+            logdet += 2.0 * float(np.sum(np.log(np.abs(d))))
+        else:
+            # LU (diag of U) and LDLᵗ (D) both live on the packed diagonal
+            sign *= float(np.prod(np.sign(d)))
+            logdet += float(np.sum(np.log(np.abs(d))))
+    return sign, logdet
+
+
+def factor_inertia(fac: NumericFactor) -> Tuple[int, int, int]:
+    """(n_negative, n_zero, n_positive) from an LDLᵗ factorization.
+
+    By Sylvester's law of inertia the signs of D match the eigenvalue
+    signs of the (symmetrically permuted) matrix.  Requires
+    ``factotype='ldlt'``; Cholesky implies all-positive by construction.
+    """
+    if fac.config.factotype == "cholesky":
+        n = fac.symb.n
+        return (0, 0, n)
+    if fac.config.factotype != "ldlt":
+        raise ValueError("inertia requires an ldlt (or cholesky) "
+                         "factorization")
+    neg = zero = pos = 0
+    for nc in fac.cblks:
+        d = np.diag(nc.diag)
+        neg += int(np.sum(d < 0))
+        zero += int(np.sum(d == 0))
+        pos += int(np.sum(d > 0))
+    return neg, zero, pos
+
+
+def condest_1norm(a: CSCMatrix, fac: NumericFactor, perm: np.ndarray,
+                  maxiter: int = 10) -> float:
+    """Hager–Higham estimate of ``κ₁(A)`` using the factorization.
+
+    Runs the classical 1-norm power iteration on A⁻¹: repeatedly solve
+    ``A x = e`` and ``Aᵗ z = sign(x)`` until the estimate stalls.  Returns
+    ``‖A‖₁ · est(‖A⁻¹‖₁)`` — a lower bound, usually within a small factor
+    of the true condition number.
+    """
+    n = a.n
+    iperm = np.empty(n, dtype=np.int64)
+    iperm[perm] = np.arange(n)
+
+    def solve(v, trans=False):
+        y = solve_factored(fac, v[perm], trans=trans)
+        out = np.empty_like(y)
+        out[perm] = y
+        return out
+
+    x = np.full(n, 1.0 / n)
+    est = 0.0
+    last_j = -1
+    for _ in range(maxiter):
+        y = solve(x)
+        new_est = float(np.abs(y).sum())
+        xi = np.sign(y)
+        xi[xi == 0] = 1.0
+        z = solve(xi, trans=True)
+        j = int(np.argmax(np.abs(z)))
+        if new_est <= est or j == last_j:
+            est = max(est, new_est)
+            break
+        est = new_est
+        last_j = j
+        x = np.zeros(n)
+        x[j] = 1.0
+    return est * a.norm1()

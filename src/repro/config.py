@@ -1,0 +1,154 @@
+"""Solver configuration.
+
+All tunables of the paper's evaluation (§4) appear here with the paper's
+values as defaults where they make sense at paper scale, and with explicit
+small-problem presets for laptop-scale runs:
+
+* ``tolerance`` — the prescribed relative tolerance τ such that every
+  compressed block satisfies ``||A - Â|| <= τ ||A||``.
+* ``strategy`` — ``"dense"`` (original PaStiX behaviour), ``"minimal-memory"``
+  or ``"just-in-time"``.
+* ``kernel`` — ``"rrqr"`` or ``"svd"`` compression family.
+* ``cmin`` — minimal size of non-separated subgraphs in nested dissection
+  (paper: 15).
+* ``frat`` — column-aggregation fill ratio for supernode amalgamation
+  (paper: 0.08, i.e. merging is allowed while added fill stays below 8%).
+* ``split_size`` / ``split_min`` — column blocks wider than ``split_size``
+  are split into chunks of at least ``split_min`` (paper: 256 / 128).
+* ``compress_min_width`` / ``compress_min_height`` — a block is a compression
+  candidate only if its supernode width is at least ``compress_min_width``
+  (paper: 128) and its height at least ``compress_min_height`` (paper: 20).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+#: valid factorization strategies
+STRATEGIES = ("dense", "minimal-memory", "just-in-time")
+#: valid compression kernel families.  ``rsvd`` (randomized sampling) is
+#: the extension foreshadowed by the paper's conclusion; ``aca`` (adaptive
+#: cross approximation) is the kernel of the dense BEM BLR solvers of §5.
+KERNELS = ("rrqr", "svd", "rsvd", "aca")
+#: valid numerical factorizations
+FACTOTYPES = ("lu", "cholesky", "ldlt")
+#: valid ordering algorithms (``geometric`` needs node coordinates passed
+#: to the Solver)
+ORDERINGS = ("nested-dissection", "geometric", "amd", "natural")
+
+
+@dataclass(frozen=True)
+class SolverConfig:
+    """Immutable configuration for :class:`repro.core.solver.Solver`.
+
+    Use :meth:`paper_scale` or :meth:`laptop_scale` for presets, and
+    :meth:`with_options` (a thin ``dataclasses.replace`` wrapper) to derive
+    variants.
+    """
+
+    # --- compression --------------------------------------------------
+    strategy: str = "just-in-time"
+    kernel: str = "rrqr"
+    tolerance: float = 1e-8
+    #: maximum admissible rank as a fraction of min(m, n); blocks whose
+    #: revealed rank exceeds it are stored dense (paper §3.4 uses 1/4).
+    rank_ratio: float = 0.25
+    #: group several low-rank updates and recompress once (LUAR-like ablation)
+    accumulate_updates: bool = False
+    #: left-looking elimination (paper §4.3's proposal): allocate and update
+    #: each column block's dense panels only when it is reached, so the
+    #: Just-In-Time memory peak shrinks toward Minimal Memory's.
+    #: Sequential only; incompatible with minimal-memory (which has no dense
+    #: panels to delay).
+    left_looking: bool = False
+
+    # --- ordering / symbolic ------------------------------------------
+    ordering: str = "nested-dissection"
+    cmin: int = 15
+    frat: float = 0.08
+    split_size: int = 256
+    split_min: int = 128
+    compress_min_width: int = 128
+    compress_min_height: int = 20
+    #: apply the intra-supernode reordering of [21] to merge off-diag blocks
+    reorder_supernodes: bool = True
+
+    # --- numerics ------------------------------------------------------
+    factotype: str = "lu"
+    #: static-pivoting threshold: diagonal entries smaller than
+    #: ``pivot_threshold * max|diag|`` are perturbed (PaStiX-style)
+    pivot_threshold: float = 1e-14
+
+    # --- parallelism ---------------------------------------------------
+    threads: int = 1
+    #: multi-threaded engine: "dynamic" (shared ready queue) or "static"
+    #: (PaStiX-style proportional subtree mapping [23])
+    scheduler: str = "dynamic"
+    seed: Optional[int] = 0
+
+    def __post_init__(self) -> None:
+        if self.strategy not in STRATEGIES:
+            raise ValueError(f"strategy must be one of {STRATEGIES}, got {self.strategy!r}")
+        if self.kernel not in KERNELS:
+            raise ValueError(f"kernel must be one of {KERNELS}, got {self.kernel!r}")
+        if self.factotype not in FACTOTYPES:
+            raise ValueError(f"factotype must be one of {FACTOTYPES}, got {self.factotype!r}")
+        if self.ordering not in ORDERINGS:
+            raise ValueError(f"ordering must be one of {ORDERINGS}, got {self.ordering!r}")
+        if not (0.0 < self.tolerance < 1.0):
+            raise ValueError("tolerance must be in (0, 1)")
+        if self.cmin < 1:
+            raise ValueError("cmin must be >= 1")
+        if self.frat < 0.0:
+            raise ValueError("frat must be >= 0")
+        if self.split_min > self.split_size:
+            raise ValueError("split_min must be <= split_size")
+        if self.threads < 1:
+            raise ValueError("threads must be >= 1")
+        if not (0.0 < self.rank_ratio <= 1.0):
+            raise ValueError("rank_ratio must be in (0, 1]")
+        if self.left_looking and self.strategy == "minimal-memory":
+            raise ValueError(
+                "left_looking delays dense panel allocation; minimal-memory "
+                "never allocates dense panels, so the combination is void")
+        if self.left_looking and self.threads > 1:
+            raise ValueError("left_looking is implemented sequentially")
+        if self.scheduler not in ("dynamic", "static"):
+            raise ValueError(
+                f"scheduler must be 'dynamic' or 'static', got "
+                f"{self.scheduler!r}")
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def paper_scale(cls, **overrides) -> "SolverConfig":
+        """The paper's experimental setup (§4, first paragraph)."""
+        base = dict(
+            cmin=15, frat=0.08, split_size=256, split_min=128,
+            compress_min_width=128, compress_min_height=20,
+        )
+        base.update(overrides)
+        return cls(**base)
+
+    @classmethod
+    def laptop_scale(cls, **overrides) -> "SolverConfig":
+        """Thresholds scaled down ~4x so compression kicks in on 10k-100k
+        unknown problems (the paper's run at 1M+ unknowns)."""
+        base = dict(
+            cmin=15, frat=0.08, split_size=64, split_min=32,
+            compress_min_width=32, compress_min_height=8,
+        )
+        base.update(overrides)
+        return cls(**base)
+
+    def with_options(self, **overrides) -> "SolverConfig":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **overrides)
+
+    @property
+    def is_blr(self) -> bool:
+        return self.strategy != "dense"
+
+    @property
+    def is_symmetric_facto(self) -> bool:
+        return self.factotype in ("cholesky", "ldlt")

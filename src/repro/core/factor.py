@@ -1,0 +1,290 @@
+"""Numerical block storage and assembly.
+
+A :class:`NumericFactor` owns one :class:`NumericColumnBlock` per symbolic
+column block.  Storage comes in two modes, mirroring how PaStiX lays factors
+out:
+
+* **panel mode** — the column block's off-diagonal part is one contiguous
+  dense array (``lpanel``, rows stacked in block order).  Used by the Dense
+  strategy throughout and by Just-In-Time until the column block is
+  compressed; contiguity is what lets the update loop issue one BLAS3 GEMM
+  per facing block instead of one per block pair.
+* **blocks mode** — a list with one entry per off-diagonal block, each a
+  dense array or a :class:`~repro.lowrank.block.LowRankBlock`.  Used by
+  Minimal Memory from assembly onward (the dense panel is *never
+  allocated* — the whole point of the strategy) and by Just-In-Time panels
+  after compression.
+
+The diagonal block is always a separate dense ``(w, w)`` array (paper §2.2:
+"all diagonal blocks are considered dense").  For LU, a second structure
+(``upanel`` / ``ublocks``) stores Uᵗ with the same shape as L — the paper's
+"PaStiX solver stores L, and Uᵗ if required".
+
+Every allocation, free and resize is reported to a
+:class:`~repro.runtime.memory.MemoryTracker`, which is how the Figure 6/7
+memory measurements are produced.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.config import SolverConfig
+from repro.lowrank.block import LowRankBlock
+from repro.lowrank.kernels import block_nbytes, compress_block, rank_cap
+from repro.runtime.memory import MemoryTracker, array_nbytes
+from repro.runtime.stats import FactorizationStats, KernelStats
+from repro.sparse.csc import CSCMatrix
+from repro.symbolic.structure import SymbolicColumnBlock, SymbolicFactor
+
+Block = Union[np.ndarray, LowRankBlock]
+
+
+class NumericColumnBlock:
+    """Numerical storage of one column block."""
+
+    __slots__ = ("sym", "diag", "lpanel", "upanel", "lblocks", "ublocks",
+                 "row_offsets", "offrows", "factored")
+
+    def __init__(self, sym: SymbolicColumnBlock) -> None:
+        self.sym = sym
+        self.diag: Optional[np.ndarray] = None
+        self.lpanel: Optional[np.ndarray] = None
+        self.upanel: Optional[np.ndarray] = None
+        self.lblocks: Optional[List[Block]] = None
+        self.ublocks: Optional[List[Block]] = None
+        offs = np.zeros(sym.noff + 1, dtype=np.int64)
+        for i, b in enumerate(sym.off_blocks()):
+            offs[i + 1] = offs[i] + b.nrows
+        self.row_offsets = offs
+        self.offrows = int(offs[-1])
+        self.factored = False
+
+    # ------------------------------------------------------------------
+    @property
+    def width(self) -> int:
+        return self.sym.ncols
+
+    @property
+    def panel_mode(self) -> bool:
+        return self.lpanel is not None
+
+    def lblock(self, i: int) -> Block:
+        """The i-th off-diagonal L block (0-based over off blocks)."""
+        if self.lpanel is not None:
+            lo, hi = self.row_offsets[i], self.row_offsets[i + 1]
+            return self.lpanel[lo:hi]
+        return self.lblocks[i]
+
+    def ublock(self, i: int) -> Block:
+        if self.upanel is not None:
+            lo, hi = self.row_offsets[i], self.row_offsets[i + 1]
+            return self.upanel[lo:hi]
+        return self.ublocks[i]
+
+    def nbytes(self, sides: int) -> int:
+        """Current storage (diag + off-blocks of ``sides`` factor sides)."""
+        total = array_nbytes(self.diag) if self.diag is not None else 0
+        if self.lpanel is not None:
+            total += array_nbytes(self.lpanel) * sides
+        if self.lblocks is not None:
+            total += sum(block_nbytes(b) for b in self.lblocks)
+            if self.ublocks is not None:
+                total += sum(block_nbytes(b) for b in self.ublocks)
+        return total
+
+
+class NumericFactor:
+    """The factorized matrix: block storage + bookkeeping.
+
+    Created by :func:`assemble`; filled in by
+    :mod:`repro.core.factorization`; consumed by
+    :mod:`repro.core.trisolve`.
+    """
+
+    def __init__(self, symb: SymbolicFactor, config: SolverConfig) -> None:
+        self.symb = symb
+        self.config = config
+        self.cblks: List[NumericColumnBlock] = [
+            NumericColumnBlock(c) for c in symb.cblks]
+        self.tracker = MemoryTracker()
+        self.stats = FactorizationStats(kernels=KernelStats(locked=True))
+        self.nperturbed = 0
+        #: 2 when both L and Uᵗ off-diagonal panels are stored (LU), else 1
+        self.sides = 1 if config.is_symmetric_facto else 2
+        #: (a_perm, at_perm) when allocation is deferred (left-looking mode)
+        self.deferred = None
+
+    def fill_column_block(self, k: int) -> None:
+        """Left-looking mode: allocate column block ``k``'s dense storage
+        and scatter the matrix entries into it, on first touch."""
+        if self.deferred is None:
+            raise RuntimeError("fill_column_block requires left-looking "
+                               "deferred assembly")
+        a_perm, at_perm = self.deferred
+        nc = self.cblks[k]
+        if nc.diag is not None:
+            return
+        sym = nc.sym
+        w = sym.ncols
+        nc.diag = np.zeros((w, w))
+        self.tracker.alloc(array_nbytes(nc.diag))
+        nc.lpanel = np.zeros((nc.offrows, w))
+        self.tracker.alloc(array_nbytes(nc.lpanel))
+        _scatter_panel(a_perm, sym, nc.diag, nc.lpanel, nc.row_offsets)
+        if at_perm is not None:
+            nc.upanel = np.zeros((nc.offrows, w))
+            self.tracker.alloc(array_nbytes(nc.upanel))
+            _scatter_panel(at_perm, sym, None, nc.upanel, nc.row_offsets)
+
+    # -- sizing ----------------------------------------------------------
+    def dense_factor_nbytes(self) -> int:
+        """Bytes the factors would occupy fully dense (Figure 6 baseline)."""
+        total = 0
+        for c in self.symb.cblks:
+            w = c.ncols
+            off = sum(b.nrows for b in c.off_blocks())
+            total += (w * w + self.sides * off * w) * 8
+        return total
+
+    def factor_nbytes(self) -> int:
+        """Current compressed storage of all blocks."""
+        return sum(nc.nbytes(self.sides) for nc in self.cblks)
+
+    # -- block mutation with memory accounting ----------------------------
+    def set_block(self, nc: NumericColumnBlock, side: str, i: int,
+                  new: Block) -> None:
+        """Replace off-block ``i`` on side ``'l'``/``'u'``, tracking bytes."""
+        blocks = nc.lblocks if side == "l" else nc.ublocks
+        old = blocks[i]
+        self.tracker.resize(block_nbytes(old), block_nbytes(new))
+        blocks[i] = new
+
+    def convert_to_blocks(self, nc: NumericColumnBlock) -> None:
+        """Switch a panel-mode column block to blocks mode (JIT compression
+        point): each off block becomes an owned array; panels are freed."""
+        if not nc.panel_mode:
+            return
+        lblocks: List[Block] = []
+        ublocks: Optional[List[Block]] = [] if nc.upanel is not None else None
+        new_bytes = 0
+        for i in range(nc.sym.noff):
+            lo, hi = nc.row_offsets[i], nc.row_offsets[i + 1]
+            lb = np.ascontiguousarray(nc.lpanel[lo:hi])
+            lblocks.append(lb)
+            new_bytes += array_nbytes(lb)
+            if ublocks is not None:
+                ub = np.ascontiguousarray(nc.upanel[lo:hi])
+                ublocks.append(ub)
+                new_bytes += array_nbytes(ub)
+        old_bytes = array_nbytes(nc.lpanel)
+        if nc.upanel is not None:
+            old_bytes += array_nbytes(nc.upanel)
+        self.tracker.resize(old_bytes, new_bytes)
+        nc.lpanel = None
+        nc.upanel = None
+        nc.lblocks = lblocks
+        nc.ublocks = ublocks
+
+
+def assemble(a_perm: CSCMatrix, symb: SymbolicFactor,
+             config: SolverConfig) -> NumericFactor:
+    """Scatter the permuted matrix into the block structure.
+
+    * Dense / Just-In-Time: every column block gets dense panels
+      (``A`` entries scattered, structural zeros explicit) — the
+      Just-In-Time memory peak therefore matches the dense solver, as §4.3
+      observes.
+    * Minimal Memory: Algorithm 1 lines 1–4 — each low-rank candidate is
+      compressed *directly from its sparse entries* (a transient dense
+      scratch is built, compressed, and freed; only the compressed form is
+      charged to the tracker), so the dense factor structure never exists.
+    """
+    if not a_perm.is_pattern_symmetric():
+        raise ValueError("assemble expects a pattern-symmetric matrix")
+    fac = NumericFactor(symb, config)
+    need_u = not config.is_symmetric_facto
+    at_perm = a_perm.transpose() if need_u else None
+    minimal_memory = config.strategy == "minimal-memory"
+
+    if config.left_looking and not minimal_memory:
+        # §4.3's left-looking proposal: defer every allocation to the
+        # moment the column block is reached (see fill_column_block)
+        fac.deferred = (a_perm, at_perm)
+        return fac
+
+    for nc in fac.cblks:
+        sym = nc.sym
+        w = sym.ncols
+        nc.diag = np.zeros((w, w))
+        fac.tracker.alloc(array_nbytes(nc.diag))
+        if not minimal_memory:
+            nc.lpanel = np.zeros((nc.offrows, w))
+            fac.tracker.alloc(array_nbytes(nc.lpanel))
+            _scatter_panel(a_perm, sym, nc.diag, nc.lpanel, nc.row_offsets)
+            if need_u:
+                nc.upanel = np.zeros((nc.offrows, w))
+                fac.tracker.alloc(array_nbytes(nc.upanel))
+                _scatter_panel(at_perm, sym, None, nc.upanel, nc.row_offsets)
+        else:
+            # Minimal Memory: per-block storage, candidates compressed now
+            ldense = np.zeros((nc.offrows, w))
+            _scatter_panel(a_perm, sym, nc.diag, ldense, nc.row_offsets)
+            nc.lblocks = _compress_assembled(fac, nc, ldense)
+            if need_u:
+                udense = np.zeros((nc.offrows, w))
+                _scatter_panel(at_perm, sym, None, udense, nc.row_offsets)
+                nc.ublocks = _compress_assembled(fac, nc, udense)
+            else:
+                nc.ublocks = None
+    return fac
+
+
+def _scatter_panel(a: CSCMatrix, sym: SymbolicColumnBlock,
+                   diag: Optional[np.ndarray], panel: np.ndarray,
+                   row_offsets: np.ndarray) -> None:
+    """Scatter matrix entries of ``sym``'s columns into diag + off panel."""
+    fc, w = sym.first_col, sym.ncols
+    diag_end = fc + w
+    starts = np.array([b.first_row for b in sym.off_blocks()], dtype=np.int64)
+    ends = np.array([b.end_row for b in sym.off_blocks()], dtype=np.int64)
+    for jj in range(w):
+        rows, vals = a.column(fc + jj)
+        lo = int(np.searchsorted(rows, fc))
+        hi = int(np.searchsorted(rows, diag_end))
+        if diag is not None and hi > lo:
+            diag[rows[lo:hi] - fc, jj] = vals[lo:hi]
+        if hi < len(rows):
+            rr = rows[hi:]
+            vv = vals[hi:]
+            bidx = np.searchsorted(starts, rr, side="right") - 1
+            # symbolic coverage guarantees rr < ends[bidx]
+            offsets = row_offsets[bidx] + (rr - starts[bidx])
+            bad = rr >= ends[bidx]
+            if np.any(bad):  # pragma: no cover - symbolic coverage violated
+                raise AssertionError("matrix entry outside symbolic structure")
+            panel[offsets, jj] = vv
+
+
+def _compress_assembled(fac: NumericFactor, nc: NumericColumnBlock,
+                        dense: np.ndarray) -> List[Block]:
+    """Compress candidate blocks of a freshly assembled dense scratch."""
+    cfg = fac.config
+    out: List[Block] = []
+    for i, b in enumerate(nc.sym.off_blocks()):
+        lo, hi = nc.row_offsets[i], nc.row_offsets[i + 1]
+        chunk = dense[lo:hi]
+        if b.lr_candidate:
+            cap = rank_cap(b.nrows, nc.width, cfg.rank_ratio)
+            lr = compress_block(chunk, cfg.tolerance, cfg.kernel,
+                                max_rank=cap, stats=fac.stats.kernels)
+            if lr is not None:
+                fac.tracker.alloc(lr.nbytes)
+                out.append(lr)
+                continue
+        owned = np.ascontiguousarray(chunk)
+        fac.tracker.alloc(array_nbytes(owned))
+        out.append(owned)
+    return out

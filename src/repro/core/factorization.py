@@ -1,0 +1,443 @@
+"""Right-looking supernodal factorization drivers (Algorithms 1 and 2).
+
+Per column block ``k`` the elimination performs the paper's three steps:
+
+1. factorize the dense diagonal block (``getrf`` without pivoting /
+   ``potrf``);
+2. solve the off-diagonal panels against it — in Just-In-Time mode the
+   panels are compressed *first* (Algorithm 2 lines 3–4), so the solves run
+   on the ``v`` factors;
+3. apply the update ``A(i),(j) -= L(i),k · U k,(j)`` for every pair of
+   off-diagonal blocks — dense GEMM, ``LR2GE`` or ``LR2LR`` depending on
+   strategy and block storage.
+
+The Dense strategy keeps column blocks in panel mode, which lets step 3 run
+one batched GEMM per facing block ``(j)`` covering all ``(i)`` at once
+(PaStiX's stacked-panel trick); the BLR strategies dispatch per block pair
+through :mod:`repro.lowrank.kernels`.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+import numpy as np
+import scipy.linalg as sla
+
+from repro.core.dense_kernels import (
+    cholesky_nopivot,
+    gemm_flops,
+    getrf_flops,
+    ldlt_flops,
+    ldlt_nopivot,
+    lu_nopivot,
+    potrf_flops,
+    solve_lower_right,
+    solve_unit_lower_right,
+    solve_upper_right,
+    trsm_flops,
+)
+from repro.core.factor import Block, NumericColumnBlock, NumericFactor
+from repro.lowrank.block import LowRankBlock
+from repro.lowrank.kernels import (
+    block_nbytes,
+    compress_block,
+    lr2ge_update,
+    lr2lr_update,
+    lr2lr_update_multi,
+    lr_product,
+    rank_cap,
+)
+from repro.runtime.memory import array_nbytes
+
+
+# ----------------------------------------------------------------------
+# per-column-block elimination (steps 1 + 2)
+# ----------------------------------------------------------------------
+
+def factor_column_block(fac: NumericFactor, k: int) -> None:
+    """Factor the diagonal block of column block ``k`` and solve its panels."""
+    cfg = fac.config
+    nc = fac.cblks[k]
+    stats = fac.stats.kernels
+    w = nc.width
+
+    # --- step 1: diagonal block factorization ---------------------------
+    t0 = time.perf_counter()
+    if cfg.factotype == "lu":
+        lu, nperturbed = lu_nopivot(nc.diag, cfg.pivot_threshold)
+        nc.diag[...] = lu
+        fl = getrf_flops(w)
+    elif cfg.factotype == "cholesky":
+        l_mat, nperturbed = cholesky_nopivot(nc.diag, cfg.pivot_threshold)
+        nc.diag[...] = 0.0
+        nc.diag[np.tril_indices(w)] = l_mat[np.tril_indices(w)]
+        fl = potrf_flops(w)
+    elif cfg.factotype == "ldlt":
+        packed, nperturbed = ldlt_nopivot(nc.diag, cfg.pivot_threshold)
+        nc.diag[...] = np.tril(packed)  # unit-lower L below, D on diagonal
+        fl = ldlt_flops(w)
+    else:  # pragma: no cover - guarded by SolverConfig validation
+        raise NotImplementedError(
+            f"factotype {cfg.factotype!r} is not implemented yet")
+    fac.nperturbed += nperturbed
+    stats.add("block_facto", seconds=time.perf_counter() - t0, flops=fl)
+
+    # --- Just-In-Time: compress the accumulated panels now --------------
+    if cfg.strategy == "just-in-time":
+        _compress_panels_jit(fac, nc)
+
+    # --- step 2: panel solves --------------------------------------------
+    _panel_solve(fac, nc)
+    nc.factored = True
+
+
+def _compress_panels_jit(fac: NumericFactor, nc: NumericColumnBlock) -> None:
+    """Algorithm 2 lines 3-4: compress the fully-updated dense panels."""
+    if not nc.panel_mode:
+        return
+    cfg = fac.config
+    stats = fac.stats.kernels
+    lblocks: list = []
+    ublocks: Optional[list] = [] if nc.upanel is not None else None
+    new_bytes = 0
+    for i, b in enumerate(nc.sym.off_blocks()):
+        lo, hi = nc.row_offsets[i], nc.row_offsets[i + 1]
+        cap = rank_cap(b.nrows, nc.width, cfg.rank_ratio)
+        for side, panel, out in (("l", nc.lpanel, lblocks),
+                                 ("u", nc.upanel, ublocks)):
+            if out is None:
+                continue
+            chunk = panel[lo:hi]
+            lr = None
+            if b.lr_candidate:
+                lr = compress_block(chunk, cfg.tolerance, cfg.kernel,
+                                    max_rank=cap, stats=stats)
+            if lr is not None:
+                out.append(lr)
+                new_bytes += lr.nbytes
+            else:
+                owned = np.ascontiguousarray(chunk)
+                out.append(owned)
+                new_bytes += array_nbytes(owned)
+    old_bytes = array_nbytes(nc.lpanel)
+    if nc.upanel is not None:
+        old_bytes += array_nbytes(nc.upanel)
+    fac.tracker.resize(old_bytes, new_bytes)
+    nc.lpanel = None
+    nc.upanel = None
+    nc.lblocks = lblocks
+    nc.ublocks = ublocks
+
+
+def _panel_solve(fac: NumericFactor, nc: NumericColumnBlock) -> None:
+    """Solve every off-diagonal block against the factored diagonal."""
+    cfg = fac.config
+    stats = fac.stats.kernels
+    w = nc.width
+    t0 = time.perf_counter()
+    fl = 0.0
+    if cfg.factotype == "lu":
+        u00 = np.triu(nc.diag)
+        l00 = nc.diag  # unit-lower part read in place by the solvers
+        if nc.panel_mode:
+            if nc.offrows:
+                nc.lpanel[...] = solve_upper_right(u00, nc.lpanel)
+                nc.upanel[...] = solve_unit_lower_right(l00, nc.upanel)
+                fl += 2 * trsm_flops(w, nc.offrows)
+        else:
+            for i in range(nc.sym.noff):
+                lb = nc.lblocks[i]
+                if isinstance(lb, LowRankBlock):
+                    if lb.rank:
+                        lb.v[...] = sla.solve_triangular(
+                            u00, lb.v, trans="T", lower=False, check_finite=False)
+                    fl += trsm_flops(w, lb.rank)
+                else:
+                    nc.lblocks[i] = solve_upper_right(u00, lb)
+                    fl += trsm_flops(w, lb.shape[0])
+                ub = nc.ublocks[i]
+                if isinstance(ub, LowRankBlock):
+                    if ub.rank:
+                        # Uᵗ(i),k = u (L00⁻¹ v)ᵗ: forward substitution on v
+                        ub.v[...] = sla.solve_triangular(
+                            l00, ub.v, lower=True, unit_diagonal=True, check_finite=False)
+                    fl += trsm_flops(w, ub.rank)
+                else:
+                    nc.ublocks[i] = solve_unit_lower_right(l00, ub)
+                    fl += trsm_flops(w, ub.shape[0])
+    elif cfg.factotype == "cholesky":
+        l00 = nc.diag
+        if nc.panel_mode:
+            if nc.offrows:
+                nc.lpanel[...] = solve_lower_right(l00, nc.lpanel)
+                fl += trsm_flops(w, nc.offrows)
+        else:
+            for i in range(nc.sym.noff):
+                lb = nc.lblocks[i]
+                if isinstance(lb, LowRankBlock):
+                    if lb.rank:
+                        lb.v[...] = sla.solve_triangular(l00, lb.v, lower=True, check_finite=False)
+                    fl += trsm_flops(w, lb.rank)
+                else:
+                    nc.lblocks[i] = solve_lower_right(l00, lb)
+                    fl += trsm_flops(w, lb.shape[0])
+    else:  # ldlt: L(i) = A(i) L00⁻ᵗ D⁻¹
+        l00 = nc.diag
+        d = np.diag(nc.diag)
+        if nc.panel_mode:
+            if nc.offrows:
+                nc.lpanel[...] = solve_unit_lower_right(l00, nc.lpanel) / d
+                fl += trsm_flops(w, nc.offrows)
+        else:
+            for i in range(nc.sym.noff):
+                lb = nc.lblocks[i]
+                if isinstance(lb, LowRankBlock):
+                    if lb.rank:
+                        lb.v[...] = sla.solve_triangular(
+                            l00, lb.v, lower=True,
+                            unit_diagonal=True, check_finite=False) / d[:, None]
+                    fl += trsm_flops(w, lb.rank)
+                else:
+                    nc.lblocks[i] = solve_unit_lower_right(l00, lb) / d
+                    fl += trsm_flops(w, lb.shape[0])
+    stats.add("panel_solve", seconds=time.perf_counter() - t0, flops=fl)
+
+
+# ----------------------------------------------------------------------
+# step 3: right-looking updates
+# ----------------------------------------------------------------------
+
+def apply_updates_from(fac: NumericFactor, k: int,
+                       target: Optional[int] = None,
+                       lock=None) -> None:
+    """Apply all updates of source column block ``k`` (optionally only those
+    aimed at column block ``target``).  ``lock`` (threaded runs) guards the
+    target mutation sections."""
+    nc = fac.cblks[k]
+    sym = nc.sym
+    if sym.noff == 0:
+        return
+    if nc.panel_mode:
+        _updates_from_panel(fac, nc, target, lock)
+    else:
+        _updates_from_blocks(fac, nc, target, lock)
+
+
+def _updates_from_panel(fac: NumericFactor, nc: NumericColumnBlock,
+                        target: Optional[int], lock) -> None:
+    """Batched dense updates: one GEMM per facing block ``(j)``."""
+    stats = fac.stats.kernels
+    sym = nc.sym
+    offs = nc.row_offsets
+    is_lu = nc.upanel is not None
+    d_scale = (np.diag(nc.diag)
+               if fac.config.factotype == "ldlt" else None)
+    for j, bj in enumerate(sym.off_blocks()):
+        t = bj.facing
+        if target is not None and t != target:
+            continue
+        jlo, jhi = offs[j], offs[j + 1]
+        tail = slice(jlo, nc.offrows)
+        t0 = time.perf_counter()
+        if is_lu:
+            ub_j = nc.upanel[jlo:jhi]
+        elif d_scale is not None:
+            ub_j = nc.lpanel[jlo:jhi] * d_scale  # L(j) D for LDLᵗ updates
+        else:
+            ub_j = nc.lpanel[jlo:jhi]
+        w_l = nc.lpanel[tail] @ ub_j.T           # all (i) >= (j) at once
+        fl = gemm_flops(nc.offrows - jlo, bj.nrows, nc.width)
+        w_u = None
+        if is_lu:
+            w_u = nc.upanel[tail] @ nc.lpanel[jlo:jhi].T
+            fl += gemm_flops(nc.offrows - jlo, bj.nrows, nc.width)
+        stats.add("dense_update", seconds=time.perf_counter() - t0, flops=fl)
+
+        if lock is not None:
+            lock(t).acquire()
+        try:
+            for i in range(j, sym.noff):
+                bi = sym.blocks[1 + i]
+                ilo = offs[i] - jlo
+                ihi = offs[i + 1] - jlo
+                contrib = w_l[ilo:ihi]
+                _scatter(fac, t, bi.first_row, bi.end_row,
+                         bj.first_row, bj.end_row, contrib, side="l")
+                if is_lu and i > j:
+                    _scatter(fac, t, bi.first_row, bi.end_row,
+                             bj.first_row, bj.end_row, w_u[ilo:ihi], side="u")
+        finally:
+            if lock is not None:
+                lock(t).release()
+
+
+def _updates_from_blocks(fac: NumericFactor, nc: NumericColumnBlock,
+                         target: Optional[int], lock) -> None:
+    """Per-pair updates through the low-rank kernels (JIT / MM sources).
+
+    With ``config.accumulate_updates`` (the LUAR-like ablation, §5), all
+    contributions of this source aimed at the same low-rank target block
+    are gathered and recompressed once per target instead of once per
+    contribution.
+    """
+    cfg = fac.config
+    stats = fac.stats.kernels
+    sym = nc.sym
+    is_lu = nc.ublocks is not None
+    d_scale = (np.diag(nc.diag)
+               if fac.config.factotype == "ldlt" else None)
+
+    by_target = {}
+    for j, bj in enumerate(sym.off_blocks()):
+        by_target.setdefault(bj.facing, []).append((j, bj))
+
+    for t in sorted(by_target):
+        if target is not None and t != target:
+            continue
+        acc = {} if cfg.accumulate_updates else None
+        if lock is not None:
+            lock(t).acquire()
+        try:
+            for j, bj in by_target[t]:
+                if is_lu:
+                    ub_j = nc.ublocks[j]
+                elif d_scale is not None:
+                    ub_j = _scale_columns(nc.lblocks[j], d_scale)
+                else:
+                    ub_j = nc.lblocks[j]
+                lb_j = nc.lblocks[j]
+                for i in range(j, sym.noff):
+                    bi = sym.blocks[1 + i]
+                    contrib = lr_product(nc.lblocks[i], ub_j,
+                                         cfg.tolerance, cfg.kernel, stats)
+                    if contrib is not None:
+                        _scatter(fac, t, bi.first_row, bi.end_row,
+                                 bj.first_row, bj.end_row, contrib,
+                                 side="l", acc=acc)
+                    if is_lu and i > j:
+                        contrib_u = lr_product(nc.ublocks[i], lb_j,
+                                               cfg.tolerance, cfg.kernel,
+                                               stats)
+                        if contrib_u is not None:
+                            _scatter(fac, t, bi.first_row, bi.end_row,
+                                     bj.first_row, bj.end_row, contrib_u,
+                                     side="u", acc=acc)
+            if acc:
+                _flush_accumulated(fac, t, acc)
+        finally:
+            if lock is not None:
+                lock(t).release()
+
+
+def _flush_accumulated(fac: NumericFactor, t: int, acc: dict) -> None:
+    """Apply the grouped extend-adds gathered under accumulate_updates."""
+    cfg = fac.config
+    stats = fac.stats.kernels
+    tnc = fac.cblks[t]
+    tsym = tnc.sym
+    for (side, i), contribs in acc.items():
+        blocks = tnc.lblocks if side == "l" else tnc.ublocks
+        tgt = blocks[i]
+        if not isinstance(tgt, LowRankBlock):  # densified meanwhile
+            for piece, ro, co in contribs:
+                lr2ge_update(tgt, piece, ro, co, stats)
+            continue
+        block = tsym.blocks[1 + i]
+        cap = rank_cap(block.nrows, tsym.ncols, cfg.rank_ratio)
+        new = lr2lr_update_multi(tgt, contribs, cfg.tolerance, cfg.kernel,
+                                 max_rank=cap, stats=stats)
+        if new is None:
+            dense = tgt.to_dense()
+            for piece, ro, co in contribs:
+                lr2ge_update(dense, piece, ro, co, stats)
+            new = dense
+        fac.set_block(tnc, side, i, new)
+
+
+def _scale_columns(block: Block, d: np.ndarray) -> Block:
+    """Return ``block @ diag(d)`` (the ``L D`` operand of LDLᵗ updates)."""
+    if isinstance(block, LowRankBlock):
+        if block.rank == 0:
+            return block
+        return LowRankBlock(block.u, block.v * d[:, None])
+    return block * d
+
+
+# ----------------------------------------------------------------------
+# scatter of one contribution into the target column block
+# ----------------------------------------------------------------------
+
+def _slice_rows(contrib: Block, lo: int, hi: int) -> Block:
+    if isinstance(contrib, LowRankBlock):
+        if lo == 0 and hi == contrib.m:
+            return contrib
+        return LowRankBlock(contrib.u[lo:hi], contrib.v)
+    return contrib[lo:hi]
+
+
+def _transpose(contrib: Block) -> Block:
+    if isinstance(contrib, LowRankBlock):
+        return LowRankBlock(contrib.v, contrib.u)
+    return contrib.T
+
+
+def _scatter(fac: NumericFactor, t: int, rlo: int, rhi: int,
+             clo: int, chi: int, contrib: Block, side: str,
+             acc: Optional[dict] = None) -> None:
+    """Subtract ``contrib`` (rows ``[rlo, rhi)``, cols ``[clo, chi)`` in
+    global indices) from column block ``t``.
+
+    ``side == 'l'`` updates the L storage (or the diagonal block when the
+    rows fall inside ``t``'s columns); ``side == 'u'`` updates the Uᵗ
+    storage (transposed into the diagonal block's upper triangle when the
+    rows fall inside ``t``).
+    """
+    tnc = fac.cblks[t]
+    tsym = tnc.sym
+    stats = fac.stats.kernels
+    coff = clo - tsym.first_col
+
+    if rlo < tsym.end_col:
+        # region inside the diagonal block of t (always dense)
+        rloc = rlo - tsym.first_col
+        if side == "l":
+            lr2ge_update(tnc.diag, contrib, rloc, coff, stats)
+        else:
+            lr2ge_update(tnc.diag, _transpose(contrib), coff, rloc, stats)
+        return
+
+    cfg = fac.config
+    for bidx, olo, ohi in fac.symb.find_blocks(t, rlo, rhi):
+        if bidx == 0:  # pragma: no cover - diag handled above
+            raise AssertionError("off-diagonal rows resolved to diagonal")
+        i = bidx - 1
+        piece = _slice_rows(contrib, olo - rlo, ohi - rlo)
+        block = tsym.blocks[bidx]
+        row_off_in_block = olo - block.first_row
+        if tnc.panel_mode:
+            panel = tnc.lpanel if side == "l" else tnc.upanel
+            plo = tnc.row_offsets[i] + row_off_in_block
+            m = ohi - olo
+            lr2ge_update(panel[plo:plo + m], piece, 0, coff, stats)
+        else:
+            blocks = tnc.lblocks if side == "l" else tnc.ublocks
+            tgt = blocks[i]
+            if isinstance(tgt, LowRankBlock):
+                if acc is not None:
+                    acc.setdefault((side, i), []).append(
+                        (piece, row_off_in_block, coff))
+                    continue
+                cap = rank_cap(block.nrows, tsym.ncols, cfg.rank_ratio)
+                new = lr2lr_update(tgt, piece, row_off_in_block, coff,
+                                   cfg.tolerance, cfg.kernel,
+                                   max_rank=cap, stats=stats)
+                if new is None:
+                    # rank exceeded the cap: fall back to dense storage
+                    dense = tgt.to_dense()
+                    lr2ge_update(dense, piece, row_off_in_block, coff, stats)
+                    new = dense
+                fac.set_block(tnc, side, i, new)
+            else:
+                lr2ge_update(tgt, piece, row_off_in_block, coff, stats)

@@ -1,0 +1,182 @@
+"""Iterative refinement preconditioned by the BLR factorization (§4.4).
+
+The paper uses the low-rank factorization either as a low-accuracy direct
+solver or as a preconditioner: "GMRES for general matrices and Conjugate
+Gradient for SPD matrices", stopped after 20 iterations or a backward error
+below 1e-12 (Figure 8).  All three schemes here take an abstract
+``precond(r) -> z`` callable (the solver's :meth:`~repro.core.solver.Solver.
+solve` bound with ``refine=False``) and record the backward-error history
+``||A x_k - b||₂ / ||b||₂`` that Figure 8 plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.sparse.csc import CSCMatrix
+
+
+@dataclass
+class RefinementResult:
+    """Solution plus convergence trace."""
+
+    x: np.ndarray
+    history: List[float] = field(default_factory=list)
+    converged: bool = False
+    iterations: int = 0
+
+    @property
+    def backward_error(self) -> float:
+        return self.history[-1] if self.history else np.inf
+
+
+def _backward_error(a: CSCMatrix, x: np.ndarray, b: np.ndarray,
+                    norm_b: float) -> float:
+    return float(np.linalg.norm(a.matvec(x) - b) / norm_b)
+
+
+def iterative_refinement(a: CSCMatrix, b: np.ndarray,
+                         precond: Callable[[np.ndarray], np.ndarray],
+                         tol: float = 1e-12, maxiter: int = 20,
+                         x0: Optional[np.ndarray] = None) -> RefinementResult:
+    """Classical residual correction: ``x += M⁻¹ (b - A x)``."""
+    norm_b = float(np.linalg.norm(b))
+    if norm_b == 0.0:
+        return RefinementResult(x=np.zeros_like(b), converged=True)
+    x = precond(b) if x0 is None else np.array(x0, dtype=np.float64)
+    res = RefinementResult(x=x)
+    res.history.append(_backward_error(a, x, b, norm_b))
+    for it in range(maxiter):
+        if res.history[-1] <= tol:
+            res.converged = True
+            break
+        r = b - a.matvec(x)
+        x += precond(r)
+        res.history.append(_backward_error(a, x, b, norm_b))
+        res.iterations = it + 1
+    res.x = x
+    res.converged = res.history[-1] <= tol
+    return res
+
+
+def gmres(a: CSCMatrix, b: np.ndarray,
+          precond: Optional[Callable[[np.ndarray], np.ndarray]] = None,
+          tol: float = 1e-12, maxiter: int = 20, restart: int = 30,
+          x0: Optional[np.ndarray] = None) -> RefinementResult:
+    """Right-preconditioned restarted GMRES (Arnoldi + Givens rotations).
+
+    Right preconditioning keeps the monitored residual equal to the true
+    residual of ``A x = b``, so the recorded history is directly the
+    backward error of Figure 8.
+    """
+    n = a.n
+    norm_b = float(np.linalg.norm(b))
+    if norm_b == 0.0:
+        return RefinementResult(x=np.zeros(n), converged=True)
+    m_op = precond if precond is not None else (lambda r: r)
+    x = np.zeros(n) if x0 is None else np.array(x0, dtype=np.float64)
+    res = RefinementResult(x=x)
+    res.history.append(_backward_error(a, x, b, norm_b))
+    total_it = 0
+
+    while total_it < maxiter and res.history[-1] > tol:
+        r = b - a.matvec(x)
+        beta = float(np.linalg.norm(r))
+        if beta == 0.0:
+            break
+        m = min(restart, maxiter - total_it)
+        v = np.zeros((m + 1, n))
+        h = np.zeros((m + 1, m))
+        cs, sn = np.zeros(m), np.zeros(m)
+        g = np.zeros(m + 1)
+        g[0] = beta
+        v[0] = r / beta
+        j_used = 0
+        for j in range(m):
+            z = m_op(v[j])
+            w = a.matvec(z)
+            # modified Gram-Schmidt
+            for i in range(j + 1):
+                h[i, j] = float(w @ v[i])
+                w -= h[i, j] * v[i]
+            h[j + 1, j] = float(np.linalg.norm(w))
+            if h[j + 1, j] > 0.0:
+                v[j + 1] = w / h[j + 1, j]
+            # apply previous Givens rotations to the new column
+            for i in range(j):
+                tmp = cs[i] * h[i, j] + sn[i] * h[i + 1, j]
+                h[i + 1, j] = -sn[i] * h[i, j] + cs[i] * h[i + 1, j]
+                h[i, j] = tmp
+            # new rotation annihilating h[j+1, j]
+            denom = float(np.hypot(h[j, j], h[j + 1, j]))
+            if denom == 0.0:
+                cs[j], sn[j] = 1.0, 0.0
+            else:
+                cs[j], sn[j] = h[j, j] / denom, h[j + 1, j] / denom
+            h[j, j] = cs[j] * h[j, j] + sn[j] * h[j + 1, j]
+            h[j + 1, j] = 0.0
+            g[j + 1] = -sn[j] * g[j]
+            g[j] = cs[j] * g[j]
+            j_used = j + 1
+            total_it += 1
+            res.history.append(abs(float(g[j + 1])) / norm_b)
+            if res.history[-1] <= tol or total_it >= maxiter:
+                break
+        # solve the small triangular system and update x
+        if j_used:
+            y = np.linalg.solve(h[:j_used, :j_used], g[:j_used])
+            z = m_op(v[:j_used].T @ y)
+            x = x + z
+        # replace the Arnoldi residual estimate with the true backward error
+        res.history[-1] = _backward_error(a, x, b, norm_b)
+        if beta / norm_b <= res.history[-1] * (1.0 + 1e-12):
+            break  # stagnation: the cycle made no progress
+
+    res.x = x
+    res.iterations = total_it
+    res.converged = res.history[-1] <= tol
+    return res
+
+
+def conjugate_gradient(a: CSCMatrix, b: np.ndarray,
+                       precond: Optional[Callable[[np.ndarray], np.ndarray]] = None,
+                       tol: float = 1e-12, maxiter: int = 20,
+                       x0: Optional[np.ndarray] = None) -> RefinementResult:
+    """Preconditioned conjugate gradient (for SPD matrices)."""
+    n = a.n
+    norm_b = float(np.linalg.norm(b))
+    if norm_b == 0.0:
+        return RefinementResult(x=np.zeros(n), converged=True)
+    m_op = precond if precond is not None else (lambda r: r)
+    x = np.zeros(n) if x0 is None else np.array(x0, dtype=np.float64)
+    r = b - a.matvec(x)
+    z = m_op(r)
+    p = z.copy()
+    rz = float(r @ z)
+    res = RefinementResult(x=x)
+    res.history.append(float(np.linalg.norm(r)) / norm_b)
+    for it in range(maxiter):
+        if res.history[-1] <= tol:
+            break
+        ap = a.matvec(p)
+        pap = float(p @ ap)
+        if pap == 0.0:
+            break
+        alpha = rz / pap
+        x += alpha * p
+        r -= alpha * ap
+        res.history.append(float(np.linalg.norm(r)) / norm_b)
+        res.iterations = it + 1
+        if res.history[-1] <= tol:
+            break
+        z = m_op(r)
+        rz_new = float(r @ z)
+        beta = rz_new / rz
+        rz = rz_new
+        p = z + beta * p
+    res.x = x
+    res.converged = res.history[-1] <= tol
+    return res

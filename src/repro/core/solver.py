@@ -1,0 +1,296 @@
+"""Public solver facade.
+
+Mirrors the classic four-step direct-solver API (paper §1): ``analyze()``
+(ordering + symbolic, value-free and reusable), ``factorize()`` (numerical
+block factorization under the configured strategy), ``solve()`` (triangular
+solves, optionally followed by refinement), and ``refine()`` (preconditioned
+GMRES / CG / iterative refinement, §4.4).
+
+>>> from repro import Solver, SolverConfig
+>>> from repro.sparse.generators import laplacian_3d
+>>> import numpy as np
+>>> a = laplacian_3d(6)
+>>> cfg = SolverConfig.laptop_scale(strategy="minimal-memory", tolerance=1e-8)
+>>> s = Solver(a, cfg)
+>>> stats = s.factorize()
+>>> b = np.ones(a.n)
+>>> x = s.solve(b)
+>>> float(np.linalg.norm(a.matvec(x) - b) / np.linalg.norm(b)) < 1e-6
+True
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+from typing import Optional
+
+import numpy as np
+
+from repro.config import SolverConfig
+from repro.core.factor import NumericFactor, assemble
+from repro.core.refinement import (
+    RefinementResult,
+    conjugate_gradient,
+    gmres,
+    iterative_refinement,
+)
+from repro.core.scheduler import (
+    run_sequential,
+    run_threaded,
+    run_threaded_static,
+)
+from repro.core.trisolve import solve_factored
+from repro.runtime.stats import FactorizationStats
+from repro.sparse.csc import CSCMatrix
+from repro.sparse.permute import permute_symmetric
+from repro.symbolic.factorization import SymbolicOptions, symbolic_factorization
+from repro.symbolic.structure import SymbolicFactor
+
+
+class Solver:
+    """Sparse direct solver with optional Block Low-Rank compression.
+
+    Parameters
+    ----------
+    a:
+        The system matrix (our CSC container; ``CSCMatrix.from_scipy``
+        converts scipy matrices).  General matrices use ``factotype='lu'``
+        (the pattern is symmetrized internally); SPD matrices may use
+        ``factotype='cholesky'``.
+    config:
+        See :class:`~repro.config.SolverConfig`; defaults to a dense-like
+        Just-In-Time/RRQR configuration at paper-scale thresholds.
+    """
+
+    def __init__(self, a: CSCMatrix, config: Optional[SolverConfig] = None,
+                 coords: Optional[np.ndarray] = None) -> None:
+        if not isinstance(a, CSCMatrix):
+            raise TypeError("a must be a repro CSCMatrix "
+                            "(use CSCMatrix.from_scipy for scipy input)")
+        if a.nnz and not np.isfinite(a.values).all():
+            raise ValueError("matrix contains NaN or Inf entries")
+        self.a = a
+        self.config = config or SolverConfig()
+        if self.config.is_symmetric_facto and not a.is_symmetric(tol=0.0):
+            raise ValueError(
+                "cholesky/ldlt factorization requires a symmetric matrix")
+        self._a_sym = a if a.is_pattern_symmetric() else a.symmetrize_pattern()
+        #: node coordinates (required by ordering='geometric')
+        self.coords = coords
+        self.symbolic: Optional[SymbolicFactor] = None
+        self.perm: Optional[np.ndarray] = None
+        self.factor: Optional[NumericFactor] = None
+        self.analyze_time: float = 0.0
+
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        return self.a.n
+
+    @property
+    def stats(self) -> Optional[FactorizationStats]:
+        return None if self.factor is None else self.factor.stats
+
+    # -- step 1+2: analysis ------------------------------------------------
+    def analyze(self) -> SymbolicFactor:
+        """Ordering + symbolic block factorization (cached, value-free)."""
+        if self.symbolic is None:
+            t0 = time.perf_counter()
+            opts = SymbolicOptions.from_config(self.config)
+            self.symbolic, self.perm = symbolic_factorization(
+                self._a_sym, opts, coords=self.coords)
+            self.analyze_time = time.perf_counter() - t0
+        return self.symbolic
+
+    # -- step 3: numerical factorization ------------------------------------
+    def factorize(self) -> FactorizationStats:
+        """Assemble and factor under the configured strategy; returns the
+        per-kernel statistics (the rows of Table 2)."""
+        self.analyze()
+        a_perm = permute_symmetric(self._a_sym, self.perm)
+        t0 = time.perf_counter()
+        fac = assemble(a_perm, self.symbolic, self.config)
+        if self.config.threads > 1:
+            if self.config.scheduler == "static":
+                run_threaded_static(fac, self.config.threads)
+            else:
+                run_threaded(fac, self.config.threads)
+        else:
+            run_sequential(fac)
+        fac.stats.total_time = time.perf_counter() - t0
+        fac.stats.factor_nbytes = fac.factor_nbytes()
+        fac.stats.dense_factor_nbytes = fac.dense_factor_nbytes()
+        fac.stats.peak_nbytes = fac.tracker.peak
+        ncomp = ndense = 0
+        from repro.lowrank.block import LowRankBlock
+
+        for nc in fac.cblks:
+            if nc.lblocks is None:
+                ndense += nc.sym.noff
+                continue
+            for blk in nc.lblocks:
+                if isinstance(blk, LowRankBlock):
+                    ncomp += 1
+                else:
+                    ndense += 1
+        fac.stats.nblocks_compressed = ncomp
+        fac.stats.nblocks_dense = ndense
+        self.factor = fac
+        return fac.stats
+
+    # -- step 4: solves -----------------------------------------------------
+    def solve(self, b: np.ndarray, refine: bool = False,
+              refine_tol: float = 1e-12, refine_maxiter: int = 20,
+              trans: bool = False) -> np.ndarray:
+        """Solve ``A x = b`` (single vector or multiple right-hand sides).
+
+        ``trans=True`` solves ``Aᵗ x = b`` instead (same factors, mirrored
+        triangular sweeps — symmetric factorizations are unaffected).
+        With ``refine=True`` one runs the paper's default post-processing:
+        preconditioned GMRES (CG for Cholesky factorizations) until
+        ``refine_tol`` or ``refine_maxiter``.
+        """
+        if self.factor is None:
+            self.factorize()
+        b = np.asarray(b, dtype=np.float64)
+        if b.shape[0] != self.n:
+            raise ValueError(
+                f"right-hand side has {b.shape[0]} rows, expected {self.n}")
+        if b.size and not np.isfinite(b).all():
+            raise ValueError("right-hand side contains NaN or Inf entries")
+        t0 = time.perf_counter()
+        pb = b[self.perm]
+        y = solve_factored(self.factor, pb, trans=trans)
+        x = np.empty_like(y)
+        x[self.perm] = y
+        self.factor.stats.solve_time += time.perf_counter() - t0
+        if refine and b.ndim == 1 and not trans:
+            res = self.refine(b, x0=x, tol=refine_tol, maxiter=refine_maxiter)
+            return res.x
+        return x
+
+    def _precond(self, r: np.ndarray) -> np.ndarray:
+        """One application of the factorization as a preconditioner."""
+        pr = r[self.perm]
+        y = solve_factored(self.factor, pr)
+        z = np.empty_like(y)
+        z[self.perm] = y
+        return z
+
+    def refine(self, b: np.ndarray, x0: Optional[np.ndarray] = None,
+               method: Optional[str] = None, tol: float = 1e-12,
+               maxiter: int = 20) -> RefinementResult:
+        """Refine a solution with the BLR-preconditioned iterative solver.
+
+        ``method`` defaults to CG for Cholesky factorizations and GMRES
+        otherwise (paper §4.4); ``"ir"`` selects plain iterative refinement.
+        """
+        if self.factor is None:
+            self.factorize()
+        if method is None:
+            method = "cg" if self.config.is_symmetric_facto else "gmres"
+        if method == "gmres":
+            return gmres(self.a, b, precond=self._precond, tol=tol,
+                         maxiter=maxiter, x0=x0)
+        if method == "cg":
+            return conjugate_gradient(self.a, b, precond=self._precond,
+                                      tol=tol, maxiter=maxiter, x0=x0)
+        if method == "ir":
+            return iterative_refinement(self.a, b, precond=self._precond,
+                                        tol=tol, maxiter=maxiter, x0=x0)
+        raise ValueError(f"unknown refinement method {method!r}")
+
+    # -- same-pattern refactorization ----------------------------------------
+    def update_values(self, a: CSCMatrix) -> None:
+        """Swap in a new matrix with the *same sparsity pattern*.
+
+        The analysis (ordering + symbolic structure) is value-free and is
+        kept; the next :meth:`factorize`/:meth:`solve` call refactors the
+        new values.  This is the paper's §1 use case: "these steps can be
+        computed once to solve multiple problems similar in structure but
+        with different numerical values".
+        """
+        if not isinstance(a, CSCMatrix):
+            raise TypeError("a must be a repro CSCMatrix")
+        if a.n != self.a.n:
+            raise ValueError("new matrix must have the same dimension")
+        if not (np.array_equal(a.colptr, self.a.colptr)
+                and np.array_equal(a.rowind, self.a.rowind)):
+            raise ValueError("new matrix must share the sparsity pattern")
+        if self.config.is_symmetric_facto and not a.is_symmetric(tol=0.0):
+            raise ValueError(
+                "cholesky/ldlt factorization requires a symmetric matrix")
+        self.a = a
+        self._a_sym = a if a.is_pattern_symmetric() else a.symmetrize_pattern()
+        self.factor = None  # numerical state is stale; analysis is kept
+
+    # -- persistence -----------------------------------------------------
+    def save_factor(self, path) -> "Path":
+        """Save the factorization (blocks + analysis + config) to a file.
+
+        The archive is self-contained: :meth:`load_factor` restores a
+        solver able to run :meth:`solve`/:meth:`refine` without
+        re-factorizing — a compressed (BLR) factorization saves
+        proportionally smaller archives.
+        """
+        from repro.core.serialize import save_factor as _save
+
+        if self.factor is None:
+            self.factorize()
+        return _save(self.factor, self.perm, path)
+
+    @classmethod
+    def load_factor(cls, a: CSCMatrix, path) -> "Solver":
+        """Rebuild a solver from :meth:`save_factor` output.
+
+        ``a`` must be the matrix the factorization was computed from (it is
+        needed for residuals/refinement; the archive stores only factors).
+        """
+        from repro.core.serialize import load_factor as _load
+
+        fac, perm = _load(path)
+        solver = cls(a, fac.config)
+        if a.n != fac.symb.n:
+            raise ValueError("matrix dimension does not match the archive")
+        solver.symbolic = fac.symb
+        solver.perm = perm
+        solver.factor = fac
+        return solver
+
+    # -- diagnostics ---------------------------------------------------------
+    def slogdet(self) -> tuple:
+        """(sign, log|det(A)|) from the factored diagonal blocks.
+
+        Exact for the dense strategy; BLR strategies return the determinant
+        of the τ-perturbed factorization.
+        """
+        from repro.analysis.diagnostics import factor_slogdet
+
+        if self.factor is None:
+            self.factorize()
+        return factor_slogdet(self.factor)
+
+    def inertia(self) -> tuple:
+        """(n_negative, n_zero, n_positive) eigenvalue counts; requires a
+        symmetric (``ldlt``/``cholesky``) factorization."""
+        from repro.analysis.diagnostics import factor_inertia
+
+        if self.factor is None:
+            self.factorize()
+        return factor_inertia(self.factor)
+
+    def condest(self, maxiter: int = 10) -> float:
+        """Hager–Higham 1-norm condition-number estimate ``κ₁(A)``."""
+        from repro.analysis.diagnostics import condest_1norm
+
+        if self.factor is None:
+            self.factorize()
+        return condest_1norm(self.a, self.factor, self.perm,
+                             maxiter=maxiter)
+
+    def backward_error(self, x: np.ndarray, b: np.ndarray) -> float:
+        """``||A x - b||₂ / ||b||₂`` — the metric printed above every bar of
+        Figures 5 and 6."""
+        return float(np.linalg.norm(self.a.matvec(x) - b)
+                     / np.linalg.norm(b))

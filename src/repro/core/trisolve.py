@@ -1,0 +1,166 @@
+"""Triangular solves on the block factorization (paper step 4).
+
+Works on the mixed dense/low-rank storage produced by any strategy.  Low-rank
+blocks apply as ``u (vᵗ x)`` — the solve step is what the paper's Table 2
+"Solve time" row measures, and it is *faster* than the dense solve because
+the work is proportional to the stored ranks.
+
+Conventions (matching :mod:`repro.core.factorization`):
+
+* LU: ``P A Pᵗ = L U`` with unit-lower L; the diagonal blocks pack L and U
+  LAPACK-style; off-diagonal U is stored transposed (Uᵗ blocks shaped like
+  L blocks).
+* Cholesky: ``P A Pᵗ = L Lᵗ`` with the lower factor in the diagonal blocks.
+
+Right-hand sides may be a vector ``(n,)`` or a block ``(n, k)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.linalg as sla
+
+from repro.core.factor import NumericFactor
+from repro.lowrank.block import LowRankBlock
+
+
+def _apply_block(block, x_cols: np.ndarray) -> np.ndarray:
+    """``block @ x_cols`` for dense or low-rank block."""
+    if isinstance(block, LowRankBlock):
+        return block.matvec(x_cols)
+    return block @ x_cols
+
+
+def _apply_block_t(block, x_rows: np.ndarray) -> np.ndarray:
+    """``block.T @ x_rows``."""
+    if isinstance(block, LowRankBlock):
+        return block.rmatvec(x_rows)
+    return block.T @ x_rows
+
+
+def solve_factored(fac: NumericFactor, b: np.ndarray,
+                   trans: bool = False) -> np.ndarray:
+    """Solve ``(P A Pᵗ) x = b`` — or its transpose with ``trans=True`` —
+    using the computed factors.
+
+    The transposed solve of an LU factorization runs ``Uᵗ z = b`` then
+    ``Lᵗ x = z``: the stored ``Uᵗ`` blocks apply *forward* and the ``L``
+    blocks apply transposed, mirroring the plain solve.  Symmetric
+    factorizations are their own transpose.
+    """
+    x = np.array(b, dtype=np.float64, copy=True)
+    single = x.ndim == 1
+    if single:
+        x = x[:, None]
+    if fac.config.factotype == "lu":
+        if trans:
+            _forward_ut(fac, x)
+            _backward_lt(fac, x)
+        else:
+            _forward_lu(fac, x)
+            _backward_lu(fac, x)
+    elif fac.config.factotype == "cholesky":
+        _forward_cholesky(fac, x)
+        _backward_cholesky(fac, x)
+    else:  # ldlt: L z = b ; y = D⁻¹ z ; Lᵗ x = y
+        _forward_ldlt(fac, x)
+        _diag_scale_ldlt(fac, x)
+        _backward_ldlt(fac, x)
+    return x[:, 0] if single else x
+
+
+def _forward_lu(fac: NumericFactor, x: np.ndarray) -> None:
+    """``L y = b`` (unit-lower), overwriting ``x``."""
+    for nc in fac.cblks:
+        sym = nc.sym
+        lo, hi = sym.first_col, sym.end_col
+        x[lo:hi] = sla.solve_triangular(nc.diag, x[lo:hi], lower=True,
+                                        unit_diagonal=True, check_finite=False)
+        for i, b in enumerate(sym.off_blocks()):
+            x[b.first_row:b.end_row] -= _apply_block(nc.lblock(i), x[lo:hi])
+
+
+def _backward_lu(fac: NumericFactor, x: np.ndarray) -> None:
+    """``U x = y``; off-diagonal U applied via the stored Uᵗ blocks."""
+    for nc in reversed(fac.cblks):
+        sym = nc.sym
+        lo, hi = sym.first_col, sym.end_col
+        acc = x[lo:hi]
+        for i, b in enumerate(sym.off_blocks()):
+            # U[k, (i)] = (Uᵗ(i),k)ᵗ
+            acc -= _apply_block_t(nc.ublock(i), x[b.first_row:b.end_row])
+        x[lo:hi] = sla.solve_triangular(np.triu(nc.diag), acc, lower=False, check_finite=False)
+
+
+def _forward_cholesky(fac: NumericFactor, x: np.ndarray) -> None:
+    for nc in fac.cblks:
+        sym = nc.sym
+        lo, hi = sym.first_col, sym.end_col
+        x[lo:hi] = sla.solve_triangular(nc.diag, x[lo:hi], lower=True, check_finite=False)
+        for i, b in enumerate(sym.off_blocks()):
+            x[b.first_row:b.end_row] -= _apply_block(nc.lblock(i), x[lo:hi])
+
+
+def _backward_cholesky(fac: NumericFactor, x: np.ndarray) -> None:
+    """``Lᵗ x = y`` using the same L blocks transposed."""
+    for nc in reversed(fac.cblks):
+        sym = nc.sym
+        lo, hi = sym.first_col, sym.end_col
+        acc = x[lo:hi]
+        for i, b in enumerate(sym.off_blocks()):
+            acc -= _apply_block_t(nc.lblock(i), x[b.first_row:b.end_row])
+        x[lo:hi] = sla.solve_triangular(nc.diag, acc, lower=True, trans="T", check_finite=False)
+
+
+def _forward_ldlt(fac: NumericFactor, x: np.ndarray) -> None:
+    """``L z = b`` with unit-lower L (D shares the diag storage)."""
+    for nc in fac.cblks:
+        sym = nc.sym
+        lo, hi = sym.first_col, sym.end_col
+        x[lo:hi] = sla.solve_triangular(nc.diag, x[lo:hi], lower=True,
+                                        unit_diagonal=True, check_finite=False)
+        for i, b in enumerate(sym.off_blocks()):
+            x[b.first_row:b.end_row] -= _apply_block(nc.lblock(i), x[lo:hi])
+
+
+def _diag_scale_ldlt(fac: NumericFactor, x: np.ndarray) -> None:
+    """``y = D⁻¹ z`` using the diagonal entries of every diagonal block."""
+    for nc in fac.cblks:
+        lo, hi = nc.sym.first_col, nc.sym.end_col
+        x[lo:hi] /= np.diag(nc.diag)[:, None]
+
+
+def _backward_ldlt(fac: NumericFactor, x: np.ndarray) -> None:
+    """``Lᵗ x = y`` with the same unit-lower L blocks transposed."""
+    for nc in reversed(fac.cblks):
+        sym = nc.sym
+        lo, hi = sym.first_col, sym.end_col
+        acc = x[lo:hi]
+        for i, b in enumerate(sym.off_blocks()):
+            acc -= _apply_block_t(nc.lblock(i), x[b.first_row:b.end_row])
+        x[lo:hi] = sla.solve_triangular(nc.diag, acc, lower=True, trans="T",
+                                        unit_diagonal=True, check_finite=False)
+
+
+def _forward_ut(fac: NumericFactor, x: np.ndarray) -> None:
+    """``Uᵗ z = b`` — Uᵗ is lower triangular and its off-diagonal blocks
+    are exactly the stored ``Uᵗ(i),k`` blocks, applied untransposed."""
+    for nc in fac.cblks:
+        sym = nc.sym
+        lo, hi = sym.first_col, sym.end_col
+        x[lo:hi] = sla.solve_triangular(np.triu(nc.diag), x[lo:hi],
+                                        lower=False, trans="T", check_finite=False)
+        for i, b in enumerate(sym.off_blocks()):
+            x[b.first_row:b.end_row] -= _apply_block(nc.ublock(i), x[lo:hi])
+
+
+def _backward_lt(fac: NumericFactor, x: np.ndarray) -> None:
+    """``Lᵗ x = z`` with the unit-lower L blocks applied transposed."""
+    for nc in reversed(fac.cblks):
+        sym = nc.sym
+        lo, hi = sym.first_col, sym.end_col
+        acc = x[lo:hi]
+        for i, b in enumerate(sym.off_blocks()):
+            acc -= _apply_block_t(nc.lblock(i), x[b.first_row:b.end_row])
+        x[lo:hi] = sla.solve_triangular(nc.diag, acc, lower=True, trans="T",
+                                        unit_diagonal=True, check_finite=False)

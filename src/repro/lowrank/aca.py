@@ -1,0 +1,77 @@
+"""Adaptive Cross Approximation compression kernel.
+
+ACA builds a low-rank approximation from *rows and columns of the matrix
+itself* (cross/skeleton approximation) instead of orthogonal
+transformations.  It is the workhorse of dense BEM BLR solvers — the LSTC
+solver the paper compares against in §5 compresses its blocks this way —
+and completes our kernel-family zoo next to SVD, RRQR and randomized
+sampling.  Selectable with ``SolverConfig(kernel="aca")``.
+
+The dense-block variant with full pivoting is implemented: at step k the
+largest residual entry ``(i, j)`` is selected, the cross
+``R[:, j] R[i, :] / R[i, j]`` is subtracted, and iteration stops when
+``||R||_F <= τ ||A||_F``.  The accumulated factors are re-orthonormalized
+(QR on ``u``) so the solver's "orthonormal u" invariant holds.
+
+Cost Θ(m n r) like the truncated RRQR, but with rank-1 updates only — no
+Householder sweeps — which is why BEM codes favour it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.lowrank.block import LowRankBlock
+
+
+def aca_flops(m: int, n: int, r: int) -> float:
+    """r cross subtractions + residual-norm scans over the block."""
+    return 4.0 * m * n * r
+
+
+def aca_compress(a: np.ndarray, tol: float,
+                 max_rank: Optional[int] = None) -> Optional[LowRankBlock]:
+    """Fully-pivoted ACA of a dense block at tolerance ``tol``.
+
+    Returns ``None`` when the revealed rank exceeds ``max_rank``.
+    """
+    m, n = a.shape
+    if min(m, n) == 0:
+        return LowRankBlock.zero(m, n)
+    norm_a2 = float(np.einsum("ij,ij->", a, a))
+    if norm_a2 == 0.0:
+        return LowRankBlock.zero(m, n)
+    threshold2 = (tol ** 2) * norm_a2
+    kmax = min(m, n)
+    limit = kmax if max_rank is None else min(kmax, int(max_rank))
+
+    residual = np.array(a, dtype=np.float64, copy=True)
+    us, vs = [], []
+    resid2 = norm_a2
+    while resid2 > threshold2:
+        if len(us) >= limit:
+            if limit == kmax:
+                break  # block is numerically full rank; exact cross basis
+            return None
+        # full pivoting: the largest remaining entry anchors the cross
+        flat = int(np.argmax(np.abs(residual)))
+        i, j = divmod(flat, n)
+        pivot = residual[i, j]
+        if pivot == 0.0:
+            break  # exact zero residual despite Frobenius slack
+        col = residual[:, j].copy()
+        row = residual[i, :] / pivot
+        residual -= np.outer(col, row)
+        us.append(col)
+        vs.append(row)
+        resid2 = float(np.einsum("ij,ij->", residual, residual))
+
+    if not us:
+        return LowRankBlock.zero(m, n)
+    u = np.column_stack(us)
+    v = np.column_stack(vs)
+    # restore the orthonormal-u invariant
+    q, r_mat = np.linalg.qr(u)
+    return LowRankBlock(q, v @ r_mat.T)

@@ -1,0 +1,95 @@
+"""Low-rank block container.
+
+A block ``A`` of shape ``(m, n)`` is represented as ``Â = u @ v.T`` with
+``u`` of shape ``(m, r)`` and ``v`` of shape ``(n, r)`` (paper §3.1).  The
+solver maintains the invariant that ``u`` has orthonormal columns — both
+compression kernels produce orthonormal ``u`` and the RRQR recompression of
+eq. (12) explicitly preserves it ("note that uC' is kept orthogonal for
+future updates") — which the recompression kernels exploit.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.runtime.memory import FLOAT_NBYTES
+
+
+class LowRankBlock:
+    """``u @ v.T`` factorization of an ``m x n`` block."""
+
+    __slots__ = ("u", "v")
+
+    def __init__(self, u: np.ndarray, v: np.ndarray) -> None:
+        u = np.ascontiguousarray(u, dtype=np.float64)
+        v = np.ascontiguousarray(v, dtype=np.float64)
+        if u.ndim != 2 or v.ndim != 2:
+            raise ValueError("u and v must be 2-D")
+        if u.shape[1] != v.shape[1]:
+            raise ValueError(
+                f"rank mismatch: u has {u.shape[1]} columns, v has {v.shape[1]}")
+        self.u = u
+        self.v = v
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def zero(cls, m: int, n: int) -> "LowRankBlock":
+        """The rank-0 block (an all-zero ``m x n`` block)."""
+        return cls(np.zeros((m, 0)), np.zeros((n, 0)))
+
+    @property
+    def m(self) -> int:
+        return self.u.shape[0]
+
+    @property
+    def n(self) -> int:
+        return self.v.shape[0]
+
+    @property
+    def rank(self) -> int:
+        return self.u.shape[1]
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return (self.m, self.n)
+
+    @property
+    def nbytes(self) -> int:
+        """Storage of the compressed representation."""
+        return (self.m + self.n) * self.rank * FLOAT_NBYTES
+
+    @property
+    def dense_nbytes(self) -> int:
+        """Storage the block would need uncompressed."""
+        return self.m * self.n * FLOAT_NBYTES
+
+    def to_dense(self) -> np.ndarray:
+        if self.rank == 0:
+            return np.zeros((self.m, self.n))
+        return self.u @ self.v.T
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        """``Â @ x`` in O((m + n) r) per vector."""
+        if self.rank == 0:
+            shape = (self.m,) if x.ndim == 1 else (self.m, x.shape[1])
+            return np.zeros(shape)
+        return self.u @ (self.v.T @ x)
+
+    def rmatvec(self, x: np.ndarray) -> np.ndarray:
+        """``Â.T @ x``."""
+        if self.rank == 0:
+            shape = (self.n,) if x.ndim == 1 else (self.n, x.shape[1])
+            return np.zeros(shape)
+        return self.v @ (self.u.T @ x)
+
+    def copy(self) -> "LowRankBlock":
+        return LowRankBlock(self.u.copy(), self.v.copy())
+
+    def is_profitable(self) -> bool:
+        """True when the compressed form is strictly smaller than dense."""
+        return self.nbytes < self.dense_nbytes
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"LowRankBlock(m={self.m}, n={self.n}, rank={self.rank})"

@@ -1,0 +1,170 @@
+"""Undirected adjacency graphs backed by CSR index arrays.
+
+The ordering algorithms (nested dissection, minimum degree) operate on the
+adjacency graph of the matrix: vertices are unknowns, edges connect the
+symmetric nonzero pattern, self-loops (diagonal entries) are dropped.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.sparse.csc import CSCMatrix
+
+
+class Graph:
+    """Compressed adjacency structure of an undirected graph.
+
+    ``adjptr``/``adjind`` follow the CSR convention: the neighbours of vertex
+    ``v`` are ``adjind[adjptr[v]:adjptr[v+1]]`` (sorted, no self-loops, every
+    edge stored in both directions).
+    """
+
+    __slots__ = ("n", "adjptr", "adjind")
+
+    def __init__(self, n: int, adjptr: np.ndarray, adjind: np.ndarray) -> None:
+        self.n = int(n)
+        self.adjptr = np.ascontiguousarray(adjptr, dtype=np.int64)
+        self.adjind = np.ascontiguousarray(adjind, dtype=np.int64)
+
+    # -- constructors ---------------------------------------------------
+    @classmethod
+    def from_matrix(cls, a: CSCMatrix) -> "Graph":
+        """Adjacency graph of ``A + Aᵗ`` with the diagonal removed."""
+        sym = a if a.is_pattern_symmetric() else a.symmetrize_pattern()
+        cols = np.repeat(np.arange(sym.n, dtype=np.int64), np.diff(sym.colptr))
+        keep = sym.rowind != cols
+        rows, cs = sym.rowind[keep], cols[keep]
+        order = np.lexsort((rows, cs))
+        rows, cs = rows[order], cs[order]
+        adjptr = np.zeros(sym.n + 1, dtype=np.int64)
+        np.add.at(adjptr, cs + 1, 1)
+        np.cumsum(adjptr, out=adjptr)
+        return cls(sym.n, adjptr, rows)
+
+    @classmethod
+    def from_edges(cls, n: int, edges) -> "Graph":
+        """Build from an iterable of (u, v) pairs (each edge given once)."""
+        edges = np.asarray(list(edges), dtype=np.int64).reshape(-1, 2)
+        u = np.concatenate([edges[:, 0], edges[:, 1]])
+        v = np.concatenate([edges[:, 1], edges[:, 0]])
+        keep = u != v
+        u, v = u[keep], v[keep]
+        order = np.lexsort((v, u))
+        u, v = u[order], v[order]
+        if u.size:
+            dedup = np.ones(u.size, dtype=bool)
+            dedup[1:] = (u[1:] != u[:-1]) | (v[1:] != v[:-1])
+            u, v = u[dedup], v[dedup]
+        adjptr = np.zeros(n + 1, dtype=np.int64)
+        np.add.at(adjptr, u + 1, 1)
+        np.cumsum(adjptr, out=adjptr)
+        return cls(n, adjptr, v)
+
+    # -- queries ----------------------------------------------------------
+    @property
+    def nedges(self) -> int:
+        return int(len(self.adjind)) // 2
+
+    def neighbors(self, v: int) -> np.ndarray:
+        return self.adjind[self.adjptr[v]:self.adjptr[v + 1]]
+
+    def degree(self, v: int) -> int:
+        return int(self.adjptr[v + 1] - self.adjptr[v])
+
+    def degrees(self) -> np.ndarray:
+        return np.diff(self.adjptr)
+
+    # -- traversals ---------------------------------------------------------
+    def bfs_levels(self, start: int,
+                   mask: Optional[np.ndarray] = None) -> np.ndarray:
+        """Breadth-first levels from ``start``; ``-1`` for unreachable (or
+        masked-out) vertices.  ``mask`` restricts the traversal to vertices
+        where it is True."""
+        level = np.full(self.n, -1, dtype=np.int64)
+        if mask is not None and not mask[start]:
+            return level
+        level[start] = 0
+        frontier = np.array([start], dtype=np.int64)
+        depth = 0
+        while frontier.size:
+            depth += 1
+            nxt: List[int] = []
+            for v in frontier:
+                for w in self.neighbors(v):
+                    if level[w] < 0 and (mask is None or mask[w]):
+                        level[w] = depth
+                        nxt.append(int(w))
+            frontier = np.asarray(nxt, dtype=np.int64)
+        return level
+
+    def pseudo_peripheral(self, start: int,
+                          mask: Optional[np.ndarray] = None,
+                          max_iters: int = 10) -> Tuple[int, np.ndarray]:
+        """George–Liu pseudo-peripheral vertex heuristic.
+
+        Repeatedly BFS and restart from a minimum-degree vertex of the last
+        level until the eccentricity stops growing.  Returns the final root
+        and its level structure.
+        """
+        root = start
+        levels = self.bfs_levels(root, mask)
+        ecc = int(levels.max())
+        for _ in range(max_iters):
+            last = np.flatnonzero(levels == ecc)
+            if last.size == 0:
+                break
+            # minimum-degree vertex of the deepest level
+            cand = last[np.argmin(self.degrees()[last])]
+            new_levels = self.bfs_levels(int(cand), mask)
+            new_ecc = int(new_levels.max())
+            if new_ecc <= ecc:
+                break
+            root, levels, ecc = int(cand), new_levels, new_ecc
+        return root, levels
+
+    def connected_components(self,
+                             mask: Optional[np.ndarray] = None) -> List[np.ndarray]:
+        """Vertex sets of connected components (restricted to ``mask``)."""
+        if mask is None:
+            mask = np.ones(self.n, dtype=bool)
+        seen = ~mask.copy()
+        comps: List[np.ndarray] = []
+        for s in range(self.n):
+            if seen[s]:
+                continue
+            levels = self.bfs_levels(s, ~seen)
+            comp = np.flatnonzero(levels >= 0)
+            seen[comp] = True
+            comps.append(comp)
+        return comps
+
+    def subgraph(self, vertices: np.ndarray) -> Tuple["Graph", np.ndarray]:
+        """Induced subgraph.
+
+        Returns ``(g, vertices)`` where local vertex ``i`` of ``g`` is global
+        vertex ``vertices[i]`` (the echo makes call sites self-documenting).
+        """
+        vertices = np.asarray(vertices, dtype=np.int64)
+        local = np.full(self.n, -1, dtype=np.int64)
+        local[vertices] = np.arange(vertices.size, dtype=np.int64)
+        srcs, dsts = [], []
+        for i, v in enumerate(vertices):
+            nbrs = self.neighbors(int(v))
+            loc = local[nbrs]
+            keep = loc >= 0
+            dst = loc[keep]
+            srcs.append(np.full(dst.size, i, dtype=np.int64))
+            dsts.append(dst)
+        src = np.concatenate(srcs) if srcs else np.empty(0, dtype=np.int64)
+        dst = np.concatenate(dsts) if dsts else np.empty(0, dtype=np.int64)
+        adjptr = np.zeros(vertices.size + 1, dtype=np.int64)
+        np.add.at(adjptr, src + 1, 1)
+        np.cumsum(adjptr, out=adjptr)
+        # src is already sorted because we iterated vertices in order
+        return Graph(vertices.size, adjptr, dst), vertices
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Graph(n={self.n}, nedges={self.nedges})"

@@ -1,0 +1,58 @@
+"""Reverse Cuthill–McKee ordering.
+
+A bandwidth-reducing ordering: BFS from a pseudo-peripheral vertex with
+neighbours visited in increasing-degree order, then reversed.  Not a
+fill-reducing ordering for the supernodal solver (nested dissection is),
+but the standard preprocessing for banded/skyline methods and a useful
+baseline — e.g. to quantify how much nested dissection gains — so it ships
+as part of the ordering toolbox.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.ordering.graph import Graph
+
+
+def reverse_cuthill_mckee(g: Graph) -> np.ndarray:
+    """Return a new-to-old RCM permutation of ``g``.
+
+    Handles disconnected graphs (each component is ordered from its own
+    pseudo-peripheral root).  Deterministic: ties break by vertex index.
+    """
+    n = g.n
+    degrees = g.degrees()
+    visited = np.zeros(n, dtype=bool)
+    order: List[int] = []
+
+    for start in range(n):
+        if visited[start]:
+            continue
+        mask = ~visited
+        root, _ = g.pseudo_peripheral(start, mask)
+        # BFS with degree-sorted neighbour expansion
+        queue = [int(root)]
+        visited[root] = True
+        while queue:
+            v = queue.pop(0)
+            order.append(v)
+            nbrs = [int(w) for w in g.neighbors(v) if not visited[w]]
+            nbrs.sort(key=lambda w: (degrees[w], w))
+            for w in nbrs:
+                visited[w] = True
+                queue.append(w)
+    return np.asarray(order[::-1], dtype=np.int64)
+
+
+def bandwidth(g: Graph, perm: np.ndarray) -> int:
+    """Matrix bandwidth under the (new-to-old) permutation ``perm``."""
+    pos = np.empty(g.n, dtype=np.int64)
+    pos[perm] = np.arange(g.n)
+    worst = 0
+    for v in range(g.n):
+        for w in g.neighbors(v):
+            worst = max(worst, abs(int(pos[v]) - int(pos[int(w)])))
+    return worst

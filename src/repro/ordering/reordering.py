@@ -1,0 +1,114 @@
+"""Intra-supernode reordering (the TSP strategy of Pichon et al. [21]).
+
+After the supernodal partition is fixed, the *internal* order of a
+supernode's vertices is still free: permuting them permutes rows inside the
+supernode's column range without changing fill.  The symbolic structure of
+contributing supernodes, however, depends on that order — a contributor whose
+row subset is scattered produces many small off-diagonal blocks, while a
+contiguous subset produces one.  The paper reports that the TSP reordering
+implemented in PaStiX "divides by more than two the number of off-diagonal
+blocks" (§1) and also lowers the ranks of low-rank blocks.
+
+We reproduce the heuristic: each vertex of a supernode is labelled with the
+set of contributors that reach it; vertices with identical labels are grouped;
+groups are chained greedily by minimal symmetric difference (the
+travelling-salesman tour over Hamming distances, nearest-neighbour
+approximation).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.symbolic.supernodes import Supernode
+
+#: supernodes wider than this skip the O(groups²) chaining and use a
+#: lexicographic group order instead
+TSP_WIDTH_CAP = 4096
+
+
+def reorder_supernodes(snodes: Sequence[Supernode]) -> np.ndarray:
+    """Compute the intra-supernode reordering remap.
+
+    Returns ``newpos`` with ``newpos[g]`` = new global index of the vertex
+    currently at global index ``g``; the permutation only moves vertices
+    within their own supernode.  Callers must then remap every supernode's
+    ``rows`` array (``sort(newpos[rows])``) and compose ``newpos`` into the
+    global permutation.
+    """
+    n = snodes[-1].end if snodes else 0
+    newpos = np.arange(n, dtype=np.int64)
+
+    # vertex labels: which contributors reach each vertex of each supernode
+    labels: List[List[int]] = [[] for _ in range(n)]
+    starts = np.array([s.first_col for s in snodes], dtype=np.int64)
+    for ci, c in enumerate(snodes):
+        rows = c.rows
+        if rows.size == 0:
+            continue
+        # split rows by owning supernode and label them with the contributor
+        owners = np.searchsorted(starts, rows, side="right") - 1
+        for r in rows[owners >= 0]:
+            labels[int(r)].append(ci)
+
+    for s in snodes:
+        if s.ncols <= 2:
+            continue
+        verts = range(s.first_col, s.end)
+        key_of: Dict[FrozenSet[int], List[int]] = {}
+        for v in verts:
+            key = frozenset(labels[v])
+            key_of.setdefault(key, []).append(v)
+        if len(key_of) <= 1:
+            continue
+        groups = list(key_of.items())
+        if s.ncols > TSP_WIDTH_CAP or len(groups) > 512:
+            order = _lexicographic_order(groups)
+        else:
+            order = _greedy_tour(groups)
+        pos = s.first_col
+        for gi in order:
+            for v in groups[gi][1]:
+                newpos[v] = pos
+                pos += 1
+    return newpos
+
+
+def _greedy_tour(groups: List[Tuple[FrozenSet[int], List[int]]]) -> List[int]:
+    """Nearest-neighbour tour over group labels (Hamming distance)."""
+    ngroups = len(groups)
+    unvisited = set(range(ngroups))
+    # start from the group with the smallest label (few contributors = the
+    # "top" rows of the supernode in typical elimination structures)
+    cur = min(unvisited, key=lambda g: (len(groups[g][0]), g))
+    order = [cur]
+    unvisited.discard(cur)
+    while unvisited:
+        cur_key = groups[cur][0]
+        best, best_d = -1, None
+        for g in unvisited:
+            d = len(cur_key.symmetric_difference(groups[g][0]))
+            if best_d is None or d < best_d or (d == best_d and g < best):
+                best, best_d = g, d
+        order.append(best)
+        unvisited.discard(best)
+        cur = best
+    return order
+
+
+def _lexicographic_order(groups: List[Tuple[FrozenSet[int], List[int]]]
+                         ) -> List[int]:
+    """Fallback for very wide supernodes: sort groups lexicographically by
+    their sorted label tuples, which still clusters similar patterns."""
+    keyed = sorted(range(len(groups)),
+                   key=lambda g: tuple(sorted(groups[g][0])))
+    return keyed
+
+
+def apply_reordering(snodes: Sequence[Supernode], newpos: np.ndarray) -> None:
+    """Remap every supernode's row set in place after a reordering."""
+    for s in snodes:
+        if s.rows.size:
+            s.rows = np.sort(newpos[s.rows])

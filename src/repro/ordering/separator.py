@@ -1,0 +1,159 @@
+"""Vertex separators via level-set bisection.
+
+Nested dissection needs, at every recursion step, a *vertex separator*: a set
+``S`` whose removal splits the graph into parts ``A`` and ``B`` with no edge
+between them.  We use the classic level-structure heuristic (the approach of
+George's original nested dissection, also the fallback strategy inside
+Scotch):
+
+1. find a pseudo-peripheral root and its BFS level structure;
+2. scan candidate levels, scoring ``|S| * (1 + imbalance)``, where the
+   separator candidate at level ``l`` is the set of level-``l`` vertices
+   adjacent to level ``l+1``;
+3. minimalize the winner: a separator vertex with no neighbour in ``A`` is
+   moved into ``B`` and vice-versa.
+
+This is a from-scratch replacement for Scotch's separator engine; on the
+mesh-like graphs of the paper's evaluation it produces separators within the
+``O(n^{2/3})`` bound of the separator theorem the paper leans on (§5).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.ordering.graph import Graph
+
+
+def find_vertex_separator(g: Graph, vertices: np.ndarray,
+                          balance_weight: float = 1.0,
+                          ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Split the connected vertex set ``vertices`` of ``g``.
+
+    Parameters
+    ----------
+    g:
+        The *global* graph.
+    vertices:
+        Global indices of a connected subset to split.
+    balance_weight:
+        Weight of the imbalance penalty in the level score.
+
+    Returns
+    -------
+    (part_a, part_b, sep):
+        Disjoint global vertex arrays covering ``vertices``; no edge joins
+        ``part_a`` and ``part_b``.  ``sep`` may be empty when the set is
+        small or degenerate (callers must handle that).
+    """
+    vertices = np.asarray(vertices, dtype=np.int64)
+    nv = vertices.size
+    if nv <= 1:
+        return vertices, np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+
+    mask = np.zeros(g.n, dtype=bool)
+    mask[vertices] = True
+
+    _, levels = g.pseudo_peripheral(int(vertices[0]), mask)
+    depth = int(levels[vertices].max())
+    if depth < 1:
+        # complete-graph-like: no useful level structure; split arbitrarily
+        half = nv // 2
+        return (vertices[:half], np.empty(0, dtype=np.int64), vertices[half:])
+
+    lvl = levels[vertices]
+    counts = np.bincount(lvl, minlength=depth + 1)
+    below = np.cumsum(counts) - counts  # vertices strictly below each level
+
+    # Candidate level l separates A = levels < l from B = levels > l.
+    # Among *balanced* candidates (smaller side holds at least a quarter of
+    # the non-separator vertices) pick the thinnest level; if no level is
+    # balanced (elongated or degenerate graphs) fall back to the level
+    # maximizing the smaller side.
+    best_score = np.inf
+    best_level = -1
+    fallback_level, fallback_minside = depth // 2, -1
+    for lvl_cand in range(depth + 1):
+        na = int(below[lvl_cand])
+        nb = nv - na - int(counts[lvl_cand])
+        if na == 0 or nb == 0:
+            continue
+        minside = min(na, nb)
+        if minside > fallback_minside:
+            fallback_minside = minside
+            fallback_level = lvl_cand
+        if minside < 0.25 * (na + nb):
+            continue
+        score = counts[lvl_cand] * (1.0 + balance_weight * abs(na - nb) / nv)
+        if score < best_score:
+            best_score = score
+            best_level = lvl_cand
+    if best_level < 0:
+        best_level = fallback_level
+
+    sep_cand = vertices[lvl == best_level]
+    in_a = lvl < best_level
+    in_b = lvl > best_level
+
+    # keep in the separator only the level vertices adjacent to the B side
+    sep_mask = np.zeros(g.n, dtype=bool)
+    sep_mask[sep_cand] = True
+    b_mask = np.zeros(g.n, dtype=bool)
+    b_mask[vertices[in_b]] = True
+
+    keep = []
+    for v in sep_cand:
+        if np.any(b_mask[g.neighbors(int(v))]):
+            keep.append(int(v))
+        else:
+            sep_mask[v] = False
+    sep = np.asarray(keep, dtype=np.int64)
+
+    a_mask = np.zeros(g.n, dtype=bool)
+    a_mask[vertices[in_a]] = True
+    # level-best vertices not kept in the separator belong to the A side
+    demoted = sep_cand[~sep_mask[sep_cand]]
+    a_mask[demoted] = True
+
+    # minimalization: a separator vertex with no neighbour in A moves to B
+    sep = _minimalize(g, sep, a_mask, b_mask)
+
+    part_a = vertices[a_mask[vertices]]
+    part_b = vertices[b_mask[vertices]]
+    return part_a, part_b, sep
+
+
+def _minimalize(g: Graph, sep: np.ndarray, a_mask: np.ndarray,
+                b_mask: np.ndarray) -> np.ndarray:
+    """Drop separator vertices touching only one side (moving them into that
+    side), repeating until stable."""
+    changed = True
+    sep_set = set(int(v) for v in sep)
+    while changed:
+        changed = False
+        for v in list(sep_set):
+            nbrs = g.neighbors(v)
+            touches_a = bool(np.any(a_mask[nbrs]))
+            touches_b = bool(np.any(b_mask[nbrs]))
+            if touches_a and touches_b:
+                continue
+            sep_set.discard(v)
+            changed = True
+            if touches_a:
+                a_mask[v] = True
+            else:  # touches only B, or is isolated
+                b_mask[v] = True
+    return np.asarray(sorted(sep_set), dtype=np.int64)
+
+
+def check_separator(g: Graph, part_a: np.ndarray, part_b: np.ndarray,
+                    sep: np.ndarray) -> bool:
+    """Validation helper (used by tests): no edge between the two parts."""
+    a_mask = np.zeros(g.n, dtype=bool)
+    a_mask[np.asarray(part_a, dtype=np.int64)] = True
+    for v in np.asarray(part_b, dtype=np.int64):
+        if np.any(a_mask[g.neighbors(int(v))]):
+            return False
+    return True

@@ -1,0 +1,26 @@
+"""Runtime support: timing, flop accounting, and memory-peak tracking.
+
+These utilities instrument the solver the way the paper's Table 2 and
+Figures 6/7 require: every numerical kernel charges its wall-clock time and
+floating-point operation count to a named category (``compress``,
+``block_facto``, ``panel_solve``, ``lr_product``, ``lr_addition``,
+``dense_update``), and every allocation/release of factor storage is reported
+to a :class:`~repro.runtime.memory.MemoryTracker` so the *peak* working set of
+a factorization can be compared between the Dense, Just-In-Time and Minimal
+Memory strategies.
+"""
+
+from repro.runtime.timers import Timer, CategoryTimers
+from repro.runtime.stats import KernelStats, FactorizationStats, KERNEL_CATEGORIES
+from repro.runtime.memory import MemoryTracker, nbytes_dense, nbytes_lowrank
+
+__all__ = [
+    "Timer",
+    "CategoryTimers",
+    "KernelStats",
+    "FactorizationStats",
+    "KERNEL_CATEGORIES",
+    "MemoryTracker",
+    "nbytes_dense",
+    "nbytes_lowrank",
+]

@@ -1,0 +1,152 @@
+"""Per-kernel statistics for a factorization run.
+
+``KernelStats`` charges wall-clock seconds, flop counts and call counts to
+named categories.  ``FactorizationStats`` is the full record returned by a
+factorization: kernel tallies plus factor-size and memory-peak figures, i.e.
+exactly the rows of the paper's Table 2:
+
+=====================  ==================================================
+Table 2 row            category key
+=====================  ==================================================
+Compression            ``compress``
+Block factorization    ``block_facto``
+Panel solve            ``panel_solve``
+LR product             ``lr_product``
+LR addition            ``lr_addition``
+Dense update           ``dense_update``
+=====================  ==================================================
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.runtime.timers import CategoryTimers
+
+#: Kernel categories reported by Table 2 of the paper (in paper row order).
+KERNEL_CATEGORIES = (
+    "compress",
+    "block_facto",
+    "panel_solve",
+    "lr_product",
+    "lr_addition",
+    "dense_update",
+)
+
+
+class KernelStats:
+    """Accumulates time / flops / call counts per kernel category.
+
+    Thread-safety: ``add`` takes a lock only when the instance was created
+    with ``locked=True``; the factorization drivers create one unlocked
+    instance per worker thread and merge them, so the hot path is lock-free.
+    """
+
+    def __init__(self, locked: bool = False) -> None:
+        self.timers = CategoryTimers()
+        self.flops: Dict[str, float] = {}
+        self.calls: Dict[str, int] = {}
+        self._lock = threading.Lock() if locked else None
+
+    def add(self, category: str, seconds: float = 0.0, flops: float = 0.0,
+            calls: int = 1) -> None:
+        """Charge ``seconds`` and ``flops`` to ``category``."""
+        if self._lock is not None:
+            with self._lock:
+                self._add(category, seconds, flops, calls)
+        else:
+            self._add(category, seconds, flops, calls)
+
+    def _add(self, category: str, seconds: float, flops: float, calls: int) -> None:
+        self.timers.timer(category).elapsed += seconds
+        self.flops[category] = self.flops.get(category, 0.0) + flops
+        self.calls[category] = self.calls.get(category, 0) + calls
+
+    def time(self, category: str) -> float:
+        return self.timers.elapsed(category)
+
+    def flop(self, category: str) -> float:
+        return self.flops.get(category, 0.0)
+
+    def call_count(self, category: str) -> int:
+        return self.calls.get(category, 0)
+
+    def total_time(self) -> float:
+        return self.timers.total()
+
+    def total_flops(self) -> float:
+        return sum(self.flops.values())
+
+    def merge(self, other: "KernelStats") -> None:
+        self.timers.merge(other.timers)
+        for k, v in other.flops.items():
+            self.flops[k] = self.flops.get(k, 0.0) + v
+        for k, v in other.calls.items():
+            self.calls[k] = self.calls.get(k, 0) + v
+
+    def as_dict(self) -> Dict[str, Dict[str, float]]:
+        cats = set(self.timers.categories()) | set(self.flops) | set(self.calls)
+        return {
+            c: {
+                "time": self.timers.elapsed(c),
+                "flops": self.flops.get(c, 0.0),
+                "calls": self.calls.get(c, 0),
+            }
+            for c in sorted(cats)
+        }
+
+
+@dataclass
+class FactorizationStats:
+    """Everything measured during one numerical factorization.
+
+    Attributes
+    ----------
+    kernels:
+        Per-category time/flops/calls.
+    factor_nbytes:
+        Final size in bytes of the factor blocks (compressed representation
+        for BLR runs) — the paper's "factors final size".
+    dense_factor_nbytes:
+        Size the factors *would* occupy fully dense (baseline of Figures 6/7).
+    peak_nbytes:
+        Peak tracked working set during factorization (Figure 7's "total
+        consumption" series uses this plus structure overhead).
+    total_time:
+        Wall-clock of the whole factorization (not the sum of categories,
+        which double-counts nothing in sequential mode but is CPU time in
+        threaded mode).
+    nblocks_compressed / nblocks_dense:
+        How many off-diagonal blocks ended compressed vs dense.
+    """
+
+    kernels: KernelStats = field(default_factory=KernelStats)
+    factor_nbytes: int = 0
+    dense_factor_nbytes: int = 0
+    peak_nbytes: int = 0
+    total_time: float = 0.0
+    solve_time: float = 0.0
+    nblocks_compressed: int = 0
+    nblocks_dense: int = 0
+
+    @property
+    def memory_ratio(self) -> float:
+        """Compressed / dense factor size (the y-axis of Figure 6)."""
+        if self.dense_factor_nbytes == 0:
+            return 1.0
+        return self.factor_nbytes / self.dense_factor_nbytes
+
+    def summary(self) -> Dict[str, float]:
+        out: Dict[str, float] = {}
+        for c in KERNEL_CATEGORIES:
+            out[f"time_{c}"] = self.kernels.time(c)
+            out[f"flops_{c}"] = self.kernels.flop(c)
+        out["total_time"] = self.total_time
+        out["solve_time"] = self.solve_time
+        out["factor_nbytes"] = float(self.factor_nbytes)
+        out["dense_factor_nbytes"] = float(self.dense_factor_nbytes)
+        out["peak_nbytes"] = float(self.peak_nbytes)
+        out["memory_ratio"] = self.memory_ratio
+        return out

@@ -1,0 +1,102 @@
+"""Lightweight wall-clock timers with named categories.
+
+The paper's Table 2 decomposes the numerical factorization into six kernel
+categories (compression, block factorization, panel solve, low-rank product,
+low-rank addition, dense update).  :class:`CategoryTimers` accumulates elapsed
+seconds per category; individual :class:`Timer` objects are context managers
+around ``time.perf_counter``.
+
+Timers are intentionally simple — no threading magic.  In threaded runs each
+worker accumulates into its own :class:`CategoryTimers` and the per-thread
+tallies are merged (summed) afterwards, which reports *CPU-ish* time per
+category exactly as the sequential Table 2 does.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Optional
+from contextlib import contextmanager
+
+
+@dataclass
+class Timer:
+    """Accumulating stopwatch.
+
+    Examples
+    --------
+    >>> t = Timer()
+    >>> with t:
+    ...     pass
+    >>> t.elapsed >= 0.0
+    True
+    """
+
+    elapsed: float = 0.0
+    _start: Optional[float] = field(default=None, repr=False)
+
+    def start(self) -> None:
+        if self._start is not None:
+            raise RuntimeError("timer already running")
+        self._start = time.perf_counter()
+
+    def stop(self) -> float:
+        if self._start is None:
+            raise RuntimeError("timer not running")
+        delta = time.perf_counter() - self._start
+        self.elapsed += delta
+        self._start = None
+        return delta
+
+    def reset(self) -> None:
+        self.elapsed = 0.0
+        self._start = None
+
+    def __enter__(self) -> "Timer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+class CategoryTimers:
+    """A dictionary of accumulating timers keyed by category name."""
+
+    def __init__(self) -> None:
+        self._timers: Dict[str, Timer] = {}
+
+    def timer(self, category: str) -> Timer:
+        t = self._timers.get(category)
+        if t is None:
+            t = self._timers[category] = Timer()
+        return t
+
+    @contextmanager
+    def time(self, category: str) -> Iterator[Timer]:
+        t = self.timer(category)
+        t.start()
+        try:
+            yield t
+        finally:
+            t.stop()
+
+    def elapsed(self, category: str) -> float:
+        t = self._timers.get(category)
+        return 0.0 if t is None else t.elapsed
+
+    def categories(self) -> Dict[str, float]:
+        return {k: t.elapsed for k, t in self._timers.items()}
+
+    def total(self) -> float:
+        return sum(t.elapsed for t in self._timers.values())
+
+    def merge(self, other: "CategoryTimers") -> None:
+        """Sum another tally into this one (used to merge per-thread timers)."""
+        for k, t in other._timers.items():
+            self.timer(k).elapsed += t.elapsed
+
+    def reset(self) -> None:
+        for t in self._timers.values():
+            t.reset()

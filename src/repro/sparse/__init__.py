@@ -1,0 +1,42 @@
+"""Sparse-matrix substrate.
+
+A small, self-contained CSC container (:class:`~repro.sparse.csc.CSCMatrix`)
+plus symmetric permutation, pattern symmetrization, Matrix Market I/O and the
+problem generators used by the evaluation suite.  ``scipy.sparse`` matrices
+convert losslessly in both directions, but the solver pipeline only relies on
+this module's structures.
+"""
+
+from repro.sparse.csc import CSCMatrix
+from repro.sparse.permute import permute_symmetric, invert_permutation, is_permutation
+from repro.sparse.generators import (
+    laplacian_1d,
+    laplacian_2d,
+    laplacian_3d,
+    convection_diffusion_3d,
+    elasticity_3d,
+    heterogeneous_poisson_3d,
+    anisotropic_laplacian_3d,
+    random_spd,
+)
+from repro.sparse.io import read_matrix_market, write_matrix_market
+from repro.sparse.scaling import Scaling, equilibrate
+
+__all__ = [
+    "CSCMatrix",
+    "permute_symmetric",
+    "invert_permutation",
+    "is_permutation",
+    "laplacian_1d",
+    "laplacian_2d",
+    "laplacian_3d",
+    "convection_diffusion_3d",
+    "elasticity_3d",
+    "heterogeneous_poisson_3d",
+    "anisotropic_laplacian_3d",
+    "random_spd",
+    "read_matrix_market",
+    "write_matrix_market",
+    "Scaling",
+    "equilibrate",
+]

@@ -1,0 +1,227 @@
+"""Compressed Sparse Column matrix container.
+
+The solver's analysis pipeline (ordering, symbolic factorization) consumes a
+*pattern-symmetric* CSC matrix with sorted row indices and no duplicates; the
+numerical pipeline scatters its values into the supernodal block structure.
+This container enforces those invariants on construction so downstream code
+never has to re-check them.
+
+Only the operations the solver needs are implemented — construction from
+triplets or scipy, symmetrization, transpose, matvec, extraction of the lower
+pattern, and dense conversion for tests.  Anything fancier belongs in scipy.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Tuple
+
+import numpy as np
+
+
+class CSCMatrix:
+    """Square sparse matrix in compressed-sparse-column form.
+
+    Parameters
+    ----------
+    n:
+        Matrix dimension (matrices here are always square — they come from
+        discretized PDE operators).
+    colptr:
+        ``int64`` array of length ``n + 1``; column ``j`` owns entries
+        ``colptr[j]:colptr[j+1]``.
+    rowind:
+        ``int64`` array of row indices, sorted strictly increasing within
+        each column (checked).
+    values:
+        ``float64`` array aligned with ``rowind``.
+    """
+
+    __slots__ = ("n", "colptr", "rowind", "values")
+
+    def __init__(self, n: int, colptr: np.ndarray, rowind: np.ndarray,
+                 values: np.ndarray, check: bool = True) -> None:
+        self.n = int(n)
+        self.colptr = np.ascontiguousarray(colptr, dtype=np.int64)
+        self.rowind = np.ascontiguousarray(rowind, dtype=np.int64)
+        self.values = np.ascontiguousarray(values, dtype=np.float64)
+        if check:
+            self._validate()
+
+    # ------------------------------------------------------------------
+    def _validate(self) -> None:
+        if self.colptr.shape != (self.n + 1,):
+            raise ValueError("colptr must have length n + 1")
+        if self.colptr[0] != 0 or self.colptr[-1] != len(self.rowind):
+            raise ValueError("colptr bounds inconsistent with rowind")
+        if np.any(np.diff(self.colptr) < 0):
+            raise ValueError("colptr must be non-decreasing")
+        if len(self.rowind) != len(self.values):
+            raise ValueError("rowind and values must have equal length")
+        if len(self.rowind) and (self.rowind.min() < 0 or self.rowind.max() >= self.n):
+            raise ValueError("row index out of range")
+        # strictly increasing row indices per column => sorted and no dups
+        for j in range(self.n):
+            lo, hi = self.colptr[j], self.colptr[j + 1]
+            col = self.rowind[lo:hi]
+            if col.size > 1 and np.any(np.diff(col) <= 0):
+                raise ValueError(f"column {j} has unsorted or duplicate rows")
+
+    # -- constructors ---------------------------------------------------
+    @classmethod
+    def from_coo(cls, n: int, rows: Iterable[int], cols: Iterable[int],
+                 vals: Iterable[float], sum_duplicates: bool = True) -> "CSCMatrix":
+        """Build from triplets; duplicate entries are summed."""
+        rows = np.asarray(list(rows) if not isinstance(rows, np.ndarray) else rows,
+                          dtype=np.int64)
+        cols = np.asarray(list(cols) if not isinstance(cols, np.ndarray) else cols,
+                          dtype=np.int64)
+        vals = np.asarray(list(vals) if not isinstance(vals, np.ndarray) else vals,
+                          dtype=np.float64)
+        if not (rows.shape == cols.shape == vals.shape):
+            raise ValueError("rows/cols/vals must have equal shapes")
+        order = np.lexsort((rows, cols))
+        rows, cols, vals = rows[order], cols[order], vals[order]
+        if sum_duplicates and rows.size:
+            keep = np.empty(rows.size, dtype=bool)
+            keep[0] = True
+            np.logical_or(rows[1:] != rows[:-1], cols[1:] != cols[:-1], out=keep[1:])
+            groups = np.cumsum(keep) - 1
+            summed = np.zeros(int(groups[-1]) + 1, dtype=np.float64)
+            np.add.at(summed, groups, vals)
+            rows, cols, vals = rows[keep], cols[keep], summed
+        colptr = np.zeros(n + 1, dtype=np.int64)
+        np.add.at(colptr, cols + 1, 1)
+        np.cumsum(colptr, out=colptr)
+        return cls(n, colptr, rows, vals)
+
+    @classmethod
+    def from_dense(cls, a: np.ndarray, tol: float = 0.0) -> "CSCMatrix":
+        a = np.asarray(a, dtype=np.float64)
+        if a.ndim != 2 or a.shape[0] != a.shape[1]:
+            raise ValueError("dense input must be square")
+        rows, cols = np.nonzero(np.abs(a) > tol)
+        return cls.from_coo(a.shape[0], rows, cols, a[rows, cols])
+
+    @classmethod
+    def from_scipy(cls, a) -> "CSCMatrix":
+        """Convert any scipy.sparse matrix (kept optional at import time)."""
+        a = a.tocsc()
+        a.sort_indices()
+        a.sum_duplicates()
+        return cls(a.shape[0], a.indptr.astype(np.int64),
+                   a.indices.astype(np.int64), a.data.astype(np.float64))
+
+    def to_scipy(self):
+        import scipy.sparse as sp
+
+        return sp.csc_matrix((self.values, self.rowind, self.colptr),
+                             shape=(self.n, self.n))
+
+    # -- basic queries ----------------------------------------------------
+    @property
+    def nnz(self) -> int:
+        return int(len(self.rowind))
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return (self.n, self.n)
+
+    def column(self, j: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Row indices and values of column ``j`` (views, do not mutate)."""
+        lo, hi = self.colptr[j], self.colptr[j + 1]
+        return self.rowind[lo:hi], self.values[lo:hi]
+
+    def diagonal(self) -> np.ndarray:
+        d = np.zeros(self.n)
+        for j in range(self.n):
+            rows, vals = self.column(j)
+            k = np.searchsorted(rows, j)
+            if k < len(rows) and rows[k] == j:
+                d[j] = vals[k]
+        return d
+
+    def to_dense(self) -> np.ndarray:
+        a = np.zeros((self.n, self.n))
+        for j in range(self.n):
+            rows, vals = self.column(j)
+            a[rows, j] = vals
+        return a
+
+    # -- operations -------------------------------------------------------
+    def transpose(self) -> "CSCMatrix":
+        """Return Aᵗ (CSC of the transpose = CSR of A reinterpreted)."""
+        cols = np.repeat(np.arange(self.n, dtype=np.int64), np.diff(self.colptr))
+        return CSCMatrix.from_coo(self.n, cols, self.rowind, self.values,
+                                  sum_duplicates=False)
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        """Compute ``A @ x`` (supports a single vector or a (n, k) block)."""
+        x = np.asarray(x, dtype=np.float64)
+        single = x.ndim == 1
+        xb = x[:, None] if single else x
+        y = np.zeros_like(xb)
+        for j in range(self.n):
+            rows, vals = self.column(j)
+            if rows.size:
+                y[rows] += vals[:, None] * xb[j]
+        return y[:, 0] if single else y
+
+    def rmatvec(self, x: np.ndarray) -> np.ndarray:
+        """Compute ``Aᵗ @ x``."""
+        x = np.asarray(x, dtype=np.float64)
+        single = x.ndim == 1
+        xb = x[:, None] if single else x
+        y = np.zeros_like(xb)
+        for j in range(self.n):
+            rows, vals = self.column(j)
+            if rows.size:
+                y[j] = vals @ xb[rows]
+        return y[:, 0] if single else y
+
+    def symmetrize_pattern(self) -> "CSCMatrix":
+        """Return A with the pattern of ``A + Aᵗ`` (zeros added as explicit
+        entries, values preserved).  The solver requires symmetric patterns
+        (paper §1: "problems leading to sparse systems with a symmetric
+        pattern")."""
+        at = self.transpose()
+        cols_a = np.repeat(np.arange(self.n, dtype=np.int64), np.diff(self.colptr))
+        cols_t = np.repeat(np.arange(self.n, dtype=np.int64), np.diff(at.colptr))
+        rows = np.concatenate([self.rowind, at.rowind])
+        cols = np.concatenate([cols_a, cols_t])
+        vals = np.concatenate([self.values, np.zeros(at.nnz)])
+        return CSCMatrix.from_coo(self.n, rows, cols, vals)
+
+    def is_pattern_symmetric(self) -> bool:
+        at = self.transpose()
+        return (np.array_equal(self.colptr, at.colptr)
+                and np.array_equal(self.rowind, at.rowind))
+
+    def is_symmetric(self, tol: float = 0.0) -> bool:
+        at = self.transpose()
+        if not (np.array_equal(self.colptr, at.colptr)
+                and np.array_equal(self.rowind, at.rowind)):
+            return False
+        return bool(np.all(np.abs(self.values - at.values) <= tol))
+
+    def lower_pattern(self) -> "CSCMatrix":
+        """Strictly-lower + diagonal part (used by Cholesky paths)."""
+        keep = np.zeros(self.nnz, dtype=bool)
+        for j in range(self.n):
+            lo, hi = self.colptr[j], self.colptr[j + 1]
+            keep[lo:hi] = self.rowind[lo:hi] >= j
+        cols = np.repeat(np.arange(self.n, dtype=np.int64), np.diff(self.colptr))
+        return CSCMatrix.from_coo(self.n, self.rowind[keep], cols[keep],
+                                  self.values[keep], sum_duplicates=False)
+
+    def norm1(self) -> float:
+        """Max column sum of absolute values."""
+        best = 0.0
+        for j in range(self.n):
+            _, vals = self.column(j)
+            s = float(np.abs(vals).sum())
+            if s > best:
+                best = s
+        return best
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CSCMatrix(n={self.n}, nnz={self.nnz})"

@@ -1,0 +1,365 @@
+"""Problem generators for the evaluation suite.
+
+The paper evaluates on five SuiteSparse matrices plus generated 3D Laplacians
+(7-point stencils).  SuiteSparse downloads are not available offline, so each
+matrix is replaced by a synthetic generator that reproduces the structural and
+numerical character the evaluation depends on (see DESIGN.md §3):
+
+================  =============================================  ==========
+paper matrix      proxy generator                                 symmetry
+================  =============================================  ==========
+lap120            :func:`laplacian_3d`                            SPD
+Atmosmodj         :func:`convection_diffusion_3d`                 general
+Audi              :func:`elasticity_3d` (stiff, fine mesh)        SPD
+Hook              :func:`elasticity_3d` (elongated bar)           SPD
+Serena            :func:`heterogeneous_poisson_3d`                SPD
+Geo1438           :func:`anisotropic_laplacian_3d`                SPD
+================  =============================================  ==========
+
+All generators assemble finite-difference / finite-element-like operators on
+regular grids with Dirichlet boundary conditions, vectorized over numpy index
+arrays; nnz assembly of a 48³ grid takes milliseconds.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.sparse.csc import CSCMatrix
+
+
+def _grid_index_3d(nx: int, ny: int, nz: int) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Return the (i, j, k) coordinates of every grid point, in
+    lexicographic (x fastest) node order."""
+    k, j, i = np.meshgrid(np.arange(nz), np.arange(ny), np.arange(nx),
+                          indexing="ij")
+    return i.ravel(), j.ravel(), k.ravel()
+
+
+def _stencil_links_3d(nx: int, ny: int, nz: int):
+    """Yield (node, neighbour) index arrays for the +x, +y, +z links of a
+    7-point stencil (each undirected link once)."""
+    idx = np.arange(nx * ny * nz).reshape(nz, ny, nx)
+    links = []
+    links.append((idx[:, :, :-1].ravel(), idx[:, :, 1:].ravel()))   # +x
+    links.append((idx[:, :-1, :].ravel(), idx[:, 1:, :].ravel()))   # +y
+    links.append((idx[:-1, :, :].ravel(), idx[1:, :, :].ravel()))   # +z
+    return links
+
+
+def laplacian_1d(n: int) -> CSCMatrix:
+    """Tridiagonal ``[-1, 2, -1]`` operator (Dirichlet)."""
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    rows = np.concatenate([np.arange(n), np.arange(n - 1), np.arange(1, n)])
+    cols = np.concatenate([np.arange(n), np.arange(1, n), np.arange(n - 1)])
+    vals = np.concatenate([np.full(n, 2.0), np.full(n - 1, -1.0),
+                           np.full(n - 1, -1.0)])
+    return CSCMatrix.from_coo(n, rows, cols, vals)
+
+
+def laplacian_2d(nx: int, ny: Optional[int] = None) -> CSCMatrix:
+    """5-point Laplacian on an ``nx × ny`` grid (Dirichlet)."""
+    ny = nx if ny is None else ny
+    n = nx * ny
+    idx = np.arange(n).reshape(ny, nx)
+    rows = [np.arange(n)]
+    cols = [np.arange(n)]
+    vals = [np.full(n, 4.0)]
+    for a, b in [(idx[:, :-1].ravel(), idx[:, 1:].ravel()),
+                 (idx[:-1, :].ravel(), idx[1:, :].ravel())]:
+        rows += [a, b]
+        cols += [b, a]
+        vals += [np.full(a.size, -1.0), np.full(a.size, -1.0)]
+    return CSCMatrix.from_coo(n, np.concatenate(rows), np.concatenate(cols),
+                              np.concatenate(vals))
+
+
+def laplacian_3d(nx: int, ny: Optional[int] = None, nz: Optional[int] = None) -> CSCMatrix:
+    """7-point Laplacian on an ``nx × ny × nz`` grid (Dirichlet).
+
+    This is the paper's ``lapN`` generator: ``laplacian_3d(120)`` would be
+    lap120 (1.7M dofs); laptop-scale benches use 16-32 per side.
+    """
+    ny = nx if ny is None else ny
+    nz = nx if nz is None else nz
+    n = nx * ny * nz
+    rows = [np.arange(n)]
+    cols = [np.arange(n)]
+    vals = [np.full(n, 6.0)]
+    for a, b in _stencil_links_3d(nx, ny, nz):
+        rows += [a, b]
+        cols += [b, a]
+        vals += [np.full(a.size, -1.0), np.full(a.size, -1.0)]
+    return CSCMatrix.from_coo(n, np.concatenate(rows), np.concatenate(cols),
+                              np.concatenate(vals))
+
+
+def convection_diffusion_3d(nx: int, ny: Optional[int] = None,
+                            nz: Optional[int] = None,
+                            peclet: float = 0.5,
+                            seed: int = 0) -> CSCMatrix:
+    """Nonsymmetric convection–diffusion operator (Atmosmodj proxy).
+
+    Atmosmodj is an atmospheric-model matrix: structurally symmetric,
+    numerically nonsymmetric, diagonally dominant.  We discretize
+    ``-Δu + β·∇u`` with central differences; the convection field β is a
+    smooth spatially varying "wind" with magnitude ``peclet`` relative to
+    diffusion, keeping the matrix mildly nonsymmetric and well conditioned —
+    the same regime that makes atmosmodj the most compressible matrix of the
+    paper's suite.
+    """
+    ny = nx if ny is None else ny
+    nz = nx if nz is None else nz
+    n = nx * ny * nz
+    rng = np.random.default_rng(seed)
+    phase = rng.uniform(0, 2 * np.pi, size=3)
+    i, j, k = _grid_index_3d(nx, ny, nz)
+    # smooth periodic wind components at every node
+    bx = peclet * np.sin(2 * np.pi * i / max(nx, 2) + phase[0])
+    by = peclet * np.sin(2 * np.pi * j / max(ny, 2) + phase[1])
+    bz = peclet * np.sin(2 * np.pi * k / max(nz, 2) + phase[2])
+
+    rows = [np.arange(n)]
+    cols = [np.arange(n)]
+    vals = [np.full(n, 6.0)]
+    winds = [bx, by, bz]
+    for axis, (a, b) in enumerate(_stencil_links_3d(nx, ny, nz)):
+        w = winds[axis]
+        # central-difference convection: -1 - w/2 toward +axis, -1 + w/2 back
+        rows += [a, b]
+        cols += [b, a]
+        vals += [-1.0 - 0.5 * w[a], -1.0 + 0.5 * w[a]]
+    return CSCMatrix.from_coo(n, np.concatenate(rows), np.concatenate(cols),
+                              np.concatenate(vals))
+
+
+def elasticity_3d(nx: int, ny: Optional[int] = None, nz: Optional[int] = None,
+                  lam: float = 1.0, mu: float = 1.0) -> CSCMatrix:
+    """Linear-elasticity-like operator, 3 dofs per grid node (Audi / Hook
+    proxy).
+
+    Audi and Hook are structural-mechanics matrices: 3 unknowns per mesh
+    node, SPD, and notably *harder to compress* than scalar Laplacians.  We
+    build a vector operator where each displacement component carries a
+    7-point Laplacian scaled by ``mu``, plus a grad-div coupling between
+    components along the stencil links scaled by ``lam`` — the same coupling
+    pattern a Q1 finite-element elasticity assembly produces, and enough to
+    raise the off-diagonal block ranks the way the paper's hard matrices do.
+
+    ``elasticity_3d(nx, ny=nx//4, nz=nx//4)`` gives the elongated "hook/bar"
+    geometry.
+    """
+    ny = nx if ny is None else ny
+    nz = nx if nz is None else nz
+    nn = nx * ny * nz
+    n = 3 * nn
+
+    rows_l, cols_l, vals_l = [], [], []
+
+    def add(r, c, v):
+        rows_l.append(r)
+        cols_l.append(c)
+        vals_l.append(v)
+
+    # diagonal: (2*mu + lam) on each component, x6 neighbours folded below
+    node = np.arange(nn)
+    for c in range(3):
+        add(3 * node + c, 3 * node + c, np.full(nn, 6.0 * (2.0 * mu + lam) / 3.0))
+
+    links = _stencil_links_3d(nx, ny, nz)
+    for axis, (a, b) in enumerate(links):
+        m = a.size
+        for c in range(3):
+            # component Laplacian along every axis
+            w = -(mu + (lam if c == axis else 0.0))
+            add(3 * a + c, 3 * b + c, np.full(m, w))
+            add(3 * b + c, 3 * a + c, np.full(m, w))
+        # grad-div cross-component coupling between the axis component and
+        # the two others (symmetric, weak)
+        for c in range(3):
+            if c == axis:
+                continue
+            w = -0.25 * lam
+            add(3 * a + axis, 3 * b + c, np.full(m, w))
+            add(3 * b + c, 3 * a + axis, np.full(m, w))
+            add(3 * b + axis, 3 * a + c, np.full(m, -w))
+            add(3 * a + c, 3 * b + axis, np.full(m, -w))
+
+    a = CSCMatrix.from_coo(n, np.concatenate(rows_l), np.concatenate(cols_l),
+                           np.concatenate(vals_l))
+    # guarantee SPD by diagonal shift to strict dominance
+    return _make_diagonally_dominant(a, margin=0.05)
+
+
+def heterogeneous_poisson_3d(nx: int, ny: Optional[int] = None,
+                             nz: Optional[int] = None,
+                             contrast: float = 1e3, nlayers: int = 4,
+                             seed: int = 0) -> CSCMatrix:
+    """Layered-coefficient diffusion (Serena proxy: gas-reservoir simulation).
+
+    Reservoir models stack geological layers with permeability jumping by
+    orders of magnitude.  Coefficients are constant within horizontal layers
+    and jump by up to ``contrast`` across them, with harmonic averaging on
+    the faces — SPD, ill conditioned, moderately compressible.
+    """
+    ny = nx if ny is None else ny
+    nz = nx if nz is None else nz
+    n = nx * ny * nz
+    rng = np.random.default_rng(seed)
+    layer_of = (np.arange(nz) * nlayers // max(nz, 1)).clip(0, nlayers - 1)
+    kappa_layer = contrast ** rng.uniform(-0.5, 0.5, size=nlayers)
+    _, _, kcoord = _grid_index_3d(nx, ny, nz)
+    kappa = kappa_layer[layer_of[kcoord]]
+
+    rows = [np.arange(n)]
+    cols = [np.arange(n)]
+    diag = np.zeros(n)
+    off_rows, off_cols, off_vals = [], [], []
+    for a, b in _stencil_links_3d(nx, ny, nz):
+        w = 2.0 * kappa[a] * kappa[b] / (kappa[a] + kappa[b])  # harmonic mean
+        off_rows += [a, b]
+        off_cols += [b, a]
+        off_vals += [-w, -w]
+        np.add.at(diag, a, w)
+        np.add.at(diag, b, w)
+    # Dirichlet-like shift so the operator is nonsingular
+    diag += diag.mean() * 1e-3 + 1e-8
+    vals = [diag]
+    return CSCMatrix.from_coo(
+        n,
+        np.concatenate(rows + off_rows),
+        np.concatenate(cols + off_cols),
+        np.concatenate(vals + off_vals),
+    )
+
+
+def anisotropic_laplacian_3d(nx: int, ny: Optional[int] = None,
+                             nz: Optional[int] = None,
+                             epsx: float = 1.0, epsy: float = 25.0,
+                             epsz: float = 625.0) -> CSCMatrix:
+    """Strongly anisotropic diffusion (Geo1438 proxy: geomechanics).
+
+    Geomechanical models couple very different stiffnesses along different
+    axes; strong anisotropy raises the numerical ranks of separator blocks,
+    which is why Geo1438 is among the paper's least compressible matrices.
+    """
+    ny = nx if ny is None else ny
+    nz = nx if nz is None else nz
+    n = nx * ny * nz
+    eps = [epsx, epsy, epsz]
+    rows = [np.arange(n)]
+    cols = [np.arange(n)]
+    vals = [np.full(n, 2.0 * (epsx + epsy + epsz))]
+    for axis, (a, b) in enumerate(_stencil_links_3d(nx, ny, nz)):
+        w = -eps[axis]
+        rows += [a, b]
+        cols += [b, a]
+        vals += [np.full(a.size, w), np.full(a.size, w)]
+    return CSCMatrix.from_coo(n, np.concatenate(rows), np.concatenate(cols),
+                              np.concatenate(vals))
+
+
+def random_spd(n: int, density: float = 0.05, seed: int = 0) -> CSCMatrix:
+    """Random sparse SPD matrix (for tests): symmetric pattern, strictly
+    diagonally dominant."""
+    rng = np.random.default_rng(seed)
+    nnz_target = max(n, int(density * n * n / 2))
+    rows = rng.integers(0, n, size=nnz_target)
+    cols = rng.integers(0, n, size=nnz_target)
+    off = rows != cols
+    rows, cols = rows[off], cols[off]
+    vals = rng.standard_normal(rows.size)
+    all_rows = np.concatenate([rows, cols])
+    all_cols = np.concatenate([cols, rows])
+    all_vals = np.concatenate([vals, vals])
+    a = CSCMatrix.from_coo(n, all_rows, all_cols, all_vals)
+    return _make_diagonally_dominant(a, margin=1.0)
+
+
+def _make_diagonally_dominant(a: CSCMatrix, margin: float = 0.0) -> CSCMatrix:
+    """Add to each diagonal entry enough to dominate its column strictly."""
+    colsum = np.zeros(a.n)
+    for j in range(a.n):
+        rows, vals = a.column(j)
+        mask = rows != j
+        colsum[j] = np.abs(vals[mask]).sum()
+    d = a.diagonal()
+    need = colsum * (1.0 + margin) - d
+    need = np.maximum(need, margin)
+    rows = np.concatenate([a.rowind, np.arange(a.n)])
+    cols = np.concatenate(
+        [np.repeat(np.arange(a.n, dtype=np.int64), np.diff(a.colptr)),
+         np.arange(a.n)])
+    vals = np.concatenate([a.values, need])
+    return CSCMatrix.from_coo(a.n, rows, cols, vals)
+
+
+def laplacian_3d_27pt(nx: int, ny: Optional[int] = None,
+                      nz: Optional[int] = None) -> CSCMatrix:
+    """27-point 3D Laplacian (trilinear finite elements on a box grid).
+
+    Denser stencil than the 7-point operator: every grid node couples to
+    its full 3x3x3 neighbourhood with the classical FE weights.  Produces
+    fuller (hence more BLAS-efficient and slightly more compressible)
+    blocks — the stencil used by several of the paper's related works.
+    """
+    ny = nx if ny is None else ny
+    nz = nx if nz is None else nz
+    n = nx * ny * nz
+    idx = np.arange(n).reshape(nz, ny, nx)
+    rows_l, cols_l, vals_l = [], [], []
+    # weights by Chebyshev distance: center 8/3, face -0, edge -1/... use
+    # the standard trilinear FE stencil: face 0, edge -1/6? The classical
+    # 27-point FE Laplacian weights: center 8/3, face 0, edge -1/3,
+    # corner -1/12 (normalized).  Any diagonally dominant variant works for
+    # the solver; we use distance-based weights that keep the matrix SPD.
+    weights = {1: -2.0 / 9.0, 2: -1.0 / 18.0, 3: -1.0 / 72.0}
+    diag = np.zeros(n)
+    for dz in (-1, 0, 1):
+        for dy in (-1, 0, 1):
+            for dx in (-1, 0, 1):
+                dist = abs(dx) + abs(dy) + abs(dz)
+                if dist == 0:
+                    continue
+                w = weights[dist]
+                src = idx[max(0, -dz):nz - max(0, dz),
+                          max(0, -dy):ny - max(0, dy),
+                          max(0, -dx):nx - max(0, dx)].ravel()
+                dst = idx[max(0, dz):nz + min(0, dz) or nz,
+                          max(0, dy):ny + min(0, dy) or ny,
+                          max(0, dx):nx + min(0, dx) or nx].ravel()
+                rows_l.append(src)
+                cols_l.append(dst)
+                vals_l.append(np.full(src.size, w))
+                np.add.at(diag, src, -w)
+    rows_l.append(np.arange(n))
+    cols_l.append(np.arange(n))
+    vals_l.append(diag + 1e-6)  # Dirichlet-like shift: strictly SPD
+    return CSCMatrix.from_coo(n, np.concatenate(rows_l),
+                              np.concatenate(cols_l),
+                              np.concatenate(vals_l))
+
+
+def helmholtz_3d(nx: int, ny: Optional[int] = None, nz: Optional[int] = None,
+                 wavenumber: float = 1.0) -> CSCMatrix:
+    """Shifted (indefinite) Helmholtz operator ``-Δ - k² I``.
+
+    The textbook hard case for compression-based solvers: block ranks grow
+    with the wavenumber ``k`` because the Green's function oscillates.
+    Symmetric indefinite — factorize with ``factotype='ldlt'`` (static
+    pivoting) — and a natural workload for the compressibility-vs-physics
+    ablation.  ``wavenumber`` is expressed in grid units (``k·h``).
+    """
+    ny = nx if ny is None else ny
+    nz = nx if nz is None else nz
+    base = laplacian_3d(nx, ny, nz)
+    shift = float(wavenumber) ** 2
+    rows = np.concatenate([base.rowind, np.arange(base.n)])
+    cols = np.concatenate(
+        [np.repeat(np.arange(base.n, dtype=np.int64), np.diff(base.colptr)),
+         np.arange(base.n)])
+    vals = np.concatenate([base.values, np.full(base.n, -shift)])
+    return CSCMatrix.from_coo(base.n, rows, cols, vals)

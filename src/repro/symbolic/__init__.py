@@ -1,0 +1,38 @@
+"""Symbolic analysis: supernodes and the block structure of L.
+
+Implements the paper's second preprocessing step (§1): from the supernodal
+partition produced by nested dissection, predict the block structure of the
+factorized matrix — one column block per (possibly split) supernode, a dense
+diagonal block and a list of off-diagonal blocks each facing exactly one
+column block.  Includes supernode amalgamation (Scotch's ``frat`` column
+aggregation), splitting of wide supernodes into tiles (paper: blocks larger
+than 256 split into chunks of at least 128), and the low-rank-candidate
+flagging rules (minimal width 128 / minimal height 20).
+"""
+
+from repro.symbolic.structure import (
+    SymbolicBlock,
+    SymbolicColumnBlock,
+    SymbolicFactor,
+)
+from repro.symbolic.supernodes import (
+    supernode_row_sets,
+    amalgamate,
+    split_supernodes,
+    detect_fundamental_supernodes,
+    Supernode,
+)
+from repro.symbolic.factorization import symbolic_factorization, SymbolicOptions
+
+__all__ = [
+    "SymbolicBlock",
+    "SymbolicColumnBlock",
+    "SymbolicFactor",
+    "supernode_row_sets",
+    "amalgamate",
+    "split_supernodes",
+    "detect_fundamental_supernodes",
+    "Supernode",
+    "symbolic_factorization",
+    "SymbolicOptions",
+]

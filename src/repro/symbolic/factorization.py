@@ -1,0 +1,196 @@
+"""Symbolic factorization pipeline (the paper's steps 1 and 2).
+
+Chains ordering → quotient symbolic → amalgamation → intra-supernode
+reordering → splitting → block-structure construction, and returns both the
+final permutation and the :class:`~repro.symbolic.structure.SymbolicFactor`
+the numerical phase consumes.  Everything here is numerical-value-free: the
+paper notes these steps "can be computed once to solve multiple problems
+similar in structure but with different numerical values", and the
+:class:`~repro.core.solver.Solver` facade indeed caches this result across
+factorizations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.config import SolverConfig
+from repro.sparse.csc import CSCMatrix
+from repro.sparse.permute import permute_symmetric
+from repro.ordering.graph import Graph
+from repro.ordering.nested_dissection import nested_dissection
+from repro.ordering.amd import minimum_degree
+from repro.ordering.reordering import reorder_supernodes, apply_reordering
+from repro.symbolic.structure import (
+    SymbolicBlock,
+    SymbolicColumnBlock,
+    SymbolicFactor,
+)
+from repro.symbolic.supernodes import (
+    Supernode,
+    amalgamate,
+    detect_fundamental_supernodes,
+    split_supernodes,
+    supernode_row_sets,
+)
+
+
+@dataclass(frozen=True)
+class SymbolicOptions:
+    """The subset of :class:`~repro.config.SolverConfig` the analysis uses."""
+
+    ordering: str = "nested-dissection"
+    cmin: int = 15
+    frat: float = 0.08
+    split_size: int = 256
+    split_min: int = 128
+    compress_min_width: int = 128
+    compress_min_height: int = 20
+    reorder_supernodes: bool = True
+
+    @classmethod
+    def from_config(cls, cfg: SolverConfig) -> "SymbolicOptions":
+        return cls(
+            ordering=cfg.ordering,
+            cmin=cfg.cmin,
+            frat=cfg.frat,
+            split_size=cfg.split_size,
+            split_min=cfg.split_min,
+            compress_min_width=cfg.compress_min_width,
+            compress_min_height=cfg.compress_min_height,
+            reorder_supernodes=cfg.reorder_supernodes,
+        )
+
+
+def symbolic_factorization(a: CSCMatrix,
+                           options: Optional[SymbolicOptions] = None,
+                           coords: Optional[np.ndarray] = None,
+                           ) -> Tuple[SymbolicFactor, np.ndarray]:
+    """Run the full analysis pipeline on (the pattern of) ``a``.
+
+    Returns ``(symbolic, perm)`` where ``perm`` is new-to-old and
+    ``symbolic`` describes the block structure of the factor of
+    ``P A Pᵗ``.  ``coords`` (one row per unknown) is required by the
+    ``geometric`` ordering and ignored otherwise.
+    """
+    options = options or SymbolicOptions()
+    pattern = a if a.is_pattern_symmetric() else a.symmetrize_pattern()
+
+    # --- step 1: global ordering + supernodal partition -----------------
+    if options.ordering == "nested-dissection":
+        g = Graph.from_matrix(pattern)
+        nd = nested_dissection(g, cmin=options.cmin)
+        perm = nd.perm
+        intervals = [(p.start, p.size) for p in nd.partitions]
+    elif options.ordering == "geometric":
+        if coords is None:
+            raise ValueError(
+                "ordering='geometric' requires node coordinates "
+                "(pass coords= to the Solver or this function)")
+        from repro.ordering.geometric import geometric_nested_dissection
+
+        g = Graph.from_matrix(pattern)
+        nd = geometric_nested_dissection(g, coords, cmin=options.cmin)
+        perm = nd.perm
+        intervals = [(p.start, p.size) for p in nd.partitions]
+    elif options.ordering == "amd":
+        g = Graph.from_matrix(pattern)
+        perm = minimum_degree(g)
+        intervals = None
+    elif options.ordering == "natural":
+        perm = np.arange(a.n, dtype=np.int64)
+        intervals = None
+    else:  # pragma: no cover - guarded by SolverConfig validation
+        raise ValueError(f"unknown ordering {options.ordering!r}")
+
+    a_perm = permute_symmetric(pattern, perm)
+    if intervals is None:
+        intervals = detect_fundamental_supernodes(a_perm)
+
+    # --- step 2: quotient symbolic + amalgamation ------------------------
+    snodes = supernode_row_sets(a_perm, intervals)
+    snodes = amalgamate(snodes, frat=options.frat)
+
+    # --- intra-supernode reordering (TSP of [21]) ------------------------
+    if options.reorder_supernodes:
+        newpos = reorder_supernodes(snodes)
+        if not np.array_equal(newpos, np.arange(a.n)):
+            apply_reordering(snodes, newpos)
+            # compose: vertex now at position newpos[g] was original perm[g]
+            new_perm = np.empty_like(perm)
+            new_perm[newpos] = perm
+            perm = new_perm
+
+    # --- splitting into column blocks ------------------------------------
+    tiles = split_supernodes(snodes, options.split_size, options.split_min)
+    symb = build_block_structure(a.n, snodes, tiles, options)
+    return symb, perm
+
+
+def build_block_structure(n: int, snodes: List[Supernode],
+                          tiles: List[Tuple[int, int, int]],
+                          options: SymbolicOptions) -> SymbolicFactor:
+    """Materialize the per-column-block block lists.
+
+    ``tiles`` are ``(first_col, ncols, snode_index)`` triples from
+    :func:`~repro.symbolic.supernodes.split_supernodes`.  Every column block
+    receives: its dense diagonal block; one block per *later* tile of the
+    same supernode (the intra-supernode sub-diagonal, dense within the
+    supernodal model); and the supernode's below-diagonal rows chopped into
+    maximal contiguous runs, each split at facing column-block boundaries.
+    """
+    tile_starts = np.array([t[0] for t in tiles], dtype=np.int64)
+    tile_ends = np.array([t[0] + t[1] for t in tiles], dtype=np.int64)
+
+    def cblk_of(row: int) -> int:
+        return int(np.searchsorted(tile_starts, row, side="right")) - 1
+
+    # group tiles by supernode for intra-supernode blocks
+    tiles_of_snode: List[List[int]] = [[] for _ in snodes]
+    for ti, (_, _, si) in enumerate(tiles):
+        tiles_of_snode[si].append(ti)
+
+    cblks: List[SymbolicColumnBlock] = []
+    for ti, (fc, nc, si) in enumerate(tiles):
+        cb = SymbolicColumnBlock(id=ti, first_col=fc, ncols=nc, snode=si)
+        width_ok = nc >= options.compress_min_width
+        # diagonal block
+        cb.blocks.append(SymbolicBlock(fc, nc, facing=ti, lr_candidate=False))
+        # intra-supernode sub-diagonal blocks (dense diagonal treatment of
+        # the supernode => full blocks toward every later tile)
+        for tj in tiles_of_snode[si]:
+            if tj <= ti:
+                continue
+            fc2, nc2, _ = tiles[tj]
+            cand = (width_ok and nc2 >= options.compress_min_height)
+            cb.blocks.append(SymbolicBlock(fc2, nc2, facing=tj,
+                                           lr_candidate=cand))
+        # off-diagonal rows of the supernode, chopped into runs then at
+        # facing-tile boundaries
+        rows = snodes[si].rows
+        for lo, hi in _contiguous_runs(rows):
+            pos = lo
+            while pos < hi:
+                f = cblk_of(pos)
+                cut = min(hi, int(tile_ends[f]))
+                nrows = cut - pos
+                cand = (width_ok and nrows >= options.compress_min_height)
+                cb.blocks.append(SymbolicBlock(pos, nrows, facing=f,
+                                               lr_candidate=cand))
+                pos = cut
+        cblks.append(cb)
+    return SymbolicFactor(n, cblks)
+
+
+def _contiguous_runs(sorted_idx: np.ndarray) -> List[Tuple[int, int]]:
+    """Maximal runs ``[lo, hi)`` of consecutive integers in a sorted array."""
+    if sorted_idx.size == 0:
+        return []
+    breaks = np.flatnonzero(np.diff(sorted_idx) > 1)
+    starts = np.concatenate([[0], breaks + 1])
+    ends = np.concatenate([breaks, [sorted_idx.size - 1]])
+    return [(int(sorted_idx[s]), int(sorted_idx[e]) + 1)
+            for s, e in zip(starts, ends)]

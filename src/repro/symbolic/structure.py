@@ -1,0 +1,207 @@
+"""Block structure of the factorized matrix.
+
+Follows the paper's notation (§2.1 and Figure 2): the matrix is partitioned
+into ``Ncblk`` column blocks; column block ``k`` owns a dense diagonal block
+``A(0),k`` plus ``bk`` off-diagonal blocks ``A(j),k``, each spanning the full
+width of the column block and a contiguous *row* interval ``(j)`` that lies
+entirely inside one facing column block.  With a symmetric pattern the row
+block ``Ak,(1:bk)`` of U has exactly the same shape, so the same structure
+describes both L and (transposed) U storage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass
+class SymbolicBlock:
+    """One block of a column block.
+
+    ``first_row`` / ``nrows`` give the global (post-ordering) row interval;
+    ``facing`` is the id of the column block whose columns cover those rows
+    (for the diagonal block, the column block itself); ``lr_candidate``
+    marks blocks eligible for low-rank storage.
+    """
+
+    first_row: int
+    nrows: int
+    facing: int
+    lr_candidate: bool = False
+
+    @property
+    def end_row(self) -> int:
+        return self.first_row + self.nrows
+
+    def rows(self) -> np.ndarray:
+        return np.arange(self.first_row, self.end_row, dtype=np.int64)
+
+
+@dataclass
+class SymbolicColumnBlock:
+    """A column block: contiguous columns plus its list of blocks.
+
+    ``blocks[0]`` is always the diagonal block.  Off-diagonal blocks are
+    sorted by ``first_row`` and never overlap.  ``snode`` records which
+    pre-splitting supernode this column block is a tile of (tiles of one
+    supernode share ``snode``).
+    """
+
+    id: int
+    first_col: int
+    ncols: int
+    snode: int
+    blocks: List[SymbolicBlock] = field(default_factory=list)
+
+    @property
+    def end_col(self) -> int:
+        return self.first_col + self.ncols
+
+    @property
+    def diag(self) -> SymbolicBlock:
+        return self.blocks[0]
+
+    @property
+    def noff(self) -> int:
+        """The paper's ``bk``: number of off-diagonal blocks."""
+        return len(self.blocks) - 1
+
+    def off_blocks(self) -> Sequence[SymbolicBlock]:
+        return self.blocks[1:]
+
+    def total_rows(self) -> int:
+        return sum(b.nrows for b in self.blocks)
+
+    def nnz(self) -> int:
+        """Dense storage of this column block (one triangle's worth)."""
+        return self.total_rows() * self.ncols
+
+
+class SymbolicFactor:
+    """Complete symbolic block structure of L (and Uᵗ).
+
+    Provides the lookups the numerical factorization needs:
+
+    * ``cblk_of_col(j)`` — column block owning global column ``j``;
+    * ``find_blocks(t, lo, hi)`` — blocks of column block ``t`` overlapping
+      the global row interval ``[lo, hi)`` (with overlap bounds);
+    * ``contributors(t)`` — column blocks with a block facing ``t`` (the
+      dependency set of the paper's right-looking algorithm).
+    """
+
+    def __init__(self, n: int, cblks: List[SymbolicColumnBlock]) -> None:
+        self.n = int(n)
+        self.cblks = cblks
+        self._col_starts = np.array([c.first_col for c in cblks], dtype=np.int64)
+        self._validate()
+        # per-cblk sorted block starts for fast row-interval lookup
+        self._block_starts: List[np.ndarray] = [
+            np.array([b.first_row for b in c.blocks], dtype=np.int64)
+            for c in cblks
+        ]
+        self._contributors: Optional[List[List[int]]] = None
+
+    # ------------------------------------------------------------------
+    def _validate(self) -> None:
+        pos = 0
+        for k, c in enumerate(self.cblks):
+            if c.id != k:
+                raise ValueError("column block ids must be 0..Ncblk-1 in order")
+            if c.first_col != pos:
+                raise ValueError("column blocks must tile the columns")
+            pos = c.end_col
+            if not c.blocks:
+                raise ValueError(f"column block {k} has no blocks")
+            d = c.blocks[0]
+            if d.first_row != c.first_col or d.nrows != c.ncols:
+                raise ValueError(f"column block {k} has a malformed diagonal block")
+            prev_end = d.end_row
+            for b in c.blocks[1:]:
+                if b.first_row < prev_end:
+                    raise ValueError(
+                        f"blocks of column block {k} overlap or are unsorted")
+                prev_end = b.end_row
+        if pos != self.n:
+            raise ValueError("column blocks do not cover all columns")
+
+    # -- lookups --------------------------------------------------------
+    @property
+    def ncblk(self) -> int:
+        return len(self.cblks)
+
+    def cblk_of_col(self, j: int) -> int:
+        """Column block owning global column ``j``."""
+        k = int(np.searchsorted(self._col_starts, j, side="right")) - 1
+        return k
+
+    def find_blocks(self, t: int, lo: int, hi: int
+                    ) -> Iterator[Tuple[int, int, int]]:
+        """Yield ``(block_index, olo, ohi)`` for blocks of column block ``t``
+        overlapping rows ``[lo, hi)``; ``[olo, ohi)`` is the overlap."""
+        starts = self._block_starts[t]
+        blocks = self.cblks[t].blocks
+        i = int(np.searchsorted(starts, lo, side="right")) - 1
+        if i < 0:
+            i = 0
+        while i < len(blocks):
+            b = blocks[i]
+            if b.first_row >= hi:
+                break
+            olo = max(lo, b.first_row)
+            ohi = min(hi, b.end_row)
+            if olo < ohi:
+                yield i, olo, ohi
+            i += 1
+
+    def contributors(self, t: int) -> List[int]:
+        """Ids of column blocks with at least one block facing ``t``."""
+        if self._contributors is None:
+            contr: List[List[int]] = [[] for _ in self.cblks]
+            for c in self.cblks:
+                seen = set()
+                for b in c.off_blocks():
+                    if b.facing not in seen:
+                        seen.add(b.facing)
+                        contr[b.facing].append(c.id)
+            self._contributors = contr
+        return self._contributors[t]
+
+    def block_etree(self) -> np.ndarray:
+        """Parent of each column block: the facing column block of its first
+        off-diagonal block (-1 for roots) — the block elimination tree."""
+        parent = np.full(self.ncblk, -1, dtype=np.int64)
+        for c in self.cblks:
+            if c.noff:
+                parent[c.id] = c.blocks[1].facing
+        return parent
+
+    # -- statistics (Figure 1 / DESIGN experiment fig1) -----------------
+    def nnz(self) -> int:
+        """Dense nnz of the L structure (diagonal blocks counted in full)."""
+        return sum(c.nnz() for c in self.cblks)
+
+    def total_off_blocks(self) -> int:
+        return sum(c.noff for c in self.cblks)
+
+    def n_lr_candidates(self) -> int:
+        return sum(1 for c in self.cblks for b in c.off_blocks()
+                   if b.lr_candidate)
+
+    def summary(self) -> dict:
+        widths = [c.ncols for c in self.cblks]
+        return {
+            "n": self.n,
+            "ncblk": self.ncblk,
+            "nnz_blocks": self.nnz(),
+            "off_blocks": self.total_off_blocks(),
+            "lr_candidates": self.n_lr_candidates(),
+            "max_width": max(widths) if widths else 0,
+            "mean_width": float(np.mean(widths)) if widths else 0.0,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"SymbolicFactor(n={self.n}, ncblk={self.ncblk}, "
+                f"off_blocks={self.total_off_blocks()})")

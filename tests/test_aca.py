@@ -1,0 +1,74 @@
+"""Tests for the Adaptive Cross Approximation kernel."""
+
+import numpy as np
+import pytest
+
+from repro.core.solver import Solver
+from repro.lowrank.aca import aca_compress
+from repro.sparse.generators import laplacian_3d
+from tests.conftest import random_lowrank, tiny_blr_config
+
+
+class TestAcaKernel:
+    @pytest.mark.parametrize("tol", [1e-4, 1e-8, 1e-12])
+    def test_error_bound(self, rng, tol):
+        a = random_lowrank(rng, 50, 40, 20, decay=0.4)
+        lr = aca_compress(a, tol)
+        err = np.linalg.norm(a - lr.to_dense()) / np.linalg.norm(a)
+        assert err <= tol * 1.05
+
+    def test_u_orthonormal(self, rng):
+        a = random_lowrank(rng, 30, 25, 10)
+        lr = aca_compress(a, 1e-8)
+        np.testing.assert_allclose(lr.u.T @ lr.u, np.eye(lr.rank),
+                                   atol=1e-10)
+
+    def test_exact_rank_found(self, rng):
+        u = rng.standard_normal((25, 4))
+        v = rng.standard_normal((20, 4))
+        lr = aca_compress(u @ v.T, 1e-10)
+        assert lr.rank == 4
+
+    def test_zero_matrix(self):
+        lr = aca_compress(np.zeros((8, 6)), 1e-8)
+        assert lr.rank == 0
+
+    def test_empty_dimension(self):
+        lr = aca_compress(np.zeros((0, 5)), 1e-8)
+        assert lr.shape == (0, 5)
+
+    def test_max_rank_rejection(self, rng):
+        a = rng.standard_normal((16, 16))
+        assert aca_compress(a, 1e-14, max_rank=3) is None
+
+    def test_rank_monotone_in_tolerance(self, rng):
+        a = random_lowrank(rng, 40, 40, 30, decay=0.6)
+        ranks = [aca_compress(a, tol).rank for tol in (1e-2, 1e-6, 1e-10)]
+        assert ranks == sorted(ranks)
+
+    def test_smooth_kernel_matrix(self, rng):
+        """The BEM-style case ACA is designed for: separated clusters."""
+        src = rng.random((60, 3))
+        dst = rng.random((50, 3)) + 4.0
+        d = np.linalg.norm(src[:, None] - dst[None, :], axis=2)
+        a = 1.0 / d
+        lr = aca_compress(a, 1e-8)
+        assert lr.rank < 25  # far-field interaction compresses hard
+        err = np.linalg.norm(a - lr.to_dense()) / np.linalg.norm(a)
+        assert err <= 1.1e-8
+
+
+class TestAcaInSolver:
+    def test_end_to_end(self, rng):
+        a = laplacian_3d(8)
+        cfg = tiny_blr_config(strategy="minimal-memory", kernel="aca",
+                              tolerance=1e-6)
+        s = Solver(a, cfg)
+        stats = s.factorize()
+        b = rng.standard_normal(a.n)
+        assert s.backward_error(s.solve(b), b) <= 1e-3
+        assert stats.nblocks_compressed > 0
+
+    def test_config_accepts_aca(self):
+        from repro.config import SolverConfig
+        assert SolverConfig(kernel="aca").kernel == "aca"

@@ -1,0 +1,93 @@
+"""Tests for the LUAR-like grouped extend-add (accumulate_updates)."""
+
+import numpy as np
+import pytest
+
+from repro.core.solver import Solver
+from repro.lowrank.kernels import lr2lr_update_multi
+from repro.lowrank.rrqr import rrqr_compress
+from repro.sparse.generators import laplacian_3d
+from tests.conftest import random_lowrank, tiny_blr_config
+
+
+class TestMultiKernel:
+    def make(self, rng, m=30, n=24, r=5):
+        return rrqr_compress(random_lowrank(rng, m, n, r, 0.3), 1e-13)
+
+    @pytest.mark.parametrize("kernel", ["rrqr", "svd"])
+    def test_matches_sequential_extend_adds(self, rng, kernel):
+        target = self.make(rng)
+        contribs = []
+        ref = target.to_dense()
+        for _ in range(4):
+            c = self.make(rng, 10, 8, 2)
+            ro = int(rng.integers(0, target.m - c.m))
+            co = int(rng.integers(0, target.n - c.n))
+            contribs.append((c, ro, co))
+            ref[ro:ro + c.m, co:co + c.n] -= c.to_dense()
+        out = lr2lr_update_multi(target, contribs, 1e-10, kernel)
+        err = np.linalg.norm(out.to_dense() - ref) / np.linalg.norm(ref)
+        assert err <= 1e-8
+
+    def test_empty_contribution_list(self, rng):
+        target = self.make(rng)
+        assert lr2lr_update_multi(target, [], 1e-10, "rrqr") is target
+
+    def test_zero_rank_contributions_skipped(self, rng):
+        from repro.lowrank.block import LowRankBlock
+        target = self.make(rng)
+        out = lr2lr_update_multi(
+            target, [(LowRankBlock.zero(5, 5), 0, 0)], 1e-10, "rrqr")
+        np.testing.assert_allclose(out.to_dense(), target.to_dense(),
+                                   atol=1e-12)
+
+    def test_dense_contributions_compressed(self, rng):
+        target = self.make(rng)
+        dense_c = random_lowrank(rng, 8, 6, 2, 0.2)
+        ref = target.to_dense()
+        ref[2:10, 3:9] -= dense_c
+        out = lr2lr_update_multi(target, [(dense_c, 2, 3)], 1e-10, "rrqr")
+        err = np.linalg.norm(out.to_dense() - ref) / np.linalg.norm(ref)
+        assert err <= 1e-8
+
+    def test_rank_cap_returns_none(self, rng):
+        target = self.make(rng, r=4)
+        big = rrqr_compress(rng.standard_normal((30, 24)), 1e-14)
+        out = lr2lr_update_multi(target, [(big, 0, 0)], 1e-14, "rrqr",
+                                 max_rank=3)
+        assert out is None
+
+
+class TestSolverAblation:
+    def test_same_accuracy_fewer_recompressions(self, rng):
+        """LUAR-like grouping must preserve accuracy while reducing the
+        number of extend-add recompressions."""
+        a = laplacian_3d(8)
+        b = rng.standard_normal(a.n)
+        runs = {}
+        for accumulate in (False, True):
+            cfg = tiny_blr_config(strategy="minimal-memory", tolerance=1e-8,
+                                  accumulate_updates=accumulate)
+            s = Solver(a, cfg)
+            stats = s.factorize()
+            runs[accumulate] = {
+                "err": s.backward_error(s.solve(b), b),
+                "calls": stats.kernels.call_count("lr_addition"),
+                "memory": stats.memory_ratio,
+            }
+        assert runs[True]["calls"] <= runs[False]["calls"]
+        assert runs[True]["err"] <= max(runs[False]["err"] * 50, 1e-6)
+        assert abs(runs[True]["memory"] - runs[False]["memory"]) < 0.05
+
+    def test_accumulated_jit_unaffected(self, rng):
+        """JIT has no LR targets, so accumulation must be a no-op there."""
+        a = laplacian_3d(6)
+        b = rng.standard_normal(a.n)
+        errs = []
+        for accumulate in (False, True):
+            cfg = tiny_blr_config(strategy="just-in-time", tolerance=1e-8,
+                                  accumulate_updates=accumulate)
+            s = Solver(a, cfg)
+            s.factorize()
+            errs.append(s.backward_error(s.solve(b), b))
+        assert abs(errs[0] - errs[1]) <= 1e-10

@@ -1,0 +1,63 @@
+"""Tests for the minimum-degree ordering."""
+
+import numpy as np
+import pytest
+
+from repro.ordering.amd import minimum_degree
+from repro.ordering.graph import Graph
+from repro.sparse.generators import laplacian_1d, laplacian_2d, random_spd
+from repro.sparse.permute import is_permutation, permute_symmetric
+
+
+def fill_count(a, perm):
+    """Count fill-in entries of the no-pivot factorization of P A Pᵗ."""
+    d = permute_symmetric(a, perm).to_dense()
+    pattern = (d != 0)
+    n = a.n
+    fill = 0
+    for k in range(n):
+        nz = np.flatnonzero(pattern[k + 1:, k]) + k + 1
+        for i in nz:
+            new = ~pattern[i, nz]
+            fill += int(new.sum())
+            pattern[i, nz] = True
+            pattern[nz, i] = True
+    return fill
+
+
+class TestValidity:
+    @pytest.mark.parametrize("gen", [lambda: laplacian_1d(12),
+                                     lambda: laplacian_2d(5),
+                                     lambda: random_spd(30, 0.1, seed=9)])
+    def test_produces_permutation(self, gen):
+        a = gen()
+        perm = minimum_degree(Graph.from_matrix(a))
+        assert is_permutation(perm, a.n)
+
+    def test_deterministic(self):
+        g = Graph.from_matrix(laplacian_2d(5))
+        np.testing.assert_array_equal(minimum_degree(g), minimum_degree(g))
+
+    def test_edgeless_graph(self):
+        g = Graph.from_edges(4, [])
+        assert is_permutation(minimum_degree(g), 4)
+
+
+class TestQuality:
+    def test_path_has_zero_fill(self):
+        """A path graph eliminated from the ends produces no fill."""
+        a = laplacian_1d(15)
+        perm = minimum_degree(Graph.from_matrix(a))
+        assert fill_count(a, perm) == 0
+
+    def test_beats_natural_on_grid(self):
+        a = laplacian_2d(7)
+        md_fill = fill_count(a, minimum_degree(Graph.from_matrix(a)))
+        nat_fill = fill_count(a, np.arange(a.n))
+        assert md_fill <= nat_fill
+
+    def test_star_center_last(self):
+        """On a star the centre must be eliminated last (any leaf first)."""
+        g = Graph.from_edges(6, [(0, i) for i in range(1, 6)])
+        perm = minimum_degree(g)
+        assert perm[-1] == 0 or perm[-2] == 0  # centre near the end

@@ -1,0 +1,120 @@
+"""Tests for the SVG chart renderer."""
+
+import math
+
+import pytest
+
+from repro.analysis.charts import PALETTE, Series, bar_chart, line_chart
+from repro.analysis.charts import _nice_ticks
+
+
+class TestNiceTicks:
+    def test_covers_range(self):
+        ticks = _nice_ticks(0.0, 3.7)
+        assert ticks[0] <= 0.0 + 1e-12
+        assert ticks[-1] >= 3.7 - 1e-12
+
+    def test_round_steps(self):
+        ticks = _nice_ticks(0.0, 10.0)
+        steps = {round(b - a, 9) for a, b in zip(ticks, ticks[1:])}
+        assert len(steps) == 1
+
+    def test_degenerate_range(self):
+        ticks = _nice_ticks(5.0, 5.0)
+        assert len(ticks) >= 1
+
+    def test_tiny_values(self):
+        ticks = _nice_ticks(0.0, 1e-7)
+        assert ticks[-1] >= 1e-7
+
+
+class TestBarChart:
+    def test_writes_svg(self, tmp_path):
+        out = bar_chart(tmp_path / "b.svg", ["a", "b"],
+                        [Series("s1", [1.0, 2.0])])
+        text = out.read_text()
+        assert text.startswith("<svg")
+        assert text.rstrip().endswith("</svg>")
+
+    def test_one_bar_per_value(self, tmp_path):
+        out = bar_chart(tmp_path / "b.svg", ["a", "b", "c"],
+                        [Series("s1", [1, 2, 3]), Series("s2", [3, 2, 1])])
+        text = out.read_text()
+        # 6 bars + background + 2 legend swatches
+        assert text.count("<rect") == 1 + 6 + 2
+
+    def test_labels_rendered(self, tmp_path):
+        out = bar_chart(tmp_path / "b.svg", ["a"],
+                        [Series("s", [1.0], labels=["1.2e-08"])])
+        assert "1.2e-08" in out.read_text()
+
+    def test_reference_line_dashed(self, tmp_path):
+        out = bar_chart(tmp_path / "b.svg", ["a"], [Series("s", [2.0])],
+                        reference_line=1.0)
+        assert "stroke-dasharray" in out.read_text()
+
+    def test_title_and_ylabel(self, tmp_path):
+        out = bar_chart(tmp_path / "b.svg", ["a"], [Series("s", [1.0])],
+                        title="My Title", ylabel="ratio")
+        text = out.read_text()
+        assert "My Title" in text
+        assert "ratio" in text
+
+    def test_escapes_markup(self, tmp_path):
+        out = bar_chart(tmp_path / "b.svg", ["<cat>"],
+                        [Series("a&b", [1.0])])
+        text = out.read_text()
+        assert "<cat>" not in text
+        assert "&lt;cat&gt;" in text
+
+
+class TestLineChart:
+    def test_writes_svg(self, tmp_path):
+        out = line_chart(tmp_path / "l.svg", [1, 2, 3],
+                         [Series("s", [1.0, 2.0, 1.5])])
+        assert out.read_text().startswith("<svg")
+
+    def test_polyline_per_series(self, tmp_path):
+        out = line_chart(tmp_path / "l.svg", [1, 2],
+                         [Series("a", [1, 2]), Series("b", [2, 1])])
+        assert out.read_text().count("<polyline") == 2
+
+    def test_log_scale_ticks(self, tmp_path):
+        out = line_chart(tmp_path / "l.svg", [0, 1, 2],
+                         [Series("conv", [1.0, 1e-6, 1e-12])], log_y=True)
+        text = out.read_text()
+        assert "1e-12" in text and "1e0" in text
+
+    def test_none_values_skipped(self, tmp_path):
+        out = line_chart(tmp_path / "l.svg", [0, 1, 2],
+                         [Series("s", [1.0, None, 3.0])])
+        assert out.read_text().count("<circle") == 2
+
+    def test_nonpositive_dropped_on_log_scale(self, tmp_path):
+        out = line_chart(tmp_path / "l.svg", [0, 1, 2],
+                         [Series("s", [1.0, 0.0, 1e-3])], log_y=True)
+        assert out.read_text().count("<circle") == 2
+
+    def test_markers_can_be_disabled(self, tmp_path):
+        out = line_chart(tmp_path / "l.svg", [0, 1],
+                         [Series("s", [1.0, 2.0])], markers=False)
+        assert "<circle" not in out.read_text()
+
+
+class TestFigureGallery:
+    def test_make_figures_runs_from_results(self, tmp_path):
+        """End-to-end: the gallery script renders from whatever JSON
+        snapshots exist (skipping missing ones gracefully)."""
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        script = (Path(__file__).resolve().parents[1] / "benchmarks"
+                  / "make_figures.py")
+        proc = subprocess.run(
+            [sys.executable, str(script), str(tmp_path)],
+            capture_output=True, text=True, timeout=300,
+        )
+        assert proc.returncode == 0, proc.stderr[-1500:]
+        # fig1 is always recomputed, so at least one SVG must exist
+        assert (tmp_path / "fig1_structure.svg").exists()

@@ -1,0 +1,74 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.sparse.generators import laplacian_2d
+from repro.sparse.io import write_matrix_market
+
+
+class TestSolveCommand:
+    def test_generated_workload(self, capsys):
+        rc = main(["solve", "--generate", "lap3d:6", "--tolerance", "1e-8"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "backward error" in out
+        assert "factor size" in out
+
+    def test_matrix_market_input(self, tmp_path, capsys):
+        path = tmp_path / "m.mtx"
+        write_matrix_market(laplacian_2d(5), path)
+        rc = main(["solve", str(path)])
+        assert rc == 0
+        assert "backward error" in capsys.readouterr().out
+
+    def test_refine_flag(self, capsys):
+        rc = main(["solve", "--generate", "lap3d:5",
+                   "--strategy", "minimal-memory",
+                   "--tolerance", "1e-4", "--refine"])
+        assert rc == 0
+        assert "refined" in capsys.readouterr().out
+
+    def test_cholesky_option(self, capsys):
+        rc = main(["solve", "--generate", "lap3d:5",
+                   "--factotype", "cholesky"])
+        assert rc == 0
+
+    def test_missing_input_errors(self):
+        with pytest.raises(SystemExit):
+            main(["solve"])
+
+    def test_unknown_generator_errors(self):
+        with pytest.raises(SystemExit):
+            main(["solve", "--generate", "hss:10"])
+
+
+class TestAnalyzeCommand:
+    def test_stats_printed(self, capsys):
+        rc = main(["analyze", "--generate", "lap3d:6"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "column blocks" in out
+
+    def test_svg_output(self, tmp_path, capsys):
+        svg = tmp_path / "s.svg"
+        rc = main(["analyze", "--generate", "lap3d:5", "--svg", str(svg)])
+        assert rc == 0
+        assert svg.exists()
+        assert svg.read_text().startswith("<svg")
+
+    def test_ascii_output(self, capsys):
+        rc = main(["analyze", "--generate", "lap3d:5", "--ascii", "24"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "#" in out
+
+
+class TestBenchCommand:
+    def test_three_strategies_reported(self, capsys):
+        rc = main(["bench", "--generate", "lap3d:5"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        for strategy in ("dense", "just-in-time", "minimal-memory"):
+            assert strategy in out

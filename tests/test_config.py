@@ -1,0 +1,100 @@
+"""Tests for :mod:`repro.config`."""
+
+import pytest
+
+from repro.config import SolverConfig, STRATEGIES, KERNELS
+
+
+class TestValidation:
+    def test_default_is_valid(self):
+        cfg = SolverConfig()
+        assert cfg.strategy in STRATEGIES
+        assert cfg.kernel in KERNELS
+
+    def test_bad_strategy_rejected(self):
+        with pytest.raises(ValueError, match="strategy"):
+            SolverConfig(strategy="magic")
+
+    def test_bad_kernel_rejected(self):
+        with pytest.raises(ValueError, match="kernel"):
+            SolverConfig(kernel="hss")
+
+    def test_bad_factotype_rejected(self):
+        with pytest.raises(ValueError, match="factotype"):
+            SolverConfig(factotype="qr")
+
+    def test_bad_ordering_rejected(self):
+        with pytest.raises(ValueError, match="ordering"):
+            SolverConfig(ordering="random")
+
+    @pytest.mark.parametrize("tol", [0.0, 1.0, -1e-8, 2.0])
+    def test_bad_tolerance_rejected(self, tol):
+        with pytest.raises(ValueError, match="tolerance"):
+            SolverConfig(tolerance=tol)
+
+    def test_bad_cmin_rejected(self):
+        with pytest.raises(ValueError, match="cmin"):
+            SolverConfig(cmin=0)
+
+    def test_negative_frat_rejected(self):
+        with pytest.raises(ValueError, match="frat"):
+            SolverConfig(frat=-0.1)
+
+    def test_split_min_above_split_size_rejected(self):
+        with pytest.raises(ValueError, match="split_min"):
+            SolverConfig(split_min=300, split_size=256)
+
+    def test_bad_threads_rejected(self):
+        with pytest.raises(ValueError, match="threads"):
+            SolverConfig(threads=0)
+
+    @pytest.mark.parametrize("ratio", [0.0, 1.5, -0.25])
+    def test_bad_rank_ratio_rejected(self, ratio):
+        with pytest.raises(ValueError, match="rank_ratio"):
+            SolverConfig(rank_ratio=ratio)
+
+
+class TestPresets:
+    def test_paper_scale_matches_section4(self):
+        cfg = SolverConfig.paper_scale()
+        assert cfg.cmin == 15
+        assert cfg.frat == pytest.approx(0.08)
+        assert cfg.split_size == 256
+        assert cfg.split_min == 128
+        assert cfg.compress_min_width == 128
+        assert cfg.compress_min_height == 20
+
+    def test_laptop_scale_is_smaller(self):
+        paper = SolverConfig.paper_scale()
+        laptop = SolverConfig.laptop_scale()
+        assert laptop.split_size < paper.split_size
+        assert laptop.compress_min_width < paper.compress_min_width
+
+    def test_presets_accept_overrides(self):
+        cfg = SolverConfig.paper_scale(strategy="minimal-memory",
+                                       tolerance=1e-4)
+        assert cfg.strategy == "minimal-memory"
+        assert cfg.tolerance == 1e-4
+
+    def test_with_options_returns_modified_copy(self):
+        cfg = SolverConfig()
+        other = cfg.with_options(kernel="svd")
+        assert other.kernel == "svd"
+        assert cfg.kernel == "rrqr"
+
+    def test_config_is_frozen(self):
+        cfg = SolverConfig()
+        with pytest.raises(Exception):
+            cfg.kernel = "svd"
+
+
+class TestDerivedProperties:
+    def test_is_blr(self):
+        assert not SolverConfig(strategy="dense").is_blr
+        assert SolverConfig(strategy="just-in-time").is_blr
+        assert SolverConfig(strategy="minimal-memory").is_blr
+
+    def test_is_symmetric_facto(self):
+        assert not SolverConfig(factotype="lu").is_symmetric_facto
+        assert SolverConfig(factotype="cholesky").is_symmetric_facto
+        assert SolverConfig(factotype="ldlt").is_symmetric_facto

@@ -1,0 +1,137 @@
+"""Tests for the CSC container."""
+
+import numpy as np
+import pytest
+
+from repro.sparse.csc import CSCMatrix
+from repro.sparse.generators import laplacian_2d
+
+
+def small():
+    # [[4, 0, 1],
+    #  [0, 3, 0],
+    #  [2, 0, 5]]
+    return CSCMatrix.from_coo(3, [0, 2, 1, 0, 2], [0, 0, 1, 2, 2],
+                              [4.0, 2.0, 3.0, 1.0, 5.0])
+
+
+class TestConstruction:
+    def test_from_coo_basic(self):
+        a = small()
+        assert a.n == 3
+        assert a.nnz == 5
+        np.testing.assert_allclose(
+            a.to_dense(), [[4, 0, 1], [0, 3, 0], [2, 0, 5]])
+
+    def test_from_coo_sums_duplicates(self):
+        a = CSCMatrix.from_coo(2, [0, 0, 1], [0, 0, 1], [1.0, 2.0, 5.0])
+        assert a.nnz == 2
+        np.testing.assert_allclose(a.to_dense(), [[3, 0], [0, 5]])
+
+    def test_from_coo_shape_mismatch(self):
+        with pytest.raises(ValueError, match="equal shapes"):
+            CSCMatrix.from_coo(2, [0, 1], [0], [1.0])
+
+    def test_from_dense_roundtrip(self, rng):
+        d = rng.standard_normal((7, 7))
+        d[np.abs(d) < 0.8] = 0.0
+        a = CSCMatrix.from_dense(d)
+        np.testing.assert_allclose(a.to_dense(), d)
+
+    def test_from_dense_rejects_rectangular(self):
+        with pytest.raises(ValueError, match="square"):
+            CSCMatrix.from_dense(np.ones((2, 3)))
+
+    def test_scipy_roundtrip(self):
+        sp = pytest.importorskip("scipy.sparse")
+        a = small()
+        s = a.to_scipy()
+        back = CSCMatrix.from_scipy(s)
+        np.testing.assert_allclose(back.to_dense(), a.to_dense())
+        assert isinstance(s, sp.csc_matrix)
+
+    def test_validation_rejects_bad_colptr(self):
+        with pytest.raises(ValueError):
+            CSCMatrix(2, np.array([0, 1]), np.array([0]), np.array([1.0]))
+
+    def test_validation_rejects_unsorted_rows(self):
+        with pytest.raises(ValueError, match="unsorted"):
+            CSCMatrix(2, np.array([0, 2, 2]), np.array([1, 0]),
+                      np.array([1.0, 2.0]))
+
+    def test_validation_rejects_out_of_range_row(self):
+        with pytest.raises(ValueError, match="out of range"):
+            CSCMatrix(2, np.array([0, 1, 1]), np.array([5]),
+                      np.array([1.0]))
+
+
+class TestQueries:
+    def test_column_view(self):
+        a = small()
+        rows, vals = a.column(0)
+        np.testing.assert_array_equal(rows, [0, 2])
+        np.testing.assert_allclose(vals, [4.0, 2.0])
+
+    def test_diagonal(self):
+        a = small()
+        np.testing.assert_allclose(a.diagonal(), [4, 3, 5])
+
+    def test_shape(self):
+        assert small().shape == (3, 3)
+
+    def test_norm1(self):
+        a = small()
+        assert a.norm1() == pytest.approx(6.0)  # max col sum |.|
+
+
+class TestOperations:
+    def test_transpose(self):
+        a = small()
+        np.testing.assert_allclose(a.transpose().to_dense(), a.to_dense().T)
+
+    def test_matvec_matches_dense(self, rng):
+        a = laplacian_2d(5)
+        x = rng.standard_normal(a.n)
+        np.testing.assert_allclose(a.matvec(x), a.to_dense() @ x)
+
+    def test_matvec_block(self, rng):
+        a = laplacian_2d(4)
+        x = rng.standard_normal((a.n, 3))
+        np.testing.assert_allclose(a.matvec(x), a.to_dense() @ x)
+
+    def test_rmatvec_matches_dense(self, rng):
+        a = small()
+        x = rng.standard_normal(3)
+        np.testing.assert_allclose(a.rmatvec(x), a.to_dense().T @ x)
+
+    def test_symmetrize_pattern_keeps_values(self):
+        a = small()
+        s = a.symmetrize_pattern()
+        assert s.is_pattern_symmetric()
+        np.testing.assert_allclose(s.to_dense(), a.to_dense())
+        # (0,1)/(1,0) absent in both; (0,2)/(2,0) both present already
+        assert s.nnz >= a.nnz
+
+    def test_symmetrize_pattern_adds_entries(self):
+        a = CSCMatrix.from_coo(2, [1], [0], [7.0])
+        s = a.symmetrize_pattern()
+        assert s.is_pattern_symmetric()
+        assert s.nnz == 2
+        np.testing.assert_allclose(s.to_dense(), [[0, 0], [7, 0]])
+
+    def test_is_pattern_symmetric(self):
+        assert laplacian_2d(3).is_pattern_symmetric()
+        assert not CSCMatrix.from_coo(2, [1], [0], [1.0]).is_pattern_symmetric()
+
+    def test_is_symmetric(self):
+        assert laplacian_2d(3).is_symmetric()
+        a = CSCMatrix.from_coo(2, [0, 1, 0, 1], [0, 0, 1, 1],
+                               [1.0, 2.0, 3.0, 1.0])
+        assert not a.is_symmetric()
+
+    def test_lower_pattern(self):
+        a = laplacian_2d(3)
+        low = a.lower_pattern()
+        d = low.to_dense()
+        assert np.all(np.triu(d, 1) == 0)
+        np.testing.assert_allclose(np.tril(a.to_dense()), d)

@@ -1,0 +1,105 @@
+"""Tests for factor-based diagnostics (slogdet / inertia / condest)."""
+
+import numpy as np
+import pytest
+
+from repro.core.solver import Solver
+from repro.sparse.csc import CSCMatrix
+from repro.sparse.generators import (
+    convection_diffusion_3d,
+    laplacian_2d,
+    laplacian_3d,
+    random_spd,
+)
+from tests.conftest import tiny_blr_config
+
+
+class TestSlogdet:
+    @pytest.mark.parametrize("factotype", ["lu", "cholesky", "ldlt"])
+    def test_matches_numpy_spd(self, factotype):
+        a = laplacian_2d(5)
+        s = Solver(a, tiny_blr_config(strategy="dense", factotype=factotype))
+        sign, logdet = s.slogdet()
+        ref_sign, ref_logdet = np.linalg.slogdet(a.to_dense())
+        assert sign == pytest.approx(ref_sign)
+        assert logdet == pytest.approx(ref_logdet, rel=1e-10)
+
+    def test_nonsymmetric(self):
+        a = convection_diffusion_3d(4, peclet=0.6)
+        s = Solver(a, tiny_blr_config(strategy="dense"))
+        sign, logdet = s.slogdet()
+        ref_sign, ref_logdet = np.linalg.slogdet(a.to_dense())
+        assert sign == pytest.approx(ref_sign)
+        assert logdet == pytest.approx(ref_logdet, rel=1e-9)
+
+    def test_negative_determinant(self):
+        d = np.diag([2.0, -3.0, 4.0])
+        d[0, 1] = d[1, 0] = 0.5
+        a = CSCMatrix.from_dense(d)
+        s = Solver(a, tiny_blr_config(strategy="dense", factotype="ldlt"))
+        sign, logdet = s.slogdet()
+        ref_sign, ref_logdet = np.linalg.slogdet(d)
+        assert sign == pytest.approx(ref_sign)
+        assert logdet == pytest.approx(ref_logdet, rel=1e-10)
+
+    def test_blr_close_to_exact(self):
+        a = laplacian_3d(6)
+        s = Solver(a, tiny_blr_config(strategy="minimal-memory",
+                                      tolerance=1e-8))
+        _, logdet = s.slogdet()
+        _, ref = np.linalg.slogdet(a.to_dense())
+        assert logdet == pytest.approx(ref, rel=1e-4)
+
+
+class TestInertia:
+    def test_spd_all_positive(self):
+        a = laplacian_2d(4)
+        s = Solver(a, tiny_blr_config(strategy="dense", factotype="ldlt"))
+        assert s.inertia() == (0, 0, a.n)
+
+    def test_cholesky_shortcut(self):
+        a = laplacian_2d(4)
+        s = Solver(a, tiny_blr_config(strategy="dense",
+                                      factotype="cholesky"))
+        assert s.inertia() == (0, 0, a.n)
+
+    def test_indefinite_counts(self):
+        from tests.test_ldlt import indefinite_matrix
+        a = indefinite_matrix()
+        s = Solver(a, tiny_blr_config(strategy="dense", factotype="ldlt"))
+        neg, zero, pos = s.inertia()
+        eig = np.linalg.eigvalsh(a.to_dense())
+        assert neg == int(np.sum(eig < 0))
+        assert pos == int(np.sum(eig > 0))
+        assert zero == 0
+
+    def test_lu_rejected(self):
+        a = laplacian_2d(4)
+        s = Solver(a, tiny_blr_config(strategy="dense", factotype="lu"))
+        with pytest.raises(ValueError, match="ldlt"):
+            s.inertia()
+
+
+class TestCondest:
+    def test_exact_on_small_laplacian(self):
+        a = laplacian_2d(5)
+        s = Solver(a, tiny_blr_config(strategy="dense"))
+        d = a.to_dense()
+        true_k1 = np.linalg.norm(d, 1) * np.linalg.norm(np.linalg.inv(d), 1)
+        est = s.condest()
+        assert est <= true_k1 * 1.001       # lower bound
+        assert est >= true_k1 / 10          # within a small factor
+
+    def test_identity_is_one(self):
+        a = CSCMatrix.from_dense(np.eye(10))
+        s = Solver(a, tiny_blr_config(strategy="dense"))
+        assert s.condest() == pytest.approx(1.0)
+
+    def test_ill_conditioned_detected(self, rng):
+        a = random_spd(30, 0.15, seed=1)
+        d = a.to_dense()
+        d[0, :] *= 1e-8  # scale a whole row+column: near-singular
+        d[:, 0] *= 1e-8
+        bad = CSCMatrix.from_dense((d + d.T) / 2)
+        s = Solver(bad, tiny_blr_config(strategy="dense"))
+        assert s.condest() > 1e6

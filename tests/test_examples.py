@@ -1,0 +1,37 @@
+"""Smoke tests: every example script must run end to end."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[1] / "examples"
+
+CASES = [
+    ("quickstart.py", ["10", "1e-6"]),
+    ("memory_study.py", ["12"]),
+    ("preconditioner.py", ["8"]),
+    ("suite_comparison.py", ["tiny"]),
+    ("lowrank_kernels.py", ["120"]),
+    ("reuse_analysis.py", ["8", "2"]),
+    ("persist_and_serve.py", ["8", "3"]),
+]
+
+
+@pytest.mark.parametrize("script,args", CASES,
+                         ids=[c[0] for c in CASES])
+def test_example_runs(script, args):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / script), *args],
+        capture_output=True, text=True, timeout=600,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert proc.stdout.strip(), "example produced no output"
+
+
+def test_examples_directory_complete():
+    """The deliverable requires a quickstart plus at least two scenarios."""
+    scripts = sorted(p.name for p in EXAMPLES.glob("*.py"))
+    assert "quickstart.py" in scripts
+    assert len(scripts) >= 3

@@ -1,0 +1,149 @@
+"""Tests for numerical block storage and assembly."""
+
+import numpy as np
+import pytest
+
+from repro.core.factor import assemble
+from repro.lowrank.block import LowRankBlock
+from repro.sparse.generators import laplacian_2d, laplacian_3d
+from repro.sparse.permute import permute_symmetric
+from repro.symbolic.factorization import SymbolicOptions, symbolic_factorization
+from tests.conftest import tiny_blr_config
+
+
+def setup(a, config):
+    opts = SymbolicOptions.from_config(config)
+    symb, perm = symbolic_factorization(a, opts)
+    ap = permute_symmetric(a.symmetrize_pattern() if not
+                           a.is_pattern_symmetric() else a, perm)
+    return symb, ap
+
+
+def reconstruct(fac, n, side="l"):
+    """Rebuild the dense matrix currently held in the block storage."""
+    out = np.zeros((n, n))
+    for nc in fac.cblks:
+        sym = nc.sym
+        lo, hi = sym.first_col, sym.end_col
+        out[lo:hi, lo:hi] = nc.diag
+        for i, b in enumerate(sym.off_blocks()):
+            blk = nc.lblock(i) if side == "l" else nc.ublock(i)
+            dense = blk.to_dense() if isinstance(blk, LowRankBlock) else blk
+            if side == "l":
+                out[b.first_row:b.end_row, lo:hi] = dense
+            else:
+                out[lo:hi, b.first_row:b.end_row] = dense.T
+    return out
+
+
+class TestDenseAssembly:
+    @pytest.mark.parametrize("strategy", ["dense", "just-in-time"])
+    def test_panel_assembly_reproduces_matrix(self, strategy):
+        cfg = tiny_blr_config(strategy=strategy)
+        a = laplacian_2d(6)
+        symb, ap = setup(a, cfg)
+        fac = assemble(ap, symb, cfg)
+        d = ap.to_dense()
+        np.testing.assert_allclose(reconstruct(fac, a.n, "l"),
+                                   np.tril(d) + np.triu(d, 1) * 0
+                                   + np.triu(reconstruct(fac, a.n, "l"), 1))
+        # lower part == A lower; upper part of the panels mirrors Uᵗ
+        np.testing.assert_allclose(np.tril(reconstruct(fac, a.n, "l")),
+                                   np.tril(d))
+        np.testing.assert_allclose(np.triu(reconstruct(fac, a.n, "u"), 1),
+                                   np.triu(d, 1))
+
+    def test_memory_tracker_counts_allocations(self):
+        cfg = tiny_blr_config(strategy="dense")
+        a = laplacian_2d(5)
+        symb, ap = setup(a, cfg)
+        fac = assemble(ap, symb, cfg)
+        assert fac.tracker.current > 0
+        assert fac.tracker.peak == fac.tracker.current
+        assert fac.factor_nbytes() == fac.tracker.current
+
+
+class TestMinimalMemoryAssembly:
+    def test_values_reproduced_within_tolerance(self):
+        cfg = tiny_blr_config(strategy="minimal-memory", tolerance=1e-10)
+        a = laplacian_3d(5)
+        symb, ap = setup(a, cfg)
+        fac = assemble(ap, symb, cfg)
+        d = ap.to_dense()
+        low = reconstruct(fac, a.n, "l")
+        err = np.linalg.norm(np.tril(low) - np.tril(d))
+        assert err <= 1e-8 * np.linalg.norm(d)
+
+    def test_some_blocks_compressed(self):
+        cfg = tiny_blr_config(strategy="minimal-memory", tolerance=1e-4)
+        a = laplacian_3d(6)
+        symb, ap = setup(a, cfg)
+        fac = assemble(ap, symb, cfg)
+        ncomp = sum(isinstance(b, LowRankBlock)
+                    for nc in fac.cblks for b in (nc.lblocks or []))
+        assert ncomp > 0
+
+    def test_never_allocates_dense_panels(self):
+        cfg = tiny_blr_config(strategy="minimal-memory")
+        a = laplacian_3d(5)
+        symb, ap = setup(a, cfg)
+        fac = assemble(ap, symb, cfg)
+        for nc in fac.cblks:
+            assert nc.lpanel is None
+            assert nc.lblocks is not None
+
+    def test_initial_compression_cheaper_than_dense(self):
+        """MM assembly peak must not exceed the dense factor size."""
+        cfg = tiny_blr_config(strategy="minimal-memory", tolerance=1e-4)
+        a = laplacian_3d(6)
+        symb, ap = setup(a, cfg)
+        fac = assemble(ap, symb, cfg)
+        assert fac.tracker.peak <= fac.dense_factor_nbytes()
+
+
+class TestBlockAccessors:
+    def test_convert_to_blocks_preserves_values(self):
+        cfg = tiny_blr_config(strategy="dense")
+        a = laplacian_2d(5)
+        symb, ap = setup(a, cfg)
+        fac = assemble(ap, symb, cfg)
+        nc = max(fac.cblks, key=lambda c: c.sym.noff)
+        before = [np.array(nc.lblock(i)) for i in range(nc.sym.noff)]
+        bytes_before = fac.tracker.current
+        fac.convert_to_blocks(nc)
+        assert not nc.panel_mode
+        for i in range(nc.sym.noff):
+            np.testing.assert_array_equal(nc.lblock(i), before[i])
+        # same dense payload, same accounting
+        assert fac.tracker.current == bytes_before
+
+    def test_set_block_updates_tracking(self):
+        cfg = tiny_blr_config(strategy="minimal-memory")
+        a = laplacian_2d(6)
+        symb, ap = setup(a, cfg)
+        fac = assemble(ap, symb, cfg)
+        nc = next(c for c in fac.cblks if c.sym.noff)
+        old_total = fac.tracker.current
+        big = np.zeros((nc.sym.blocks[1].nrows, nc.width))
+        fac.set_block(nc, "l", 0, big)
+        assert fac.tracker.current != old_total or \
+            big.nbytes == old_total - (fac.tracker.current - big.nbytes)
+
+    def test_assemble_rejects_nonsymmetric_pattern(self):
+        from repro.sparse.csc import CSCMatrix
+        cfg = tiny_blr_config()
+        a = laplacian_2d(5)
+        symb, ap = setup(a, cfg)
+        bad = CSCMatrix.from_coo(a.n, [1], [0], [1.0])
+        with pytest.raises(ValueError, match="symmetric"):
+            assemble(bad, symb, cfg)
+
+    def test_dense_factor_nbytes_counts_both_sides_for_lu(self):
+        cfg = tiny_blr_config(strategy="dense", factotype="lu")
+        a = laplacian_2d(5)
+        symb, ap = setup(a, cfg)
+        fac = assemble(ap, symb, cfg)
+        total_off = sum(b.nrows * c.ncols
+                        for c in symb.cblks for b in c.off_blocks())
+        total_diag = sum(c.ncols ** 2 for c in symb.cblks)
+        assert fac.dense_factor_nbytes() == (total_diag + 2 * total_off) * 8

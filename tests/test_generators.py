@@ -1,0 +1,218 @@
+"""Tests for the problem generators (the evaluation workload suite)."""
+
+import numpy as np
+import pytest
+
+from repro.sparse.generators import (
+    anisotropic_laplacian_3d,
+    convection_diffusion_3d,
+    elasticity_3d,
+    heterogeneous_poisson_3d,
+    laplacian_1d,
+    laplacian_2d,
+    laplacian_3d,
+    random_spd,
+)
+
+
+def smallest_eigenvalue(a):
+    return float(np.linalg.eigvalsh(a.to_dense()).min())
+
+
+class TestLaplacians:
+    def test_1d_values(self):
+        a = laplacian_1d(4).to_dense()
+        expected = [[2, -1, 0, 0], [-1, 2, -1, 0],
+                    [0, -1, 2, -1], [0, 0, -1, 2]]
+        np.testing.assert_allclose(a, expected)
+
+    def test_1d_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            laplacian_1d(0)
+
+    def test_2d_shape_and_stencil(self):
+        a = laplacian_2d(3)
+        assert a.n == 9
+        d = a.to_dense()
+        assert d[4, 4] == 4.0
+        # center vertex has 4 neighbours
+        assert (d[4] != 0).sum() == 5
+
+    def test_2d_rectangular(self):
+        a = laplacian_2d(3, 5)
+        assert a.n == 15
+
+    def test_3d_shape_and_stencil(self):
+        a = laplacian_3d(3)
+        assert a.n == 27
+        d = a.to_dense()
+        center = 13  # (1,1,1)
+        assert d[center, center] == 6.0
+        assert (d[center] != 0).sum() == 7
+
+    def test_3d_anisotropic_dims(self):
+        a = laplacian_3d(2, 3, 4)
+        assert a.n == 24
+
+    @pytest.mark.parametrize("gen", [lambda: laplacian_1d(8),
+                                     lambda: laplacian_2d(4),
+                                     lambda: laplacian_3d(3)])
+    def test_spd(self, gen):
+        a = gen()
+        assert a.is_symmetric()
+        assert smallest_eigenvalue(a) > 0
+
+
+class TestConvectionDiffusion:
+    def test_nonsymmetric_but_pattern_symmetric(self):
+        a = convection_diffusion_3d(4, peclet=0.8)
+        assert a.is_pattern_symmetric()
+        assert not a.is_symmetric(tol=1e-14)
+
+    def test_zero_peclet_is_laplacian(self):
+        a = convection_diffusion_3d(3, peclet=0.0)
+        np.testing.assert_allclose(a.to_dense(), laplacian_3d(3).to_dense())
+
+    def test_deterministic_by_seed(self):
+        a = convection_diffusion_3d(3, seed=7)
+        b = convection_diffusion_3d(3, seed=7)
+        np.testing.assert_allclose(a.to_dense(), b.to_dense())
+
+    def test_nonsingular(self):
+        a = convection_diffusion_3d(4, peclet=0.5)
+        assert abs(np.linalg.det(a.to_dense())) > 0
+
+
+class TestElasticity:
+    def test_three_dofs_per_node(self):
+        a = elasticity_3d(3)
+        assert a.n == 3 * 27
+
+    def test_spd(self):
+        a = elasticity_3d(3)
+        assert a.is_symmetric(tol=1e-12)
+        assert smallest_eigenvalue(a) > 0
+
+    def test_elongated_geometry(self):
+        a = elasticity_3d(8, 2, 2)
+        assert a.n == 3 * 8 * 2 * 2
+
+    def test_components_coupled(self):
+        d = elasticity_3d(2).to_dense()
+        # cross-component entries must exist (grad-div coupling)
+        coupling = 0.0
+        for node in range(8):
+            for other in range(8):
+                blk = d[3 * node:3 * node + 3, 3 * other:3 * other + 3]
+                coupling += np.abs(blk - np.diag(np.diag(blk))).sum()
+        assert coupling > 0
+
+
+class TestHeterogeneousPoisson:
+    def test_spd(self):
+        a = heterogeneous_poisson_3d(4, contrast=1e3)
+        assert a.is_symmetric(tol=1e-10)
+        assert smallest_eigenvalue(a) > 0
+
+    def test_contrast_shows_in_coefficients(self):
+        lo = heterogeneous_poisson_3d(4, contrast=1.0)
+        hi = heterogeneous_poisson_3d(4, contrast=1e6)
+        ratio_lo = np.abs(lo.values).max() / np.abs(lo.values[lo.values != 0]).min()
+        ratio_hi = np.abs(hi.values).max() / np.abs(hi.values[hi.values != 0]).min()
+        assert ratio_hi > ratio_lo * 10
+
+
+class TestAnisotropicLaplacian:
+    def test_spd(self):
+        a = anisotropic_laplacian_3d(3)
+        assert a.is_symmetric()
+        assert smallest_eigenvalue(a) > 0
+
+    def test_isotropic_limit(self):
+        a = anisotropic_laplacian_3d(3, epsx=1.0, epsy=1.0, epsz=1.0)
+        np.testing.assert_allclose(a.to_dense(), laplacian_3d(3).to_dense())
+
+    def test_axis_weights(self):
+        a = anisotropic_laplacian_3d(3, epsx=1.0, epsy=10.0, epsz=100.0)
+        d = a.to_dense()
+        # +x neighbour of center has weight -1, +y -10, +z -100
+        center = 13
+        assert d[center, center + 1] == pytest.approx(-1.0)
+        assert d[center, center + 3] == pytest.approx(-10.0)
+        assert d[center, center + 9] == pytest.approx(-100.0)
+
+
+class TestRandomSPD:
+    def test_spd_and_symmetric(self):
+        a = random_spd(40, density=0.1, seed=2)
+        assert a.is_symmetric(tol=1e-12)
+        assert smallest_eigenvalue(a) > 0
+
+    def test_seed_determinism(self):
+        a = random_spd(30, seed=5)
+        b = random_spd(30, seed=5)
+        np.testing.assert_allclose(a.to_dense(), b.to_dense())
+
+
+class TestLaplacian27pt:
+    def test_full_neighbourhood(self):
+        from repro.sparse.generators import laplacian_3d_27pt
+        a = laplacian_3d_27pt(4)
+        d = a.to_dense()
+        center = 1 + 4 + 16  # node (1,1,1)
+        assert (d[center] != 0).sum() == 27
+
+    def test_spd(self):
+        from repro.sparse.generators import laplacian_3d_27pt
+        a = laplacian_3d_27pt(3)
+        assert a.is_symmetric(tol=1e-12)
+        assert np.linalg.eigvalsh(a.to_dense()).min() > 0
+
+    def test_anisotropic_dims(self):
+        from repro.sparse.generators import laplacian_3d_27pt
+        assert laplacian_3d_27pt(2, 3, 4).n == 24
+
+    def test_solver_end_to_end(self):
+        from repro.sparse.generators import laplacian_3d_27pt
+        from repro.core.solver import Solver
+        from tests.conftest import tiny_blr_config
+        a = laplacian_3d_27pt(5)
+        s = Solver(a, tiny_blr_config(strategy="minimal-memory",
+                                      tolerance=1e-8))
+        s.factorize()
+        b = np.ones(a.n)
+        assert np.linalg.norm(a.matvec(s.solve(b)) - b) <= 1e-5
+
+
+class TestHelmholtz:
+    def test_indefinite_at_high_wavenumber(self):
+        from repro.sparse.generators import helmholtz_3d
+        a = helmholtz_3d(4, wavenumber=1.5)
+        eig = np.linalg.eigvalsh(a.to_dense())
+        assert eig.min() < 0 < eig.max()
+
+    def test_zero_wavenumber_is_laplacian(self):
+        from repro.sparse.generators import helmholtz_3d, laplacian_3d
+        a = helmholtz_3d(3, wavenumber=0.0)
+        np.testing.assert_allclose(a.to_dense(), laplacian_3d(3).to_dense())
+
+    def test_ldlt_solves_indefinite_helmholtz(self):
+        from repro.sparse.generators import helmholtz_3d
+        from repro.core.solver import Solver
+        from tests.conftest import tiny_blr_config
+        a = helmholtz_3d(5, wavenumber=1.2)
+        s = Solver(a, tiny_blr_config(strategy="dense", factotype="ldlt"))
+        s.factorize()
+        b = np.ones(a.n)
+        x = s.solve(b)
+        assert np.linalg.norm(a.matvec(x) - b) / np.linalg.norm(b) <= 1e-8
+
+    def test_inertia_counts_negative_modes(self):
+        from repro.sparse.generators import helmholtz_3d
+        from repro.core.solver import Solver
+        from tests.conftest import tiny_blr_config
+        a = helmholtz_3d(4, wavenumber=1.5)
+        s = Solver(a, tiny_blr_config(strategy="dense", factotype="ldlt"))
+        neg, zero, pos = s.inertia()
+        eig = np.linalg.eigvalsh(a.to_dense())
+        assert neg == int((eig < 0).sum())

@@ -1,0 +1,115 @@
+"""Tests for the adjacency-graph substrate."""
+
+import numpy as np
+import pytest
+
+from repro.ordering.graph import Graph
+from repro.sparse.csc import CSCMatrix
+from repro.sparse.generators import laplacian_1d, laplacian_2d
+
+
+def path_graph(n):
+    return Graph.from_edges(n, [(i, i + 1) for i in range(n - 1)])
+
+
+class TestConstruction:
+    def test_from_matrix_drops_diagonal(self):
+        g = Graph.from_matrix(laplacian_1d(4))
+        assert g.n == 4
+        assert g.nedges == 3
+        np.testing.assert_array_equal(g.neighbors(1), [0, 2])
+
+    def test_from_matrix_symmetrizes(self):
+        a = CSCMatrix.from_coo(3, [1], [0], [5.0])
+        g = Graph.from_matrix(a)
+        np.testing.assert_array_equal(g.neighbors(0), [1])
+        np.testing.assert_array_equal(g.neighbors(1), [0])
+
+    def test_from_edges_dedups_and_symmetrizes(self):
+        g = Graph.from_edges(3, [(0, 1), (1, 0), (0, 1), (1, 2)])
+        assert g.nedges == 2
+        np.testing.assert_array_equal(g.neighbors(1), [0, 2])
+
+    def test_from_edges_drops_self_loops(self):
+        g = Graph.from_edges(2, [(0, 0), (0, 1)])
+        assert g.nedges == 1
+
+    def test_degrees(self):
+        g = path_graph(4)
+        np.testing.assert_array_equal(g.degrees(), [1, 2, 2, 1])
+        assert g.degree(1) == 2
+
+
+class TestBFS:
+    def test_levels_on_path(self):
+        g = path_graph(5)
+        np.testing.assert_array_equal(g.bfs_levels(0), [0, 1, 2, 3, 4])
+        np.testing.assert_array_equal(g.bfs_levels(2), [2, 1, 0, 1, 2])
+
+    def test_unreachable_is_minus_one(self):
+        g = Graph.from_edges(4, [(0, 1), (2, 3)])
+        lv = g.bfs_levels(0)
+        assert lv[2] == -1 and lv[3] == -1
+
+    def test_mask_restricts_traversal(self):
+        g = path_graph(5)
+        mask = np.array([True, True, False, True, True])
+        lv = g.bfs_levels(0, mask)
+        assert lv[1] == 1
+        assert lv[3] == -1  # blocked by the masked-out vertex 2
+
+    def test_masked_start_returns_all_unreached(self):
+        g = path_graph(3)
+        mask = np.array([False, True, True])
+        lv = g.bfs_levels(0, mask)
+        assert (lv == -1).all()
+
+
+class TestPseudoPeripheral:
+    def test_path_finds_an_end(self):
+        g = path_graph(9)
+        root, levels = g.pseudo_peripheral(4)
+        assert root in (0, 8)
+        assert levels.max() == 8
+
+    def test_grid_eccentricity_reasonable(self):
+        g = Graph.from_matrix(laplacian_2d(6))
+        root, levels = g.pseudo_peripheral(17)
+        # 6x6 grid diameter is 10; pseudo-peripheral must get close
+        assert levels.max() >= 8
+
+
+class TestComponents:
+    def test_single_component(self):
+        g = path_graph(4)
+        comps = g.connected_components()
+        assert len(comps) == 1
+        assert comps[0].size == 4
+
+    def test_multiple_components(self):
+        g = Graph.from_edges(6, [(0, 1), (2, 3), (3, 4)])
+        comps = g.connected_components()
+        sizes = sorted(c.size for c in comps)
+        assert sizes == [1, 2, 3]
+
+    def test_mask_restricts_components(self):
+        g = path_graph(5)
+        mask = np.array([True, True, False, True, True])
+        comps = g.connected_components(mask)
+        sizes = sorted(c.size for c in comps)
+        assert sizes == [2, 2]
+
+
+class TestSubgraph:
+    def test_induced_edges(self):
+        g = Graph.from_matrix(laplacian_2d(3))
+        verts = np.array([0, 1, 3, 4])  # a 2x2 corner of the grid
+        sub, echo = g.subgraph(verts)
+        np.testing.assert_array_equal(echo, verts)
+        assert sub.n == 4
+        assert sub.nedges == 4  # the 2x2 square
+
+    def test_no_external_edges(self):
+        g = path_graph(5)
+        sub, _ = g.subgraph(np.array([0, 2, 4]))
+        assert sub.nedges == 0

@@ -1,0 +1,89 @@
+"""Tests for Matrix Market I/O."""
+
+import numpy as np
+import pytest
+
+from repro.sparse.csc import CSCMatrix
+from repro.sparse.generators import laplacian_2d, random_spd
+from repro.sparse.io import read_matrix_market, write_matrix_market
+
+
+class TestRoundtrip:
+    def test_general(self, tmp_path, rng):
+        d = rng.standard_normal((6, 6))
+        d[np.abs(d) < 0.7] = 0.0
+        a = CSCMatrix.from_dense(d)
+        path = tmp_path / "a.mtx"
+        write_matrix_market(a, path)
+        back = read_matrix_market(path)
+        np.testing.assert_allclose(back.to_dense(), a.to_dense())
+
+    def test_symmetric(self, tmp_path):
+        a = laplacian_2d(4)
+        path = tmp_path / "lap.mtx"
+        write_matrix_market(a, path, symmetric=True)
+        back = read_matrix_market(path)
+        np.testing.assert_allclose(back.to_dense(), a.to_dense())
+        # the symmetric file stores only one triangle
+        text = path.read_text()
+        header, counts = text.splitlines()[:2]
+        assert "symmetric" in header
+        stored = int(counts.split()[2])
+        assert stored < a.nnz
+
+    def test_gzip(self, tmp_path):
+        a = random_spd(20, seed=1)
+        path = tmp_path / "a.mtx.gz"
+        write_matrix_market(a, path)
+        back = read_matrix_market(path)
+        np.testing.assert_allclose(back.to_dense(), a.to_dense())
+
+    def test_values_survive_exactly(self, tmp_path):
+        a = CSCMatrix.from_coo(2, [0, 1], [0, 1], [1.0 / 3.0, np.pi])
+        path = tmp_path / "exact.mtx"
+        write_matrix_market(a, path)
+        back = read_matrix_market(path)
+        np.testing.assert_array_equal(back.values, a.values)
+
+
+class TestReaderValidation:
+    def test_rejects_non_mm(self, tmp_path):
+        p = tmp_path / "bad.mtx"
+        p.write_text("hello\n1 1 0\n")
+        with pytest.raises(ValueError, match="MatrixMarket"):
+            read_matrix_market(p)
+
+    def test_rejects_array_format(self, tmp_path):
+        p = tmp_path / "bad.mtx"
+        p.write_text("%%MatrixMarket matrix array real general\n2 2\n1\n2\n3\n4\n")
+        with pytest.raises(ValueError, match="coordinate"):
+            read_matrix_market(p)
+
+    def test_rejects_complex(self, tmp_path):
+        p = tmp_path / "bad.mtx"
+        p.write_text("%%MatrixMarket matrix coordinate complex general\n"
+                     "1 1 1\n1 1 1.0 0.0\n")
+        with pytest.raises(ValueError, match="field"):
+            read_matrix_market(p)
+
+    def test_rejects_rectangular(self, tmp_path):
+        p = tmp_path / "bad.mtx"
+        p.write_text("%%MatrixMarket matrix coordinate real general\n"
+                     "2 3 1\n1 1 1.0\n")
+        with pytest.raises(ValueError, match="square"):
+            read_matrix_market(p)
+
+    def test_skips_comments(self, tmp_path):
+        p = tmp_path / "ok.mtx"
+        p.write_text("%%MatrixMarket matrix coordinate real general\n"
+                     "% a comment\n% another\n"
+                     "2 2 2\n1 1 3.0\n2 2 4.0\n")
+        a = read_matrix_market(p)
+        np.testing.assert_allclose(a.to_dense(), [[3, 0], [0, 4]])
+
+    def test_pattern_matrices_read_as_ones(self, tmp_path):
+        p = tmp_path / "pat.mtx"
+        p.write_text("%%MatrixMarket matrix coordinate pattern symmetric\n"
+                     "2 2 2\n1 1\n2 1\n")
+        a = read_matrix_market(p)
+        np.testing.assert_allclose(a.to_dense(), [[1, 1], [1, 0]])

@@ -1,0 +1,102 @@
+"""Tests for the left-looking scheduler (paper §4.3's JIT-memory proposal)."""
+
+import numpy as np
+import pytest
+
+from repro.config import SolverConfig
+from repro.core.solver import Solver
+from repro.sparse.generators import (
+    convection_diffusion_3d,
+    laplacian_3d,
+)
+from tests.conftest import tiny_blr_config
+
+
+class TestConfigGuards:
+    def test_incompatible_with_minimal_memory(self):
+        with pytest.raises(ValueError, match="left_looking"):
+            SolverConfig(strategy="minimal-memory", left_looking=True)
+
+    def test_incompatible_with_threads(self):
+        with pytest.raises(ValueError, match="sequential"):
+            SolverConfig(left_looking=True, threads=4)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("strategy", ["dense", "just-in-time"])
+    def test_matches_right_looking_accuracy(self, strategy, rng):
+        a = laplacian_3d(7)
+        b = rng.standard_normal(a.n)
+        errs = {}
+        for ll in (False, True):
+            cfg = tiny_blr_config(strategy=strategy, tolerance=1e-8,
+                                  left_looking=ll)
+            s = Solver(a, cfg)
+            s.factorize()
+            errs[ll] = s.backward_error(s.solve(b), b)
+        assert errs[True] <= max(errs[False] * 10, 1e-9)
+
+    def test_dense_factors_identical(self, rng):
+        """Same arithmetic, different traversal: identical factors."""
+        a = laplacian_3d(5)
+        facs = {}
+        for ll in (False, True):
+            cfg = tiny_blr_config(strategy="dense", left_looking=ll)
+            s = Solver(a, cfg)
+            s.factorize()
+            facs[ll] = s.factor
+        for nc_r, nc_l in zip(facs[False].cblks, facs[True].cblks):
+            np.testing.assert_allclose(nc_r.diag, nc_l.diag, atol=1e-10)
+            for i in range(nc_r.sym.noff):
+                np.testing.assert_allclose(np.asarray(nc_r.lblock(i)),
+                                           np.asarray(nc_l.lblock(i)),
+                                           atol=1e-10)
+
+    def test_nonsymmetric(self, rng):
+        a = convection_diffusion_3d(5)
+        cfg = tiny_blr_config(strategy="just-in-time", tolerance=1e-8,
+                              left_looking=True)
+        s = Solver(a, cfg)
+        s.factorize()
+        b = rng.standard_normal(a.n)
+        assert s.backward_error(s.solve(b), b) <= 1e-5
+
+    def test_cholesky(self, rng):
+        a = laplacian_3d(5)
+        cfg = tiny_blr_config(strategy="just-in-time",
+                              factotype="cholesky", tolerance=1e-8,
+                              left_looking=True)
+        s = Solver(a, cfg)
+        s.factorize()
+        b = rng.standard_normal(a.n)
+        assert s.backward_error(s.solve(b), b) <= 1e-5
+
+
+class TestMemoryBehaviour:
+    def test_peak_below_right_looking_jit(self):
+        """The whole point: the JIT peak drops when panels are allocated
+        lazily (§4.3: 'delay the allocation and the compression')."""
+        a = laplacian_3d(8)
+        peaks = {}
+        for ll in (False, True):
+            cfg = tiny_blr_config(strategy="just-in-time", tolerance=1e-4,
+                                  left_looking=ll)
+            stats = Solver(a, cfg).factorize()
+            peaks[ll] = stats.peak_nbytes
+        assert peaks[True] < peaks[False]
+
+    def test_peak_close_to_compressed_factor_size(self):
+        """Left-looking JIT peak ≈ compressed factors + one dense panel."""
+        a = laplacian_3d(8)
+        cfg = tiny_blr_config(strategy="just-in-time", tolerance=1e-4,
+                              left_looking=True)
+        stats = Solver(a, cfg).factorize()
+        assert stats.peak_nbytes <= stats.factor_nbytes * 1.25
+
+    def test_fill_column_block_requires_deferred_mode(self):
+        a = laplacian_3d(4)
+        cfg = tiny_blr_config(strategy="dense")
+        s = Solver(a, cfg)
+        s.factorize()
+        with pytest.raises(RuntimeError, match="left-looking"):
+            s.factor.fill_column_block(0)

@@ -1,0 +1,81 @@
+"""Tests for symmetric permutations."""
+
+import numpy as np
+import pytest
+
+from repro.sparse.csc import CSCMatrix
+from repro.sparse.generators import laplacian_2d
+from repro.sparse.permute import (
+    invert_permutation,
+    is_permutation,
+    permute_symmetric,
+    permute_vector,
+    unpermute_vector,
+)
+
+
+class TestIsPermutation:
+    def test_identity(self):
+        assert is_permutation(np.arange(5), 5)
+
+    def test_shuffled(self, rng):
+        p = rng.permutation(10)
+        assert is_permutation(p, 10)
+
+    def test_wrong_length(self):
+        assert not is_permutation(np.arange(4), 5)
+
+    def test_duplicate(self):
+        assert not is_permutation(np.array([0, 0, 2]), 3)
+
+    def test_out_of_range(self):
+        assert not is_permutation(np.array([0, 1, 5]), 3)
+
+
+class TestInvert:
+    def test_roundtrip(self, rng):
+        p = rng.permutation(20)
+        ip = invert_permutation(p)
+        np.testing.assert_array_equal(p[ip], np.arange(20))
+        np.testing.assert_array_equal(ip[p], np.arange(20))
+
+
+class TestPermuteSymmetric:
+    def test_matches_dense_permutation(self, rng):
+        a = laplacian_2d(5)
+        p = rng.permutation(a.n)
+        ap = permute_symmetric(a, p)
+        d = a.to_dense()
+        np.testing.assert_allclose(ap.to_dense(), d[np.ix_(p, p)])
+
+    def test_identity_is_noop(self):
+        a = laplacian_2d(4)
+        ap = permute_symmetric(a, np.arange(a.n))
+        np.testing.assert_allclose(ap.to_dense(), a.to_dense())
+
+    def test_rejects_invalid_permutation(self):
+        a = laplacian_2d(3)
+        with pytest.raises(ValueError, match="permutation"):
+            permute_symmetric(a, np.zeros(a.n, dtype=np.int64))
+
+    def test_permutation_preserves_symmetry(self, rng):
+        a = laplacian_2d(4)
+        p = rng.permutation(a.n)
+        assert permute_symmetric(a, p).is_symmetric()
+
+
+class TestVectorPermutation:
+    def test_permute_then_unpermute(self, rng):
+        x = rng.standard_normal(12)
+        p = rng.permutation(12)
+        np.testing.assert_allclose(unpermute_vector(permute_vector(x, p), p), x)
+
+    def test_consistency_with_matrix(self, rng):
+        """(PAPᵗ)(Px) == P(Ax) — the identity the solver relies on."""
+        a = laplacian_2d(4)
+        p = rng.permutation(a.n)
+        x = rng.standard_normal(a.n)
+        ap = permute_symmetric(a, p)
+        lhs = ap.matvec(permute_vector(x, p))
+        rhs = permute_vector(a.matvec(x), p)
+        np.testing.assert_allclose(lhs, rhs, atol=1e-12)

@@ -1,0 +1,83 @@
+"""Tests for the randomized SVD compression kernel (rsvd)."""
+
+import numpy as np
+import pytest
+
+from repro.core.solver import Solver
+from repro.lowrank.randomized import rsvd_compress
+from repro.sparse.generators import laplacian_3d
+from tests.conftest import random_lowrank, tiny_blr_config
+
+
+class TestRsvdKernel:
+    @pytest.mark.parametrize("tol", [1e-4, 1e-8, 1e-12])
+    def test_error_bound(self, rng, tol):
+        a = random_lowrank(rng, 60, 45, 25, decay=0.45)
+        lr = rsvd_compress(a, tol)
+        err = np.linalg.norm(a - lr.to_dense()) / np.linalg.norm(a)
+        assert err <= tol * 1.05
+
+    def test_u_orthonormal(self, rng):
+        a = random_lowrank(rng, 40, 30, 12)
+        lr = rsvd_compress(a, 1e-8)
+        np.testing.assert_allclose(lr.u.T @ lr.u, np.eye(lr.rank),
+                                   atol=1e-10)
+
+    def test_rank_close_to_svd(self, rng):
+        from repro.lowrank.svd import svd_compress
+        a = random_lowrank(rng, 50, 40, 20, decay=0.4)
+        r_svd = svd_compress(a, 1e-8).rank
+        r_rand = rsvd_compress(a, 1e-8).rank
+        assert r_rand <= r_svd + 4  # oversampling slack only
+
+    def test_deterministic(self, rng):
+        a = random_lowrank(rng, 30, 25, 8)
+        lr1 = rsvd_compress(a, 1e-8)
+        lr2 = rsvd_compress(a, 1e-8)
+        np.testing.assert_array_equal(lr1.u, lr2.u)
+        np.testing.assert_array_equal(lr1.v, lr2.v)
+
+    def test_zero_matrix(self):
+        lr = rsvd_compress(np.zeros((10, 8)), 1e-8)
+        assert lr.rank == 0
+
+    def test_empty_dimension(self):
+        lr = rsvd_compress(np.zeros((0, 5)), 1e-8)
+        assert lr.shape == (0, 5)
+
+    def test_max_rank_rejection(self, rng):
+        a = rng.standard_normal((24, 24))
+        assert rsvd_compress(a, 1e-13, max_rank=4) is None
+
+    def test_exact_lowrank_recovered(self, rng):
+        u = rng.standard_normal((30, 3))
+        v = rng.standard_normal((25, 3))
+        lr = rsvd_compress(u @ v.T, 1e-10)
+        assert lr.rank == 3
+
+
+class TestRsvdInSolver:
+    @pytest.mark.parametrize("strategy", ["just-in-time", "minimal-memory"])
+    def test_end_to_end(self, strategy, rng):
+        a = laplacian_3d(8)
+        cfg = tiny_blr_config(strategy=strategy, kernel="rsvd",
+                              tolerance=1e-6)
+        s = Solver(a, cfg)
+        stats = s.factorize()
+        b = rng.standard_normal(a.n)
+        assert s.backward_error(s.solve(b), b) <= 1e-3
+        assert stats.nblocks_compressed > 0
+
+    def test_memory_comparable_to_rrqr(self, rng):
+        a = laplacian_3d(8)
+        ratios = {}
+        for kernel in ("rrqr", "rsvd"):
+            cfg = tiny_blr_config(strategy="minimal-memory", kernel=kernel,
+                                  tolerance=1e-4)
+            ratios[kernel] = Solver(a, cfg).factorize().memory_ratio
+        assert abs(ratios["rsvd"] - ratios["rrqr"]) < 0.1
+
+    def test_config_accepts_rsvd(self):
+        from repro.config import SolverConfig
+        cfg = SolverConfig(kernel="rsvd")
+        assert cfg.kernel == "rsvd"

@@ -1,0 +1,91 @@
+"""Tests for low-rank extend-add recompression (paper eqs. 7-12)."""
+
+import numpy as np
+import pytest
+
+from repro.lowrank.recompress import recompress_rrqr, recompress_svd
+from repro.lowrank.rrqr import rrqr_compress
+from tests.conftest import random_lowrank
+
+KERNELS = {"svd": recompress_svd, "rrqr": recompress_rrqr}
+
+
+def make_pair(rng, m=30, n=24, rc=6, rab=4):
+    """An orthonormal-u target and a padded contribution."""
+    c = rrqr_compress(random_lowrank(rng, m, n, rc, 0.3), 1e-12)
+    ab = rrqr_compress(random_lowrank(rng, m, n, rab, 0.3), 1e-12)
+    return c, ab
+
+
+@pytest.mark.parametrize("kernel", sorted(KERNELS))
+class TestExactness:
+    def test_matches_dense_arithmetic(self, rng, kernel):
+        c, ab = make_pair(rng)
+        ref = c.to_dense() - ab.to_dense()
+        out = KERNELS[kernel](c.u, c.v, ab.u, ab.v, 1e-10)
+        err = np.linalg.norm(out.to_dense() - ref) / np.linalg.norm(ref)
+        assert err <= 1e-9
+
+    def test_error_scales_with_tolerance(self, rng, kernel):
+        c, ab = make_pair(rng, rc=10, rab=8)
+        ref = c.to_dense() - ab.to_dense()
+        for tol in (1e-4, 1e-8):
+            out = KERNELS[kernel](c.u, c.v, ab.u, ab.v, tol)
+            err = np.linalg.norm(out.to_dense() - ref) / np.linalg.norm(ref)
+            assert err <= tol * 3
+
+    def test_rank_is_recompressed(self, rng, kernel):
+        """Subtracting a block from itself must collapse the rank."""
+        c, _ = make_pair(rng, rc=5)
+        out = KERNELS[kernel](c.u, c.v, c.u, c.v, 1e-10)
+        assert out.rank <= 1
+
+    def test_u_stays_orthonormal(self, rng, kernel):
+        c, ab = make_pair(rng)
+        out = KERNELS[kernel](c.u, c.v, ab.u, ab.v, 1e-10)
+        if out.rank:
+            np.testing.assert_allclose(out.u.T @ out.u, np.eye(out.rank),
+                                       atol=1e-10)
+
+    def test_max_rank_cap_returns_none(self, rng, kernel):
+        c, ab = make_pair(rng, rc=8, rab=8)
+        out = KERNELS[kernel](c.u, c.v, ab.u, ab.v, 1e-14, max_rank=2)
+        assert out is None
+
+    def test_zero_contribution_keeps_target(self, rng, kernel):
+        c, _ = make_pair(rng)
+        z_u = np.zeros((c.m, 0))
+        z_v = np.zeros((c.n, 0))
+        out = KERNELS[kernel](c.u, c.v, z_u, z_v, 1e-10)
+        ref = c.to_dense()
+        np.testing.assert_allclose(out.to_dense(), ref, atol=1e-12)
+
+    def test_zero_target_compresses_contribution(self, rng, kernel):
+        _, ab = make_pair(rng)
+        z_u = np.zeros((ab.m, 0))
+        z_v = np.zeros((ab.n, 0))
+        out = KERNELS[kernel](z_u, z_v, ab.u, ab.v, 1e-10)
+        ref = -ab.to_dense()
+        err = np.linalg.norm(out.to_dense() - ref) / np.linalg.norm(ref)
+        assert err <= 1e-9
+
+
+class TestRankGrowthControl:
+    def test_repeated_updates_stay_bounded(self, rng):
+        """Accumulate 15 random rank-2 contributions living in a fixed
+        rank-6 subspace: the recompressed rank must stay ~6, not 30."""
+        m, n = 40, 32
+        basis_u = np.linalg.qr(rng.standard_normal((m, 6)))[0]
+        basis_v = rng.standard_normal((n, 6))
+        target = rrqr_compress(np.zeros((m, n)), 1e-10)
+        ref = np.zeros((m, n))
+        for _ in range(15):
+            w = rng.standard_normal((6, 2))
+            u_ab = basis_u @ np.linalg.qr(w)[0]
+            v_ab = basis_v @ w @ np.linalg.inv(np.linalg.qr(w)[1])
+            contrib = u_ab @ v_ab.T
+            ref -= contrib
+            target = recompress_rrqr(target.u, target.v, u_ab, v_ab, 1e-10)
+        assert target.rank <= 8
+        err = np.linalg.norm(target.to_dense() - ref)
+        assert err <= 1e-8 * max(np.linalg.norm(ref), 1.0)

@@ -1,0 +1,157 @@
+"""Tests for GMRES / CG / iterative refinement."""
+
+import numpy as np
+import pytest
+
+from repro.core.refinement import (
+    conjugate_gradient,
+    gmres,
+    iterative_refinement,
+)
+from repro.core.solver import Solver
+from repro.sparse.generators import (
+    convection_diffusion_3d,
+    laplacian_2d,
+    laplacian_3d,
+)
+from tests.conftest import tiny_blr_config
+
+
+def exact_precond(a):
+    inv = np.linalg.inv(a.to_dense())
+    return lambda r: inv @ r
+
+
+class TestGmres:
+    def test_unpreconditioned_converges(self, rng):
+        a = laplacian_2d(4)
+        b = rng.standard_normal(a.n)
+        res = gmres(a, b, tol=1e-10, maxiter=200, restart=50)
+        assert res.converged
+        assert res.backward_error <= 1e-10
+
+    def test_exact_preconditioner_one_iteration(self, rng):
+        a = laplacian_2d(5)
+        b = rng.standard_normal(a.n)
+        res = gmres(a, b, precond=exact_precond(a), tol=1e-12, maxiter=20)
+        assert res.converged
+        assert res.iterations <= 2
+
+    def test_nonsymmetric_system(self, rng):
+        a = convection_diffusion_3d(4, peclet=0.7)
+        b = rng.standard_normal(a.n)
+        res = gmres(a, b, precond=exact_precond(a), tol=1e-12, maxiter=20)
+        assert res.converged
+
+    def test_history_starts_at_initial_residual(self, rng):
+        a = laplacian_2d(4)
+        b = rng.standard_normal(a.n)
+        res = gmres(a, b, tol=1e-10, maxiter=5)
+        assert res.history[0] == pytest.approx(1.0)  # x0 = 0
+
+    def test_maxiter_respected(self, rng):
+        a = laplacian_2d(6)
+        b = rng.standard_normal(a.n)
+        res = gmres(a, b, tol=1e-16, maxiter=3)
+        assert res.iterations <= 3
+
+    def test_zero_rhs(self):
+        a = laplacian_2d(3)
+        res = gmres(a, np.zeros(a.n))
+        assert res.converged
+        np.testing.assert_array_equal(res.x, 0)
+
+    def test_warm_start(self, rng):
+        a = laplacian_2d(4)
+        b = rng.standard_normal(a.n)
+        x0 = np.linalg.solve(a.to_dense(), b)
+        res = gmres(a, b, x0=x0, tol=1e-10, maxiter=5)
+        assert res.history[0] <= 1e-10
+
+
+class TestConjugateGradient:
+    def test_spd_converges(self, rng):
+        a = laplacian_2d(5)
+        b = rng.standard_normal(a.n)
+        res = conjugate_gradient(a, b, tol=1e-10, maxiter=300)
+        assert res.converged
+
+    def test_exact_preconditioner_fast(self, rng):
+        a = laplacian_3d(4)
+        b = rng.standard_normal(a.n)
+        res = conjugate_gradient(a, b, precond=exact_precond(a),
+                                 tol=1e-12, maxiter=20)
+        assert res.converged
+        assert res.iterations <= 3
+
+    def test_zero_rhs(self):
+        a = laplacian_2d(3)
+        res = conjugate_gradient(a, np.zeros(a.n))
+        assert res.converged
+
+
+class TestIterativeRefinement:
+    def test_converges_with_good_preconditioner(self, rng):
+        a = laplacian_2d(5)
+        b = rng.standard_normal(a.n)
+        res = iterative_refinement(a, b, exact_precond(a), tol=1e-12)
+        assert res.converged
+        assert res.iterations <= 3
+
+    def test_approximate_preconditioner_improves(self, rng):
+        """A τ=1e-4 BLR preconditioner must drive the error down over
+        iterations (the mechanism behind Figure 8)."""
+        a = laplacian_3d(8)
+        s = Solver(a, tiny_blr_config(strategy="minimal-memory",
+                                      tolerance=1e-4))
+        s.factorize()
+        b = rng = np.random.default_rng(0).standard_normal(a.n)
+        res = iterative_refinement(a, b, s._precond, tol=1e-12, maxiter=20)
+        assert res.history[-1] < res.history[0]
+
+    def test_zero_rhs(self):
+        a = laplacian_2d(3)
+        res = iterative_refinement(a, np.zeros(a.n), lambda r: r)
+        assert res.converged
+
+
+class TestSolverRefineIntegration:
+    def test_blr_preconditioned_gmres_reaches_machine_precision(self, rng):
+        """Figure 8 at τ=1e-8: a handful of iterations reach ~1e-12."""
+        a = convection_diffusion_3d(6)
+        s = Solver(a, tiny_blr_config(strategy="minimal-memory",
+                                      tolerance=1e-8))
+        s.factorize()
+        b = rng.standard_normal(a.n)
+        res = s.refine(b, tol=1e-12, maxiter=20)
+        assert res.backward_error <= 1e-11
+        assert res.iterations <= 10
+
+    def test_default_method_selection(self, rng):
+        a = laplacian_3d(4)
+        s_lu = Solver(a, tiny_blr_config(factotype="lu"))
+        s_lu.factorize()
+        b = rng.standard_normal(a.n)
+        res = s_lu.refine(b)  # GMRES for LU
+        assert res.converged
+        s_ch = Solver(a, tiny_blr_config(factotype="cholesky"))
+        s_ch.factorize()
+        res = s_ch.refine(b)  # CG for Cholesky
+        assert res.converged
+
+    def test_unknown_method_rejected(self, rng):
+        a = laplacian_2d(3)
+        s = Solver(a, tiny_blr_config())
+        s.factorize()
+        with pytest.raises(ValueError, match="method"):
+            s.refine(np.ones(a.n), method="bicgstab")
+
+    def test_solve_with_refine_flag(self, rng):
+        a = laplacian_3d(6)
+        s = Solver(a, tiny_blr_config(strategy="just-in-time",
+                                      tolerance=1e-4))
+        s.factorize()
+        b = rng.standard_normal(a.n)
+        x_plain = s.solve(b)
+        x_ref = s.solve(b, refine=True)
+        assert s.backward_error(x_ref, b) <= s.backward_error(x_plain, b)

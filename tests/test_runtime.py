@@ -1,0 +1,161 @@
+"""Tests for timers, kernel stats, and memory tracking."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.runtime.memory import (
+    MemoryTracker,
+    array_nbytes,
+    nbytes_dense,
+    nbytes_lowrank,
+)
+from repro.runtime.stats import FactorizationStats, KernelStats, KERNEL_CATEGORIES
+from repro.runtime.timers import CategoryTimers, Timer
+
+
+class TestTimer:
+    def test_accumulates(self):
+        t = Timer()
+        with t:
+            time.sleep(0.002)
+        first = t.elapsed
+        with t:
+            time.sleep(0.002)
+        assert t.elapsed > first
+
+    def test_double_start_rejected(self):
+        t = Timer()
+        t.start()
+        with pytest.raises(RuntimeError):
+            t.start()
+
+    def test_stop_without_start_rejected(self):
+        with pytest.raises(RuntimeError):
+            Timer().stop()
+
+    def test_reset(self):
+        t = Timer()
+        with t:
+            pass
+        t.reset()
+        assert t.elapsed == 0.0
+
+
+class TestCategoryTimers:
+    def test_independent_categories(self):
+        ct = CategoryTimers()
+        with ct.time("a"):
+            time.sleep(0.001)
+        assert ct.elapsed("a") > 0
+        assert ct.elapsed("b") == 0.0
+
+    def test_merge_sums(self):
+        a, b = CategoryTimers(), CategoryTimers()
+        a.timer("x").elapsed = 1.0
+        b.timer("x").elapsed = 2.0
+        b.timer("y").elapsed = 3.0
+        a.merge(b)
+        assert a.elapsed("x") == 3.0
+        assert a.elapsed("y") == 3.0
+        assert a.total() == 6.0
+
+
+class TestKernelStats:
+    def test_add_and_query(self):
+        ks = KernelStats()
+        ks.add("compress", seconds=0.5, flops=100.0)
+        ks.add("compress", seconds=0.25, flops=50.0)
+        assert ks.time("compress") == pytest.approx(0.75)
+        assert ks.flop("compress") == 150.0
+        assert ks.call_count("compress") == 2
+
+    def test_locked_instance(self):
+        ks = KernelStats(locked=True)
+        ks.add("x", flops=1.0)
+        assert ks.flop("x") == 1.0
+
+    def test_merge(self):
+        a, b = KernelStats(), KernelStats()
+        a.add("x", flops=1.0)
+        b.add("x", flops=2.0)
+        b.add("y", seconds=1.0)
+        a.merge(b)
+        assert a.flop("x") == 3.0
+        assert a.time("y") == 1.0
+
+    def test_as_dict(self):
+        ks = KernelStats()
+        ks.add("compress", seconds=1.0, flops=2.0)
+        d = ks.as_dict()
+        assert d["compress"]["time"] == 1.0
+        assert d["compress"]["flops"] == 2.0
+        assert d["compress"]["calls"] == 1
+
+    def test_totals(self):
+        ks = KernelStats()
+        ks.add("a", seconds=1.0, flops=10.0)
+        ks.add("b", seconds=2.0, flops=20.0)
+        assert ks.total_time() == 3.0
+        assert ks.total_flops() == 30.0
+
+
+class TestFactorizationStats:
+    def test_memory_ratio(self):
+        st = FactorizationStats(factor_nbytes=50, dense_factor_nbytes=100)
+        assert st.memory_ratio == 0.5
+
+    def test_memory_ratio_zero_dense(self):
+        assert FactorizationStats().memory_ratio == 1.0
+
+    def test_summary_covers_all_categories(self):
+        st = FactorizationStats()
+        summary = st.summary()
+        for c in KERNEL_CATEGORIES:
+            assert f"time_{c}" in summary
+            assert f"flops_{c}" in summary
+        assert "memory_ratio" in summary
+
+
+class TestMemoryTracker:
+    def test_peak_tracking(self):
+        mt = MemoryTracker()
+        mt.alloc(100)
+        mt.alloc(50)
+        mt.free(120)
+        mt.alloc(10)
+        assert mt.current == 40
+        assert mt.peak == 150
+
+    def test_resize(self):
+        mt = MemoryTracker()
+        mt.alloc(100)
+        mt.resize(100, 300)
+        assert mt.current == 300
+        assert mt.peak == 300
+        mt.resize(300, 10)
+        assert mt.current == 10
+        assert mt.peak == 300
+
+    def test_reset(self):
+        mt = MemoryTracker()
+        mt.alloc(5)
+        mt.reset()
+        assert mt.current == 0 and mt.peak == 0
+
+    def test_checkpoint(self):
+        mt = MemoryTracker()
+        mt.alloc(7)
+        assert mt.checkpoint() == 7
+
+
+class TestByteHelpers:
+    def test_nbytes_dense(self):
+        assert nbytes_dense(10, 20) == 1600
+
+    def test_nbytes_lowrank(self):
+        assert nbytes_lowrank(10, 20, 3) == (10 + 20) * 3 * 8
+
+    def test_array_nbytes(self):
+        assert array_nbytes(np.zeros((4, 4))) == 128

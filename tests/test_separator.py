@@ -1,0 +1,91 @@
+"""Tests for vertex separators."""
+
+import numpy as np
+import pytest
+
+from repro.ordering.graph import Graph
+from repro.ordering.separator import check_separator, find_vertex_separator
+from repro.sparse.generators import laplacian_2d, laplacian_3d
+
+
+def assert_valid_split(g, verts, pa, pb, sep):
+    all_v = np.sort(np.concatenate([pa, pb, sep]))
+    np.testing.assert_array_equal(all_v, np.sort(verts))
+    assert check_separator(g, pa, pb, sep)
+
+
+class TestGrid:
+    def test_2d_grid_separator_is_thin(self):
+        g = Graph.from_matrix(laplacian_2d(10))
+        verts = np.arange(g.n)
+        pa, pb, sep = find_vertex_separator(g, verts)
+        assert_valid_split(g, verts, pa, pb, sep)
+        # a 10x10 grid has a width-10 separating line
+        assert 0 < sep.size <= 20
+        assert min(pa.size, pb.size) >= g.n // 5
+
+    def test_3d_grid_separator_is_a_plane(self):
+        g = Graph.from_matrix(laplacian_3d(6))
+        verts = np.arange(g.n)
+        pa, pb, sep = find_vertex_separator(g, verts)
+        assert_valid_split(g, verts, pa, pb, sep)
+        assert sep.size <= 2 * 36  # within 2x of a 6x6 plane
+        assert min(pa.size, pb.size) >= g.n // 5
+
+    def test_subset_split(self):
+        g = Graph.from_matrix(laplacian_2d(8))
+        verts = np.arange(32)  # half the grid
+        pa, pb, sep = find_vertex_separator(g, verts)
+        assert_valid_split(g, verts, pa, pb, sep)
+        assert sep.size <= 10
+
+
+class TestPath:
+    def test_path_separator_is_single_vertex(self):
+        g = Graph.from_edges(11, [(i, i + 1) for i in range(10)])
+        pa, pb, sep = find_vertex_separator(g, np.arange(11))
+        assert_valid_split(g, np.arange(11), pa, pb, sep)
+        assert sep.size == 1
+        assert abs(pa.size - pb.size) <= 1
+
+
+class TestDegenerate:
+    def test_single_vertex(self):
+        g = Graph.from_edges(1, [])
+        pa, pb, sep = find_vertex_separator(g, np.array([0]))
+        assert pa.size == 1 and pb.size == 0 and sep.size == 0
+
+    def test_two_vertices(self):
+        g = Graph.from_edges(2, [(0, 1)])
+        pa, pb, sep = find_vertex_separator(g, np.arange(2))
+        total = pa.size + pb.size + sep.size
+        assert total == 2
+        assert check_separator(g, pa, pb, sep)
+
+    def test_complete_graph(self):
+        n = 6
+        edges = [(i, j) for i in range(n) for j in range(i + 1, n)]
+        g = Graph.from_edges(n, edges)
+        pa, pb, sep = find_vertex_separator(g, np.arange(n))
+        # K6 has no useful separator; whatever comes back must be a
+        # legitimate split
+        assert pa.size + pb.size + sep.size == n
+        assert check_separator(g, pa, pb, sep)
+
+    def test_star_graph(self):
+        g = Graph.from_edges(7, [(0, i) for i in range(1, 7)])
+        pa, pb, sep = find_vertex_separator(g, np.arange(7))
+        assert_valid_split(g, np.arange(7), pa, pb, sep)
+        # the centre is the only separator
+        if sep.size:
+            assert 0 in sep
+
+
+class TestCheckSeparator:
+    def test_detects_violation(self):
+        g = Graph.from_edges(3, [(0, 1), (1, 2), (0, 2)])
+        assert not check_separator(g, np.array([0]), np.array([2]),
+                                   np.array([1]))
+        g2 = Graph.from_edges(3, [(0, 1), (1, 2)])
+        assert check_separator(g2, np.array([0]), np.array([2]),
+                               np.array([1]))

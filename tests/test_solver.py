@@ -1,0 +1,200 @@
+"""Tests for the public Solver facade."""
+
+import numpy as np
+import pytest
+
+from repro.core.solver import Solver
+from repro.sparse.csc import CSCMatrix
+from repro.sparse.generators import laplacian_2d, laplacian_3d
+from tests.conftest import tiny_blr_config
+
+
+class TestConstruction:
+    def test_rejects_raw_scipy(self):
+        sp = pytest.importorskip("scipy.sparse")
+        mat = sp.eye(4, format="csc")
+        with pytest.raises(TypeError, match="CSCMatrix"):
+            Solver(mat)
+
+    def test_accepts_converted_scipy(self):
+        sp = pytest.importorskip("scipy.sparse")
+        mat = sp.diags([[-1.0] * 5, [4.0] * 6, [-1.0] * 5],
+                       [-1, 0, 1]).tocsc()
+        s = Solver(CSCMatrix.from_scipy(mat), tiny_blr_config())
+        s.factorize()
+
+    def test_default_config(self):
+        s = Solver(laplacian_2d(4))
+        assert s.config.strategy == "just-in-time"
+
+    def test_n_property(self):
+        assert Solver(laplacian_2d(4)).n == 16
+
+
+class TestAnalysisCaching:
+    def test_analyze_runs_once(self):
+        s = Solver(laplacian_2d(5), tiny_blr_config())
+        symb1 = s.analyze()
+        symb2 = s.analyze()
+        assert symb1 is symb2
+
+    def test_factorize_reuses_analysis(self):
+        """Re-factorizing must not repeat the symbolic step — the paper's
+        point that steps 1-2 are value-independent."""
+        s = Solver(laplacian_2d(5), tiny_blr_config())
+        s.factorize()
+        symb = s.symbolic
+        s.factorize()
+        assert s.symbolic is symb
+
+    def test_analyze_time_recorded(self):
+        s = Solver(laplacian_2d(5), tiny_blr_config())
+        s.analyze()
+        assert s.analyze_time > 0
+
+
+class TestSolvePaths:
+    def test_solve_triggers_factorize(self, rng):
+        s = Solver(laplacian_2d(4), tiny_blr_config())
+        b = rng.standard_normal(s.n)
+        x = s.solve(b)  # no explicit factorize()
+        assert s.backward_error(x, b) <= 1e-10
+
+    def test_stats_none_before_factorize(self):
+        s = Solver(laplacian_2d(4), tiny_blr_config())
+        assert s.stats is None
+
+    def test_solve_time_accumulates(self, rng):
+        s = Solver(laplacian_2d(5), tiny_blr_config())
+        s.factorize()
+        b = rng.standard_normal(s.n)
+        s.solve(b)
+        t1 = s.stats.solve_time
+        s.solve(b)
+        assert s.stats.solve_time > t1
+
+    def test_backward_error_metric(self, rng):
+        a = laplacian_2d(4)
+        s = Solver(a, tiny_blr_config())
+        x = rng.standard_normal(a.n)
+        b = rng.standard_normal(a.n)
+        expected = np.linalg.norm(a.matvec(x) - b) / np.linalg.norm(b)
+        assert s.backward_error(x, b) == pytest.approx(expected)
+
+
+class TestStatsContent:
+    def test_table2_fields_populated(self):
+        s = Solver(laplacian_3d(6),
+                   tiny_blr_config(strategy="minimal-memory",
+                                   tolerance=1e-6))
+        st = s.factorize()
+        assert st.total_time > 0
+        assert st.factor_nbytes > 0
+        assert st.dense_factor_nbytes > 0
+        assert st.peak_nbytes > 0
+        assert st.kernels.flop("block_facto") > 0
+        assert st.kernels.flop("panel_solve") > 0
+
+    def test_block_counts_sum(self):
+        s = Solver(laplacian_3d(6),
+                   tiny_blr_config(strategy="just-in-time", tolerance=1e-4))
+        st = s.factorize()
+        noff = s.symbolic.total_off_blocks()
+        # LU stores L and Uᵗ sides: counters cover the L side blocks only
+        assert st.nblocks_compressed + st.nblocks_dense == noff
+
+
+class TestUpdateValues:
+    def test_same_pattern_refactorization(self, rng):
+        from repro.sparse.generators import heterogeneous_poisson_3d
+        a1 = heterogeneous_poisson_3d(5, contrast=10.0, seed=1)
+        a2 = heterogeneous_poisson_3d(5, contrast=1e4, seed=1)
+        s = Solver(a1, tiny_blr_config(strategy="dense"))
+        s.factorize()
+        symb = s.symbolic
+        s.update_values(a2)
+        assert s.factor is None          # numerical state invalidated
+        assert s.symbolic is symb        # analysis kept
+        b = rng.standard_normal(a2.n)
+        x = s.solve(b)                   # refactorizes with new values
+        assert s.backward_error(x, b) <= 1e-9
+
+    def test_rejects_different_pattern(self):
+        a = laplacian_2d(4)          # 4x4 grid, n = 16
+        s = Solver(a, tiny_blr_config())
+        with pytest.raises(ValueError, match="pattern"):
+            s.update_values(laplacian_2d(2, 8))  # 2x8 grid, also n = 16
+
+    def test_rejects_wrong_dimension(self):
+        a = laplacian_2d(4)
+        s = Solver(a, tiny_blr_config())
+        with pytest.raises(ValueError, match="dimension"):
+            s.update_values(laplacian_2d(5))
+
+    def test_rejects_non_cscmatrix(self):
+        a = laplacian_2d(4)
+        s = Solver(a, tiny_blr_config())
+        with pytest.raises(TypeError):
+            s.update_values(a.to_dense())
+
+
+class TestTransposeSolve:
+    def test_lu_transpose(self, rng):
+        from repro.sparse.generators import convection_diffusion_3d
+        a = convection_diffusion_3d(5, peclet=0.7)
+        s = Solver(a, tiny_blr_config(strategy="dense"))
+        s.factorize()
+        b = rng.standard_normal(a.n)
+        x = s.solve(b, trans=True)
+        res = np.linalg.norm(a.rmatvec(x) - b) / np.linalg.norm(b)
+        assert res <= 1e-10
+
+    def test_blr_transpose(self, rng):
+        from repro.sparse.generators import convection_diffusion_3d
+        a = convection_diffusion_3d(6)
+        s = Solver(a, tiny_blr_config(strategy="minimal-memory",
+                                      tolerance=1e-8))
+        s.factorize()
+        b = rng.standard_normal(a.n)
+        x = s.solve(b, trans=True)
+        res = np.linalg.norm(a.rmatvec(x) - b) / np.linalg.norm(b)
+        assert res <= 1e-4
+
+    def test_symmetric_transpose_identical(self, rng):
+        a = laplacian_3d(4)
+        s = Solver(a, tiny_blr_config(strategy="dense",
+                                      factotype="cholesky"))
+        s.factorize()
+        b = rng.standard_normal(a.n)
+        np.testing.assert_allclose(s.solve(b, trans=True), s.solve(b),
+                                   atol=1e-12)
+
+
+class TestInputValidation:
+    def test_rejects_nan_matrix(self):
+        a = laplacian_2d(3)
+        a.values[0] = np.nan  # poke an existing entry
+        with pytest.raises(ValueError, match="NaN"):
+            Solver(a, tiny_blr_config())
+
+    def test_rejects_inf_matrix(self):
+        a = laplacian_2d(3)
+        a.values[1] = np.inf
+        with pytest.raises(ValueError, match="NaN or Inf"):
+            Solver(a, tiny_blr_config())
+
+    def test_rejects_nan_rhs(self):
+        a = laplacian_2d(3)
+        s = Solver(a, tiny_blr_config())
+        s.factorize()
+        b = np.ones(a.n)
+        b[2] = np.nan
+        with pytest.raises(ValueError, match="NaN"):
+            s.solve(b)
+
+    def test_rejects_wrong_rhs_size(self):
+        a = laplacian_2d(3)
+        s = Solver(a, tiny_blr_config())
+        s.factorize()
+        with pytest.raises(ValueError, match="rows"):
+            s.solve(np.ones(a.n + 1))

@@ -1,0 +1,194 @@
+"""Tests for the symbolic block factorization."""
+
+import numpy as np
+import pytest
+
+from repro.sparse.generators import (
+    convection_diffusion_3d,
+    laplacian_2d,
+    laplacian_3d,
+)
+from repro.sparse.permute import is_permutation, permute_symmetric
+from repro.symbolic.factorization import SymbolicOptions, symbolic_factorization
+from repro.symbolic.structure import (
+    SymbolicBlock,
+    SymbolicColumnBlock,
+    SymbolicFactor,
+)
+
+OPTS = SymbolicOptions(cmin=8, split_size=32, split_min=16,
+                       compress_min_width=12, compress_min_height=4)
+
+
+def coverage_mask(symb, n):
+    cov = np.zeros((n, n), dtype=bool)
+    for cb in symb.cblks:
+        for b in cb.blocks:
+            cov[b.first_row:b.end_row, cb.first_col:cb.end_col] = True
+    return cov
+
+
+def fill_pattern(ap):
+    d = (ap.to_dense() != 0)
+    for k in range(ap.n):
+        nz = np.flatnonzero(d[k + 1:, k]) + k + 1
+        for i in nz:
+            d[i, nz] = True
+            d[nz, i] = True
+    return d
+
+
+class TestPipeline:
+    @pytest.mark.parametrize("ordering", ["nested-dissection", "amd", "natural"])
+    def test_covers_fill_for_all_orderings(self, ordering):
+        a = laplacian_2d(6)
+        opts = SymbolicOptions(cmin=6, split_size=16, split_min=8,
+                               ordering=ordering)
+        symb, perm = symbolic_factorization(a, opts)
+        assert is_permutation(perm, a.n)
+        ap = permute_symmetric(a, perm)
+        fill = fill_pattern(ap)
+        cov = coverage_mask(symb, a.n)
+        # L coverage: every below-diagonal fill entry inside a block
+        lower = np.tril(fill, -1)
+        assert np.all(cov[lower]), "symbolic structure misses fill"
+
+    def test_covers_fill_nonsymmetric(self):
+        a = convection_diffusion_3d(4)
+        symb, perm = symbolic_factorization(a, OPTS)
+        ap = permute_symmetric(a.symmetrize_pattern(), perm)
+        fill = fill_pattern(ap)
+        cov = coverage_mask(symb, a.n)
+        assert np.all(cov[np.tril(fill, -1)])
+
+    def test_blocks_face_correct_cblk(self):
+        a = laplacian_3d(4)
+        symb, _ = symbolic_factorization(a, OPTS)
+        for cb in symb.cblks:
+            for b in cb.off_blocks():
+                f = symb.cblks[b.facing]
+                assert f.first_col <= b.first_row
+                assert b.end_row <= f.end_col
+
+    def test_lr_candidates_respect_thresholds(self):
+        a = laplacian_3d(6)
+        symb, _ = symbolic_factorization(a, OPTS)
+        for cb in symb.cblks:
+            for b in cb.off_blocks():
+                if b.lr_candidate:
+                    assert cb.ncols >= OPTS.compress_min_width
+                    assert b.nrows >= OPTS.compress_min_height
+
+    def test_split_size_respected(self):
+        a = laplacian_3d(6)
+        symb, _ = symbolic_factorization(a, OPTS)
+        assert max(c.ncols for c in symb.cblks) <= OPTS.split_size
+
+    def test_tiles_of_same_snode_share_offdiag_rows(self):
+        a = laplacian_3d(6)
+        symb, _ = symbolic_factorization(a, OPTS)
+        by_snode = {}
+        for cb in symb.cblks:
+            by_snode.setdefault(cb.snode, []).append(cb)
+        for snode, cbs in by_snode.items():
+            if len(cbs) < 2:
+                continue
+            last_end = cbs[-1].end_col
+            ext = [tuple((b.first_row, b.nrows) for b in cb.off_blocks()
+                         if b.first_row >= last_end) for cb in cbs]
+            assert all(e == ext[0] for e in ext)
+
+    def test_reordering_does_not_change_coverage(self):
+        a = laplacian_2d(7)
+        s1, p1 = symbolic_factorization(
+            a, SymbolicOptions(cmin=6, reorder_supernodes=False))
+        s2, p2 = symbolic_factorization(
+            a, SymbolicOptions(cmin=6, reorder_supernodes=True))
+        for symb, perm in ((s1, p1), (s2, p2)):
+            ap = permute_symmetric(a, perm)
+            fill = fill_pattern(ap)
+            assert np.all(coverage_mask(symb, a.n)[np.tril(fill, -1)])
+
+    def test_reordering_not_worse_on_block_count(self):
+        a = laplacian_3d(6)
+        s_off = symbolic_factorization(
+            a, SymbolicOptions(cmin=15, reorder_supernodes=False))[0]
+        s_on = symbolic_factorization(
+            a, SymbolicOptions(cmin=15, reorder_supernodes=True))[0]
+        assert s_on.total_off_blocks() <= 1.2 * s_off.total_off_blocks()
+
+
+class TestStructureValidation:
+    def _diag(self, fc, w):
+        return SymbolicBlock(fc, w, facing=0)
+
+    def test_rejects_gap_in_columns(self):
+        cb0 = SymbolicColumnBlock(0, 0, 2, 0, [self._diag(0, 2)])
+        cb1 = SymbolicColumnBlock(1, 3, 1, 1,
+                                  [SymbolicBlock(3, 1, facing=1)])
+        with pytest.raises(ValueError, match="tile"):
+            SymbolicFactor(4, [cb0, cb1])
+
+    def test_rejects_bad_diag(self):
+        cb = SymbolicColumnBlock(0, 0, 2, 0, [SymbolicBlock(1, 2, facing=0)])
+        with pytest.raises(ValueError, match="diagonal"):
+            SymbolicFactor(2, [cb])
+
+    def test_rejects_overlapping_blocks(self):
+        cb = SymbolicColumnBlock(0, 0, 1, 0, [
+            SymbolicBlock(0, 1, facing=0),
+            SymbolicBlock(1, 2, facing=1),
+            SymbolicBlock(2, 2, facing=1),
+        ])
+        cb1 = SymbolicColumnBlock(1, 1, 3, 1, [SymbolicBlock(1, 3, facing=1)])
+        with pytest.raises(ValueError, match="overlap"):
+            SymbolicFactor(4, [cb, cb1])
+
+    def test_rejects_wrong_ids(self):
+        cb = SymbolicColumnBlock(3, 0, 2, 0, [self._diag(0, 2)])
+        with pytest.raises(ValueError, match="ids"):
+            SymbolicFactor(2, [cb])
+
+
+class TestLookups:
+    @pytest.fixture
+    def symb(self):
+        a = laplacian_3d(5)
+        return symbolic_factorization(a, OPTS)[0]
+
+    def test_cblk_of_col(self, symb):
+        for cb in symb.cblks:
+            assert symb.cblk_of_col(cb.first_col) == cb.id
+            assert symb.cblk_of_col(cb.end_col - 1) == cb.id
+
+    def test_find_blocks_returns_exact_overlaps(self, symb):
+        for cb in symb.cblks:
+            for b in cb.blocks:
+                found = list(symb.find_blocks(cb.id, b.first_row,
+                                              b.end_row))
+                assert any(cb.blocks[i] is b for i, _, _ in found)
+                for i, olo, ohi in found:
+                    blk = cb.blocks[i]
+                    assert blk.first_row <= olo < ohi <= blk.end_row
+
+    def test_find_blocks_empty_range(self, symb):
+        cb = symb.cblks[0]
+        gap_row = cb.end_col  # row right after diag; may or may not be held
+        hits = list(symb.find_blocks(0, gap_row, gap_row))
+        assert hits == []
+
+    def test_contributors_consistent_with_facing(self, symb):
+        for cb in symb.cblks:
+            for b in cb.off_blocks():
+                assert cb.id in symb.contributors(b.facing)
+
+    def test_block_etree_parents_are_later(self, symb):
+        parent = symb.block_etree()
+        for k, p in enumerate(parent):
+            assert p == -1 or p > k
+
+    def test_summary_keys(self, symb):
+        s = symb.summary()
+        for key in ("n", "ncblk", "nnz_blocks", "off_blocks",
+                    "lr_candidates", "max_width", "mean_width"):
+            assert key in s

@@ -1,0 +1,79 @@
+"""Tests for the mixed dense/low-rank triangular solves."""
+
+import numpy as np
+import pytest
+
+from repro.core.solver import Solver
+from repro.core.trisolve import solve_factored
+from repro.sparse.generators import laplacian_2d, laplacian_3d
+from repro.sparse.permute import permute_symmetric
+from tests.conftest import tiny_blr_config
+
+
+def factored(a, **cfg_overrides):
+    s = Solver(a, tiny_blr_config(**cfg_overrides))
+    s.factorize()
+    return s
+
+
+class TestLuSolve:
+    def test_matches_dense_solve(self, rng):
+        a = laplacian_2d(6)
+        s = factored(a, strategy="dense")
+        ap = permute_symmetric(a, s.perm)
+        b = rng.standard_normal(a.n)
+        x = solve_factored(s.factor, b)
+        ref = np.linalg.solve(ap.to_dense(), b)
+        np.testing.assert_allclose(x, ref, atol=1e-10)
+
+    def test_identity_rhs_gives_inverse(self):
+        a = laplacian_2d(4)
+        s = factored(a, strategy="dense")
+        ap = permute_symmetric(a, s.perm).to_dense()
+        inv = solve_factored(s.factor, np.eye(a.n))
+        np.testing.assert_allclose(ap @ inv, np.eye(a.n), atol=1e-9)
+
+    def test_lowrank_blocks_used_in_solve(self, rng):
+        """Solve through a factor that actually holds LR blocks."""
+        a = laplacian_3d(8)
+        s = factored(a, strategy="minimal-memory", tolerance=1e-8)
+        assert s.stats.nblocks_compressed > 0
+        b = rng.standard_normal(a.n)
+        x = s.solve(b)
+        assert s.backward_error(x, b) <= 1e-5
+
+
+class TestCholeskySolve:
+    def test_matches_dense_solve(self, rng):
+        a = laplacian_2d(6)
+        s = factored(a, strategy="dense", factotype="cholesky")
+        ap = permute_symmetric(a, s.perm)
+        b = rng.standard_normal(a.n)
+        x = solve_factored(s.factor, b)
+        np.testing.assert_allclose(x, np.linalg.solve(ap.to_dense(), b),
+                                   atol=1e-10)
+
+
+class TestShapes:
+    def test_vector_in_vector_out(self, rng):
+        a = laplacian_2d(4)
+        s = factored(a, strategy="dense")
+        x = solve_factored(s.factor, rng.standard_normal(a.n))
+        assert x.ndim == 1
+
+    def test_block_rhs(self, rng):
+        a = laplacian_2d(4)
+        s = factored(a, strategy="dense")
+        b = rng.standard_normal((a.n, 5))
+        x = solve_factored(s.factor, b)
+        assert x.shape == (a.n, 5)
+        ap = permute_symmetric(a, s.perm).to_dense()
+        np.testing.assert_allclose(ap @ x, b, atol=1e-9)
+
+    def test_input_not_modified(self, rng):
+        a = laplacian_2d(4)
+        s = factored(a, strategy="dense")
+        b = rng.standard_normal(a.n)
+        b0 = b.copy()
+        solve_factored(s.factor, b)
+        np.testing.assert_array_equal(b, b0)

@@ -1,0 +1,75 @@
+"""Tests for the symbolic-structure renderers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.visualize import (
+    structure_stats_table,
+    structure_to_ascii,
+    structure_to_svg,
+)
+from repro.core.solver import Solver
+from repro.sparse.generators import laplacian_3d
+from tests.conftest import tiny_blr_config
+
+
+@pytest.fixture(scope="module")
+def symb():
+    s = Solver(laplacian_3d(6), tiny_blr_config())
+    return s.analyze()
+
+
+class TestSvg:
+    def test_writes_valid_svg(self, symb, tmp_path):
+        path = structure_to_svg(symb, tmp_path / "structure.svg")
+        text = path.read_text()
+        assert text.startswith("<svg")
+        assert text.rstrip().endswith("</svg>")
+
+    def test_one_rect_per_block_plus_mirrors(self, symb, tmp_path):
+        path = structure_to_svg(symb, tmp_path / "s.svg")
+        nrect = path.read_text().count("<rect")
+        expected = 1  # background
+        expected += symb.ncblk              # diagonal blocks
+        expected += 2 * symb.total_off_blocks()  # L blocks + Uᵗ mirrors
+        assert nrect == expected
+
+    def test_lr_candidates_distinct_color(self, tmp_path):
+        s = Solver(laplacian_3d(8), tiny_blr_config())
+        symb = s.analyze()
+        assert symb.n_lr_candidates() > 0
+        text = structure_to_svg(symb, tmp_path / "c.svg").read_text()
+        assert "#4fa36c" in text  # low-rank green present
+
+
+class TestAscii:
+    def test_dimensions(self, symb):
+        art = structure_to_ascii(symb, width=32)
+        lines = art.splitlines()
+        assert len(lines) == 32
+        assert all(len(line) == 32 for line in lines)
+
+    def test_diagonal_marked(self, symb):
+        art = structure_to_ascii(symb, width=32).splitlines()
+        for i in range(32):
+            assert art[i][i] == "#", "diagonal cells must be '#'"
+
+    def test_symmetry_of_pattern(self, symb):
+        art = structure_to_ascii(symb, width=32).splitlines()
+        for i in range(32):
+            for j in range(32):
+                if art[i][j] in "*o":
+                    assert art[j][i] in "*o#"
+
+    def test_small_matrix_width_clamped(self):
+        s = Solver(laplacian_3d(3), tiny_blr_config())
+        art = structure_to_ascii(s.analyze(), width=1000)
+        assert len(art.splitlines()) == 27
+
+
+class TestStatsTable:
+    def test_contains_key_figures(self, symb):
+        table = structure_stats_table(symb)
+        assert str(symb.n) in table
+        assert str(symb.ncblk) in table
+        assert "off-diagonal blocks" in table
