@@ -18,6 +18,7 @@ from repro.analysis.metrics import (
     compression_report,
     rank_histogram,
 )
+from repro.analysis.charts import gantt_chart
 from repro.analysis.visualize import (
     structure_stats_table,
     structure_to_ascii,
@@ -36,4 +37,5 @@ __all__ = [
     "structure_stats_table",
     "structure_to_ascii",
     "structure_to_svg",
+    "gantt_chart",
 ]

@@ -8,7 +8,10 @@ scale).  This module renders both chart families as standalone SVG files so
 not just their numbers — without any plotting dependency.
 
 Only the features those figures need are implemented: grouped bars,
-optional per-bar labels, linear/log y axes, legends, reference lines.
+optional per-bar labels, linear/log y axes, legends, reference lines —
+plus :func:`gantt_chart`, which renders a
+:class:`~repro.runtime.trace.TaskTracer` task trace as per-thread lanes
+(the runtime-observability view of ``docs/observability.md``).
 """
 
 from __future__ import annotations
@@ -253,4 +256,82 @@ def line_chart(path: Union[str, Path], x_values: Sequence[float],
         cv.text(margin_l + plot_w - 120, ly + 4, s.name, size=11,
                 anchor="start")
         ly += 18
+    return cv.save(path)
+
+
+#: stable colour assignment for the trace event kinds
+_GANTT_KIND_COLORS = {"factor": PALETTE[0], "update": PALETTE[1]}
+
+
+def gantt_chart(path: Union[str, Path], events, title: str = "",
+                width: int = 1000, lane_height: int = 26) -> Path:
+    """Render a task trace as a per-thread Gantt chart.
+
+    ``events`` is a sequence of :class:`~repro.runtime.trace.TraceEvent`
+    (or equivalent dicts, e.g. straight out of ``TaskTracer.to_json()``):
+    one lane per thread, one rectangle per task, coloured by task kind
+    (factor vs update).  Rectangles wide enough to be readable are labelled
+    with their column block id.
+    """
+    evs = []
+    for ev in events:
+        if isinstance(ev, dict):
+            evs.append((ev["thread"], ev["kind"], ev["cblk"],
+                        ev["t0"], ev["t1"]))
+        else:
+            evs.append((ev.thread, ev.kind, ev.cblk, ev.t0, ev.t1))
+    threads = sorted({thread for thread, *_ in evs})
+    margin_l, margin_r, margin_t, margin_b = 70, 20, 50, 46
+    plot_w = width - margin_l - margin_r
+    height = margin_t + margin_b + max(len(threads), 1) * lane_height
+    cv = _Canvas(width, height)
+
+    t_lo = min((t0 for *_, t0, _ in evs), default=0.0)
+    t_hi = max((t1 for *_, _, t1 in evs), default=1.0)
+    span = (t_hi - t_lo) or 1.0
+
+    def xpix(t: float) -> float:
+        return margin_l + plot_w * (t - t_lo) / span
+
+    lane_of = {tid: i for i, tid in enumerate(threads)}
+    for tid in threads:
+        y = margin_t + lane_of[tid] * lane_height
+        cv.text(margin_l - 8, y + lane_height * 0.65, f"thread {tid}",
+                size=11, anchor="end")
+        cv.line(margin_l, y, margin_l + plot_w, y, stroke="#eee", width=0.5)
+    cv.line(margin_l, margin_t + len(threads) * lane_height,
+            margin_l + plot_w, margin_t + len(threads) * lane_height)
+
+    kinds_seen = []
+    for thread, kind, cblk, t0, t1 in evs:
+        color = _GANTT_KIND_COLORS.get(
+            kind, PALETTE[(2 + hash(kind)) % len(PALETTE)])
+        if kind not in kinds_seen:
+            kinds_seen.append(kind)
+        y = margin_t + lane_of[thread] * lane_height + 3
+        x0, x1 = xpix(t0), xpix(t1)
+        w = max(x1 - x0, 0.6)
+        cv.rect(x0, y, w, lane_height - 6, color, opacity=0.85)
+        if w > 26:
+            cv.text(x0 + w / 2, y + (lane_height - 6) * 0.72, str(cblk),
+                    size=9, color="white")
+
+    # time axis (seconds from trace origin)
+    for t in _nice_ticks(t_lo, t_hi):
+        x = xpix(t)
+        if x > margin_l + plot_w + 1:
+            continue
+        y = margin_t + len(threads) * lane_height
+        cv.line(x, y, x, y + 4)
+        cv.text(x, y + 16, f"{t:g}", size=10)
+    cv.text(margin_l + plot_w / 2, height - 6, "seconds", size=11)
+    if title:
+        cv.text(width / 2, 24, title, size=15)
+    lx = margin_l + 8
+    for kind in kinds_seen:
+        color = _GANTT_KIND_COLORS.get(
+            kind, PALETTE[(2 + hash(kind)) % len(PALETTE)])
+        cv.rect(lx, margin_t - 18, 12, 12, color)
+        cv.text(lx + 16, margin_t - 8, kind, size=11, anchor="start")
+        lx += 30 + 7 * len(kind)
     return cv.save(path)

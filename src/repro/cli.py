@@ -76,6 +76,9 @@ def _config(args) -> SolverConfig:
         factotype=args.factotype,
         ordering=args.ordering,
         threads=args.threads,
+        scheduler=args.scheduler,
+        watchdog_timeout=getattr(args, "watchdog", None),
+        trace=bool(getattr(args, "trace", None)),
     )
 
 
@@ -90,6 +93,10 @@ def _add_common(p: argparse.ArgumentParser) -> None:
     p.add_argument("--ordering", default="nested-dissection",
                    choices=ORDERINGS)
     p.add_argument("--threads", type=int, default=1)
+    p.add_argument("--scheduler", default="dynamic",
+                   choices=("dynamic", "static"),
+                   help="threaded engine: shared ready queue or "
+                        "PaStiX-style static mapping")
 
 
 def cmd_solve(args) -> int:
@@ -109,6 +116,20 @@ def cmd_solve(args) -> int:
     print(f"factor size: {stats.factor_nbytes / 1e6:.2f} MB "
           f"({stats.memory_ratio:.2f}x dense), "
           f"peak {stats.peak_nbytes / 1e6:.2f} MB")
+
+    if args.trace and solver.tracer is not None:
+        solver.tracer.to_json(args.trace)
+        summ = solver.tracer.summary()
+        print(f"trace: {summ['n_events']} events on "
+              f"{summ['n_threads']} thread(s), "
+              f"critical path {summ['critical_path']:.3f}s, "
+              f"mean utilization {summ['mean_utilization']:.0%} "
+              f"-> {args.trace}")
+        if args.gantt:
+            from repro.analysis.charts import gantt_chart
+            gantt_chart(args.gantt, solver.tracer.events(),
+                        title=f"factorization tasks ({args.strategy})")
+            print(f"gantt chart -> {args.gantt}")
 
     rng = np.random.default_rng(args.seed)
     b = np.ones(a.n) if args.rhs == "ones" else rng.standard_normal(a.n)
@@ -170,6 +191,13 @@ def main(argv: Optional[list] = None) -> int:
                          help="run preconditioned GMRES/CG afterwards")
     p_solve.add_argument("--rhs", choices=("ones", "random"), default="ones")
     p_solve.add_argument("--seed", type=int, default=0)
+    p_solve.add_argument("--trace", metavar="FILE",
+                         help="record a task trace and write it as JSON")
+    p_solve.add_argument("--gantt", metavar="FILE",
+                         help="with --trace: also render a Gantt SVG")
+    p_solve.add_argument("--watchdog", type=float, metavar="SECONDS",
+                         help="raise DeadlockError (with a pending-counter "
+                              "dump) if a threaded run stalls this long")
     p_solve.set_defaults(func=cmd_solve)
 
     p_an = sub.add_parser("analyze", help="symbolic structure only")

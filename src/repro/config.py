@@ -85,7 +85,17 @@ class SolverConfig:
     #: multi-threaded engine: "dynamic" (shared ready queue) or "static"
     #: (PaStiX-style proportional subtree mapping [23])
     scheduler: str = "dynamic"
+    #: raise :class:`~repro.core.scheduler.DeadlockError` (with a
+    #: pending-counter dump) when a threaded run makes no progress for this
+    #: many seconds; ``None`` disables the watchdog
+    watchdog_timeout: Optional[float] = None
     seed: Optional[int] = 0
+
+    # --- observability -------------------------------------------------
+    #: record a :class:`~repro.runtime.trace.TaskTracer` during
+    #: factorization (exposed as ``Solver.tracer``); off by default — the
+    #: disabled hooks cost one attribute load per task
+    trace: bool = False
 
     def __post_init__(self) -> None:
         if self.strategy not in STRATEGIES:
@@ -118,6 +128,8 @@ class SolverConfig:
             raise ValueError(
                 f"scheduler must be 'dynamic' or 'static', got "
                 f"{self.scheduler!r}")
+        if self.watchdog_timeout is not None and self.watchdog_timeout <= 0:
+            raise ValueError("watchdog_timeout must be positive (or None)")
 
     # ------------------------------------------------------------------
     @classmethod

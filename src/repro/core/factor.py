@@ -116,6 +116,12 @@ class NumericFactor:
         self.sides = 1 if config.is_symmetric_facto else 2
         #: (a_perm, at_perm) when allocation is deferred (left-looking mode)
         self.deferred = None
+        #: optional :class:`~repro.runtime.trace.TaskTracer` — the drivers
+        #: record one event per factor/update task when set
+        self.tracer = None
+        #: optional :class:`~repro.runtime.faults.FaultInjector` — fired at
+        #: the top of every factor/update task when set
+        self.faults = None
 
     def fill_column_block(self, k: int) -> None:
         """Left-looking mode: allocate column block ``k``'s dense storage

@@ -57,7 +57,17 @@ from repro.runtime.memory import array_nbytes
 # ----------------------------------------------------------------------
 
 def factor_column_block(fac: NumericFactor, k: int) -> None:
-    """Factor the diagonal block of column block ``k`` and solve its panels."""
+    """Factor the diagonal block of column block ``k`` and solve its panels.
+
+    When the factor carries a tracer (``fac.tracer``) one ``"factor"``
+    event is recorded per call; when it carries a fault injector
+    (``fac.faults``) the injector's factor-site hooks fire first (and may
+    raise, stall, or poison the panels — that is their job).
+    """
+    if fac.faults is not None:
+        fac.faults.on_factor(fac, k)
+    tracer = fac.tracer
+    _trace_t0 = tracer.clock() if tracer is not None else 0.0
     cfg = fac.config
     nc = fac.cblks[k]
     stats = fac.stats.kernels
@@ -91,6 +101,8 @@ def factor_column_block(fac: NumericFactor, k: int) -> None:
     # --- step 2: panel solves --------------------------------------------
     _panel_solve(fac, nc)
     nc.factored = True
+    if tracer is not None:
+        tracer.record("factor", k, _trace_t0, tag=cfg.factotype)
 
 
 def _compress_panels_jit(fac: NumericFactor, nc: NumericColumnBlock) -> None:
@@ -213,16 +225,30 @@ def apply_updates_from(fac: NumericFactor, k: int,
                        target: Optional[int] = None,
                        lock=None) -> None:
     """Apply all updates of source column block ``k`` (optionally only those
-    aimed at column block ``target``).  ``lock`` (threaded runs) guards the
-    target mutation sections."""
+    aimed at column block ``target``).  ``lock`` guards the target mutation
+    sections when given (the pull-mode threaded engines don't need one —
+    each target is mutated by a single task; the parameter remains for
+    push-style callers).
+
+    One ``"update"`` trace event is recorded per call (``target=-1`` for a
+    full right-looking push); fault-injector update hooks fire first.
+    """
+    if fac.faults is not None:
+        fac.faults.on_update(fac, k, target)
     nc = fac.cblks[k]
     sym = nc.sym
     if sym.noff == 0:
         return
+    tracer = fac.tracer
+    _trace_t0 = tracer.clock() if tracer is not None else 0.0
     if nc.panel_mode:
         _updates_from_panel(fac, nc, target, lock)
     else:
         _updates_from_blocks(fac, nc, target, lock)
+    if tracer is not None:
+        tracer.record("update", k, _trace_t0,
+                      target=-1 if target is None else target,
+                      tag="panel" if nc.panel_mode else "blocks")
 
 
 def _updates_from_panel(fac: NumericFactor, nc: NumericColumnBlock,

@@ -4,24 +4,72 @@
   and 2 (used by Table 2, which reports sequential timings).
 * :func:`run_threaded` — a multi-threaded engine in the spirit of the PaStiX
   static scheduler [23]: one task per column block, dependency counting on
-  the block elimination DAG, per-target locks around the update scatters.
-  numpy's BLAS releases the GIL inside the dense kernels, so worker threads
-  genuinely overlap the heavy GEMM/QR/SVD work.
+  the block elimination DAG.  numpy's BLAS releases the GIL inside the
+  dense kernels, so worker threads genuinely overlap the heavy GEMM/QR/SVD
+  work.
+* :func:`run_threaded_static` — PaStiX's proportional subtree mapping: each
+  thread owns a fixed, index-ordered list of column blocks.
+
+**Deterministic pull-mode reduction.**  Both threaded engines execute each
+column block ``k`` as one *fan-in* task: pull the updates of every factored
+contributor ``c`` (in ascending ``c``, the same per-target order the
+sequential right-looking sweep produces), then factor ``k``.  A column
+block becomes ready once all its contributors are factored.  Because a
+single thread applies all updates into ``k``, in canonical order, the
+floating-point reduction order is fixed — threaded factors are
+**bit-identical** to the sequential run — and no per-target locks are
+needed: a contributor's storage is immutable once factored, and only task
+``k`` ever mutates ``k``'s storage.  (The previous push-mode engines
+serialized scatters with per-target locks, which left the reduction order
+to the thread schedule; see docs/observability.md.)
+
+**Hardening.**  Workers shut down through queue sentinels (no polling
+loops); every worker exception is collected under a lock and all of them
+are surfaced (a single failure re-raises as itself, several raise a
+:class:`SchedulerError` aggregating the lot); an optional watchdog monitors
+a progress counter and raises :class:`DeadlockError` with a dump of the
+pending-counter state when the run stalls.  Tracing (``fac.tracer``) and
+fault injection (``fac.faults``) plumb through every engine.
 
   Deviation from the paper noted in DESIGN.md: PaStiX maps tasks to threads
-  *statically* by proportional subtree mapping; we use a work-stealing-free
-  shared ready queue, which has the same correctness and (at Python scale)
-  comparable balance.
+  *statically* by proportional subtree mapping; ``run_threaded`` uses a
+  work-stealing-free shared ready queue, which has the same correctness and
+  (at Python scale) comparable balance.  ``run_threaded_static`` implements
+  the paper's mapping.
 """
 
 from __future__ import annotations
 
 import queue
 import threading
-from typing import Dict, List
+import time
+from typing import Dict, List, Optional
 
 from repro.core.factor import NumericFactor
 from repro.core.factorization import apply_updates_from, factor_column_block
+
+#: how often (seconds) the joining main thread samples the progress counter
+_WATCHDOG_POLL = 0.05
+
+
+class SchedulerError(RuntimeError):
+    """One or more scheduler workers failed.
+
+    :attr:`errors` holds every collected worker exception, in the order the
+    workers reported them.
+    """
+
+    def __init__(self, message: str, errors=()) -> None:
+        super().__init__(message)
+        self.errors: List[BaseException] = list(errors)
+
+
+class DeadlockError(SchedulerError):
+    """The watchdog saw no progress for the configured timeout.
+
+    The message carries the pending-counter dump (column blocks still
+    waiting on unfactored contributors) captured at detection time.
+    """
 
 
 def run_sequential(fac: NumericFactor) -> None:
@@ -29,6 +77,9 @@ def run_sequential(fac: NumericFactor) -> None:
     if fac.deferred is not None:
         run_left_looking(fac)
         return
+    tr = fac.tracer
+    if tr is not None:
+        tr.meta.update(engine="sequential", threads=1)
     for k in range(fac.symb.ncblk):
         factor_column_block(fac, k)
         apply_updates_from(fac, k)
@@ -47,6 +98,9 @@ def run_left_looking(fac: NumericFactor) -> None:
     scheduling strategy.
     """
     symb = fac.symb
+    tr = fac.tracer
+    if tr is not None:
+        tr.meta.update(engine="left-looking", threads=1)
     for k in range(symb.ncblk):
         fac.fill_column_block(k)
         for c in symb.contributors(k):
@@ -54,76 +108,177 @@ def run_left_looking(fac: NumericFactor) -> None:
         factor_column_block(fac, k)
 
 
-def run_threaded(fac: NumericFactor, nthreads: int) -> None:
-    """Dependency-driven parallel elimination.
+# ----------------------------------------------------------------------
+# shared machinery of the threaded engines
+# ----------------------------------------------------------------------
 
-    A column block becomes *ready* once every contributor has applied its
-    updates to it.  Workers pop ready blocks, factor them, push their
-    updates (serialized per target by a lock), and decrement the targets'
-    dependency counters.
+def _targets_of(fac: NumericFactor, k: int) -> List[int]:
+    """Distinct facing column blocks of ``k``'s off-diagonal blocks."""
+    return sorted({b.facing for b in fac.cblks[k].sym.off_blocks()})
+
+
+def _pull_and_factor(fac: NumericFactor, k: int) -> None:
+    """One fan-in task: apply all contributors' updates into ``k`` (in
+    ascending contributor order — the sequential reduction order), then
+    factor ``k``."""
+    for c in fac.symb.contributors(k):
+        apply_updates_from(fac, c, target=k)
+    factor_column_block(fac, k)
+
+
+def _pending_dump(fac: NumericFactor, pending: List[int], processed: int,
+                  limit: int = 16) -> str:
+    """Human-readable snapshot of the dependency state for stall reports."""
+    ncblk = fac.symb.ncblk
+    waiting = [(k, p) for k, p in enumerate(pending) if p > 0]
+    lines = [f"pending counters: {processed}/{ncblk} column blocks "
+             f"factored, {len(waiting)} still waiting on contributors"]
+    for k, p in waiting[:limit]:
+        missing = [c for c in fac.symb.contributors(k)
+                   if not fac.cblks[c].factored][:8]
+        lines.append(f"  cblk {k}: {p} unfactored contributor(s), "
+                     f"e.g. {missing}")
+    if len(waiting) > limit:
+        lines.append(f"  ... and {len(waiting) - limit} more")
+    return "\n".join(lines)
+
+
+def _raise_collected(errors: List[BaseException]) -> None:
+    if not errors:
+        return
+    if len(errors) == 1:
+        raise errors[0]
+    raise SchedulerError(
+        f"{len(errors)} scheduler workers failed: "
+        + "; ".join(f"{type(e).__name__}: {e}" for e in errors),
+        errors) from errors[0]
+
+
+def _join_with_watchdog(threads: List[threading.Thread],
+                        watchdog_s: Optional[float],
+                        tick, on_stall) -> None:
+    """Join workers; with a watchdog, monitor ``tick()`` (a progress
+    counter) and call ``on_stall()`` — which must raise — after
+    ``watchdog_s`` seconds without progress."""
+    if watchdog_s is None:
+        for th in threads:
+            th.join()
+        return
+    last_tick = tick()
+    last_change = time.monotonic()
+    while True:
+        alive = False
+        for th in threads:
+            th.join(timeout=_WATCHDOG_POLL)
+            if th.is_alive():
+                alive = True
+        if not alive:
+            return
+        now = time.monotonic()
+        t = tick()
+        if t != last_tick:
+            last_tick, last_change = t, now
+        elif now - last_change >= watchdog_s:
+            on_stall()
+
+
+# ----------------------------------------------------------------------
+# dynamic scheduling (shared ready queue)
+# ----------------------------------------------------------------------
+
+def run_threaded(fac: NumericFactor, nthreads: int,
+                 watchdog_s: Optional[float] = None) -> None:
+    """Dependency-driven parallel elimination (shared ready queue).
+
+    A column block becomes *ready* once every contributor is factored.
+    Workers pop ready blocks, pull their contributors' updates (ascending,
+    so the reduction order — hence the factors — matches the sequential
+    run bit-for-bit), factor them, and decrement the dependency counters
+    of the blocks they face.
+
+    ``watchdog_s`` (defaulting to ``fac.config.watchdog_timeout``) arms a
+    stall detector: if no task completes for that many seconds while
+    workers are still alive, :class:`DeadlockError` is raised with a
+    pending-counter dump.
     """
     symb = fac.symb
     ncblk = symb.ncblk
     if nthreads <= 1 or ncblk <= 1:
         run_sequential(fac)
         return
+    if watchdog_s is None:
+        watchdog_s = fac.config.watchdog_timeout
+    tr = fac.tracer
+    if tr is not None:
+        tr.meta.update(engine="threaded-dynamic", threads=nthreads)
 
     pending = [len(symb.contributors(t)) for t in range(ncblk)]
-    counter_lock = threading.Lock()
-    target_locks: Dict[int, threading.Lock] = {}
-    locks_guard = threading.Lock()
-
-    def lock_for(t: int) -> threading.Lock:
-        with locks_guard:
-            lk = target_locks.get(t)
-            if lk is None:
-                lk = target_locks[t] = threading.Lock()
-            return lk
-
-    ready: "queue.Queue[int]" = queue.Queue()
+    ready: "queue.Queue[Optional[int]]" = queue.Queue()
     for t in range(ncblk):
         if pending[t] == 0:
             ready.put(t)
 
-    done = threading.Event()
+    state = threading.Lock()  # guards pending/processed/errors/stopped/ticks
     processed = [0]
+    ticks = [0]  # watchdog progress counter (bumped on completion & error)
     errors: List[BaseException] = []
+    stopped = [False]
+
+    def _shutdown_locked() -> None:
+        """Wake every worker with a sentinel exactly once (state held)."""
+        if not stopped[0]:
+            stopped[0] = True
+            for _ in range(nthreads):
+                ready.put(None)
 
     def worker() -> None:
-        while not done.is_set():
+        while True:
+            k = ready.get()
+            if k is None:  # sentinel: shut down
+                return
+            with state:
+                if stopped[0]:  # failure elsewhere: drain, await sentinel
+                    continue
             try:
-                k = ready.get(timeout=0.05)
-            except queue.Empty:
-                continue
-            try:
-                factor_column_block(fac, k)
-                # distinct targets of k, in ascending order
-                targets = sorted({b.facing for b in fac.cblks[k].sym.off_blocks()})
-                for t in targets:
-                    apply_updates_from(fac, k, target=t, lock=lock_for)
-                    with counter_lock:
+                _pull_and_factor(fac, k)
+                newly_ready: List[int] = []
+                with state:
+                    processed[0] += 1
+                    ticks[0] += 1
+                    for t in _targets_of(fac, k):
                         pending[t] -= 1
                         if pending[t] == 0:
-                            ready.put(t)
-                with counter_lock:
-                    processed[0] += 1
+                            newly_ready.append(t)
                     if processed[0] == ncblk:
-                        done.set()
-            except BaseException as exc:  # pragma: no cover - worker crash
-                errors.append(exc)
-                done.set()
+                        _shutdown_locked()
+                for t in newly_ready:
+                    ready.put(t)
+            except BaseException as exc:
+                with state:
+                    errors.append(exc)
+                    ticks[0] += 1
+                    _shutdown_locked()
 
-    threads = [threading.Thread(target=worker, daemon=True)
-               for _ in range(nthreads)]
+    threads = [threading.Thread(target=worker, daemon=True,
+                                name=f"repro-dyn-{i}")
+               for i in range(nthreads)]
     for th in threads:
         th.start()
-    for th in threads:
-        th.join()
-    if errors:
-        raise errors[0]
-    if processed[0] != ncblk:  # pragma: no cover - deadlock guard
-        raise RuntimeError(
-            f"scheduler stalled: {processed[0]}/{ncblk} column blocks done")
+
+    def on_stall() -> None:
+        with state:
+            _shutdown_locked()
+            dump = _pending_dump(fac, pending, processed[0])
+        raise DeadlockError(
+            f"dynamic scheduler stalled for {watchdog_s:.3g}s:\n{dump}",
+            errors)
+
+    _join_with_watchdog(threads, watchdog_s, lambda: ticks[0], on_stall)
+    _raise_collected(errors)
+    if processed[0] != ncblk:  # pragma: no cover - defensive
+        raise DeadlockError(
+            "dynamic scheduler exited early:\n"
+            + _pending_dump(fac, pending, processed[0]))
 
 
 # ----------------------------------------------------------------------
@@ -201,20 +356,31 @@ def proportional_mapping(symb, nthreads: int) -> List[int]:
     return owner
 
 
-def run_threaded_static(fac: NumericFactor, nthreads: int) -> None:
+def run_threaded_static(fac: NumericFactor, nthreads: int,
+                        watchdog_s: Optional[float] = None) -> None:
     """Static-mapping parallel elimination (PaStiX's scheduler [23]).
 
     Each thread owns a fixed, index-ordered list of column blocks from the
-    proportional mapping.  Before factoring a block the thread waits until
-    every contributor has pushed its updates (per-block counters guarded by
-    a condition variable); after factoring it applies its own updates under
-    per-target locks and signals the targets.
+    proportional mapping.  Before touching a block the thread waits (on a
+    condition variable — no timeout polling) until every contributor is
+    factored, then pulls their updates in ascending order and factors the
+    block, so the reduction order matches the sequential run bit-for-bit.
+
+    Worker failures set a stop flag under the condition and wake every
+    waiter; all collected exceptions are surfaced.  ``watchdog_s``
+    (defaulting to ``fac.config.watchdog_timeout``) arms the same stall
+    detector as :func:`run_threaded`.
     """
     symb = fac.symb
     ncblk = symb.ncblk
     if nthreads <= 1 or ncblk <= 1:
         run_sequential(fac)
         return
+    if watchdog_s is None:
+        watchdog_s = fac.config.watchdog_timeout
+    tr = fac.tracer
+    if tr is not None:
+        tr.meta.update(engine="threaded-static", threads=nthreads)
 
     owner = proportional_mapping(symb, nthreads)
     tasks: List[List[int]] = [[] for _ in range(nthreads)]
@@ -223,44 +389,51 @@ def run_threaded_static(fac: NumericFactor, nthreads: int) -> None:
 
     pending = [len(symb.contributors(t)) for t in range(ncblk)]
     cond = threading.Condition()
-    target_locks: Dict[int, threading.Lock] = {}
-    locks_guard = threading.Lock()
-
-    def lock_for(t: int) -> threading.Lock:
-        with locks_guard:
-            lk = target_locks.get(t)
-            if lk is None:
-                lk = target_locks[t] = threading.Lock()
-            return lk
-
+    processed = [0]
+    ticks = [0]
     errors: List[BaseException] = []
+    stopped = [False]
 
     def worker(tid: int) -> None:
         try:
             for k in tasks[tid]:
                 with cond:
-                    while pending[k] > 0 and not errors:
-                        cond.wait(timeout=0.5)
-                    if errors:
+                    while pending[k] > 0 and not stopped[0]:
+                        cond.wait()
+                    if stopped[0]:
                         return
-                factor_column_block(fac, k)
-                targets = sorted({b.facing
-                                  for b in fac.cblks[k].sym.off_blocks()})
-                for t in targets:
-                    apply_updates_from(fac, k, target=t, lock=lock_for)
-                    with cond:
+                _pull_and_factor(fac, k)
+                with cond:
+                    processed[0] += 1
+                    ticks[0] += 1
+                    for t in _targets_of(fac, k):
                         pending[t] -= 1
-                        cond.notify_all()
-        except BaseException as exc:  # pragma: no cover - worker crash
+                    cond.notify_all()
+        except BaseException as exc:
             with cond:
                 errors.append(exc)
+                ticks[0] += 1
+                stopped[0] = True
                 cond.notify_all()
 
-    threads = [threading.Thread(target=worker, args=(tid,), daemon=True)
+    threads = [threading.Thread(target=worker, args=(tid,), daemon=True,
+                                name=f"repro-static-{tid}")
                for tid in range(nthreads)]
     for th in threads:
         th.start()
-    for th in threads:
-        th.join()
-    if errors:
-        raise errors[0]
+
+    def on_stall() -> None:
+        with cond:
+            stopped[0] = True
+            cond.notify_all()
+            dump = _pending_dump(fac, pending, processed[0])
+        raise DeadlockError(
+            f"static scheduler stalled for {watchdog_s:.3g}s:\n{dump}",
+            errors)
+
+    _join_with_watchdog(threads, watchdog_s, lambda: ticks[0], on_stall)
+    _raise_collected(errors)
+    if processed[0] != ncblk:  # pragma: no cover - defensive
+        raise DeadlockError(
+            "static scheduler exited early:\n"
+            + _pending_dump(fac, pending, processed[0]))

@@ -82,6 +82,8 @@ class Solver:
         self.perm: Optional[np.ndarray] = None
         self.factor: Optional[NumericFactor] = None
         self.analyze_time: float = 0.0
+        #: task trace of the last :meth:`factorize` (``config.trace=True``)
+        self.tracer = None
 
     # ------------------------------------------------------------------
     @property
@@ -104,13 +106,26 @@ class Solver:
         return self.symbolic
 
     # -- step 3: numerical factorization ------------------------------------
-    def factorize(self) -> FactorizationStats:
+    def factorize(self, faults=None) -> FactorizationStats:
         """Assemble and factor under the configured strategy; returns the
-        per-kernel statistics (the rows of Table 2)."""
+        per-kernel statistics (the rows of Table 2).
+
+        With ``config.trace=True`` a task trace is recorded and left on
+        :attr:`tracer` (see ``docs/observability.md``).  ``faults`` attaches
+        a :class:`~repro.runtime.faults.FaultInjector` for the run — a
+        testing hook, never set in production paths.
+        """
         self.analyze()
         a_perm = permute_symmetric(self._a_sym, self.perm)
         t0 = time.perf_counter()
         fac = assemble(a_perm, self.symbolic, self.config)
+        if self.config.trace:
+            from repro.runtime.trace import TaskTracer
+
+            self.tracer = fac.tracer = TaskTracer()
+        else:
+            self.tracer = None
+        fac.faults = faults
         if self.config.threads > 1:
             if self.config.scheduler == "static":
                 run_threaded_static(fac, self.config.threads)
@@ -149,11 +164,22 @@ class Solver:
         triangular sweeps — symmetric factorizations are unaffected).
         With ``refine=True`` one runs the paper's default post-processing:
         preconditioned GMRES (CG for Cholesky factorizations) until
-        ``refine_tol`` or ``refine_maxiter``.
+        ``refine_tol`` or ``refine_maxiter``.  Refinement supports only a
+        single right-hand side of the untransposed system; asking for it
+        with ``b.ndim > 1`` or ``trans=True`` raises ``ValueError`` (it
+        used to be silently skipped).
         """
         if self.factor is None:
             self.factorize()
         b = np.asarray(b, dtype=np.float64)
+        if refine and b.ndim > 1:
+            raise ValueError(
+                "refine=True supports a single right-hand side; solve each "
+                "column separately or call refine() per column")
+        if refine and trans:
+            raise ValueError(
+                "refine=True is not implemented for the transposed system "
+                "(the preconditioner applies A^-1, not A^-T)")
         if b.shape[0] != self.n:
             raise ValueError(
                 f"right-hand side has {b.shape[0]} rows, expected {self.n}")
@@ -165,7 +191,7 @@ class Solver:
         x = np.empty_like(y)
         x[self.perm] = y
         self.factor.stats.solve_time += time.perf_counter() - t0
-        if refine and b.ndim == 1 and not trans:
+        if refine:
             res = self.refine(b, x0=x, tol=refine_tol, maxiter=refine_maxiter)
             return res.x
         return x

@@ -8,11 +8,19 @@ floating-point operation count to a named category (``compress``,
 to a :class:`~repro.runtime.memory.MemoryTracker` so the *peak* working set of
 a factorization can be compared between the Dense, Just-In-Time and Minimal
 Memory strategies.
+
+Two further layers make the runtime *observable* and *testable* (see
+``docs/observability.md``): :mod:`repro.runtime.trace` records which thread
+ran which task when (per-thread utilization, critical path, Gantt export),
+and :mod:`repro.runtime.faults` injects deterministic failures into the
+factorization drivers so scheduler error paths can be exercised.
 """
 
 from repro.runtime.timers import Timer, CategoryTimers
 from repro.runtime.stats import KernelStats, FactorizationStats, KERNEL_CATEGORIES
 from repro.runtime.memory import MemoryTracker, nbytes_dense, nbytes_lowrank
+from repro.runtime.trace import TaskTracer, TraceEvent
+from repro.runtime.faults import FaultError, FaultInjector
 
 __all__ = [
     "Timer",
@@ -23,4 +31,8 @@ __all__ = [
     "MemoryTracker",
     "nbytes_dense",
     "nbytes_lowrank",
+    "TaskTracer",
+    "TraceEvent",
+    "FaultError",
+    "FaultInjector",
 ]

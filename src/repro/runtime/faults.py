@@ -1,0 +1,156 @@
+"""Deterministic fault injection for the factorization runtime.
+
+Scheduler failure paths (worker exceptions, NaN corruption, stalls) are
+impossible to exercise from the public API — the numerical kernels simply do
+not fail on well-posed test matrices.  A :class:`FaultInjector` attached to
+a :class:`~repro.core.factor.NumericFactor` (``fac.faults``) makes them
+testable: the drivers call :meth:`FaultInjector.on_factor` /
+:meth:`FaultInjector.on_update` at the top of every task, and the injector
+fires whatever faults were registered for that site.
+
+All choices are deterministic: faults are registered for explicit column
+blocks, and :meth:`pick_block` derives "random" blocks from the injector's
+seeded generator so a test can reproduce a failure exactly.
+
+Fault actions (applied in this order when several are registered):
+
+* ``delay`` — sleep for a fixed duration (artificial kernel latency, for
+  schedule perturbation and overhead studies);
+* ``stall`` — block on a :class:`threading.Event` until the test releases
+  it (synthetic deadlock, exercises the scheduler watchdog);
+* ``nan`` — overwrite one entry of the column block's panel (or diagonal
+  block) with NaN (silent-corruption drills);
+* ``raise`` — raise :class:`FaultError` (or a caller-supplied exception).
+
+Every fault that fires is appended to :attr:`FaultInjector.fired` so tests
+can assert on what actually happened.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["FaultError", "FaultInjector"]
+
+
+class FaultError(RuntimeError):
+    """An injected (deliberate, test-only) failure."""
+
+
+class FaultInjector:
+    """Seedable registry of faults, fired by site (factor / update).
+
+    Thread-safety: registration happens before the run; firing mutates only
+    :attr:`fired` (lock-guarded) and reads immutable registries.
+    """
+
+    def __init__(self, seed: Optional[int] = 0) -> None:
+        self.rng = np.random.default_rng(seed)
+        #: faults fired so far: (site, cblk, target, action) tuples
+        self.fired: List[Tuple[str, int, Optional[int], str]] = []
+        self._lock = threading.Lock()
+        self._factor: Dict[int, List[dict]] = {}
+        self._update: Dict[Tuple[int, Optional[int]], List[dict]] = {}
+        self._latency: Dict[str, float] = {}
+
+    # -- deterministic choices ----------------------------------------
+    def pick_block(self, ncblk: int, low: int = 0) -> int:
+        """A reproducible 'random' column block in ``[low, ncblk)``."""
+        if ncblk <= low:
+            raise ValueError("empty block range")
+        return int(self.rng.integers(low, ncblk))
+
+    # -- registration --------------------------------------------------
+    def fail_factor(self, k: int, exc: Optional[BaseException] = None,
+                    delay: float = 0.0) -> None:
+        """Raise when column block ``k`` is about to be factored.
+
+        ``delay`` sleeps first — useful to guarantee that several workers
+        are mid-task when the failures fire (multi-error aggregation
+        tests)."""
+        self._factor.setdefault(k, []).append(
+            {"action": "raise", "exc": exc, "delay": delay})
+
+    def fail_update(self, k: int, target: Optional[int] = None,
+                    exc: Optional[BaseException] = None) -> None:
+        """Raise when updates from ``k`` (optionally only those aimed at
+        ``target``) are about to be applied."""
+        self._update.setdefault((k, target), []).append(
+            {"action": "raise", "exc": exc, "delay": 0.0})
+
+    def nan_in_panel(self, k: int) -> None:
+        """Poison one entry of ``k``'s off-diagonal panel (falling back to
+        the diagonal block when ``k`` has no off-diagonal rows) just before
+        ``k`` is factored."""
+        self._factor.setdefault(k, []).append({"action": "nan"})
+
+    def stall_factor(self, k: int,
+                     event: Optional[threading.Event] = None
+                     ) -> threading.Event:
+        """Make the worker factoring ``k`` block until ``event`` is set.
+
+        Returns the event so the test can release the stalled worker after
+        asserting that the watchdog fired."""
+        event = event or threading.Event()
+        self._factor.setdefault(k, []).append(
+            {"action": "stall", "event": event})
+        return event
+
+    def add_latency(self, site: str, seconds: float) -> None:
+        """Sleep ``seconds`` at every task of ``site`` ('factor'/'update')."""
+        if site not in ("factor", "update"):
+            raise ValueError("site must be 'factor' or 'update'")
+        self._latency[site] = self._latency.get(site, 0.0) + float(seconds)
+
+    # -- firing (called from the factorization drivers) ----------------
+    def _mark(self, site: str, k: int, target: Optional[int],
+              action: str) -> None:
+        with self._lock:
+            self.fired.append((site, k, target, action))
+
+    def on_factor(self, fac, k: int) -> None:
+        lat = self._latency.get("factor", 0.0)
+        if lat:
+            self._mark("factor", k, None, "delay")
+            time.sleep(lat)
+        for fault in self._factor.get(k, ()):
+            action = fault["action"]
+            if action == "stall":
+                self._mark("factor", k, None, "stall")
+                fault["event"].wait()
+            elif action == "nan":
+                self._mark("factor", k, None, "nan")
+                nc = fac.cblks[k]
+                if nc.lpanel is not None and nc.offrows:
+                    nc.lpanel[0, 0] = np.nan
+                else:
+                    nc.diag[0, 0] = np.nan
+            elif action == "raise":
+                if fault["delay"]:
+                    time.sleep(fault["delay"])
+                self._mark("factor", k, None, "raise")
+                raise (fault["exc"] or
+                       FaultError(f"injected failure factoring "
+                                  f"column block {k}"))
+
+    def on_update(self, fac, k: int, target: Optional[int]) -> None:
+        lat = self._latency.get("update", 0.0)
+        if lat:
+            self._mark("update", k, target, "delay")
+            time.sleep(lat)
+        faults = list(self._update.get((k, target), ()))
+        if target is not None:
+            faults += self._update.get((k, None), ())
+        for fault in faults:
+            if fault["delay"]:
+                time.sleep(fault["delay"])
+            self._mark("update", k, target, "raise")
+            raise (fault["exc"] or
+                   FaultError(f"injected failure applying updates from "
+                              f"column block {k}"
+                              + (f" to {target}" if target is not None
+                                 else "")))

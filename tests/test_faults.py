@@ -1,0 +1,207 @@
+"""Tests for deterministic fault injection (repro.runtime.faults).
+
+The point of the module is making scheduler failure paths testable: these
+tests assert that injected errors surface within a timeout under both
+threaded engines, that all worker threads join, and that NaN / latency
+injection behave as documented.
+"""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.scheduler import SchedulerError
+from repro.core.solver import Solver
+from repro.runtime.faults import FaultError, FaultInjector
+from repro.sparse.generators import laplacian_2d, laplacian_3d
+from tests.conftest import tiny_blr_config
+
+SCHEDULERS = ("dynamic", "static")
+
+
+def factorize_with_timeout(solver, faults=None, timeout=60.0):
+    """Run ``solver.factorize(faults=...)`` on a helper thread and fail the
+    test if it does not return (normally or exceptionally) in time."""
+    outcome = {}
+
+    def target():
+        try:
+            outcome["stats"] = solver.factorize(faults=faults)
+        except BaseException as exc:  # noqa: BLE001 - reraised by caller
+            outcome["exc"] = exc
+
+    th = threading.Thread(target=target, daemon=True)
+    th.start()
+    th.join(timeout)
+    assert not th.is_alive(), "factorization hung past the timeout"
+    return outcome
+
+
+def no_scheduler_threads_left():
+    return not [th for th in threading.enumerate()
+                if th.name.startswith(("repro-dyn", "repro-static"))
+                and th.is_alive()]
+
+
+class TestInjectorUnit:
+    def test_pick_block_is_seed_deterministic(self):
+        a = FaultInjector(seed=7)
+        b = FaultInjector(seed=7)
+        picks = [a.pick_block(50) for _ in range(10)]
+        assert picks == [b.pick_block(50) for _ in range(10)]
+        assert all(0 <= k < 50 for k in picks)
+        with pytest.raises(ValueError):
+            a.pick_block(0)
+
+    def test_fail_factor_raises_and_records(self):
+        inj = FaultInjector()
+        inj.fail_factor(3)
+        with pytest.raises(FaultError, match="column block 3"):
+            inj.on_factor(None, 3)
+        inj.on_factor(None, 4)  # other blocks unaffected
+        assert inj.fired == [("factor", 3, None, "raise")]
+
+    def test_fail_update_target_filter(self):
+        inj = FaultInjector()
+        inj.fail_update(2, target=5)
+        inj.on_update(None, 2, 4)  # different target: no fault
+        with pytest.raises(FaultError, match="from column block 2 to 5"):
+            inj.on_update(None, 2, 5)
+
+    def test_fail_update_any_target(self):
+        inj = FaultInjector()
+        inj.fail_update(2)
+        with pytest.raises(FaultError):
+            inj.on_update(None, 2, None)
+
+    def test_custom_exception(self):
+        inj = FaultInjector()
+        inj.fail_factor(0, exc=ZeroDivisionError("boom"))
+        with pytest.raises(ZeroDivisionError, match="boom"):
+            inj.on_factor(None, 0)
+
+    def test_latency_sleeps(self):
+        inj = FaultInjector()
+        inj.add_latency("factor", 0.05)
+        t0 = time.perf_counter()
+        inj.on_factor(None, 0)
+        assert time.perf_counter() - t0 >= 0.045
+        assert ("factor", 0, None, "delay") in inj.fired
+        with pytest.raises(ValueError):
+            inj.add_latency("panel_solve", 0.1)
+
+    def test_stall_returns_releasable_event(self):
+        inj = FaultInjector()
+        ev = inj.stall_factor(1)
+        ev.set()  # pre-release: on_factor must not block
+        inj.on_factor(None, 1)
+        assert ("factor", 1, None, "stall") in inj.fired
+
+
+class TestErrorPropagation:
+    """Satellite: injected errors surface, threads join, nothing hangs."""
+
+    @pytest.mark.parametrize("scheduler", SCHEDULERS)
+    @pytest.mark.parametrize("nthreads", [2, 4])
+    def test_factor_fault_surfaces(self, scheduler, nthreads):
+        a = laplacian_3d(6)
+        s = Solver(a, tiny_blr_config(threads=nthreads,
+                                      scheduler=scheduler))
+        s.analyze()
+        inj = FaultInjector(seed=nthreads)  # fixed seed: reproducible k
+        k = inj.pick_block(s.symbolic.ncblk)
+        inj.fail_factor(k)
+        outcome = factorize_with_timeout(s, faults=inj)
+        exc = outcome.get("exc")
+        assert isinstance(exc, (FaultError, SchedulerError))
+        if isinstance(exc, SchedulerError):
+            assert any(isinstance(e, FaultError) for e in exc.errors)
+        assert ("factor", k, None, "raise") in inj.fired
+        assert no_scheduler_threads_left()
+
+    @pytest.mark.parametrize("scheduler", SCHEDULERS)
+    def test_update_fault_surfaces(self, scheduler):
+        a = laplacian_3d(6)
+        s = Solver(a, tiny_blr_config(threads=4, scheduler=scheduler))
+        s.analyze()
+        # pick a block that actually contributes to someone
+        symb = s.symbolic
+        src = next(c for t in range(symb.ncblk)
+                   for c in symb.contributors(t))
+        inj = FaultInjector()
+        inj.fail_update(src)
+        outcome = factorize_with_timeout(s, faults=inj)
+        exc = outcome.get("exc")
+        assert isinstance(exc, (FaultError, SchedulerError))
+        assert no_scheduler_threads_left()
+
+    @pytest.mark.parametrize("scheduler", SCHEDULERS)
+    def test_sequential_engines_also_fault(self, scheduler):
+        s = Solver(laplacian_2d(6), tiny_blr_config(scheduler=scheduler))
+        s.analyze()
+        inj = FaultInjector()
+        inj.fail_factor(0)
+        with pytest.raises(FaultError):
+            s.factorize(faults=inj)
+
+    def test_fault_runs_are_deterministic(self):
+        """Same seed, same matrix, same config → the same block fails with
+        the same exception type on every repetition."""
+        a = laplacian_3d(5)
+        seen = set()
+        for _ in range(3):
+            s = Solver(a, tiny_blr_config(threads=2))
+            s.analyze()
+            inj = FaultInjector(seed=123)
+            k = inj.pick_block(s.symbolic.ncblk)
+            inj.fail_factor(k)
+            outcome = factorize_with_timeout(s, faults=inj)
+            seen.add((k, type(outcome.get("exc")).__name__))
+        assert len(seen) == 1
+
+
+class TestNanInjection:
+    @pytest.mark.parametrize("strategy", ["dense", "just-in-time"])
+    def test_nan_poisons_factors_silently(self, strategy):
+        a = laplacian_3d(5)
+        s = Solver(a, tiny_blr_config(strategy=strategy))
+        s.analyze()
+        inj = FaultInjector()
+        inj.nan_in_panel(0)
+        s.factorize(faults=inj)
+        assert ("factor", 0, None, "nan") in inj.fired
+        poisoned = any(
+            (nc.diag is not None and not np.all(np.isfinite(nc.diag)))
+            or (nc.lpanel is not None
+                and not np.all(np.isfinite(nc.lpanel)))
+            for nc in s.factor.cblks)
+        assert poisoned, "NaN was injected but vanished from the factors"
+
+    def test_nan_reaches_the_solution(self):
+        a = laplacian_3d(5)
+        s = Solver(a, tiny_blr_config(strategy="dense"))
+        s.analyze()
+        inj = FaultInjector()
+        inj.nan_in_panel(0)
+        s.factorize(faults=inj)
+        x = s.solve(np.ones(a.n))
+        assert not np.all(np.isfinite(x))
+
+
+class TestLatencyInjection:
+    def test_latency_stretches_the_trace(self):
+        a = laplacian_2d(5)
+        s = Solver(a, tiny_blr_config(trace=True))
+        s.analyze()
+        ncblk_estimate = 4  # at least a handful of column blocks
+        inj = FaultInjector()
+        inj.add_latency("factor", 0.002)
+        t0 = time.perf_counter()
+        s.factorize(faults=inj)
+        elapsed = time.perf_counter() - t0
+        ncblk = s.symbolic.ncblk
+        assert ncblk >= ncblk_estimate
+        assert elapsed >= 0.002 * ncblk
+        assert sum(1 for f in inj.fired if f[3] == "delay") == ncblk

@@ -198,3 +198,43 @@ class TestInputValidation:
         s.factorize()
         with pytest.raises(ValueError, match="rows"):
             s.solve(np.ones(a.n + 1))
+
+
+class TestRefineValidation:
+    """Regression: ``solve(refine=True)`` used to silently skip refinement
+    for multi-RHS or transposed solves — it must now refuse loudly."""
+
+    def test_refine_rejects_multiple_rhs(self, rng):
+        a = laplacian_2d(4)
+        s = Solver(a, tiny_blr_config())
+        s.factorize()
+        b = rng.standard_normal((a.n, 3))
+        with pytest.raises(ValueError, match="single right-hand side"):
+            s.solve(b, refine=True)
+
+    def test_refine_rejects_transpose(self, rng):
+        a = laplacian_2d(4)
+        s = Solver(a, tiny_blr_config())
+        s.factorize()
+        b = rng.standard_normal(a.n)
+        with pytest.raises(ValueError, match="transposed"):
+            s.solve(b, refine=True, trans=True)
+
+    def test_refine_single_rhs_still_works(self, rng):
+        a = laplacian_3d(4)
+        s = Solver(a, tiny_blr_config(strategy="minimal-memory",
+                                      tolerance=1e-6))
+        s.factorize()
+        b = rng.standard_normal(a.n)
+        x = s.solve(b, refine=True, refine_tol=1e-12)
+        res = np.linalg.norm(a.matvec(x) - b) / np.linalg.norm(b)
+        assert res <= 1e-10
+
+    def test_unrefined_paths_unaffected(self, rng):
+        a = laplacian_2d(4)
+        s = Solver(a, tiny_blr_config())
+        s.factorize()
+        # plain multi-RHS and transposed solves remain fine
+        xm = s.solve(rng.standard_normal((a.n, 2)))
+        assert xm.shape == (a.n, 2)
+        s.solve(rng.standard_normal(a.n), trans=True)

@@ -1,0 +1,238 @@
+"""Tests for the runtime task tracer (repro.runtime.trace).
+
+Covers the recorder itself, the JSON round-trip, the trace invariants that
+must hold for every execution engine, the utilization/critical-path
+summaries, the Gantt renderer, and the disabled-tracing overhead bound.
+"""
+
+import json
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.analysis.charts import gantt_chart
+from repro.core.solver import Solver
+from repro.runtime.trace import TaskTracer, TraceEvent
+from repro.sparse.generators import laplacian_2d, laplacian_3d
+from tests.conftest import tiny_blr_config
+
+#: engine name -> config overrides producing that engine through Solver
+ENGINES = {
+    "sequential": dict(threads=1),
+    "left-looking": dict(threads=1, left_looking=True,
+                         strategy="just-in-time"),
+    "threaded-dynamic": dict(threads=4, scheduler="dynamic"),
+    "threaded-static": dict(threads=4, scheduler="static"),
+}
+
+
+def traced_solver(a, **overrides):
+    s = Solver(a, tiny_blr_config(trace=True, **overrides))
+    s.factorize()
+    return s
+
+
+class TestTracerUnit:
+    def test_record_and_events_sorted(self):
+        tr = TaskTracer()
+        t0 = tr.clock()
+        tr.record("factor", 1, t0)
+        tr.record("update", 1, tr.clock(), target=2, tag="panel")
+        evs = tr.events()
+        assert [ev.kind for ev in evs] == ["factor", "update"]
+        assert evs[0].t0 <= evs[1].t0
+        assert evs[1].target == 2 and evs[1].tag == "panel"
+        assert all(ev.t1 >= ev.t0 for ev in evs)
+
+    def test_dense_thread_indices(self):
+        tr = TaskTracer()
+
+        def work():
+            tr.record("factor", 0, tr.clock())
+
+        threads = [threading.Thread(target=work) for _ in range(3)]
+        for th in threads:
+            th.start()
+        for th in threads:
+            th.join()
+        assert sorted({ev.thread for ev in tr.events()}) == [0, 1, 2]
+        assert tr.nthreads() == 3
+
+    def test_empty_tracer_summaries(self):
+        tr = TaskTracer()
+        assert tr.events() == []
+        assert tr.span() == 0.0
+        assert tr.critical_path() == 0.0
+        assert tr.summary()["n_events"] == 0
+        assert tr.check_invariants() == []
+
+    def test_meta_is_free_form(self):
+        tr = TaskTracer()
+        tr.meta["engine"] = "unit-test"
+        assert tr.summary()["meta"]["engine"] == "unit-test"
+
+
+class TestJsonRoundTrip:
+    def test_round_trip_identity(self, tmp_path):
+        s = traced_solver(laplacian_3d(5), threads=2)
+        path = tmp_path / "trace.json"
+        doc = s.tracer.to_json(path)
+        assert path.exists()
+        assert doc == json.loads(path.read_text())
+        back = TaskTracer.from_json(path)
+        assert back.events() == s.tracer.events()
+        assert back.meta == s.tracer.meta
+        assert back.task_counts() == s.tracer.task_counts()
+
+    def test_from_json_accepts_dict(self):
+        s = traced_solver(laplacian_2d(6))
+        back = TaskTracer.from_json(s.tracer.to_json())
+        assert back.events() == s.tracer.events()
+
+    def test_schema_fields(self):
+        s = traced_solver(laplacian_2d(6))
+        doc = s.tracer.to_json()
+        assert doc["version"] == 1
+        for raw in doc["events"]:
+            assert set(raw) == {"kind", "cblk", "target", "tag",
+                                "thread", "t0", "t1"}
+
+
+class TestTraceInvariants:
+    """The properties every engine's trace must satisfy."""
+
+    @pytest.mark.parametrize("engine", sorted(ENGINES))
+    def test_factor_tasks_cover_every_block_once(self, engine):
+        s = traced_solver(laplacian_3d(6), **ENGINES[engine])
+        ncblk = s.symbolic.ncblk
+        factors = [ev for ev in s.tracer.events() if ev.kind == "factor"]
+        assert len(factors) == ncblk
+        assert sorted(ev.cblk for ev in factors) == list(range(ncblk))
+        assert s.tracer.meta["engine"] == engine
+
+    @pytest.mark.parametrize("engine", sorted(ENGINES))
+    def test_begin_before_end_and_no_thread_overlap(self, engine):
+        s = traced_solver(laplacian_3d(6), **ENGINES[engine])
+        evs = s.tracer.events()
+        assert all(ev.t1 >= ev.t0 for ev in evs)
+        by_thread = {}
+        for ev in evs:
+            by_thread.setdefault(ev.thread, []).append(ev)
+        for tevs in by_thread.values():
+            tevs.sort(key=lambda ev: ev.t0)
+            for a, b in zip(tevs, tevs[1:]):
+                assert b.t0 >= a.t1 - 1e-9
+        assert s.tracer.check_invariants(s.symbolic.ncblk) == []
+
+    @pytest.mark.parametrize("engine", ["threaded-dynamic",
+                                        "threaded-static"])
+    def test_pull_mode_updates_have_explicit_targets(self, engine):
+        s = traced_solver(laplacian_3d(6), **ENGINES[engine])
+        updates = [ev for ev in s.tracer.events() if ev.kind == "update"]
+        assert updates, "threaded runs must trace update tasks"
+        assert all(ev.target >= 0 for ev in updates)
+        # one pulled update per (contributor, target) edge
+        edges = {(ev.cblk, ev.target) for ev in updates}
+        want = {(c, t) for t in range(s.symbolic.ncblk)
+                for c in s.symbolic.contributors(t)}
+        assert edges == want
+
+    def test_invariant_checker_flags_corruption(self):
+        tr = TaskTracer()
+        t = tr.clock()
+        tr.record("factor", 0, t)
+        tr.record("factor", 0, tr.clock())  # duplicate factor
+        problems = tr.check_invariants(ncblk=2)
+        assert any("factored 2 times" in p for p in problems)
+        assert any("1/2" in p or "factored 1/2" in p for p in problems)
+
+
+class TestSummaries:
+    def test_thread_counts_reproduced(self):
+        s = traced_solver(laplacian_3d(6), threads=2)
+        summ = s.tracer.summary()
+        assert summ["meta"]["threads"] == 2
+        assert summ["n_threads"] == 2  # both workers genuinely ran tasks
+        assert set(summ["utilization"]) == set(summ["thread_busy"])
+        assert all(0.0 <= u <= 1.0 + 1e-9
+                   for u in summ["utilization"].values())
+
+    def test_sequential_critical_path_is_busy_time(self):
+        s = traced_solver(laplacian_2d(7))
+        busy = sum(ev.duration for ev in s.tracer.events())
+        assert s.tracer.critical_path() == pytest.approx(busy)
+
+    def test_threaded_critical_path_bounds(self):
+        s = traced_solver(laplacian_3d(6), threads=4)
+        tr = s.tracer
+        cp = tr.critical_path()
+        busy = sum(ev.duration for ev in tr.events())
+        # the chain is at most all work, at least the heaviest single task
+        assert max(ev.duration for ev in tr.events()) <= cp + 1e-12
+        assert cp <= busy + 1e-9
+        assert tr.summary()["parallelism"] >= 1.0 - 1e-9
+
+    def test_span_covers_events(self):
+        s = traced_solver(laplacian_3d(5), threads=2)
+        evs = s.tracer.events()
+        assert s.tracer.span() == pytest.approx(
+            max(ev.t1 for ev in evs) - min(ev.t0 for ev in evs))
+
+
+class TestGantt:
+    def test_renders_lanes_and_legend(self, tmp_path):
+        s = traced_solver(laplacian_3d(5), threads=2)
+        path = tmp_path / "gantt.svg"
+        out = gantt_chart(path, s.tracer.events(), title="tasks")
+        svg = out.read_text()
+        assert svg.startswith("<svg")
+        for tid in sorted({ev.thread for ev in s.tracer.events()}):
+            assert f"thread {tid}" in svg
+        assert "factor" in svg and "update" in svg
+        # one rect per event (plus background + legend swatches)
+        assert svg.count("<rect") >= len(s.tracer.events())
+
+    def test_accepts_json_dicts(self, tmp_path):
+        s = traced_solver(laplacian_2d(6))
+        doc = s.tracer.to_json()
+        out = gantt_chart(tmp_path / "g.svg", doc["events"])
+        assert out.exists()
+
+
+class TestDisabledOverhead:
+    def test_tracing_is_off_by_default(self):
+        s = Solver(laplacian_2d(6), tiny_blr_config())
+        s.factorize()
+        assert s.tracer is None
+        assert s.factor.tracer is None
+
+    def test_disabled_overhead_under_5_percent(self):
+        """Benchmark-style bound: enabling the trace hooks must not slow a
+        laplacian_3d(8) JIT/RRQR factorization by more than 5% (plus a
+        small absolute epsilon for scheduler noise).  With tracing
+        *disabled* the hooks are a single attribute load + None test per
+        task, so the enabled run bounds the disabled overhead from above.
+        """
+        from repro.config import SolverConfig
+
+        a = laplacian_3d(8)
+
+        def best_of(trace, reps=3):
+            times = []
+            for _ in range(reps):
+                cfg = SolverConfig.laptop_scale(
+                    strategy="just-in-time", kernel="rrqr", trace=trace)
+                s = Solver(a, cfg)
+                s.analyze()
+                t0 = time.perf_counter()
+                s.factorize()
+                times.append(time.perf_counter() - t0)
+            return min(times)
+
+        best_of(False, reps=1)  # warm the caches
+        t_off = best_of(False)
+        t_on = best_of(True)
+        assert t_on <= 1.05 * t_off + 0.02, (
+            f"tracing overhead too high: off={t_off:.4f}s on={t_on:.4f}s")
