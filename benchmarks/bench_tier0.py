@@ -1,0 +1,100 @@
+"""Tier-0 performance tracker: one fixed laptop-scale problem per dtype.
+
+Unlike the paper-artifact benches (Tables 1/2, Figures 5-8), this harness
+exists to track the *trajectory* of the solver's performance across PRs: a
+single fixed workload — the 16³ 3D Laplacian under the Just-In-Time
+strategy at τ=1e-6 — factored and solved in float64, float32, and float64
+with mixed-precision float32 storage.  It emits ``BENCH_tier0.json`` at the
+repository root so CI (and humans diffing two commits) can compare factor
+time, solve time, and compressed factor bytes without re-deriving a
+configuration.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_tier0.py
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro import Solver, SolverConfig
+from repro.sparse.generators import laplacian_3d
+
+#: fixed workload: 16^3 Laplacian, JIT, τ=1e-6 (compare across commits!)
+GRID = 16
+TOLERANCE = 1e-6
+
+#: (label, config overrides) — the tracked precision variants
+VARIANTS = (
+    ("float64", dict()),
+    ("float32", dict(dtype="float32")),
+    ("float64+float32-storage", dict(storage_dtype="float32")),
+)
+
+
+def _config(**overrides) -> SolverConfig:
+    return SolverConfig.laptop_scale(
+        strategy="just-in-time", factotype="lu", tolerance=TOLERANCE,
+        rank_ratio=1.0, **overrides)
+
+
+def run_variant(a, label: str, overrides: dict) -> dict:
+    solver = Solver(a, _config(**overrides))
+    solver.analyze()
+    t0 = time.perf_counter()
+    stats = solver.factorize()
+    facto_time = time.perf_counter() - t0
+    b = np.ones(a.n)
+    t0 = time.perf_counter()
+    x = solver.solve(b)
+    solve_time = time.perf_counter() - t0
+    return {
+        "label": label,
+        "dtype": str(solver.factor.dtype),
+        "storage_dtype": (str(solver.factor.storage_dtype)
+                          if solver.factor.storage_dtype is not None
+                          else None),
+        "facto_time_s": facto_time,
+        "solve_time_s": solve_time,
+        "factor_nbytes": int(stats.factor_nbytes),
+        "dense_factor_nbytes": int(stats.dense_factor_nbytes),
+        "peak_nbytes": int(stats.peak_nbytes),
+        "backward_error": float(solver.backward_error(x, b)),
+    }
+
+
+def main() -> Path:
+    a = laplacian_3d(GRID)
+    results = [run_variant(a, label, ov) for label, ov in VARIANTS]
+    payload = {
+        "bench": "tier0",
+        "workload": f"laplacian_3d({GRID})",
+        "n": a.n,
+        "nnz": a.nnz,
+        "strategy": "just-in-time",
+        "tolerance": TOLERANCE,
+        "python": platform.python_version(),
+        "results": results,
+    }
+    path = Path(__file__).resolve().parent.parent / "BENCH_tier0.json"
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2)
+    w = max(len(r["label"]) for r in results)
+    print(f"{'variant':>{w}} {'facto(s)':>9} {'solve(s)':>9} "
+          f"{'factor MB':>10} {'backward':>10}")
+    for r in results:
+        print(f"{r['label']:>{w}} {r['facto_time_s']:9.2f} "
+              f"{r['solve_time_s']:9.3f} {r['factor_nbytes'] / 1e6:10.2f} "
+              f"{r['backward_error']:10.1e}")
+    print(f"-> {path}")
+    return path
+
+
+if __name__ == "__main__":
+    main()

@@ -17,7 +17,7 @@ plus :func:`gantt_chart`, which renders a
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from pathlib import Path
 from typing import List, Optional, Sequence, Union
 

@@ -25,18 +25,29 @@ from repro.core.trisolve import solve_factored
 from repro.sparse.csc import CSCMatrix
 
 
-def factor_slogdet(fac: NumericFactor) -> Tuple[float, float]:
-    """(sign, log|det(A)|) from the factored diagonal blocks."""
-    sign = 1.0
+def factor_slogdet(fac: NumericFactor) -> Tuple[complex, float]:
+    """(sign, log|det(A)|) from the factored diagonal blocks.
+
+    For real factorizations ``sign`` is ±1.0 (a float); for complex ones it
+    is the unit-modulus phase ``det/|det|`` (numpy's ``slogdet`` convention).
+    """
+    sign: complex = 1.0
     logdet = 0.0
     for nc in fac.cblks:
         d = np.diag(nc.diag)
         if fac.config.factotype == "cholesky":
-            # det = prod(L_ii)^2: always positive
+            # det = prod(L_ii)^2 = prod(|L_ii|^2): always positive (the
+            # Hermitian-Cholesky diagonal is real positive)
             logdet += 2.0 * float(np.sum(np.log(np.abs(d))))
         else:
             # LU (diag of U) and LDLᵗ (D) both live on the packed diagonal
-            sign *= float(np.prod(np.sign(d)))
+            if d.dtype.kind == "c":
+                nz = d[d != 0]
+                sign *= complex(np.prod(nz / np.abs(nz)))
+                if nz.size < d.size:
+                    sign = 0.0
+            else:
+                sign *= float(np.prod(np.sign(d)))
             logdet += float(np.sum(np.log(np.abs(d))))
     return sign, logdet
 
@@ -57,6 +68,9 @@ def factor_inertia(fac: NumericFactor) -> Tuple[int, int, int]:
     neg = zero = pos = 0
     for nc in fac.cblks:
         d = np.diag(nc.diag)
+        if d.dtype.kind == "c":
+            # Hermitian LDLᴴ forces D real; drop the zero imaginary part
+            d = d.real
         neg += int(np.sum(d < 0))
         zero += int(np.sum(d == 0))
         pos += int(np.sum(d > 0))
@@ -82,21 +96,31 @@ def condest_1norm(a: CSCMatrix, fac: NumericFactor, perm: np.ndarray,
         out[perm] = y
         return out
 
-    x = np.full(n, 1.0 / n)
+    complex_arith = fac.dtype.kind == "c"
+    x = np.full(n, 1.0 / n,
+                dtype=np.complex128 if complex_arith else np.float64)
     est = 0.0
     last_j = -1
     for _ in range(maxiter):
         y = solve(x)
         new_est = float(np.abs(y).sum())
-        xi = np.sign(y)
-        xi[xi == 0] = 1.0
-        z = solve(xi, trans=True)
+        if complex_arith:
+            ay = np.abs(y)
+            xi = np.where(ay == 0, 1.0 + 0.0j, y / np.where(ay == 0, 1.0, ay))
+            # Hager–Higham on a complex operator needs A⁻ᴴ; the trans solve
+            # is the pure transpose, so conjugate around it:
+            # A⁻ᴴ ξ = conj(A⁻ᵀ conj(ξ))
+            z = np.conj(solve(np.conj(xi), trans=True))
+        else:
+            xi = np.sign(y)
+            xi[xi == 0] = 1.0
+            z = solve(xi, trans=True)
         j = int(np.argmax(np.abs(z)))
         if new_est <= est or j == last_j:
             est = max(est, new_est)
             break
         est = new_est
         last_j = j
-        x = np.zeros(n)
+        x = np.zeros(n, dtype=x.dtype)
         x[j] = 1.0
     return est * a.norm1()

@@ -12,7 +12,7 @@ optionally colouring low-rank candidate blocks differently — the
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Optional, Union
+from typing import Union
 
 import numpy as np
 

@@ -30,7 +30,14 @@ from typing import Optional
 
 import numpy as np
 
-from repro.config import FACTOTYPES, KERNELS, ORDERINGS, STRATEGIES, SolverConfig
+from repro.config import (
+    DTYPES,
+    FACTOTYPES,
+    KERNELS,
+    ORDERINGS,
+    STRATEGIES,
+    SolverConfig,
+)
 from repro.core.solver import Solver
 from repro.runtime.stats import KERNEL_CATEGORIES
 from repro.sparse.csc import CSCMatrix
@@ -38,6 +45,7 @@ from repro.sparse.generators import (
     anisotropic_laplacian_3d,
     convection_diffusion_3d,
     elasticity_3d,
+    helmholtz_3d,
     heterogeneous_poisson_3d,
     laplacian_2d,
     laplacian_3d,
@@ -51,6 +59,10 @@ GENERATORS = {
     "elasticity": lambda k: elasticity_3d(k),
     "hetero": lambda k: heterogeneous_poisson_3d(k),
     "aniso": lambda k: anisotropic_laplacian_3d(k),
+    # real symmetric indefinite Helmholtz (ldlt territory)
+    "helmholtz": lambda k: helmholtz_3d(k, wavenumber=0.6),
+    # damped (absorbing) Helmholtz: complex symmetric, use lu + complex dtype
+    "helmholtz-damped": lambda k: helmholtz_3d(k, wavenumber=0.6, damping=0.5),
 }
 
 
@@ -79,6 +91,8 @@ def _config(args) -> SolverConfig:
         scheduler=args.scheduler,
         watchdog_timeout=getattr(args, "watchdog", None),
         trace=bool(getattr(args, "trace", None)),
+        dtype=args.dtype,
+        storage_dtype=args.storage_dtype,
     )
 
 
@@ -97,6 +111,14 @@ def _add_common(p: argparse.ArgumentParser) -> None:
                    choices=("dynamic", "static"),
                    help="threaded engine: shared ready queue or "
                         "PaStiX-style static mapping")
+    p.add_argument("--dtype", default=None, choices=DTYPES,
+                   help="arithmetic precision (default: the matrix dtype; "
+                        "float64 for real inputs)")
+    p.add_argument("--storage-dtype", default=None, choices=DTYPES,
+                   dest="storage_dtype",
+                   help="store compressed low-rank factors in this narrower "
+                        "dtype (mixed precision), e.g. float32 under a "
+                        "float64 factorization")
 
 
 def cmd_solve(args) -> int:

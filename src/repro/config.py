@@ -22,7 +22,7 @@ small-problem presets for laptop-scale runs:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Optional
 
 #: valid factorization strategies
@@ -36,6 +36,8 @@ FACTOTYPES = ("lu", "cholesky", "ldlt")
 #: valid ordering algorithms (``geometric`` needs node coordinates passed
 #: to the Solver)
 ORDERINGS = ("nested-dissection", "geometric", "amd", "natural")
+#: valid arithmetic precisions (PaStiX's s/d/c/z)
+DTYPES = ("float32", "float64", "complex64", "complex128")
 
 
 @dataclass(frozen=True)
@@ -79,6 +81,23 @@ class SolverConfig:
     #: static-pivoting threshold: diagonal entries smaller than
     #: ``pivot_threshold * max|diag|`` are perturbed (PaStiX-style)
     pivot_threshold: float = 1e-14
+    #: arithmetic precision of the factorization — one of
+    #: ``float32``/``float64``/``complex64``/``complex128`` (PaStiX's
+    #: s/d/c/z); ``None`` inherits the matrix's dtype (real non-float
+    #: inputs default to float64)
+    dtype: Optional[str] = None
+    #: storage precision of the off-diagonal factor blocks
+    #: (mixed-precision BLR): a *narrower* dtype of the same kind as
+    #: :attr:`dtype` — ``float32`` under float64, ``complex64`` under
+    #: complex128.  Compressed low-rank ``u``/``v`` pairs *and* dense
+    #: off-diagonal blocks are stored narrow; diagonal blocks (the
+    #: stability-critical pivots) stay at full precision, and every
+    #: update/solve promotes narrow operands back to :attr:`dtype` before
+    #: computing.  Sound whenever τ is at or above the narrow dtype's
+    #: epsilon (e.g. τ ≥ 1e-6 for float32 storage).  Only BLR strategies
+    #: compress storage this way; the ``dense`` strategy ignores it.
+    #: ``None`` stores everything at :attr:`dtype`.
+    storage_dtype: Optional[str] = None
 
     # --- parallelism ---------------------------------------------------
     threads: int = 1
@@ -130,6 +149,25 @@ class SolverConfig:
                 f"{self.scheduler!r}")
         if self.watchdog_timeout is not None and self.watchdog_timeout <= 0:
             raise ValueError("watchdog_timeout must be positive (or None)")
+        if self.dtype is not None and self.dtype not in DTYPES:
+            raise ValueError(
+                f"dtype must be one of {DTYPES} (or None), got {self.dtype!r}")
+        if self.storage_dtype is not None:
+            if self.storage_dtype not in DTYPES:
+                raise ValueError(
+                    f"storage_dtype must be one of {DTYPES} (or None), got "
+                    f"{self.storage_dtype!r}")
+            if self.dtype is not None:
+                import numpy as _np
+
+                full = _np.dtype(self.dtype)
+                narrow = _np.dtype(self.storage_dtype)
+                if (full.kind != narrow.kind
+                        or narrow.itemsize > full.itemsize):
+                    raise ValueError(
+                        "storage_dtype must be a same-kind dtype no wider "
+                        f"than dtype ({self.dtype!r}); got "
+                        f"{self.storage_dtype!r}")
 
     # ------------------------------------------------------------------
     @classmethod
@@ -164,3 +202,48 @@ class SolverConfig:
     @property
     def is_symmetric_facto(self) -> bool:
         return self.factotype in ("cholesky", "ldlt")
+
+    def resolve_dtype(self, matrix_dtype=None):
+        """The numpy dtype the factorization runs in.
+
+        ``config.dtype`` wins when set; otherwise the matrix's own dtype is
+        kept (non-inexact inputs having already been coerced to float64 by
+        :class:`~repro.sparse.csc.CSCMatrix`).  Asking for a *real*
+        factorization of a complex matrix is an error — it would silently
+        discard imaginary parts.
+        """
+        import numpy as np
+
+        if self.dtype is not None:
+            want = np.dtype(self.dtype)
+            if (matrix_dtype is not None
+                    and np.dtype(matrix_dtype).kind == "c"
+                    and want.kind != "c"):
+                raise ValueError(
+                    f"config.dtype={self.dtype!r} is real but the matrix is "
+                    "complex; a real factorization would discard imaginary "
+                    "parts")
+            return want
+        if matrix_dtype is not None:
+            return np.dtype(matrix_dtype)
+        return np.dtype(np.float64)
+
+    def resolve_storage_dtype(self, compute_dtype):
+        """The numpy dtype compressed ``u``/``v`` panels are stored in.
+
+        Returns ``None`` when storage precision equals compute precision
+        (the common case — callers can skip the downcast entirely).
+        """
+        import numpy as np
+
+        if self.storage_dtype is None:
+            return None
+        compute = np.dtype(compute_dtype)
+        narrow = np.dtype(self.storage_dtype)
+        if narrow.kind != compute.kind or narrow.itemsize > compute.itemsize:
+            raise ValueError(
+                f"storage_dtype={self.storage_dtype!r} is not a same-kind "
+                f"dtype no wider than the compute dtype {compute.name!r}")
+        if narrow == compute:
+            return None
+        return narrow

@@ -19,6 +19,12 @@ import numpy as np
 import scipy.linalg as sla
 
 
+def flop_scale(dtype) -> float:
+    """Flop multiplier for complex arithmetic (1 complex mul+add = 4 real
+    flops under the usual LAPACK-style counting); 1.0 for real dtypes."""
+    return 4.0 if np.dtype(dtype).kind == "c" else 1.0
+
+
 def gemm_flops(m: int, n: int, k: int) -> float:
     return 2.0 * m * n * k
 
@@ -44,7 +50,9 @@ def lu_nopivot(a: np.ndarray, pivot_threshold: float = 1e-14
     the diagonal and U on/above it (LAPACK layout), and ``nperturbed``
     counts pivots replaced by ``±pivot_threshold * max|diag(A)|``.
     """
-    lu = np.array(a, dtype=np.float64, copy=True)
+    lu = np.array(a, copy=True)
+    if lu.dtype.kind not in "fc":
+        lu = lu.astype(np.float64)
     n = lu.shape[0]
     if lu.shape[1] != n:
         raise ValueError("diagonal block must be square")
@@ -59,7 +67,11 @@ def lu_nopivot(a: np.ndarray, pivot_threshold: float = 1e-14
         for k in range(k0, k1):
             piv = lu[k, k]
             if abs(piv) < floor:
-                piv = floor if piv >= 0 else -floor
+                if lu.dtype.kind == "c":
+                    # keep the complex phase (floor for an exact zero)
+                    piv = floor if piv == 0 else piv / abs(piv) * floor
+                else:
+                    piv = floor if piv >= 0 else -floor
                 lu[k, k] = piv
                 nperturbed += 1
             if k + 1 < k1:
@@ -89,13 +101,16 @@ def cholesky_nopivot(a: np.ndarray, pivot_threshold: float = 1e-14
         return np.linalg.cholesky(a), 0
     except np.linalg.LinAlgError:
         pass
-    # fall back to a scalar loop with pivot boosting
-    l_mat = np.array(a, dtype=np.float64, copy=True)
+    # fall back to a scalar loop with pivot boosting (complex blocks are
+    # treated as Hermitian: L L^H with a real diagonal)
+    l_mat = np.array(a, copy=True)
+    if l_mat.dtype.kind not in "fc":
+        l_mat = l_mat.astype(np.float64)
     max_diag = float(np.abs(np.diag(a)).max())
     floor = pivot_threshold * (max_diag if max_diag > 0 else 1.0)
     nperturbed = 0
     for k in range(n):
-        d = l_mat[k, k]
+        d = l_mat[k, k].real
         if d <= floor:
             d = floor
             nperturbed += 1
@@ -104,7 +119,7 @@ def cholesky_nopivot(a: np.ndarray, pivot_threshold: float = 1e-14
         if k + 1 < n:
             l_mat[k + 1:, k] /= d
             l_mat[k + 1:, k + 1:] -= np.outer(l_mat[k + 1:, k],
-                                              l_mat[k + 1:, k])
+                                              l_mat[k + 1:, k].conj())
     return np.tril(l_mat), nperturbed
 
 
@@ -120,19 +135,28 @@ def ldlt_nopivot(a: np.ndarray, pivot_threshold: float = 1e-14
     n = a.shape[0]
     if a.shape[1] != n:
         raise ValueError("diagonal block must be square")
-    packed = np.array(a, dtype=np.float64, copy=True)
+    packed = np.array(a, copy=True)
+    if packed.dtype.kind not in "fc":
+        packed = packed.astype(np.float64)
+    hermitian = packed.dtype.kind == "c"
     max_diag = float(np.abs(np.diag(a)).max())
     floor = pivot_threshold * (max_diag if max_diag > 0 else 1.0)
     nperturbed = 0
     for k in range(n):
-        d = packed[k, k]
+        # complex blocks are factored as Hermitian L D L^H: D is
+        # mathematically real, so roundoff imaginary parts are dropped
+        d = packed[k, k].real if hermitian else packed[k, k]
         if abs(d) < floor:
             d = floor if d >= 0 else -floor
-            packed[k, k] = d
             nperturbed += 1
+        packed[k, k] = d
         if k + 1 < n:
             col = packed[k + 1:, k] / d
-            packed[k + 1:, k + 1:] -= np.outer(col, packed[k + 1:, k])
+            if hermitian:
+                packed[k + 1:, k + 1:] -= np.outer(col,
+                                                   packed[k + 1:, k].conj())
+            else:
+                packed[k + 1:, k + 1:] -= np.outer(col, packed[k + 1:, k])
             packed[k + 1:, k] = col
     return packed, nperturbed
 
@@ -158,3 +182,18 @@ def solve_unit_lower_right(l_mat: np.ndarray, b: np.ndarray) -> np.ndarray:
 def solve_lower_right(l_mat: np.ndarray, b: np.ndarray) -> np.ndarray:
     """``X Lᵗ = B``  →  ``X = B L⁻ᵗ`` for (non-unit) lower ``L``."""
     return sla.solve_triangular(l_mat, b.T, lower=True, check_finite=False).T
+
+
+def solve_lower_ct_right(l_mat: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """``X Lᴴ = B`` for (non-unit) lower ``L`` — the Hermitian-Cholesky
+    panel solve.  Coincides bit-for-bit with :func:`solve_lower_right` for
+    real blocks (``conj`` is a no-copy pass-through)."""
+    return sla.solve_triangular(l_mat, b.conj().T, lower=True,
+                                check_finite=False).conj().T
+
+
+def solve_unit_lower_ct_right(l_mat: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """``X Lᴴ = B`` for unit-lower ``L`` (Hermitian LDLᴴ panel solve)."""
+    return sla.solve_triangular(l_mat, b.conj().T, lower=True,
+                                unit_diagonal=True,
+                                check_finite=False).conj().T

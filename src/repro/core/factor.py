@@ -27,7 +27,7 @@ memory measurements are produced.
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional, Tuple, Union
+from typing import List, Optional, Union
 
 import numpy as np
 
@@ -112,6 +112,12 @@ class NumericFactor:
         self.tracker = MemoryTracker()
         self.stats = FactorizationStats(kernels=KernelStats(locked=True))
         self.nperturbed = 0
+        #: arithmetic dtype of the factorization (resolved by
+        #: :func:`assemble` from the matrix and ``config.dtype``)
+        self.dtype = np.dtype(np.float64)
+        #: narrower dtype compressed u/v factors are *stored* in
+        #: (mixed-precision BLR), or ``None`` for full-precision storage
+        self.storage_dtype = None
         #: 2 when both L and Uᵗ off-diagonal panels are stored (LU), else 1
         self.sides = 1 if config.is_symmetric_facto else 2
         #: (a_perm, at_perm) when allocation is deferred (left-looking mode)
@@ -135,13 +141,13 @@ class NumericFactor:
             return
         sym = nc.sym
         w = sym.ncols
-        nc.diag = np.zeros((w, w))
+        nc.diag = np.zeros((w, w), dtype=self.dtype)
         self.tracker.alloc(array_nbytes(nc.diag))
-        nc.lpanel = np.zeros((nc.offrows, w))
+        nc.lpanel = np.zeros((nc.offrows, w), dtype=self.dtype)
         self.tracker.alloc(array_nbytes(nc.lpanel))
         _scatter_panel(a_perm, sym, nc.diag, nc.lpanel, nc.row_offsets)
         if at_perm is not None:
-            nc.upanel = np.zeros((nc.offrows, w))
+            nc.upanel = np.zeros((nc.offrows, w), dtype=self.dtype)
             self.tracker.alloc(array_nbytes(nc.upanel))
             _scatter_panel(at_perm, sym, None, nc.upanel, nc.row_offsets)
 
@@ -152,7 +158,7 @@ class NumericFactor:
         for c in self.symb.cblks:
             w = c.ncols
             off = sum(b.nrows for b in c.off_blocks())
-            total += (w * w + self.sides * off * w) * 8
+            total += (w * w + self.sides * off * w) * self.dtype.itemsize
         return total
 
     def factor_nbytes(self) -> int:
@@ -211,6 +217,8 @@ def assemble(a_perm: CSCMatrix, symb: SymbolicFactor,
     if not a_perm.is_pattern_symmetric():
         raise ValueError("assemble expects a pattern-symmetric matrix")
     fac = NumericFactor(symb, config)
+    fac.dtype = config.resolve_dtype(a_perm.values.dtype)
+    fac.storage_dtype = config.resolve_storage_dtype(fac.dtype)
     need_u = not config.is_symmetric_facto
     at_perm = a_perm.transpose() if need_u else None
     minimal_memory = config.strategy == "minimal-memory"
@@ -224,23 +232,23 @@ def assemble(a_perm: CSCMatrix, symb: SymbolicFactor,
     for nc in fac.cblks:
         sym = nc.sym
         w = sym.ncols
-        nc.diag = np.zeros((w, w))
+        nc.diag = np.zeros((w, w), dtype=fac.dtype)
         fac.tracker.alloc(array_nbytes(nc.diag))
         if not minimal_memory:
-            nc.lpanel = np.zeros((nc.offrows, w))
+            nc.lpanel = np.zeros((nc.offrows, w), dtype=fac.dtype)
             fac.tracker.alloc(array_nbytes(nc.lpanel))
             _scatter_panel(a_perm, sym, nc.diag, nc.lpanel, nc.row_offsets)
             if need_u:
-                nc.upanel = np.zeros((nc.offrows, w))
+                nc.upanel = np.zeros((nc.offrows, w), dtype=fac.dtype)
                 fac.tracker.alloc(array_nbytes(nc.upanel))
                 _scatter_panel(at_perm, sym, None, nc.upanel, nc.row_offsets)
         else:
             # Minimal Memory: per-block storage, candidates compressed now
-            ldense = np.zeros((nc.offrows, w))
+            ldense = np.zeros((nc.offrows, w), dtype=fac.dtype)
             _scatter_panel(a_perm, sym, nc.diag, ldense, nc.row_offsets)
             nc.lblocks = _compress_assembled(fac, nc, ldense)
             if need_u:
-                udense = np.zeros((nc.offrows, w))
+                udense = np.zeros((nc.offrows, w), dtype=fac.dtype)
                 _scatter_panel(at_perm, sym, None, udense, nc.row_offsets)
                 nc.ublocks = _compress_assembled(fac, nc, udense)
             else:
@@ -287,10 +295,14 @@ def _compress_assembled(fac: NumericFactor, nc: NumericColumnBlock,
             lr = compress_block(chunk, cfg.tolerance, cfg.kernel,
                                 max_rank=cap, stats=fac.stats.kernels)
             if lr is not None:
+                if fac.storage_dtype is not None:
+                    lr = lr.astype(fac.storage_dtype)
                 fac.tracker.alloc(lr.nbytes)
                 out.append(lr)
                 continue
         owned = np.ascontiguousarray(chunk)
+        if fac.storage_dtype is not None:
+            owned = owned.astype(fac.storage_dtype)
         fac.tracker.alloc(array_nbytes(owned))
         out.append(owned)
     return out

@@ -27,13 +27,16 @@ import scipy.linalg as sla
 
 from repro.core.dense_kernels import (
     cholesky_nopivot,
+    flop_scale,
     gemm_flops,
     getrf_flops,
     ldlt_flops,
     ldlt_nopivot,
     lu_nopivot,
     potrf_flops,
+    solve_lower_ct_right,
     solve_lower_right,
+    solve_unit_lower_ct_right,
     solve_unit_lower_right,
     solve_upper_right,
     trsm_flops,
@@ -41,7 +44,6 @@ from repro.core.dense_kernels import (
 from repro.core.factor import Block, NumericColumnBlock, NumericFactor
 from repro.lowrank.block import LowRankBlock
 from repro.lowrank.kernels import (
-    block_nbytes,
     compress_block,
     lr2ge_update,
     lr2lr_update,
@@ -92,7 +94,8 @@ def factor_column_block(fac: NumericFactor, k: int) -> None:
         raise NotImplementedError(
             f"factotype {cfg.factotype!r} is not implemented yet")
     fac.nperturbed += nperturbed
-    stats.add("block_facto", seconds=time.perf_counter() - t0, flops=fl)
+    stats.add("block_facto", seconds=time.perf_counter() - t0,
+              flops=fl * flop_scale(fac.dtype))
 
     # --- Just-In-Time: compress the accumulated panels now --------------
     if cfg.strategy == "just-in-time":
@@ -127,10 +130,14 @@ def _compress_panels_jit(fac: NumericFactor, nc: NumericColumnBlock) -> None:
                 lr = compress_block(chunk, cfg.tolerance, cfg.kernel,
                                     max_rank=cap, stats=stats)
             if lr is not None:
+                if fac.storage_dtype is not None:
+                    lr = lr.astype(fac.storage_dtype)
                 out.append(lr)
                 new_bytes += lr.nbytes
             else:
                 owned = np.ascontiguousarray(chunk)
+                if fac.storage_dtype is not None:
+                    owned = owned.astype(fac.storage_dtype)
                 out.append(owned)
                 new_bytes += array_nbytes(owned)
     old_bytes = array_nbytes(nc.lpanel)
@@ -150,6 +157,13 @@ def _panel_solve(fac: NumericFactor, nc: NumericColumnBlock) -> None:
     w = nc.width
     t0 = time.perf_counter()
     fl = 0.0
+    if fac.storage_dtype is not None:
+        def store(arr):
+            # solve results promote to the compute dtype; narrow them back
+            return arr.astype(fac.storage_dtype)
+    else:
+        def store(arr):
+            return arr
     if cfg.factotype == "lu":
         u00 = np.triu(nc.diag)
         l00 = nc.diag  # unit-lower part read in place by the solvers
@@ -167,7 +181,7 @@ def _panel_solve(fac: NumericFactor, nc: NumericColumnBlock) -> None:
                             u00, lb.v, trans="T", lower=False, check_finite=False)
                     fl += trsm_flops(w, lb.rank)
                 else:
-                    nc.lblocks[i] = solve_upper_right(u00, lb)
+                    nc.lblocks[i] = store(solve_upper_right(u00, lb))
                     fl += trsm_flops(w, lb.shape[0])
                 ub = nc.ublocks[i]
                 if isinstance(ub, LowRankBlock):
@@ -177,44 +191,68 @@ def _panel_solve(fac: NumericFactor, nc: NumericColumnBlock) -> None:
                             l00, ub.v, lower=True, unit_diagonal=True, check_finite=False)
                     fl += trsm_flops(w, ub.rank)
                 else:
-                    nc.ublocks[i] = solve_unit_lower_right(l00, ub)
+                    nc.ublocks[i] = store(solve_unit_lower_right(l00, ub))
                     fl += trsm_flops(w, ub.shape[0])
     elif cfg.factotype == "cholesky":
         l00 = nc.diag
+        hermitian = np.asarray(nc.diag).dtype.kind == "c"
+        solve_right = solve_lower_ct_right if hermitian else solve_lower_right
         if nc.panel_mode:
             if nc.offrows:
-                nc.lpanel[...] = solve_lower_right(l00, nc.lpanel)
+                nc.lpanel[...] = solve_right(l00, nc.lpanel)
                 fl += trsm_flops(w, nc.offrows)
         else:
             for i in range(nc.sym.noff):
                 lb = nc.lblocks[i]
                 if isinstance(lb, LowRankBlock):
                     if lb.rank:
-                        lb.v[...] = sla.solve_triangular(l00, lb.v, lower=True, check_finite=False)
+                        # L(i) Lᴴ00 = Â: with Â = u vᵀ the v factor solves
+                        # conj(L00) vᵀ... — equivalently v ← (L00⁻ᴴ vᴴ)ᴴ,
+                        # which for real factors is the plain "T" solve
+                        if hermitian:
+                            lb.v[...] = sla.solve_triangular(
+                                l00, lb.v.conj(), lower=True,
+                                check_finite=False).conj()
+                        else:
+                            lb.v[...] = sla.solve_triangular(
+                                l00, lb.v, lower=True, check_finite=False)
                     fl += trsm_flops(w, lb.rank)
                 else:
-                    nc.lblocks[i] = solve_lower_right(l00, lb)
+                    nc.lblocks[i] = store(solve_right(l00, lb))
                     fl += trsm_flops(w, lb.shape[0])
-    else:  # ldlt: L(i) = A(i) L00⁻ᵗ D⁻¹
+    else:  # ldlt: L(i) = A(i) L00⁻ᴴ D⁻¹ (⁻ᵗ for real factors)
         l00 = nc.diag
+        hermitian = np.asarray(nc.diag).dtype.kind == "c"
         d = np.diag(nc.diag)
+        if hermitian:
+            d = d.real  # D is real for Hermitian LDLᴴ
+        solve_right = (solve_unit_lower_ct_right if hermitian
+                       else solve_unit_lower_right)
         if nc.panel_mode:
             if nc.offrows:
-                nc.lpanel[...] = solve_unit_lower_right(l00, nc.lpanel) / d
+                nc.lpanel[...] = solve_right(l00, nc.lpanel) / d
                 fl += trsm_flops(w, nc.offrows)
         else:
             for i in range(nc.sym.noff):
                 lb = nc.lblocks[i]
                 if isinstance(lb, LowRankBlock):
                     if lb.rank:
-                        lb.v[...] = sla.solve_triangular(
-                            l00, lb.v, lower=True,
-                            unit_diagonal=True, check_finite=False) / d[:, None]
+                        if hermitian:
+                            lb.v[...] = sla.solve_triangular(
+                                l00, lb.v.conj(), lower=True,
+                                unit_diagonal=True,
+                                check_finite=False).conj() / d[:, None]
+                        else:
+                            lb.v[...] = sla.solve_triangular(
+                                l00, lb.v, lower=True,
+                                unit_diagonal=True,
+                                check_finite=False) / d[:, None]
                     fl += trsm_flops(w, lb.rank)
                 else:
-                    nc.lblocks[i] = solve_unit_lower_right(l00, lb) / d
+                    nc.lblocks[i] = store(solve_right(l00, lb) / d)
                     fl += trsm_flops(w, lb.shape[0])
-    stats.add("panel_solve", seconds=time.perf_counter() - t0, flops=fl)
+    stats.add("panel_solve", seconds=time.perf_counter() - t0,
+              flops=fl * flop_scale(fac.dtype))
 
 
 # ----------------------------------------------------------------------
@@ -260,6 +298,10 @@ def _updates_from_panel(fac: NumericFactor, nc: NumericColumnBlock,
     is_lu = nc.upanel is not None
     d_scale = (np.diag(nc.diag)
                if fac.config.factotype == "ldlt" else None)
+    # Hermitian facto (complex cholesky/ldlt): the trailing update is
+    # A(i,j) -= L(i) L(j)ᴴ, so the transposed operand is conjugated
+    # (.conj() is a no-copy pass-through for real panels)
+    hermitian = (not is_lu) and np.asarray(nc.diag).dtype.kind == "c"
     for j, bj in enumerate(sym.off_blocks()):
         t = bj.facing
         if target is not None and t != target:
@@ -270,16 +312,21 @@ def _updates_from_panel(fac: NumericFactor, nc: NumericColumnBlock,
         if is_lu:
             ub_j = nc.upanel[jlo:jhi]
         elif d_scale is not None:
-            ub_j = nc.lpanel[jlo:jhi] * d_scale  # L(j) D for LDLᵗ updates
+            # L(j) D for LDLᵗ updates; D is real for Hermitian LDLᴴ so
+            # conjugation commutes with the scaling
+            ub_j = nc.lpanel[jlo:jhi] * d_scale
         else:
             ub_j = nc.lpanel[jlo:jhi]
+        if hermitian:
+            ub_j = ub_j.conj()
         w_l = nc.lpanel[tail] @ ub_j.T           # all (i) >= (j) at once
         fl = gemm_flops(nc.offrows - jlo, bj.nrows, nc.width)
         w_u = None
         if is_lu:
             w_u = nc.upanel[tail] @ nc.lpanel[jlo:jhi].T
             fl += gemm_flops(nc.offrows - jlo, bj.nrows, nc.width)
-        stats.add("dense_update", seconds=time.perf_counter() - t0, flops=fl)
+        stats.add("dense_update", seconds=time.perf_counter() - t0,
+                  flops=fl * flop_scale(fac.dtype))
 
         if lock is not None:
             lock(t).acquire()
@@ -314,6 +361,11 @@ def _updates_from_blocks(fac: NumericFactor, nc: NumericColumnBlock,
     is_lu = nc.ublocks is not None
     d_scale = (np.diag(nc.diag)
                if fac.config.factotype == "ldlt" else None)
+    # Hermitian facto: the transposed operand of every update is L(j)ᴴ,
+    # not L(j)ᵀ (no-op for real blocks)
+    hermitian = (not is_lu) and np.asarray(nc.diag).dtype.kind == "c"
+    #: compute dtype to promote narrow-storage operands to (None = no-op)
+    promote = fac.dtype if fac.storage_dtype is not None else None
 
     by_target = {}
     for j, bj in enumerate(sym.off_blocks()):
@@ -333,17 +385,28 @@ def _updates_from_blocks(fac: NumericFactor, nc: NumericColumnBlock,
                     ub_j = _scale_columns(nc.lblocks[j], d_scale)
                 else:
                     ub_j = nc.lblocks[j]
+                if hermitian:
+                    ub_j = ub_j.conj()
                 lb_j = nc.lblocks[j]
+                if promote is not None:
+                    ub_j = _promote(ub_j, promote)
+                    lb_j = _promote(lb_j, promote)
                 for i in range(j, sym.noff):
                     bi = sym.blocks[1 + i]
-                    contrib = lr_product(nc.lblocks[i], ub_j,
+                    src_l = nc.lblocks[i]
+                    if promote is not None:
+                        src_l = _promote(src_l, promote)
+                    contrib = lr_product(src_l, ub_j,
                                          cfg.tolerance, cfg.kernel, stats)
                     if contrib is not None:
                         _scatter(fac, t, bi.first_row, bi.end_row,
                                  bj.first_row, bj.end_row, contrib,
                                  side="l", acc=acc)
                     if is_lu and i > j:
-                        contrib_u = lr_product(nc.ublocks[i], lb_j,
+                        src_u = nc.ublocks[i]
+                        if promote is not None:
+                            src_u = _promote(src_u, promote)
+                        contrib_u = lr_product(src_u, lb_j,
                                                cfg.tolerance, cfg.kernel,
                                                stats)
                         if contrib_u is not None:
@@ -372,14 +435,34 @@ def _flush_accumulated(fac: NumericFactor, t: int, acc: dict) -> None:
             continue
         block = tsym.blocks[1 + i]
         cap = rank_cap(block.nrows, tsym.ncols, cfg.rank_ratio)
+        if fac.storage_dtype is not None:
+            tgt = tgt.astype(fac.dtype)
         new = lr2lr_update_multi(tgt, contribs, cfg.tolerance, cfg.kernel,
                                  max_rank=cap, stats=stats)
         if new is None:
-            dense = tgt.to_dense()
+            dense = np.asarray(tgt.to_dense(), dtype=fac.dtype)
             for piece, ro, co in contribs:
                 lr2ge_update(dense, piece, ro, co, stats)
-            new = dense
+            new = (dense if fac.storage_dtype is None
+                   else dense.astype(fac.storage_dtype))
+        elif fac.storage_dtype is not None:
+            new = new.astype(fac.storage_dtype)
         fac.set_block(tnc, side, i, new)
+
+
+def _promote(block: Optional[Block], dtype) -> Optional[Block]:
+    """Promote a (possibly narrow-storage) operand to the compute dtype.
+
+    The one place numpy's automatic promotion cannot be relied on is a
+    product of *two* narrow operands (e.g. ``a.v.T @ b.v`` with both in
+    float32): the whole chain would then run in storage precision.  Update
+    arithmetic therefore promotes both operands before multiplying.
+    """
+    if isinstance(block, LowRankBlock):
+        return block.astype(dtype)
+    if isinstance(block, np.ndarray) and block.dtype != dtype:
+        return block.astype(dtype)
+    return block
 
 
 def _scale_columns(block: Block, d: np.ndarray) -> Block:
@@ -456,14 +539,20 @@ def _scatter(fac: NumericFactor, t: int, rlo: int, rhi: int,
                         (piece, row_off_in_block, coff))
                     continue
                 cap = rank_cap(block.nrows, tsym.ncols, cfg.rank_ratio)
+                if fac.storage_dtype is not None:
+                    tgt = tgt.astype(fac.dtype)
                 new = lr2lr_update(tgt, piece, row_off_in_block, coff,
                                    cfg.tolerance, cfg.kernel,
                                    max_rank=cap, stats=stats)
                 if new is None:
                     # rank exceeded the cap: fall back to dense storage
-                    dense = tgt.to_dense()
+                    # (updated at full precision, stored at storage_dtype)
+                    dense = np.asarray(tgt.to_dense(), dtype=fac.dtype)
                     lr2ge_update(dense, piece, row_off_in_block, coff, stats)
-                    new = dense
+                    new = (dense if fac.storage_dtype is None
+                           else dense.astype(fac.storage_dtype))
+                elif fac.storage_dtype is not None:
+                    new = new.astype(fac.storage_dtype)
                 fac.set_block(tnc, side, i, new)
             else:
                 lr2ge_update(tgt, piece, row_off_in_block, coff, stats)

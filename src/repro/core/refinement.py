@@ -19,6 +19,13 @@ import numpy as np
 from repro.sparse.csc import CSCMatrix
 
 
+def _work_dtype(a: CSCMatrix, b: np.ndarray) -> np.dtype:
+    """Workspace dtype of a refinement run (complex matrix or rhs promotes
+    everything; non-inexact input falls back to float64)."""
+    dt = np.result_type(a.values.dtype, np.asarray(b).dtype)
+    return dt if dt.kind in "fc" else np.dtype(np.float64)
+
+
 @dataclass
 class RefinementResult:
     """Solution plus convergence trace."""
@@ -46,7 +53,8 @@ def iterative_refinement(a: CSCMatrix, b: np.ndarray,
     norm_b = float(np.linalg.norm(b))
     if norm_b == 0.0:
         return RefinementResult(x=np.zeros_like(b), converged=True)
-    x = precond(b) if x0 is None else np.array(x0, dtype=np.float64)
+    x = (precond(b) if x0 is None
+         else np.array(x0, dtype=_work_dtype(a, b)))
     res = RefinementResult(x=x)
     res.history.append(_backward_error(a, x, b, norm_b))
     for it in range(maxiter):
@@ -73,11 +81,13 @@ def gmres(a: CSCMatrix, b: np.ndarray,
     backward error of Figure 8.
     """
     n = a.n
+    dt = _work_dtype(a, b)
+    complex_arith = dt.kind == "c"
     norm_b = float(np.linalg.norm(b))
     if norm_b == 0.0:
-        return RefinementResult(x=np.zeros(n), converged=True)
+        return RefinementResult(x=np.zeros(n, dtype=dt), converged=True)
     m_op = precond if precond is not None else (lambda r: r)
-    x = np.zeros(n) if x0 is None else np.array(x0, dtype=np.float64)
+    x = np.zeros(n, dtype=dt) if x0 is None else np.array(x0, dtype=dt)
     res = RefinementResult(x=x)
     res.history.append(_backward_error(a, x, b, norm_b))
     total_it = 0
@@ -88,41 +98,63 @@ def gmres(a: CSCMatrix, b: np.ndarray,
         if beta == 0.0:
             break
         m = min(restart, maxiter - total_it)
-        v = np.zeros((m + 1, n))
-        h = np.zeros((m + 1, m))
-        cs, sn = np.zeros(m), np.zeros(m)
-        g = np.zeros(m + 1)
+        v = np.zeros((m + 1, n), dtype=dt)
+        h = np.zeros((m + 1, m), dtype=dt)
+        cs = np.zeros(m)          # Givens cosines are real (zrotg-style)
+        sn = np.zeros(m, dtype=dt)
+        g = np.zeros(m + 1, dtype=dt)
         g[0] = beta
         v[0] = r / beta
         j_used = 0
         for j in range(m):
             z = m_op(v[j])
             w = a.matvec(z)
-            # modified Gram-Schmidt
+            # modified Gram-Schmidt (Hermitian inner product when complex)
             for i in range(j + 1):
-                h[i, j] = float(w @ v[i])
+                h[i, j] = (np.vdot(v[i], w) if complex_arith
+                           else float(w @ v[i]))
                 w -= h[i, j] * v[i]
-            h[j + 1, j] = float(np.linalg.norm(w))
-            if h[j + 1, j] > 0.0:
-                v[j + 1] = w / h[j + 1, j]
+            wnorm = float(np.linalg.norm(w))
+            h[j + 1, j] = wnorm
+            if wnorm > 0.0:
+                v[j + 1] = w / wnorm
             # apply previous Givens rotations to the new column
+            # (np.conj is a no-op pass-through for the real sines)
             for i in range(j):
                 tmp = cs[i] * h[i, j] + sn[i] * h[i + 1, j]
-                h[i + 1, j] = -sn[i] * h[i, j] + cs[i] * h[i + 1, j]
+                h[i + 1, j] = (-np.conj(sn[i]) * h[i, j]
+                               + cs[i] * h[i + 1, j])
                 h[i, j] = tmp
             # new rotation annihilating h[j+1, j]
-            denom = float(np.hypot(h[j, j], h[j + 1, j]))
-            if denom == 0.0:
-                cs[j], sn[j] = 1.0, 0.0
+            if complex_arith:
+                # LAPACK zrotg: c real, s = (f/|f|) conj(g) / r
+                f, gv = complex(h[j, j]), complex(h[j + 1, j])
+                if gv == 0.0:
+                    cs[j], sn[j], r_val = 1.0, 0.0, f
+                elif f == 0.0:
+                    cs[j] = 0.0
+                    sn[j] = np.conj(gv) / abs(gv)
+                    r_val = abs(gv)
+                else:
+                    d = float(np.hypot(abs(f), abs(gv)))
+                    cs[j] = abs(f) / d
+                    phase = f / abs(f)
+                    sn[j] = phase * np.conj(gv) / d
+                    r_val = phase * d
+                h[j, j] = r_val
             else:
-                cs[j], sn[j] = h[j, j] / denom, h[j + 1, j] / denom
-            h[j, j] = cs[j] * h[j, j] + sn[j] * h[j + 1, j]
+                denom = float(np.hypot(h[j, j], h[j + 1, j]))
+                if denom == 0.0:
+                    cs[j], sn[j] = 1.0, 0.0
+                else:
+                    cs[j], sn[j] = h[j, j] / denom, h[j + 1, j] / denom
+                h[j, j] = cs[j] * h[j, j] + sn[j] * h[j + 1, j]
             h[j + 1, j] = 0.0
-            g[j + 1] = -sn[j] * g[j]
+            g[j + 1] = -np.conj(sn[j]) * g[j]
             g[j] = cs[j] * g[j]
             j_used = j + 1
             total_it += 1
-            res.history.append(abs(float(g[j + 1])) / norm_b)
+            res.history.append(float(abs(g[j + 1])) / norm_b)
             if res.history[-1] <= tol or total_it >= maxiter:
                 break
         # solve the small triangular system and update x
@@ -147,22 +179,25 @@ def conjugate_gradient(a: CSCMatrix, b: np.ndarray,
                        x0: Optional[np.ndarray] = None) -> RefinementResult:
     """Preconditioned conjugate gradient (for SPD matrices)."""
     n = a.n
+    dt = _work_dtype(a, b)
+    complex_arith = dt.kind == "c"
     norm_b = float(np.linalg.norm(b))
     if norm_b == 0.0:
-        return RefinementResult(x=np.zeros(n), converged=True)
+        return RefinementResult(x=np.zeros(n, dtype=dt), converged=True)
     m_op = precond if precond is not None else (lambda r: r)
-    x = np.zeros(n) if x0 is None else np.array(x0, dtype=np.float64)
+    x = np.zeros(n, dtype=dt) if x0 is None else np.array(x0, dtype=dt)
     r = b - a.matvec(x)
     z = m_op(r)
     p = z.copy()
-    rz = float(r @ z)
+    # Hermitian inner products for complex (HPD) systems
+    rz = complex(np.vdot(r, z)) if complex_arith else float(r @ z)
     res = RefinementResult(x=x)
     res.history.append(float(np.linalg.norm(r)) / norm_b)
     for it in range(maxiter):
         if res.history[-1] <= tol:
             break
         ap = a.matvec(p)
-        pap = float(p @ ap)
+        pap = complex(np.vdot(p, ap)) if complex_arith else float(p @ ap)
         if pap == 0.0:
             break
         alpha = rz / pap
@@ -173,7 +208,7 @@ def conjugate_gradient(a: CSCMatrix, b: np.ndarray,
         if res.history[-1] <= tol:
             break
         z = m_op(r)
-        rz_new = float(r @ z)
+        rz_new = complex(np.vdot(r, z)) if complex_arith else float(r @ z)
         beta = rz_new / rz
         rz = rz_new
         p = z + beta * p

@@ -43,7 +43,7 @@ from __future__ import annotations
 import queue
 import threading
 import time
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 from repro.core.factor import NumericFactor
 from repro.core.factorization import apply_updates_from, factor_column_block

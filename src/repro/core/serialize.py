@@ -95,6 +95,9 @@ def save_factor(fac: NumericFactor, perm: np.ndarray,
                     kinds.append([k, side, i, "dense"])
     header = {
         "format_version": FORMAT_VERSION,
+        "dtype": np.dtype(fac.dtype).name,
+        "storage_dtype": (np.dtype(fac.storage_dtype).name
+                          if fac.storage_dtype is not None else None),
         "config": asdict(fac.config),
         "symbolic": _symbolic_to_json(fac.symb),
         "kinds": kinds,
@@ -126,6 +129,10 @@ def load_factor(path: Union[str, Path]) -> tuple:
     symb = _symbolic_from_json(header["symbolic"])
     fac = NumericFactor(symb, config)
     fac.nperturbed = int(header["nperturbed"])
+    # archives predating the dtype field are float64 full-precision
+    fac.dtype = np.dtype(header.get("dtype", "float64"))
+    storage = header.get("storage_dtype")
+    fac.storage_dtype = np.dtype(storage) if storage else None
 
     panel_sides = {(k, side) for k, side, i, kind in header["kinds"]
                    if kind == "panel"}

@@ -72,10 +72,23 @@ class Solver:
             raise ValueError("matrix contains NaN or Inf entries")
         self.a = a
         self.config = config or SolverConfig()
-        if self.config.is_symmetric_facto and not a.is_symmetric(tol=0.0):
-            raise ValueError(
-                "cholesky/ldlt factorization requires a symmetric matrix")
+        #: arithmetic dtype of the factorization (config.dtype wins; a
+        #: complex matrix with a real config.dtype raises here)
+        self.dtype = self.config.resolve_dtype(a.values.dtype)
+        if self.config.is_symmetric_facto:
+            hermitian = a.values.dtype.kind == "c"
+            if not a.is_symmetric(tol=0.0, hermitian=hermitian):
+                raise ValueError(
+                    "cholesky/ldlt factorization requires a "
+                    + ("Hermitian" if hermitian else "symmetric")
+                    + " matrix")
         self._a_sym = a if a.is_pattern_symmetric() else a.symmetrize_pattern()
+        if self._a_sym.values.dtype != self.dtype:
+            # cast only the working copy; self.a keeps the caller's values
+            # so residuals and refinement stay honest
+            self._a_sym = CSCMatrix(
+                self._a_sym.n, self._a_sym.colptr, self._a_sym.rowind,
+                self._a_sym.values.astype(self.dtype), check=False)
         #: node coordinates (required by ordering='geometric')
         self.coords = coords
         self.symbolic: Optional[SymbolicFactor] = None
@@ -171,7 +184,15 @@ class Solver:
         """
         if self.factor is None:
             self.factorize()
-        b = np.asarray(b, dtype=np.float64)
+        b = np.asarray(b)
+        if b.dtype.kind not in "fc":
+            b = b.astype(np.float64)
+        if b.dtype.kind == "c" and self.factor.dtype.kind != "c":
+            raise ValueError(
+                "complex right-hand side against a real factorization "
+                "would discard imaginary parts; factor with "
+                "config.dtype='complex128' (or solve real/imag parts "
+                "separately)")
         if refine and b.ndim > 1:
             raise ValueError(
                 "refine=True supports a single right-hand side; solve each "
@@ -244,11 +265,20 @@ class Solver:
         if not (np.array_equal(a.colptr, self.a.colptr)
                 and np.array_equal(a.rowind, self.a.rowind)):
             raise ValueError("new matrix must share the sparsity pattern")
-        if self.config.is_symmetric_facto and not a.is_symmetric(tol=0.0):
-            raise ValueError(
-                "cholesky/ldlt factorization requires a symmetric matrix")
+        if self.config.is_symmetric_facto:
+            hermitian = a.values.dtype.kind == "c"
+            if not a.is_symmetric(tol=0.0, hermitian=hermitian):
+                raise ValueError(
+                    "cholesky/ldlt factorization requires a "
+                    + ("Hermitian" if hermitian else "symmetric")
+                    + " matrix")
+        self.dtype = self.config.resolve_dtype(a.values.dtype)
         self.a = a
         self._a_sym = a if a.is_pattern_symmetric() else a.symmetrize_pattern()
+        if self._a_sym.values.dtype != self.dtype:
+            self._a_sym = CSCMatrix(
+                self._a_sym.n, self._a_sym.colptr, self._a_sym.rowind,
+                self._a_sym.values.astype(self.dtype), check=False)
         self.factor = None  # numerical state is stale; analysis is kept
 
     # -- persistence -----------------------------------------------------

@@ -32,10 +32,19 @@ def _apply_block(block, x_cols: np.ndarray) -> np.ndarray:
 
 
 def _apply_block_t(block, x_rows: np.ndarray) -> np.ndarray:
-    """``block.T @ x_rows``."""
+    """``block.T @ x_rows`` (pure transpose — the LU paths)."""
+    if isinstance(block, LowRankBlock):
+        return block.tmatvec(x_rows)
+    return block.T @ x_rows
+
+
+def _apply_block_h(block, x_rows: np.ndarray) -> np.ndarray:
+    """``blockᴴ @ x_rows`` (adjoint — the symmetric backward passes; for
+    real blocks ``conj`` is a no-copy pass-through, so this coincides
+    bit-for-bit with :func:`_apply_block_t`)."""
     if isinstance(block, LowRankBlock):
         return block.rmatvec(x_rows)
-    return block.T @ x_rows
+    return block.conj().T @ x_rows
 
 
 def solve_factored(fac: NumericFactor, b: np.ndarray,
@@ -45,10 +54,16 @@ def solve_factored(fac: NumericFactor, b: np.ndarray,
 
     The transposed solve of an LU factorization runs ``Uᵗ z = b`` then
     ``Lᵗ x = z``: the stored ``Uᵗ`` blocks apply *forward* and the ``L``
-    blocks apply transposed, mirroring the plain solve.  Symmetric
-    factorizations are their own transpose.
+    blocks apply transposed, mirroring the plain solve.  For complex LU
+    factors ``trans=True`` solves against ``Aᵗ`` (the pure transpose, not
+    the adjoint), matching the real-case semantics.  Hermitian
+    factorizations (cholesky/ldlt of complex matrices) are their own
+    adjoint, and their backward passes apply ``Lᴴ``.
     """
-    x = np.array(b, dtype=np.float64, copy=True)
+    x = np.array(b, dtype=np.result_type(fac.dtype, np.asarray(b).dtype),
+                 copy=True)
+    if x.dtype.kind not in "fc":
+        x = x.astype(np.float64)
     single = x.ndim == 1
     if single:
         x = x[:, None]
@@ -102,14 +117,16 @@ def _forward_cholesky(fac: NumericFactor, x: np.ndarray) -> None:
 
 
 def _backward_cholesky(fac: NumericFactor, x: np.ndarray) -> None:
-    """``Lᵗ x = y`` using the same L blocks transposed."""
+    """``Lᴴ x = y`` using the same L blocks adjoint-applied (``Lᵗ`` for
+    real factors)."""
+    trans = "C" if fac.dtype.kind == "c" else "T"
     for nc in reversed(fac.cblks):
         sym = nc.sym
         lo, hi = sym.first_col, sym.end_col
         acc = x[lo:hi]
         for i, b in enumerate(sym.off_blocks()):
-            acc -= _apply_block_t(nc.lblock(i), x[b.first_row:b.end_row])
-        x[lo:hi] = sla.solve_triangular(nc.diag, acc, lower=True, trans="T", check_finite=False)
+            acc -= _apply_block_h(nc.lblock(i), x[b.first_row:b.end_row])
+        x[lo:hi] = sla.solve_triangular(nc.diag, acc, lower=True, trans=trans, check_finite=False)
 
 
 def _forward_ldlt(fac: NumericFactor, x: np.ndarray) -> None:
@@ -127,18 +144,22 @@ def _diag_scale_ldlt(fac: NumericFactor, x: np.ndarray) -> None:
     """``y = D⁻¹ z`` using the diagonal entries of every diagonal block."""
     for nc in fac.cblks:
         lo, hi = nc.sym.first_col, nc.sym.end_col
-        x[lo:hi] /= np.diag(nc.diag)[:, None]
+        d = np.diag(nc.diag)
+        if d.dtype.kind == "c":
+            d = d.real  # Hermitian LDLᴴ: D is real by construction
+        x[lo:hi] /= d[:, None]
 
 
 def _backward_ldlt(fac: NumericFactor, x: np.ndarray) -> None:
-    """``Lᵗ x = y`` with the same unit-lower L blocks transposed."""
+    """``Lᴴ x = y`` with the same unit-lower L blocks adjoint-applied."""
+    trans = "C" if fac.dtype.kind == "c" else "T"
     for nc in reversed(fac.cblks):
         sym = nc.sym
         lo, hi = sym.first_col, sym.end_col
         acc = x[lo:hi]
         for i, b in enumerate(sym.off_blocks()):
-            acc -= _apply_block_t(nc.lblock(i), x[b.first_row:b.end_row])
-        x[lo:hi] = sla.solve_triangular(nc.diag, acc, lower=True, trans="T",
+            acc -= _apply_block_h(nc.lblock(i), x[b.first_row:b.end_row])
+        x[lo:hi] = sla.solve_triangular(nc.diag, acc, lower=True, trans=trans,
                                         unit_diagonal=True, check_finite=False)
 
 

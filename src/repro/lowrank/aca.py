@@ -39,15 +39,17 @@ def aca_compress(a: np.ndarray, tol: float,
     """
     m, n = a.shape
     if min(m, n) == 0:
-        return LowRankBlock.zero(m, n)
-    norm_a2 = float(np.einsum("ij,ij->", a, a))
+        return LowRankBlock.zero(m, n, dtype=a.dtype)
+    norm_a2 = float(np.einsum("ij,ij->", a.conj(), a).real)
     if norm_a2 == 0.0:
-        return LowRankBlock.zero(m, n)
+        return LowRankBlock.zero(m, n, dtype=a.dtype)
     threshold2 = (tol ** 2) * norm_a2
     kmax = min(m, n)
     limit = kmax if max_rank is None else min(kmax, int(max_rank))
 
-    residual = np.array(a, dtype=np.float64, copy=True)
+    residual = np.array(a, copy=True)
+    if residual.dtype.kind not in "fc":
+        residual = residual.astype(np.float64)
     us, vs = [], []
     resid2 = norm_a2
     while resid2 > threshold2:
@@ -66,10 +68,10 @@ def aca_compress(a: np.ndarray, tol: float,
         residual -= np.outer(col, row)
         us.append(col)
         vs.append(row)
-        resid2 = float(np.einsum("ij,ij->", residual, residual))
+        resid2 = float(np.einsum("ij,ij->", residual.conj(), residual).real)
 
     if not us:
-        return LowRankBlock.zero(m, n)
+        return LowRankBlock.zero(m, n, dtype=a.dtype)
     u = np.column_stack(us)
     v = np.column_stack(vs)
     # restore the orthonormal-u invariant

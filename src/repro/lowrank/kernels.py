@@ -111,7 +111,8 @@ def lr_product(a: Block, b: Block, tol: float, kernel: str,
         t_hat = (svd_compress(t_mat, tol) if kernel == "svd"
                  else rrqr_compress(t_mat, tol))
         if t_hat is None:  # pragma: no cover - no cap given, cannot happen
-            t_hat = LowRankBlock(*np.linalg.qr(t_mat))
+            q, r = np.linalg.qr(t_mat)
+            t_hat = LowRankBlock(q, r.T.copy())
         fl += (svd_flops(*t_mat.shape) if kernel == "svd"
                else rrqr_flops(t_mat.shape[0], t_mat.shape[1],
                                max(t_hat.rank, 1)))
@@ -199,9 +200,10 @@ def lr2lr_update(target: LowRankBlock, contrib: Block,
         return target
 
     m_c, n_c = target.m, target.n
-    u_pad = np.zeros((m_c, contrib.rank))
+    dt = np.result_type(target.dtype, contrib.dtype)
+    u_pad = np.zeros((m_c, contrib.rank), dtype=dt)
     u_pad[row_off:row_off + contrib.m] = contrib.u
-    v_pad = np.zeros((n_c, contrib.rank))
+    v_pad = np.zeros((n_c, contrib.rank), dtype=dt)
     v_pad[col_off:col_off + contrib.n] = contrib.v
 
     if kernel == "svd":
@@ -250,9 +252,10 @@ def lr2lr_update_multi(target: LowRankBlock, contribs,
             contrib = lr
         if contrib.rank == 0:
             continue
-        u_pad = np.zeros((m_c, contrib.rank))
+        dt = np.result_type(target.dtype, contrib.dtype)
+        u_pad = np.zeros((m_c, contrib.rank), dtype=dt)
         u_pad[row_off:row_off + contrib.m] = contrib.u
-        v_pad = np.zeros((n_c, contrib.rank))
+        v_pad = np.zeros((n_c, contrib.rank), dtype=dt)
         v_pad[col_off:col_off + contrib.n] = contrib.v
         u_parts.append(u_pad)
         v_parts.append(v_pad)

@@ -51,10 +51,10 @@ def rsvd_compress(a: np.ndarray, tol: float,
     """
     m, n = a.shape
     if min(m, n) == 0:
-        return LowRankBlock.zero(m, n)
-    norm2 = float(np.einsum("ij,ij->", a, a))
+        return LowRankBlock.zero(m, n, dtype=a.dtype)
+    norm2 = float(np.einsum("ij,ij->", a.conj(), a).real)
     if norm2 == 0.0:
-        return LowRankBlock.zero(m, n)
+        return LowRankBlock.zero(m, n, dtype=a.dtype)
     # the error budget is split between range capture and core truncation:
     # sqrt(resid² + trunc²) <= tol ||A|| with each stage at tol/sqrt(2)
     tol_stage = tol / np.sqrt(2.0)
@@ -63,19 +63,21 @@ def rsvd_compress(a: np.ndarray, tol: float,
     limit = kmax if max_rank is None else min(kmax, int(max_rank))
 
     rng = np.random.default_rng(seed + m * 31 + n)
-    q = np.empty((m, 0))
-    b = np.empty((0, n))
+    complex_input = a.dtype.kind == "c"
+    q = np.empty((m, 0), dtype=a.dtype)
+    b = np.empty((0, n), dtype=a.dtype)
     # The cheap residual estimate ||A||² - ||QᵗA||² suffers catastrophic
     # cancellation once the residual falls near sqrt(eps)·||A||; below that
     # regime the residual is measured exactly (one extra GEMM per round).
-    exact_resid = threshold2 < 64.0 * np.finfo(np.float64).eps * norm2
+    eps = np.finfo(np.zeros(0, dtype=a.dtype).real.dtype).eps
+    exact_resid = threshold2 < 64.0 * eps * norm2
 
     def residual2() -> float:
         if not exact_resid:
-            captured2 = float(np.einsum("ij,ij->", b, b))
+            captured2 = float(np.einsum("ij,ij->", b.conj(), b).real)
             return norm2 - captured2
         r = a - q @ b if q.shape[1] else a
-        return float(np.einsum("ij,ij->", r, r))
+        return float(np.einsum("ij,ij->", r.conj(), r).real)
 
     while residual2() > threshold2:
         if q.shape[1] >= limit:
@@ -84,26 +86,30 @@ def rsvd_compress(a: np.ndarray, tol: float,
                 break  # numerically full-rank: fall through to exact SVD
             return None
         nb = min(block, limit - q.shape[1])
-        g = rng.standard_normal((n, nb))
+        if complex_input:
+            g = (rng.standard_normal((n, nb))
+                 + 1j * rng.standard_normal((n, nb))).astype(a.dtype)
+        else:
+            g = rng.standard_normal((n, nb)).astype(a.dtype, copy=False)
         y = a @ g
         if q.shape[1]:
-            y -= q @ (q.T @ y)
+            y -= q @ (q.conj().T @ y)
         # re-orthogonalize once (classical Gram-Schmidt twice is enough)
         y, _ = np.linalg.qr(y)
         if q.shape[1]:
-            y -= q @ (q.T @ y)
+            y -= q @ (q.conj().T @ y)
             y, _ = np.linalg.qr(y)
-        rows = y.T @ a
+        rows = y.conj().T @ a
         q = np.hstack([q, y])
         b = np.vstack([b, rows])
 
     # small-core SVD re-truncation against the original norm
     if b.shape[0] == 0:
-        return LowRankBlock.zero(m, n)
+        return LowRankBlock.zero(m, n, dtype=a.dtype)
     uu, sigma, vvt = sla.svd(b, full_matrices=False)
     rank = svd_truncate(sigma, tol_stage, norm_a=float(np.sqrt(norm2)))
     if max_rank is not None and rank > max_rank:
         return None
     if rank == 0:
-        return LowRankBlock.zero(m, n)
+        return LowRankBlock.zero(m, n, dtype=a.dtype)
     return LowRankBlock(q @ uu[:, :rank], (vvt[:rank].T * sigma[:rank]))

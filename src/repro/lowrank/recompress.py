@@ -49,8 +49,9 @@ def recompress_svd(u_c: np.ndarray, v_c: np.ndarray,
     """
     u_cat = np.hstack([u_c, u_ab])
     v_cat = np.hstack([v_c, -v_ab])
+    dt = np.result_type(u_cat, v_cat)
     if u_cat.shape[1] == 0:
-        return LowRankBlock.zero(u_c.shape[0], v_c.shape[0])
+        return LowRankBlock.zero(u_c.shape[0], v_c.shape[0], dtype=dt)
     q1, r1 = np.linalg.qr(u_cat)       # eq. (7)
     q2, r2 = np.linalg.qr(v_cat)
     core = r1 @ r2.T
@@ -61,7 +62,7 @@ def recompress_svd(u_c: np.ndarray, v_c: np.ndarray,
     if max_rank is not None and rank > max_rank:
         return None
     if rank == 0:
-        return LowRankBlock.zero(u_c.shape[0], v_c.shape[0])
+        return LowRankBlock.zero(u_c.shape[0], v_c.shape[0], dtype=dt)
     u_new = q1 @ uu[:, :rank]          # eq. (8)
     v_new = q2 @ (vvt[:rank].T * sigma[:rank])
     return LowRankBlock(u_new, v_new)
@@ -82,6 +83,7 @@ def recompress_rrqr(u_c: np.ndarray, v_c: np.ndarray,
     """
     m, n = u_c.shape[0], v_c.shape[0]
     r_c, r_ab = u_c.shape[1], u_ab.shape[1]
+    dt = np.result_type(u_c, v_c, u_ab, v_ab)
     if r_ab == 0:
         return LowRankBlock(u_c, v_c)
     if r_c == 0:
@@ -93,16 +95,17 @@ def recompress_rrqr(u_c: np.ndarray, v_c: np.ndarray,
             return None
         rank = res.q.shape[1]
         if rank == 0:
-            return LowRankBlock.zero(m, n)
-        vt = np.empty((rank, n))
+            return LowRankBlock.zero(m, n, dtype=dt)
+        vt = np.empty((rank, n), dtype=res.r.dtype)
         vt[:, res.jpvt] = res.r
         return LowRankBlock(q2 @ res.q, vt.T.copy())
 
-    # eq. (9): orthogonalize the new directions against uC
-    x = u_c.T @ u_ab                       # (rC, rAB)
+    # eq. (9): orthogonalize the new directions against uC (Hermitian
+    # projection — .conj() is a no-copy pass-through for real factors)
+    x = u_c.conj().T @ u_ab                # (rC, rAB)
     e = u_ab - u_c @ x
     # one reorthogonalization pass for numerical safety (CGS2)
-    x2 = u_c.T @ e
+    x2 = u_c.conj().T @ e
     e -= u_c @ x2
     x += x2
     q2, r2 = np.linalg.qr(e)               # new orthonormal directions
@@ -117,11 +120,11 @@ def recompress_rrqr(u_c: np.ndarray, v_c: np.ndarray,
         return None
     rank = res.q.shape[1]
     if rank == 0:
-        return LowRankBlock.zero(m, n)
+        return LowRankBlock.zero(m, n, dtype=dt)
 
     # eq. (12): map back through the orthonormal basis [uC, Q2]
     basis = np.hstack([u_c, q2])
     u_new = basis @ res.q
-    vt = np.empty((rank, n))
+    vt = np.empty((rank, n), dtype=res.r.dtype)
     vt[:, res.jpvt] = res.r
     return LowRankBlock(u_new, vt.T.copy())

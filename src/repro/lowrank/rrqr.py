@@ -64,6 +64,12 @@ def rrqr(a: np.ndarray, tol: float,
         the *operands* here, so an update that cancels a block truncates to
         rank 0 instead of keeping a full-rank representation of noise.
     """
+    if np.asarray(a).dtype.kind == "c":
+        # the Householder loop below is written for real arithmetic
+        # (np.copysign); complex blocks take the LAPACK path, which
+        # handles them natively
+        return rrqr_lapack(a, tol, max_rank, norm_ref)
+
     m, n = a.shape
     kmax = min(m, n)
     limit = kmax if max_rank is None else min(kmax, int(max_rank))
@@ -182,7 +188,7 @@ def rrqr_lapack(a: np.ndarray, tol: float,
     q, r, jpvt = sla.qr(a, mode="economic", pivoting=True,
                         check_finite=False)
     # Frobenius tail of discarding rows >= rank
-    row_sq = np.einsum("ij,ij->i", r, r)
+    row_sq = np.einsum("ij,ij->i", r.conj(), r).real
     tail = np.sqrt(np.maximum(np.cumsum(row_sq[::-1])[::-1], 0.0))
     norm_a = float(tail[0]) if tail.size else 0.0
     scale = max(norm_a, norm_ref or 0.0)
@@ -212,13 +218,13 @@ def rrqr_compress(a: np.ndarray, tol: float,
     """
     m, n = a.shape
     if min(m, n) == 0:
-        return LowRankBlock.zero(m, n)
+        return LowRankBlock.zero(m, n, dtype=a.dtype)
     res = (rrqr_lapack if impl == "lapack" else rrqr)(a, tol, max_rank)
     if not res.converged:
         return None
     rank = res.q.shape[1]
     if rank == 0:
-        return LowRankBlock.zero(m, n)
-    vt = np.empty((rank, n))
+        return LowRankBlock.zero(m, n, dtype=a.dtype)
+    vt = np.empty((rank, n), dtype=res.r.dtype)
     vt[:, res.jpvt] = res.r
     return LowRankBlock(res.q, vt.T.copy())

@@ -59,7 +59,7 @@ def svd_compress(a: np.ndarray, tol: float,
     """
     m, n = a.shape
     if min(m, n) == 0:
-        return LowRankBlock.zero(m, n)
+        return LowRankBlock.zero(m, n, dtype=a.dtype)
     try:
         u, sigma, vt = sla.svd(a, full_matrices=False,
                                lapack_driver="gesdd", check_finite=False)
@@ -69,7 +69,7 @@ def svd_compress(a: np.ndarray, tol: float,
     if max_rank is not None and rank > max_rank:
         return None
     if rank == 0:
-        return LowRankBlock.zero(m, n)
+        return LowRankBlock.zero(m, n, dtype=a.dtype)
     # fold singular values into v so u stays orthonormal
     return LowRankBlock(u[:, :rank].copy(),
                         (vt[:rank].T * sigma[:rank]).copy())
@@ -91,5 +91,6 @@ def svd_compress_lr(u: np.ndarray, v: np.ndarray, tol: float
     rank = svd_truncate(sigma, tol)
     if rank == 0:
         m, n = u.shape[0], v.shape[0]
-        return np.zeros((m, 0)), np.zeros((n, 0))
+        dt = np.result_type(u, v)
+        return np.zeros((m, 0), dtype=dt), np.zeros((n, 0), dtype=dt)
     return qu @ uu[:, :rank], qv @ (vvt[:rank].T * sigma[:rank])

@@ -13,9 +13,20 @@ pattern, and dense conversion for tests.  Anything fancier belongs in scipy.
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Tuple
+from typing import Iterable, Tuple
 
 import numpy as np
+
+#: dtypes the numeric pipeline supports (PaStiX's s/d/c/z)
+SUPPORTED_DTYPES = (np.dtype(np.float32), np.dtype(np.float64),
+                    np.dtype(np.complex64), np.dtype(np.complex128))
+
+
+def _values_dtype(values) -> np.dtype:
+    """The storage dtype for a values array: s/d/c/z inputs are kept as-is,
+    anything else (int, bool, float16, ...) is promoted to float64."""
+    dt = np.asarray(values).dtype
+    return dt if dt in SUPPORTED_DTYPES else np.dtype(np.float64)
 
 
 class CSCMatrix:
@@ -33,7 +44,9 @@ class CSCMatrix:
         ``int64`` array of row indices, sorted strictly increasing within
         each column (checked).
     values:
-        ``float64`` array aligned with ``rowind``.
+        Array aligned with ``rowind``.  Inexact dtypes (float32/float64/
+        complex64/complex128) are preserved; anything else is coerced to
+        ``float64``.
     """
 
     __slots__ = ("n", "colptr", "rowind", "values")
@@ -43,7 +56,7 @@ class CSCMatrix:
         self.n = int(n)
         self.colptr = np.ascontiguousarray(colptr, dtype=np.int64)
         self.rowind = np.ascontiguousarray(rowind, dtype=np.int64)
-        self.values = np.ascontiguousarray(values, dtype=np.float64)
+        self.values = np.ascontiguousarray(values, dtype=_values_dtype(values))
         if check:
             self._validate()
 
@@ -75,8 +88,8 @@ class CSCMatrix:
                           dtype=np.int64)
         cols = np.asarray(list(cols) if not isinstance(cols, np.ndarray) else cols,
                           dtype=np.int64)
-        vals = np.asarray(list(vals) if not isinstance(vals, np.ndarray) else vals,
-                          dtype=np.float64)
+        vals = np.asarray(list(vals) if not isinstance(vals, np.ndarray) else vals)
+        vals = np.asarray(vals, dtype=_values_dtype(vals))
         if not (rows.shape == cols.shape == vals.shape):
             raise ValueError("rows/cols/vals must have equal shapes")
         order = np.lexsort((rows, cols))
@@ -86,7 +99,7 @@ class CSCMatrix:
             keep[0] = True
             np.logical_or(rows[1:] != rows[:-1], cols[1:] != cols[:-1], out=keep[1:])
             groups = np.cumsum(keep) - 1
-            summed = np.zeros(int(groups[-1]) + 1, dtype=np.float64)
+            summed = np.zeros(int(groups[-1]) + 1, dtype=vals.dtype)
             np.add.at(summed, groups, vals)
             rows, cols, vals = rows[keep], cols[keep], summed
         colptr = np.zeros(n + 1, dtype=np.int64)
@@ -96,7 +109,8 @@ class CSCMatrix:
 
     @classmethod
     def from_dense(cls, a: np.ndarray, tol: float = 0.0) -> "CSCMatrix":
-        a = np.asarray(a, dtype=np.float64)
+        a = np.asarray(a)
+        a = np.asarray(a, dtype=_values_dtype(a))
         if a.ndim != 2 or a.shape[0] != a.shape[1]:
             raise ValueError("dense input must be square")
         rows, cols = np.nonzero(np.abs(a) > tol)
@@ -109,7 +123,8 @@ class CSCMatrix:
         a.sort_indices()
         a.sum_duplicates()
         return cls(a.shape[0], a.indptr.astype(np.int64),
-                   a.indices.astype(np.int64), a.data.astype(np.float64))
+                   a.indices.astype(np.int64),
+                   a.data.astype(_values_dtype(a.data)))
 
     def to_scipy(self):
         import scipy.sparse as sp
@@ -131,8 +146,12 @@ class CSCMatrix:
         lo, hi = self.colptr[j], self.colptr[j + 1]
         return self.rowind[lo:hi], self.values[lo:hi]
 
+    @property
+    def dtype(self) -> np.dtype:
+        return self.values.dtype
+
     def diagonal(self) -> np.ndarray:
-        d = np.zeros(self.n)
+        d = np.zeros(self.n, dtype=self.values.dtype)
         for j in range(self.n):
             rows, vals = self.column(j)
             k = np.searchsorted(rows, j)
@@ -141,7 +160,7 @@ class CSCMatrix:
         return d
 
     def to_dense(self) -> np.ndarray:
-        a = np.zeros((self.n, self.n))
+        a = np.zeros((self.n, self.n), dtype=self.values.dtype)
         for j in range(self.n):
             rows, vals = self.column(j)
             a[rows, j] = vals
@@ -156,7 +175,7 @@ class CSCMatrix:
 
     def matvec(self, x: np.ndarray) -> np.ndarray:
         """Compute ``A @ x`` (supports a single vector or a (n, k) block)."""
-        x = np.asarray(x, dtype=np.float64)
+        x = np.asarray(x, dtype=np.result_type(self.values, np.asarray(x)))
         single = x.ndim == 1
         xb = x[:, None] if single else x
         y = np.zeros_like(xb)
@@ -168,7 +187,7 @@ class CSCMatrix:
 
     def rmatvec(self, x: np.ndarray) -> np.ndarray:
         """Compute ``Aᵗ @ x``."""
-        x = np.asarray(x, dtype=np.float64)
+        x = np.asarray(x, dtype=np.result_type(self.values, np.asarray(x)))
         single = x.ndim == 1
         xb = x[:, None] if single else x
         y = np.zeros_like(xb)
@@ -188,7 +207,8 @@ class CSCMatrix:
         cols_t = np.repeat(np.arange(self.n, dtype=np.int64), np.diff(at.colptr))
         rows = np.concatenate([self.rowind, at.rowind])
         cols = np.concatenate([cols_a, cols_t])
-        vals = np.concatenate([self.values, np.zeros(at.nnz)])
+        vals = np.concatenate(
+            [self.values, np.zeros(at.nnz, dtype=self.values.dtype)])
         return CSCMatrix.from_coo(self.n, rows, cols, vals)
 
     def is_pattern_symmetric(self) -> bool:
@@ -196,12 +216,15 @@ class CSCMatrix:
         return (np.array_equal(self.colptr, at.colptr)
                 and np.array_equal(self.rowind, at.rowind))
 
-    def is_symmetric(self, tol: float = 0.0) -> bool:
+    def is_symmetric(self, tol: float = 0.0, hermitian: bool = False) -> bool:
+        """``A == Aᵗ`` entrywise (or ``A == A^H`` with ``hermitian=True``,
+        the natural notion for complex matrices handed to Cholesky/LDLᵀ)."""
         at = self.transpose()
         if not (np.array_equal(self.colptr, at.colptr)
                 and np.array_equal(self.rowind, at.rowind)):
             return False
-        return bool(np.all(np.abs(self.values - at.values) <= tol))
+        other = np.conj(at.values) if hermitian else at.values
+        return bool(np.all(np.abs(self.values - other) <= tol))
 
     def lower_pattern(self) -> "CSCMatrix":
         """Strictly-lower + diagonal part (used by Cholesky paths)."""

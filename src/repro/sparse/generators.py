@@ -344,22 +344,29 @@ def laplacian_3d_27pt(nx: int, ny: Optional[int] = None,
 
 
 def helmholtz_3d(nx: int, ny: Optional[int] = None, nz: Optional[int] = None,
-                 wavenumber: float = 1.0) -> CSCMatrix:
-    """Shifted (indefinite) Helmholtz operator ``-Δ - k² I``.
+                 wavenumber: float = 1.0,
+                 damping: float = 0.0) -> CSCMatrix:
+    """Shifted (indefinite) Helmholtz operator ``-Δ - (1 - iα) k² I``.
 
     The textbook hard case for compression-based solvers: block ranks grow
     with the wavenumber ``k`` because the Green's function oscillates.
-    Symmetric indefinite — factorize with ``factotype='ldlt'`` (static
-    pivoting) — and a natural workload for the compressibility-vs-physics
-    ablation.  ``wavenumber`` is expressed in grid units (``k·h``).
+    With ``damping == 0`` the operator is real symmetric indefinite —
+    factorize with ``factotype='ldlt'`` (static pivoting).  A nonzero
+    ``damping`` α adds the absorbing ``+iαk²`` shift used by shifted-Laplacian
+    preconditioners, yielding a *complex symmetric* (not Hermitian) matrix —
+    factorize with ``factotype='lu'`` and ``dtype='complex128'``.
+    ``wavenumber`` is expressed in grid units (``k·h``).
     """
     ny = nx if ny is None else ny
     nz = nx if nz is None else nz
     base = laplacian_3d(nx, ny, nz)
     shift = float(wavenumber) ** 2
+    if damping:
+        shift = shift * complex(1.0, -float(damping))
     rows = np.concatenate([base.rowind, np.arange(base.n)])
     cols = np.concatenate(
         [np.repeat(np.arange(base.n, dtype=np.int64), np.diff(base.colptr)),
          np.arange(base.n)])
-    vals = np.concatenate([base.values, np.full(base.n, -shift)])
+    diag = np.full(base.n, -shift)
+    vals = np.concatenate([base.values.astype(diag.dtype), diag])
     return CSCMatrix.from_coo(base.n, rows, cols, vals)

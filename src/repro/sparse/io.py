@@ -1,8 +1,9 @@
 """Minimal Matrix Market (coordinate) reader / writer.
 
-Supports ``matrix coordinate real {general|symmetric}`` — the format of the
-SuiteSparse collection the paper draws its matrices from, so a user who *does*
-have Atmosmodj/Audi/... on disk can feed the genuine article to the solver.
+Supports ``matrix coordinate {real|complex} {general|symmetric}`` — the
+format of the SuiteSparse collection the paper draws its matrices from, so a
+user who *does* have Atmosmodj/Audi/... on disk can feed the genuine article
+to the solver.  Complex files keep their complex128 values end-to-end.
 """
 
 from __future__ import annotations
@@ -24,7 +25,8 @@ def _open(path: Union[str, Path], mode: str):
 
 
 def read_matrix_market(path: Union[str, Path]) -> CSCMatrix:
-    """Read a square real matrix in MatrixMarket coordinate format."""
+    """Read a square real or complex matrix in MatrixMarket coordinate
+    format."""
     with _open(path, "r") as fh:
         header = fh.readline()
         if not header.startswith("%%MatrixMarket"):
@@ -35,7 +37,8 @@ def read_matrix_market(path: Union[str, Path]) -> CSCMatrix:
         _, obj, fmt, field, sym = tokens[:5]
         if obj.lower() != "matrix" or fmt.lower() != "coordinate":
             raise ValueError("only 'matrix coordinate' files are supported")
-        if field.lower() not in ("real", "integer", "pattern"):
+        field = field.lower()
+        if field not in ("real", "integer", "pattern", "complex"):
             raise ValueError(f"unsupported field {field!r}")
         sym = sym.lower()
         if sym not in ("general", "symmetric"):
@@ -48,15 +51,22 @@ def read_matrix_market(path: Union[str, Path]) -> CSCMatrix:
         if m != n:
             raise ValueError("only square matrices are supported")
 
+        is_complex = field == "complex"
         rows = np.empty(nnz, dtype=np.int64)
         cols = np.empty(nnz, dtype=np.int64)
-        vals = np.empty(nnz, dtype=np.float64)
-        pattern = field.lower() == "pattern"
+        vals = np.empty(nnz,
+                        dtype=np.complex128 if is_complex else np.float64)
+        pattern = field == "pattern"
         for i in range(nnz):
             parts = fh.readline().split()
             rows[i] = int(parts[0]) - 1
             cols[i] = int(parts[1]) - 1
-            vals[i] = 1.0 if pattern else float(parts[2])
+            if pattern:
+                vals[i] = 1.0
+            elif is_complex:
+                vals[i] = complex(float(parts[2]), float(parts[3]))
+            else:
+                vals[i] = float(parts[2])
 
     if sym == "symmetric":
         off = rows != cols
@@ -69,10 +79,13 @@ def read_matrix_market(path: Union[str, Path]) -> CSCMatrix:
 
 def write_matrix_market(a: CSCMatrix, path: Union[str, Path],
                         symmetric: bool = False) -> None:
-    """Write in ``coordinate real {general|symmetric}`` format (1-based)."""
+    """Write in ``coordinate {real|complex} {general|symmetric}`` format
+    (1-based); the field follows the matrix dtype."""
     sym = "symmetric" if symmetric else "general"
+    is_complex = a.values.dtype.kind == "c"
+    field = "complex" if is_complex else "real"
     with _open(path, "w") as fh:
-        fh.write(f"%%MatrixMarket matrix coordinate real {sym}\n")
+        fh.write(f"%%MatrixMarket matrix coordinate {field} {sym}\n")
         cols = np.repeat(np.arange(a.n, dtype=np.int64), np.diff(a.colptr))
         if symmetric:
             keep = a.rowind >= cols
@@ -80,5 +93,9 @@ def write_matrix_market(a: CSCMatrix, path: Union[str, Path],
         else:
             rows, cs, vals = a.rowind, cols, a.values
         fh.write(f"{a.n} {a.n} {len(rows)}\n")
-        for r, c, v in zip(rows, cs, vals):
-            fh.write(f"{r + 1} {c + 1} {float(v)!r}\n")
+        if is_complex:
+            for r, c, v in zip(rows, cs, vals):
+                fh.write(f"{r + 1} {c + 1} {v.real!r} {v.imag!r}\n")
+        else:
+            for r, c, v in zip(rows, cs, vals):
+                fh.write(f"{r + 1} {c + 1} {float(v)!r}\n")

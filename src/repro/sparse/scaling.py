@@ -28,13 +28,18 @@ class Scaling:
     col: np.ndarray
 
     def scale_rhs(self, b: np.ndarray) -> np.ndarray:
-        """``b_scaled = D_r b``."""
-        b = np.asarray(b, dtype=np.float64)
+        """``b_scaled = D_r b`` (dtype-preserving — complex rhs stays
+        complex; non-inexact input is promoted to float64)."""
+        b = np.asarray(b)
+        if b.dtype.kind not in "fc":
+            b = b.astype(np.float64)
         return b * (self.row if b.ndim == 1 else self.row[:, None])
 
     def unscale_solution(self, y: np.ndarray) -> np.ndarray:
-        """``x = D_c y``."""
-        y = np.asarray(y, dtype=np.float64)
+        """``x = D_c y`` (dtype-preserving)."""
+        y = np.asarray(y)
+        if y.dtype.kind not in "fc":
+            y = y.astype(np.float64)
         return y * (self.col if y.ndim == 1 else self.col[:, None])
 
 

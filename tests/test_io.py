@@ -59,10 +59,21 @@ class TestReaderValidation:
         with pytest.raises(ValueError, match="coordinate"):
             read_matrix_market(p)
 
-    def test_rejects_complex(self, tmp_path):
-        p = tmp_path / "bad.mtx"
+    def test_reads_complex(self, tmp_path):
+        p = tmp_path / "cplx.mtx"
         p.write_text("%%MatrixMarket matrix coordinate complex general\n"
-                     "1 1 1\n1 1 1.0 0.0\n")
+                     "2 2 3\n1 1 1.0 0.0\n2 2 2.0 -0.5\n1 2 0.0 3.0\n")
+        a = read_matrix_market(p)
+        assert a.values.dtype == np.complex128
+        dense = a.to_dense()
+        assert dense[0, 0] == 1.0
+        assert dense[1, 1] == 2.0 - 0.5j
+        assert dense[0, 1] == 3.0j
+
+    def test_rejects_unknown_field(self, tmp_path):
+        p = tmp_path / "bad.mtx"
+        p.write_text("%%MatrixMarket matrix coordinate hexadecimal general\n"
+                     "1 1 1\n1 1 ff\n")
         with pytest.raises(ValueError, match="field"):
             read_matrix_market(p)
 

@@ -1,0 +1,321 @@
+"""Precision-generic solver tests: float32/complex end-to-end, Hermitian
+low-rank algebra, dtype-honest byte accounting, and mixed-precision BLR
+storage."""
+
+import numpy as np
+import pytest
+
+from tests.conftest import tiny_blr_config
+
+from repro.config import SolverConfig
+from repro.core.solver import Solver
+from repro.lowrank.block import LowRankBlock
+from repro.sparse.csc import CSCMatrix
+from repro.sparse.generators import helmholtz_3d, laplacian_3d
+
+STRATEGIES = ("dense", "just-in-time", "minimal-memory")
+
+#: per-dtype compression tolerance: single-kind dtypes cannot support τ
+#: below their epsilon
+TAU = {"float32": 1e-4, "complex64": 1e-4, "float64": 1e-8, "complex128": 1e-8}
+
+
+def _workload(dtype: str) -> CSCMatrix:
+    """A paper-shaped matrix whose factorization runs at ``dtype``."""
+    if dtype.startswith("complex"):
+        # damped Helmholtz: complex symmetric (LU territory)
+        return helmholtz_3d(6, wavenumber=0.6, damping=0.5)
+    return laplacian_3d(6)
+
+
+def _config(dtype: str, strategy: str, **overrides) -> SolverConfig:
+    return tiny_blr_config(strategy=strategy, factotype="lu",
+                           tolerance=TAU[dtype], dtype=dtype, **overrides)
+
+
+def _rhs(a: CSCMatrix, dtype: str) -> np.ndarray:
+    rng = np.random.default_rng(7)
+    b = rng.standard_normal(a.n)
+    if dtype.startswith("complex"):
+        b = b + 1j * rng.standard_normal(a.n)
+    return b
+
+
+class TestEndToEnd:
+    """factorize + solve + refine + serialize for every dtype x strategy."""
+
+    @pytest.mark.parametrize("dtype", sorted(TAU))
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_factorize_solve(self, dtype, strategy):
+        a = _workload(dtype)
+        s = Solver(a, _config(dtype, strategy))
+        s.factorize()
+        assert s.factor.dtype == np.dtype(dtype)
+        b = _rhs(a, dtype)
+        x = s.solve(b)
+        tau = TAU[dtype]
+        assert s.backward_error(x, b) <= max(10 * tau, 1e-12)
+
+    @pytest.mark.parametrize("dtype", sorted(TAU))
+    def test_refine(self, dtype):
+        a = _workload(dtype)
+        s = Solver(a, _config(dtype, "minimal-memory"))
+        b = _rhs(a, dtype)
+        res = s.refine(b, tol=1e-12, maxiter=30)
+        # single-kind arithmetic stalls near its epsilon; double converges
+        limit = 1e-6 if dtype in ("float32", "complex64") else 1e-11
+        assert res.backward_error <= limit
+
+    @pytest.mark.parametrize("dtype", sorted(TAU))
+    def test_serialize_roundtrip(self, dtype, tmp_path):
+        a = _workload(dtype)
+        s = Solver(a, _config(dtype, "just-in-time"))
+        s.factorize()
+        b = _rhs(a, dtype)
+        x = s.solve(b)
+        path = s.save_factor(tmp_path / "fac.blrz")
+        s2 = Solver.load_factor(a, path)
+        assert s2.factor.dtype == np.dtype(dtype)
+        np.testing.assert_allclose(s2.solve(b), x, rtol=0, atol=0)
+
+    def test_dtype_none_inherits_matrix_dtype(self):
+        a = helmholtz_3d(5, wavenumber=0.6, damping=0.5)
+        s = Solver(a, tiny_blr_config(factotype="lu", tolerance=1e-8))
+        s.factorize()
+        assert s.factor.dtype == np.complex128
+
+    def test_float32_input_inherits(self):
+        a64 = laplacian_3d(5)
+        a = CSCMatrix(a64.n, a64.colptr, a64.rowind,
+                      a64.values.astype(np.float32))
+        s = Solver(a, tiny_blr_config(factotype="lu", tolerance=1e-4))
+        s.factorize()
+        assert s.factor.dtype == np.float32
+
+    def test_complex_matrix_real_dtype_raises(self):
+        a = helmholtz_3d(4, wavenumber=0.6, damping=0.5)
+        with pytest.raises(ValueError, match="complex"):
+            Solver(a, tiny_blr_config(factotype="lu", dtype="float64"))
+
+
+class TestComplexRhs:
+    def test_complex_rhs_against_real_factorization_raises(self):
+        a = laplacian_3d(4)
+        s = Solver(a, tiny_blr_config())
+        s.factorize()
+        b = np.ones(a.n) + 1j * np.ones(a.n)
+        with pytest.raises(ValueError, match="complex right-hand side"):
+            s.solve(b)
+
+    def test_real_rhs_against_complex_factorization_promotes(self):
+        a = helmholtz_3d(4, wavenumber=0.6, damping=0.5)
+        s = Solver(a, tiny_blr_config(factotype="lu"))
+        x = s.solve(np.ones(a.n))
+        assert x.dtype == np.complex128
+
+
+class TestHermitianSymmetry:
+    def _hermitian(self, n=24, seed=3):
+        rng = np.random.default_rng(seed)
+        b = rng.standard_normal((n, n)) + 1j * rng.standard_normal((n, n))
+        dense = b @ b.conj().T + n * np.eye(n)
+        return CSCMatrix.from_dense(dense)
+
+    def test_is_symmetric_hermitian_flag(self):
+        a = self._hermitian()
+        assert a.is_symmetric(tol=1e-12, hermitian=True)
+        assert not a.is_symmetric(tol=1e-12, hermitian=False)
+        sym = helmholtz_3d(4, wavenumber=0.6, damping=0.5)
+        assert sym.is_symmetric(tol=0.0, hermitian=False)
+        assert not sym.is_symmetric(tol=0.0, hermitian=True)
+
+    @pytest.mark.parametrize("factotype", ("cholesky", "ldlt"))
+    def test_hermitian_facto_solves(self, factotype):
+        a = self._hermitian()
+        s = Solver(a, tiny_blr_config(strategy="dense", factotype=factotype))
+        s.factorize()
+        b = _rhs(a, "complex128")
+        x = s.solve(b)
+        assert s.backward_error(x, b) <= 1e-12
+
+    @pytest.mark.parametrize("strategy", ("just-in-time", "minimal-memory"))
+    @pytest.mark.parametrize("factotype", ("cholesky", "ldlt"))
+    def test_hermitian_facto_blr_paths(self, factotype, strategy):
+        # D A D^H with unitary diagonal D: sparse, Hermitian PD, and
+        # genuinely complex — exercises the low-rank Hermitian panel
+        # solves and conjugated trailing updates
+        base = laplacian_3d(6)
+        rng = np.random.default_rng(2)
+        d = np.exp(1j * rng.uniform(0, 2 * np.pi, base.n))
+        r = base.rowind
+        c = np.repeat(np.arange(base.n, dtype=np.int64),
+                      np.diff(base.colptr))
+        v = base.values
+        diag, up = r == c, r < c
+        vu = d[r[up]] * v[up] * np.conj(d[c[up]])
+        a = CSCMatrix.from_coo(
+            base.n,
+            np.concatenate([r[diag], r[up], c[up]]),
+            np.concatenate([c[diag], c[up], r[up]]),
+            np.concatenate([v[diag].astype(np.complex128), vu, np.conj(vu)]))
+        assert a.is_symmetric(tol=0.0, hermitian=True)
+        s = Solver(a, tiny_blr_config(strategy=strategy, factotype=factotype,
+                                      tolerance=1e-8))
+        s.factorize()
+        b = _rhs(a, "complex128")
+        x = s.solve(b)
+        assert s.backward_error(x, b) <= 1e-7
+
+    def test_complex_symmetric_rejected_by_cholesky(self):
+        # damped Helmholtz is complex symmetric but NOT Hermitian
+        a = helmholtz_3d(4, wavenumber=0.6, damping=0.5)
+        with pytest.raises(ValueError, match="Hermitian"):
+            Solver(a, tiny_blr_config(factotype="cholesky"))
+
+
+class TestLowRankBlockAlgebra:
+    def _block(self, m=9, n=7, r=3, seed=11):
+        rng = np.random.default_rng(seed)
+        u = rng.standard_normal((m, r)) + 1j * rng.standard_normal((m, r))
+        v = rng.standard_normal((n, r)) + 1j * rng.standard_normal((n, r))
+        return LowRankBlock(u, v)
+
+    def test_matvec_is_u_vt(self):
+        blk = self._block()
+        x = np.arange(blk.n) + 1j * np.arange(blk.n)[::-1]
+        dense = blk.u @ blk.v.T  # pure transpose, NOT conjugated
+        np.testing.assert_allclose(blk.matvec(x), dense @ x, atol=1e-12)
+        np.testing.assert_allclose(blk.to_dense(), dense, atol=0)
+
+    def test_rmatvec_is_adjoint(self):
+        blk = self._block()
+        x = np.arange(blk.m) - 1j * np.arange(blk.m)
+        dense = blk.to_dense()
+        np.testing.assert_allclose(blk.rmatvec(x), dense.conj().T @ x,
+                                   atol=1e-12)
+
+    def test_tmatvec_is_pure_transpose(self):
+        blk = self._block()
+        x = np.arange(blk.m) + 0.5j
+        np.testing.assert_allclose(blk.tmatvec(x), blk.to_dense().T @ x,
+                                   atol=1e-12)
+
+    def test_adjoint_inner_product_identity(self):
+        # <A x, y> == <x, A^H y> is what distinguishes rmatvec from tmatvec
+        blk = self._block()
+        rng = np.random.default_rng(5)
+        x = rng.standard_normal(blk.n) + 1j * rng.standard_normal(blk.n)
+        y = rng.standard_normal(blk.m) + 1j * rng.standard_normal(blk.m)
+        lhs = np.vdot(y, blk.matvec(x))
+        rhs = np.vdot(blk.rmatvec(y), x)
+        assert abs(lhs - rhs) < 1e-10
+
+    def test_conj_and_astype(self):
+        blk = self._block()
+        np.testing.assert_allclose(blk.conj().to_dense(),
+                                   blk.to_dense().conj(), atol=0)
+        narrow = blk.astype(np.complex64)
+        assert narrow.dtype == np.complex64
+        assert narrow.nbytes == blk.nbytes // 2
+        assert blk.astype(np.complex128) is blk  # no-copy fast path
+
+
+class TestByteAccounting:
+    def test_dense_factor_nbytes_tracks_itemsize(self):
+        a = laplacian_3d(5)
+        stats = {}
+        for dtype in ("float32", "float64"):
+            s = Solver(a, tiny_blr_config(strategy="dense", dtype=dtype,
+                                          tolerance=TAU[dtype]))
+            stats[dtype] = s.factorize()
+        assert stats["float64"].dense_factor_nbytes == \
+            2 * stats["float32"].dense_factor_nbytes
+        assert stats["float64"].factor_nbytes == \
+            2 * stats["float32"].factor_nbytes
+
+    def test_lowrank_block_nbytes_honest(self):
+        blk = LowRankBlock(np.zeros((10, 2), dtype=np.float32),
+                           np.zeros((8, 2), dtype=np.float32))
+        assert blk.nbytes == (10 + 8) * 2 * 4
+
+
+class TestMixedPrecision:
+    def test_storage_dtype_validation(self):
+        with pytest.raises(ValueError, match="same-kind"):
+            SolverConfig(dtype="complex128", storage_dtype="float32")
+        with pytest.raises(ValueError, match="wider"):
+            SolverConfig(dtype="float32", storage_dtype="float64")
+        with pytest.raises(ValueError, match="storage_dtype"):
+            SolverConfig(storage_dtype="int32")
+
+    def test_blocks_stored_narrow(self):
+        a = laplacian_3d(8)
+        cfg = tiny_blr_config(strategy="just-in-time", factotype="lu",
+                              tolerance=1e-6, storage_dtype="float32")
+        s = Solver(a, cfg)
+        s.factorize()
+        assert s.factor.storage_dtype == np.float32
+        saw_offdiag = False
+        for nc in s.factor.cblks:
+            assert nc.diag.dtype == np.float64  # pivots stay full precision
+            for blocks in (nc.lblocks, nc.ublocks):
+                if not blocks:
+                    continue
+                for blk in blocks:
+                    dt = blk.dtype if isinstance(blk, LowRankBlock) \
+                        else blk.dtype
+                    assert dt == np.float32
+                    saw_offdiag = True
+        assert saw_offdiag
+
+    def test_mixed_precision_serialize_roundtrip(self, tmp_path):
+        a = laplacian_3d(6)
+        cfg = tiny_blr_config(strategy="just-in-time", factotype="lu",
+                              tolerance=1e-6, storage_dtype="float32")
+        s = Solver(a, cfg)
+        s.factorize()
+        b = np.ones(a.n)
+        x = s.solve(b)
+        path = s.save_factor(tmp_path / "mixed.blrz")
+        s2 = Solver.load_factor(a, path)
+        assert s2.factor.storage_dtype == np.float32
+        np.testing.assert_allclose(s2.solve(b), x, rtol=0, atol=0)
+
+    @pytest.mark.slow
+    def test_acceptance_reduction_on_laptop_laplacian(self):
+        """The headline: float32 storage under a float64 factorization at
+        τ=1e-6 shrinks the factor ≥ 1.8x at backward error ≤ 1e-5."""
+        a = laplacian_3d(20)
+        b = np.ones(a.n)
+
+        def cfg(**o):
+            return SolverConfig.laptop_scale(
+                strategy="just-in-time", factotype="lu",
+                tolerance=1e-6, rank_ratio=1.0, **o)
+
+        full = Solver(a, cfg())
+        st_full = full.factorize()
+        mixed = Solver(a, cfg(storage_dtype="float32"))
+        st_mixed = mixed.factorize()
+        x = mixed.solve(b)
+        reduction = st_full.factor_nbytes / st_mixed.factor_nbytes
+        assert reduction >= 1.8
+        assert mixed.backward_error(x, b) <= 1e-5
+
+
+class TestComplexAcceptance:
+    """complex128 Helmholtz under all three strategies (ISSUE acceptance)."""
+
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_helmholtz_complex128(self, strategy):
+        a = helmholtz_3d(8, wavenumber=0.6, damping=0.5)
+        assert a.values.dtype == np.complex128
+        tau = 1e-8
+        cfg = SolverConfig.laptop_scale(strategy=strategy, factotype="lu",
+                                        tolerance=tau)
+        s = Solver(a, cfg)
+        s.factorize()
+        assert s.factor.dtype == np.complex128
+        b = _rhs(a, "complex128")
+        x = s.solve(b)
+        assert s.backward_error(x, b) <= max(10 * tau, 1e-12)
