@@ -19,7 +19,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 from pathlib import Path
-from typing import List, Optional, Sequence, Union
+from typing import Any, List, Optional, Sequence, Tuple, Union
 
 #: categorical palette (colour-blind friendly)
 PALETTE = ["#4477aa", "#ee6677", "#228833", "#ccbb44", "#66ccee",
@@ -52,29 +52,34 @@ class _Canvas:
             f'<rect width="{width}" height="{height}" fill="white"/>',
         ]
 
-    def rect(self, x, y, w, h, fill, opacity=1.0):
+    def rect(self, x: float, y: float, w: float, h: float, fill: str,
+             opacity: float = 1.0) -> None:
         self.parts.append(
             f'<rect x="{x:.2f}" y="{y:.2f}" width="{w:.2f}" '
             f'height="{h:.2f}" fill="{fill}" fill-opacity="{opacity}"/>')
 
-    def line(self, x1, y1, x2, y2, stroke="#444", width=1.0, dash=None):
+    def line(self, x1: float, y1: float, x2: float, y2: float,
+             stroke: str = "#444", width: float = 1.0,
+             dash: Optional[str] = None) -> None:
         d = f' stroke-dasharray="{dash}"' if dash else ""
         self.parts.append(
             f'<line x1="{x1:.2f}" y1="{y1:.2f}" x2="{x2:.2f}" '
             f'y2="{y2:.2f}" stroke="{stroke}" stroke-width="{width}"{d}/>')
 
-    def polyline(self, points, stroke, width=2.0):
+    def polyline(self, points: Sequence[Tuple[float, float]], stroke: str,
+                 width: float = 2.0) -> None:
         pts = " ".join(f"{x:.2f},{y:.2f}" for x, y in points)
         self.parts.append(
             f'<polyline points="{pts}" fill="none" stroke="{stroke}" '
             f'stroke-width="{width}"/>')
 
-    def circle(self, x, y, r, fill):
+    def circle(self, x: float, y: float, r: float, fill: str) -> None:
         self.parts.append(
             f'<circle cx="{x:.2f}" cy="{y:.2f}" r="{r:.2f}" fill="{fill}"/>')
 
-    def text(self, x, y, s, size=12, anchor="middle", rotate=None,
-             color="#222"):
+    def text(self, x: float, y: float, s: str, size: int = 12,
+             anchor: str = "middle", rotate: Optional[float] = None,
+             color: str = "#222") -> None:
         rot = (f' transform="rotate({rotate} {x:.2f} {y:.2f})"'
                if rotate else "")
         self.parts.append(
@@ -263,7 +268,8 @@ def line_chart(path: Union[str, Path], x_values: Sequence[float],
 _GANTT_KIND_COLORS = {"factor": PALETTE[0], "update": PALETTE[1]}
 
 
-def gantt_chart(path: Union[str, Path], events, title: str = "",
+def gantt_chart(path: Union[str, Path], events: Sequence[Any],
+                title: str = "",
                 width: int = 1000, lane_height: int = 26) -> Path:
     """Render a task trace as a per-thread Gantt chart.
 

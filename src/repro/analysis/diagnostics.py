@@ -84,13 +84,15 @@ def condest_1norm(a: CSCMatrix, fac: NumericFactor, perm: np.ndarray,
     Runs the classical 1-norm power iteration on A⁻¹: repeatedly solve
     ``A x = e`` and ``Aᵗ z = sign(x)`` until the estimate stalls.  Returns
     ``‖A‖₁ · est(‖A⁻¹‖₁)`` — a lower bound, usually within a small factor
-    of the true condition number.
+    of the true condition number.  Complex operators need ``A⁻ᴴ`` (the
+    Hermitian adjoint); the factored solve exposes the pure transpose, so
+    the adjoint is applied by conjugating around it.
     """
     n = a.n
     iperm = np.empty(n, dtype=np.int64)
     iperm[perm] = np.arange(n)
 
-    def solve(v, trans=False):
+    def solve(v: np.ndarray, trans: bool = False) -> np.ndarray:
         y = solve_factored(fac, v[perm], trans=trans)
         out = np.empty_like(y)
         out[perm] = y

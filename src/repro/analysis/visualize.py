@@ -34,7 +34,7 @@ def structure_to_svg(symb: SymbolicFactor, path: Union[str, Path],
         f'<rect width="{size}" height="{size}" fill="white"/>',
     ]
 
-    def rect(r0, nr, c0, nc, color):
+    def rect(r0: int, nr: int, c0: int, nc: int, color: str) -> None:
         parts.append(
             f'<rect x="{c0 * scale:.2f}" y="{r0 * scale:.2f}" '
             f'width="{nc * scale:.2f}" height="{nr * scale:.2f}" '
@@ -62,7 +62,7 @@ def structure_to_ascii(symb: SymbolicFactor, width: int = 64) -> str:
     cells = min(width, n)
     grid = np.full((cells, cells), ".", dtype="<U1")
 
-    def paint(r0, nr, c0, nc, ch):
+    def paint(r0: int, nr: int, c0: int, nc: int, ch: str) -> None:
         r1 = max(int(np.ceil((r0 + nr) * cells / n)), int(r0 * cells / n) + 1)
         c1 = max(int(np.ceil((c0 + nc) * cells / n)), int(c0 * cells / n) + 1)
         rs = slice(int(r0 * cells / n), min(r1, cells))

@@ -66,7 +66,7 @@ GENERATORS = {
 }
 
 
-def _load_matrix(args) -> CSCMatrix:
+def _load_matrix(args: argparse.Namespace) -> CSCMatrix:
     if args.generate:
         try:
             name, _, size = args.generate.partition(":")
@@ -80,7 +80,7 @@ def _load_matrix(args) -> CSCMatrix:
     return read_matrix_market(args.matrix)
 
 
-def _config(args) -> SolverConfig:
+def _config(args: argparse.Namespace) -> SolverConfig:
     return SolverConfig.laptop_scale(
         strategy=args.strategy,
         kernel=args.kernel,
@@ -121,7 +121,7 @@ def _add_common(p: argparse.ArgumentParser) -> None:
                         "float64 factorization")
 
 
-def cmd_solve(args) -> int:
+def cmd_solve(args: argparse.Namespace) -> int:
     a = _load_matrix(args)
     solver = Solver(a, _config(args))
     print(f"n = {a.n}, nnz = {a.nnz}, strategy = {args.strategy}/"
@@ -164,7 +164,7 @@ def cmd_solve(args) -> int:
     return 0
 
 
-def cmd_analyze(args) -> int:
+def cmd_analyze(args: argparse.Namespace) -> int:
     from repro.analysis.visualize import (
         structure_stats_table,
         structure_to_ascii,
@@ -184,7 +184,7 @@ def cmd_analyze(args) -> int:
     return 0
 
 
-def cmd_bench(args) -> int:
+def cmd_bench(args: argparse.Namespace) -> int:
     a = _load_matrix(args)
     rng = np.random.default_rng(args.seed)
     b = rng.standard_normal(a.n)

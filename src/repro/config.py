@@ -23,7 +23,10 @@ small-problem presets for laptop-scale runs:
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Optional
+from typing import TYPE_CHECKING, Any, Optional, Union
+
+if TYPE_CHECKING:  # numpy is imported lazily at runtime (keep import light)
+    import numpy as np
 
 #: valid factorization strategies
 STRATEGIES = ("dense", "minimal-memory", "just-in-time")
@@ -171,7 +174,7 @@ class SolverConfig:
 
     # ------------------------------------------------------------------
     @classmethod
-    def paper_scale(cls, **overrides) -> "SolverConfig":
+    def paper_scale(cls, **overrides: Any) -> "SolverConfig":
         """The paper's experimental setup (§4, first paragraph)."""
         base = dict(
             cmin=15, frat=0.08, split_size=256, split_min=128,
@@ -181,7 +184,7 @@ class SolverConfig:
         return cls(**base)
 
     @classmethod
-    def laptop_scale(cls, **overrides) -> "SolverConfig":
+    def laptop_scale(cls, **overrides: Any) -> "SolverConfig":
         """Thresholds scaled down ~4x so compression kicks in on 10k-100k
         unknown problems (the paper's run at 1M+ unknowns)."""
         base = dict(
@@ -191,7 +194,7 @@ class SolverConfig:
         base.update(overrides)
         return cls(**base)
 
-    def with_options(self, **overrides) -> "SolverConfig":
+    def with_options(self, **overrides: Any) -> "SolverConfig":
         """Return a copy with the given fields replaced."""
         return replace(self, **overrides)
 
@@ -203,7 +206,8 @@ class SolverConfig:
     def is_symmetric_facto(self) -> bool:
         return self.factotype in ("cholesky", "ldlt")
 
-    def resolve_dtype(self, matrix_dtype=None):
+    def resolve_dtype(self, matrix_dtype: Union[str, np.dtype, None] = None
+                      ) -> np.dtype:
         """The numpy dtype the factorization runs in.
 
         ``config.dtype`` wins when set; otherwise the matrix's own dtype is
@@ -228,7 +232,8 @@ class SolverConfig:
             return np.dtype(matrix_dtype)
         return np.dtype(np.float64)
 
-    def resolve_storage_dtype(self, compute_dtype):
+    def resolve_storage_dtype(self, compute_dtype: Union[str, np.dtype]
+                              ) -> Optional[np.dtype]:
         """The numpy dtype compressed ``u``/``v`` panels are stored in.
 
         Returns ``None`` when storage precision equals compute precision

@@ -19,7 +19,7 @@ import numpy as np
 import scipy.linalg as sla
 
 
-def flop_scale(dtype) -> float:
+def flop_scale(dtype: "np.dtype | str") -> float:
     """Flop multiplier for complex arithmetic (1 complex mul+add = 4 real
     flops under the usual LAPACK-style counting); 1.0 for real dtypes."""
     return 4.0 if np.dtype(dtype).kind == "c" else 1.0
@@ -95,7 +95,11 @@ def lu_nopivot(a: np.ndarray, pivot_threshold: float = 1e-14
 
 def cholesky_nopivot(a: np.ndarray, pivot_threshold: float = 1e-14
                      ) -> Tuple[np.ndarray, int]:
-    """Lower Cholesky with static regularization of non-positive pivots."""
+    """Lower Cholesky with static regularization of non-positive pivots.
+
+    Complex blocks are factored as Hermitian ``L Lᴴ`` (real diagonal), so
+    the rank-1 trailing update conjugates the eliminated column.
+    """
     n = a.shape[0]
     try:
         return np.linalg.cholesky(a), 0
@@ -126,6 +130,9 @@ def cholesky_nopivot(a: np.ndarray, pivot_threshold: float = 1e-14
 def ldlt_nopivot(a: np.ndarray, pivot_threshold: float = 1e-14
                  ) -> Tuple[np.ndarray, int]:
     """LDLᵗ factorization without pivoting (symmetric indefinite blocks).
+
+    Complex blocks factor as Hermitian ``L D Lᴴ`` (real D): the rank-1
+    trailing update conjugates the eliminated column.
 
     Returns ``(packed, nperturbed)``: ``packed`` holds the unit-lower L
     strictly below the diagonal and D on the diagonal.  Pivots smaller in

@@ -20,7 +20,7 @@ through :mod:`repro.lowrank.kernels`.
 from __future__ import annotations
 
 import time
-from typing import Optional
+from typing import Any, Callable, Optional
 
 import numpy as np
 import scipy.linalg as sla
@@ -151,18 +151,23 @@ def _compress_panels_jit(fac: NumericFactor, nc: NumericColumnBlock) -> None:
 
 
 def _panel_solve(fac: NumericFactor, nc: NumericColumnBlock) -> None:
-    """Solve every off-diagonal block against the factored diagonal."""
+    """Solve every off-diagonal block against the factored diagonal.
+
+    Complex Cholesky/LDLᴴ diagonals are Hermitian: the low-rank ``v``
+    factors solve against ``conj(L00)``, done as conjugate / solve /
+    conjugate back (a no-copy pass-through for real factors).
+    """
     cfg = fac.config
     stats = fac.stats.kernels
     w = nc.width
     t0 = time.perf_counter()
     fl = 0.0
     if fac.storage_dtype is not None:
-        def store(arr):
+        def store(arr: np.ndarray) -> np.ndarray:
             # solve results promote to the compute dtype; narrow them back
             return arr.astype(fac.storage_dtype)
     else:
-        def store(arr):
+        def store(arr: np.ndarray) -> np.ndarray:
             return arr
     if cfg.factotype == "lu":
         u00 = np.triu(nc.diag)
@@ -261,7 +266,7 @@ def _panel_solve(fac: NumericFactor, nc: NumericColumnBlock) -> None:
 
 def apply_updates_from(fac: NumericFactor, k: int,
                        target: Optional[int] = None,
-                       lock=None) -> None:
+                       lock: Optional[Callable[[int], Any]] = None) -> None:
     """Apply all updates of source column block ``k`` (optionally only those
     aimed at column block ``target``).  ``lock`` guards the target mutation
     sections when given (the pull-mode threaded engines don't need one —
@@ -290,8 +295,13 @@ def apply_updates_from(fac: NumericFactor, k: int,
 
 
 def _updates_from_panel(fac: NumericFactor, nc: NumericColumnBlock,
-                        target: Optional[int], lock) -> None:
-    """Batched dense updates: one GEMM per facing block ``(j)``."""
+                        target: Optional[int],
+                        lock: Optional[Callable[[int], Any]]) -> None:
+    """Batched dense updates: one GEMM per facing block ``(j)``.
+
+    Hermitian factorizations (complex Cholesky/LDLᴴ) conjugate the
+    transposed operand: the trailing update is ``A(i,j) -= L(i) L(j)ᴴ``.
+    """
     stats = fac.stats.kernels
     sym = nc.sym
     offs = nc.row_offsets
@@ -347,13 +357,15 @@ def _updates_from_panel(fac: NumericFactor, nc: NumericColumnBlock,
 
 
 def _updates_from_blocks(fac: NumericFactor, nc: NumericColumnBlock,
-                         target: Optional[int], lock) -> None:
+                         target: Optional[int],
+                         lock: Optional[Callable[[int], Any]]) -> None:
     """Per-pair updates through the low-rank kernels (JIT / MM sources).
 
     With ``config.accumulate_updates`` (the LUAR-like ablation, §5), all
     contributions of this source aimed at the same low-rank target block
     are gathered and recompressed once per target instead of once per
-    contribution.
+    contribution.  Hermitian factorizations conjugate the transposed
+    operand (``A(i,j) -= L(i) L(j)ᴴ``), as in the panel path.
     """
     cfg = fac.config
     stats = fac.stats.kernels
@@ -450,7 +462,7 @@ def _flush_accumulated(fac: NumericFactor, t: int, acc: dict) -> None:
         fac.set_block(tnc, side, i, new)
 
 
-def _promote(block: Optional[Block], dtype) -> Optional[Block]:
+def _promote(block: Optional[Block], dtype: np.dtype) -> Optional[Block]:
     """Promote a (possibly narrow-storage) operand to the compute dtype.
 
     The one place numpy's automatic promotion cannot be relied on is a

@@ -78,7 +78,9 @@ def gmres(a: CSCMatrix, b: np.ndarray,
 
     Right preconditioning keeps the monitored residual equal to the true
     residual of ``A x = b``, so the recorded history is directly the
-    backward error of Figure 8.
+    backward error of Figure 8.  Complex systems use the Hermitian inner
+    product in the Gram-Schmidt sweep and apply each Givens rotation's
+    adjoint (LAPACK ``zrotg`` convention: real cosines, conjugated sines).
     """
     n = a.n
     dt = _work_dtype(a, b)
@@ -100,7 +102,7 @@ def gmres(a: CSCMatrix, b: np.ndarray,
         m = min(restart, maxiter - total_it)
         v = np.zeros((m + 1, n), dtype=dt)
         h = np.zeros((m + 1, m), dtype=dt)
-        cs = np.zeros(m)          # Givens cosines are real (zrotg-style)
+        cs = np.zeros(m, dtype=np.finfo(dt).dtype)  # zrotg: cosines are real
         sn = np.zeros(m, dtype=dt)
         g = np.zeros(m + 1, dtype=dt)
         g[0] = beta
@@ -111,6 +113,7 @@ def gmres(a: CSCMatrix, b: np.ndarray,
             w = a.matvec(z)
             # modified Gram-Schmidt (Hermitian inner product when complex)
             for i in range(j + 1):
+                # solverlint: ignore[python-hot-loop] -- MGS recurrence: each h[i,j] depends on the w updated by the previous i
                 h[i, j] = (np.vdot(v[i], w) if complex_arith
                            else float(w @ v[i]))
                 w -= h[i, j] * v[i]
@@ -122,6 +125,7 @@ def gmres(a: CSCMatrix, b: np.ndarray,
             # (np.conj is a no-op pass-through for the real sines)
             for i in range(j):
                 tmp = cs[i] * h[i, j] + sn[i] * h[i + 1, j]
+                # solverlint: ignore[python-hot-loop] -- sequential rotation chain: rotation i feeds h entries read by rotation i+1
                 h[i + 1, j] = (-np.conj(sn[i]) * h[i, j]
                                + cs[i] * h[i + 1, j])
                 h[i, j] = tmp
@@ -148,9 +152,11 @@ def gmres(a: CSCMatrix, b: np.ndarray,
                     cs[j], sn[j] = 1.0, 0.0
                 else:
                     cs[j], sn[j] = h[j, j] / denom, h[j + 1, j] / denom
+                # solverlint: ignore[python-hot-loop] -- O(1) scalar update on the Hessenberg diagonal, once per Arnoldi step
                 h[j, j] = cs[j] * h[j, j] + sn[j] * h[j + 1, j]
             h[j + 1, j] = 0.0
             g[j + 1] = -np.conj(sn[j]) * g[j]
+            # solverlint: ignore[python-hot-loop] -- O(1) scalar update of the rotated rhs, once per Arnoldi step
             g[j] = cs[j] * g[j]
             j_used = j + 1
             total_it += 1

@@ -43,7 +43,10 @@ from __future__ import annotations
 import queue
 import threading
 import time
-from typing import List, Optional
+from typing import TYPE_CHECKING, Callable, List, Optional, Sequence
+
+if TYPE_CHECKING:
+    from repro.symbolic.structure import SymbolicFactor
 
 from repro.core.factor import NumericFactor
 from repro.core.factorization import apply_updates_from, factor_column_block
@@ -59,7 +62,8 @@ class SchedulerError(RuntimeError):
     workers reported them.
     """
 
-    def __init__(self, message: str, errors=()) -> None:
+    def __init__(self, message: str,
+                 errors: Sequence[BaseException] = ()) -> None:
         super().__init__(message)
         self.errors: List[BaseException] = list(errors)
 
@@ -156,7 +160,8 @@ def _raise_collected(errors: List[BaseException]) -> None:
 
 def _join_with_watchdog(threads: List[threading.Thread],
                         watchdog_s: Optional[float],
-                        tick, on_stall) -> None:
+                        tick: Callable[[], int],
+                        on_stall: Callable[[], None]) -> None:
     """Join workers; with a watchdog, monitor ``tick()`` (a progress
     counter) and call ``on_stall()`` — which must raise — after
     ``watchdog_s`` seconds without progress."""
@@ -285,7 +290,8 @@ def run_threaded(fac: NumericFactor, nthreads: int,
 # static scheduling (proportional subtree mapping, PaStiX [23])
 # ----------------------------------------------------------------------
 
-def proportional_mapping(symb, nthreads: int) -> List[int]:
+def proportional_mapping(symb: "SymbolicFactor",
+                         nthreads: int) -> List[int]:
     """Map each column block to a thread by proportional subtree splitting.
 
     The classic static-mapping heuristic of the PaStiX scheduler: walk the

@@ -23,7 +23,10 @@ from __future__ import annotations
 
 import time
 from pathlib import Path
-from typing import Optional
+from typing import TYPE_CHECKING, Optional, Union
+
+if TYPE_CHECKING:
+    from repro.runtime.faults import FaultInjector
 
 import numpy as np
 
@@ -119,7 +122,8 @@ class Solver:
         return self.symbolic
 
     # -- step 3: numerical factorization ------------------------------------
-    def factorize(self, faults=None) -> FactorizationStats:
+    def factorize(self, faults: Optional["FaultInjector"] = None
+                  ) -> FactorizationStats:
         """Assemble and factor under the configured strategy; returns the
         per-kernel statistics (the rows of Table 2).
 
@@ -282,7 +286,7 @@ class Solver:
         self.factor = None  # numerical state is stale; analysis is kept
 
     # -- persistence -----------------------------------------------------
-    def save_factor(self, path) -> "Path":
+    def save_factor(self, path: Union[str, Path]) -> "Path":
         """Save the factorization (blocks + analysis + config) to a file.
 
         The archive is self-contained: :meth:`load_factor` restores a
@@ -297,7 +301,7 @@ class Solver:
         return _save(self.factor, self.perm, path)
 
     @classmethod
-    def load_factor(cls, a: CSCMatrix, path) -> "Solver":
+    def load_factor(cls, a: CSCMatrix, path: Union[str, Path]) -> "Solver":
         """Rebuild a solver from :meth:`save_factor` output.
 
         ``a`` must be the matrix the factorization was computed from (it is

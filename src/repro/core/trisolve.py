@@ -20,25 +20,25 @@ from __future__ import annotations
 import numpy as np
 import scipy.linalg as sla
 
-from repro.core.factor import NumericFactor
+from repro.core.factor import Block, NumericFactor
 from repro.lowrank.block import LowRankBlock
 
 
-def _apply_block(block, x_cols: np.ndarray) -> np.ndarray:
+def _apply_block(block: Block, x_cols: np.ndarray) -> np.ndarray:
     """``block @ x_cols`` for dense or low-rank block."""
     if isinstance(block, LowRankBlock):
         return block.matvec(x_cols)
     return block @ x_cols
 
 
-def _apply_block_t(block, x_rows: np.ndarray) -> np.ndarray:
+def _apply_block_t(block: Block, x_rows: np.ndarray) -> np.ndarray:
     """``block.T @ x_rows`` (pure transpose — the LU paths)."""
     if isinstance(block, LowRankBlock):
         return block.tmatvec(x_rows)
     return block.T @ x_rows
 
 
-def _apply_block_h(block, x_rows: np.ndarray) -> np.ndarray:
+def _apply_block_h(block: Block, x_rows: np.ndarray) -> np.ndarray:
     """``blockᴴ @ x_rows`` (adjoint — the symmetric backward passes; for
     real blocks ``conj`` is a no-copy pass-through, so this coincides
     bit-for-bit with :func:`_apply_block_t`)."""

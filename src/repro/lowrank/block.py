@@ -50,7 +50,8 @@ class LowRankBlock:
 
     # ------------------------------------------------------------------
     @classmethod
-    def zero(cls, m: int, n: int, dtype=np.float64) -> "LowRankBlock":
+    def zero(cls, m: int, n: int,
+             dtype: np.dtype | str | type = np.float64) -> "LowRankBlock":
         """The rank-0 block (an all-zero ``m x n`` block)."""
         return cls(np.zeros((m, 0), dtype=dtype), np.zeros((n, 0), dtype=dtype))
 
@@ -119,7 +120,7 @@ class LowRankBlock:
         """Elementwise conjugate (a no-copy pass-through for real blocks)."""
         return LowRankBlock(self.u.conj(), self.v.conj())
 
-    def astype(self, dtype) -> "LowRankBlock":
+    def astype(self, dtype: np.dtype | str | type) -> "LowRankBlock":
         """Copy with ``u``/``v`` cast to ``dtype`` (mixed-precision store)."""
         dtype = np.dtype(dtype)
         if self.u.dtype == dtype and self.v.dtype == dtype:

@@ -17,7 +17,7 @@ dispatch follows the paper:
 from __future__ import annotations
 
 import time
-from typing import Optional, Union
+from typing import Optional, Sequence, Union
 
 import numpy as np
 
@@ -226,7 +226,8 @@ def lr2lr_update(target: LowRankBlock, contrib: Block,
     return out
 
 
-def lr2lr_update_multi(target: LowRankBlock, contribs,
+def lr2lr_update_multi(target: LowRankBlock,
+                       contribs: Sequence[LowRankBlock],
                        tol: float, kernel: str,
                        max_rank: Optional[int] = None,
                        stats: Optional[KernelStats] = None

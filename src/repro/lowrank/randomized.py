@@ -47,7 +47,9 @@ def rsvd_compress(a: np.ndarray, tol: float,
     """Adaptive randomized compression of ``a`` at tolerance ``tol``.
 
     Returns ``None`` when the revealed rank exceeds ``max_rank`` (caller
-    keeps the block dense), mirroring the SVD/RRQR kernels.
+    keeps the block dense), mirroring the SVD/RRQR kernels.  The range
+    finder projects with ``Qᴴ`` — a Hermitian adjoint, applied via
+    ``q.conj().T`` (a no-copy pass-through for real blocks).
     """
     m, n = a.shape
     if min(m, n) == 0:

@@ -75,7 +75,9 @@ def recompress_rrqr(u_c: np.ndarray, v_c: np.ndarray,
     """RRQR extend-add (eqs. 9–12).
 
     Requires ``uC`` orthonormal (the solver invariant).  ``uAB``/``vAB``
-    must be padded to C's frame.  The returned ``u`` is orthonormal.
+    must be padded to C's frame.  The returned ``u`` is orthonormal; the
+    CGS2 projection against ``uC`` applies ``uCᴴ`` — a Hermitian adjoint,
+    a no-copy pass-through for real factors.
 
     Complexity Θ(mC rC rAB + nC (rC + rAB) rC') — it depends on the target
     size ``mC, nC`` rather than on the contribution size, the very property

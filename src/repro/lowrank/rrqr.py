@@ -74,7 +74,10 @@ def rrqr(a: np.ndarray, tol: float,
     kmax = min(m, n)
     limit = kmax if max_rank is None else min(kmax, int(max_rank))
 
-    w = np.array(a, dtype=np.float64, copy=True, order="F")
+    # run natively in the input precision: a float32 block is compressed in
+    # float32 (non-inexact inputs are promoted to float64 once, here)
+    dt = a.dtype if a.dtype.kind == "f" else np.dtype(np.float64)
+    w = np.array(a, dtype=dt, copy=True, order="F")
     jpvt = np.arange(n, dtype=np.int64)
     colnorms2 = np.einsum("ij,ij->j", w, w)
     ref_norms2 = colnorms2.copy()  # last exactly-computed values
@@ -82,8 +85,8 @@ def rrqr(a: np.ndarray, tol: float,
     scale = max(norm_a, norm_ref or 0.0)
     threshold2 = (tol * scale) ** 2
 
-    vs = np.zeros((m, limit))  # Householder vectors (unit leading entry)
-    taus = np.zeros(limit)
+    vs = np.zeros((m, limit), dtype=dt)  # Householder vectors (unit lead)
+    taus = np.zeros(limit, dtype=dt)
 
     rank = 0
     converged = norm_a == 0.0 or threshold2 >= norm_a ** 2
@@ -149,15 +152,15 @@ def rrqr(a: np.ndarray, tol: float,
         if rank == kmax:
             converged = True
 
-    r_mat = np.triu(w[:rank, :]) if rank else np.zeros((0, n))
+    r_mat = np.triu(w[:rank, :]) if rank else np.zeros((0, n), dtype=dt)
     q = _form_q(vs[:, :rank], taus[:rank], m, rank)
     return RRQRResult(q=q, r=r_mat, jpvt=jpvt, converged=converged)
 
 
 def _form_q(vs: np.ndarray, taus: np.ndarray, m: int, rank: int) -> np.ndarray:
     """Accumulate Q_r = H_0 H_1 ... H_{r-1} @ I_{m x r} (reverse application)."""
-    q = np.zeros((m, rank))
-    q[:rank, :rank] = np.eye(rank)
+    q = np.zeros((m, rank), dtype=vs.dtype)
+    q[:rank, :rank] = np.eye(rank, dtype=vs.dtype)
     for k in range(rank - 1, -1, -1):
         tau = taus[k]
         if tau == 0.0:

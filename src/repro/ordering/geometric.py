@@ -18,7 +18,10 @@ coordinates to the solver (``Solver(a, cfg, coords=...)``), or call
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Callable, Optional, Tuple
+
+SplitResult = Tuple["np.ndarray", "np.ndarray", "np.ndarray"]
+Splitter = Callable[["Graph", "np.ndarray"], SplitResult]
 
 import numpy as np
 
@@ -45,11 +48,11 @@ def grid_coords(nx: int, ny: Optional[int] = None, nz: Optional[int] = None,
     return coords
 
 
-def make_plane_splitter(coords: np.ndarray):
+def make_plane_splitter(coords: np.ndarray) -> Splitter:
     """Build a ``splitter(g, vertices)`` closure over node coordinates."""
     coords = np.asarray(coords, dtype=np.float64)
 
-    def splitter(g: Graph, vertices: np.ndarray):
+    def splitter(g: Graph, vertices: np.ndarray) -> SplitResult:
         vertices = np.asarray(vertices, dtype=np.int64)
         pts = coords[vertices]
         extents = pts.max(axis=0) - pts.min(axis=0)

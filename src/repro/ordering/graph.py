@@ -7,7 +7,7 @@ symmetric nonzero pattern, self-loops (diagonal entries) are dropped.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import Iterable, List, Optional, Tuple
 
 import numpy as np
 
@@ -45,7 +45,8 @@ class Graph:
         return cls(sym.n, adjptr, rows)
 
     @classmethod
-    def from_edges(cls, n: int, edges) -> "Graph":
+    def from_edges(cls, n: int,
+                   edges: Iterable[Tuple[int, int]]) -> "Graph":
         """Build from an iterable of (u, v) pairs (each edge given once)."""
         edges = np.asarray(list(edges), dtype=np.int64).reshape(-1, 2)
         u = np.concatenate([edges[:, 0], edges[:, 1]])

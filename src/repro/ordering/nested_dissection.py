@@ -25,7 +25,7 @@ off-diagonal block counts and block ranks.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Callable, List, Optional, Tuple
 
 import numpy as np
 
@@ -106,9 +106,13 @@ def _order_within(g: Graph, vertices: np.ndarray) -> np.ndarray:
     return np.asarray(out, dtype=np.int64)
 
 
-def nested_dissection(g: Graph, cmin: int = 15,
-                      max_levels: Optional[int] = None,
-                      splitter=None) -> NDResult:
+def nested_dissection(
+        g: Graph, cmin: int = 15,
+        max_levels: Optional[int] = None,
+        splitter: Optional[Callable[
+            [Graph, "np.ndarray"],
+            Tuple["np.ndarray", "np.ndarray", "np.ndarray"]]] = None,
+) -> NDResult:
     """Compute a nested-dissection permutation and supernodal partition.
 
     Parameters

@@ -30,7 +30,10 @@ from __future__ import annotations
 
 import threading
 import time
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+if TYPE_CHECKING:
+    from repro.core.factor import NumericFactor
 
 import numpy as np
 
@@ -112,7 +115,7 @@ class FaultInjector:
         with self._lock:
             self.fired.append((site, k, target, action))
 
-    def on_factor(self, fac, k: int) -> None:
+    def on_factor(self, fac: "NumericFactor", k: int) -> None:
         lat = self._latency.get("factor", 0.0)
         if lat:
             self._mark("factor", k, None, "delay")
@@ -137,7 +140,8 @@ class FaultInjector:
                        FaultError(f"injected failure factoring "
                                   f"column block {k}"))
 
-    def on_update(self, fac, k: int, target: Optional[int]) -> None:
+    def on_update(self, fac: "NumericFactor", k: int,
+                  target: Optional[int]) -> None:
         lat = self._latency.get("update", 0.0)
         if lat:
             self._mark("update", k, target, "delay")

@@ -38,7 +38,7 @@ import threading
 import time
 from dataclasses import asdict, dataclass
 from pathlib import Path
-from typing import Dict, List, Optional, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 __all__ = ["TraceEvent", "TaskTracer"]
 
@@ -82,7 +82,7 @@ class TaskTracer:
         """Seconds since tracer creation (monotonic)."""
         return time.perf_counter() - self._origin
 
-    def _thread_slot(self):
+    def _thread_slot(self) -> Tuple[int, List[TraceEvent]]:
         buf = getattr(self._local, "buf", None)
         if buf is None:
             with self._lock:

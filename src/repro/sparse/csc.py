@@ -13,7 +13,7 @@ pattern, and dense conversion for tests.  Anything fancier belongs in scipy.
 
 from __future__ import annotations
 
-from typing import Iterable, Tuple
+from typing import Any, Iterable, Tuple
 
 import numpy as np
 
@@ -22,7 +22,7 @@ SUPPORTED_DTYPES = (np.dtype(np.float32), np.dtype(np.float64),
                     np.dtype(np.complex64), np.dtype(np.complex128))
 
 
-def _values_dtype(values) -> np.dtype:
+def _values_dtype(values: "np.typing.ArrayLike") -> np.dtype:
     """The storage dtype for a values array: s/d/c/z inputs are kept as-is,
     anything else (int, bool, float16, ...) is promoted to float64."""
     dt = np.asarray(values).dtype
@@ -117,7 +117,7 @@ class CSCMatrix:
         return cls.from_coo(a.shape[0], rows, cols, a[rows, cols])
 
     @classmethod
-    def from_scipy(cls, a) -> "CSCMatrix":
+    def from_scipy(cls, a: "Any") -> "CSCMatrix":
         """Convert any scipy.sparse matrix (kept optional at import time)."""
         a = a.tocsc()
         a.sort_indices()
@@ -126,7 +126,7 @@ class CSCMatrix:
                    a.indices.astype(np.int64),
                    a.data.astype(_values_dtype(a.data)))
 
-    def to_scipy(self):
+    def to_scipy(self) -> "Any":
         import scipy.sparse as sp
 
         return sp.csc_matrix((self.values, self.rowind, self.colptr),

@@ -23,7 +23,7 @@ arrays; nnz assembly of a 48³ grid takes milliseconds.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -38,7 +38,8 @@ def _grid_index_3d(nx: int, ny: int, nz: int) -> Tuple[np.ndarray, np.ndarray, n
     return i.ravel(), j.ravel(), k.ravel()
 
 
-def _stencil_links_3d(nx: int, ny: int, nz: int):
+def _stencil_links_3d(nx: int, ny: int, nz: int
+                      ) -> List[Tuple[np.ndarray, np.ndarray]]:
     """Yield (node, neighbour) index arrays for the +x, +y, +z links of a
     7-point stencil (each undirected link once)."""
     idx = np.arange(nx * ny * nz).reshape(nz, ny, nx)
@@ -159,7 +160,7 @@ def elasticity_3d(nx: int, ny: Optional[int] = None, nz: Optional[int] = None,
 
     rows_l, cols_l, vals_l = [], [], []
 
-    def add(r, c, v):
+    def add(r: np.ndarray, c: np.ndarray, v: np.ndarray) -> None:
         rows_l.append(r)
         cols_l.append(c)
         vals_l.append(v)
@@ -216,7 +217,7 @@ def heterogeneous_poisson_3d(nx: int, ny: Optional[int] = None,
 
     rows = [np.arange(n)]
     cols = [np.arange(n)]
-    diag = np.zeros(n)
+    diag = np.zeros(n, dtype=np.float64)  # generators build float64 matrices
     off_rows, off_cols, off_vals = [], [], []
     for a, b in _stencil_links_3d(nx, ny, nz):
         w = 2.0 * kappa[a] * kappa[b] / (kappa[a] + kappa[b])  # harmonic mean
@@ -281,7 +282,7 @@ def random_spd(n: int, density: float = 0.05, seed: int = 0) -> CSCMatrix:
 
 def _make_diagonally_dominant(a: CSCMatrix, margin: float = 0.0) -> CSCMatrix:
     """Add to each diagonal entry enough to dominate its column strictly."""
-    colsum = np.zeros(a.n)
+    colsum = np.zeros(a.n, dtype=np.float64)
     for j in range(a.n):
         rows, vals = a.column(j)
         mask = rows != j
@@ -317,7 +318,7 @@ def laplacian_3d_27pt(nx: int, ny: Optional[int] = None,
     # corner -1/12 (normalized).  Any diagonally dominant variant works for
     # the solver; we use distance-based weights that keep the matrix SPD.
     weights = {1: -2.0 / 9.0, 2: -1.0 / 18.0, 3: -1.0 / 72.0}
-    diag = np.zeros(n)
+    diag = np.zeros(n, dtype=np.float64)
     for dz in (-1, 0, 1):
         for dy in (-1, 0, 1):
             for dx in (-1, 0, 1):

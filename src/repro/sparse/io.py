@@ -10,14 +10,14 @@ from __future__ import annotations
 
 import gzip
 from pathlib import Path
-from typing import Union
+from typing import IO, Union
 
 import numpy as np
 
 from repro.sparse.csc import CSCMatrix
 
 
-def _open(path: Union[str, Path], mode: str):
+def _open(path: Union[str, Path], mode: str) -> IO[str]:
     path = Path(path)
     if path.suffix == ".gz":
         return gzip.open(path, mode + "t")

@@ -14,6 +14,7 @@ iterative equilibration in the infinity norm (a Ruiz iteration):
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Tuple
 
 import numpy as np
 
@@ -43,9 +44,16 @@ class Scaling:
         return y * (self.col if y.ndim == 1 else self.col[:, None])
 
 
-def _row_col_maxima(a: CSCMatrix):
-    row_max = np.zeros(a.n)
-    col_max = np.zeros(a.n)
+def _real_dtype(dt: np.dtype) -> np.dtype:
+    """Real counterpart of an inexact dtype (complex64 -> float32); scale
+    vectors live in this dtype so scaling never promotes a float32 matrix."""
+    return np.finfo(dt).dtype if dt.kind in "fc" else np.dtype(np.float64)
+
+
+def _row_col_maxima(a: CSCMatrix) -> Tuple[np.ndarray, np.ndarray]:
+    real_dt = _real_dtype(a.values.dtype)
+    row_max = np.zeros(a.n, dtype=real_dt)
+    col_max = np.zeros(a.n, dtype=real_dt)
     for j in range(a.n):
         rows, vals = a.column(j)
         if rows.size:
@@ -66,8 +74,9 @@ def equilibrate(a: CSCMatrix, symmetric: bool = True,
     """
     values = a.values.copy()
     cols = np.repeat(np.arange(a.n, dtype=np.int64), np.diff(a.colptr))
-    d_row = np.ones(a.n)
-    d_col = np.ones(a.n)
+    real_dt = _real_dtype(values.dtype)
+    d_row = np.ones(a.n, dtype=real_dt)
+    d_col = np.ones(a.n, dtype=real_dt)
     for _ in range(max(1, iterations)):
         cur = CSCMatrix(a.n, a.colptr, a.rowind, values, check=False)
         row_max, col_max = _row_col_maxima(cur)

@@ -1,0 +1,23 @@
+"""Fixture: fully annotated definitions (NOT flagged)."""
+
+from typing import Any
+
+
+def fully_typed(x: int, *args: int, **kwargs: Any) -> int:
+    return x + sum(args)
+
+
+def outer() -> None:
+    def inner(y: float) -> float:
+        return y
+
+    inner(1.0)
+
+
+class Thing:
+    def method(self, a: str) -> str:      # self needs no annotation
+        return a
+
+    @classmethod
+    def build(cls) -> "Thing":            # cls needs no annotation
+        return cls()

@@ -1,0 +1,21 @@
+"""Fixture: missing annotations (flagged by missing-annotations)."""
+
+
+def no_return_type(x: int):
+    return x + 1
+
+
+def untyped_param(x) -> int:
+    return x + 1
+
+
+def outer() -> None:
+    def inner(y):                         # nested functions are checked too
+        return y
+
+    inner(1)
+
+
+class Thing:
+    def method(self, a, *args, **kwargs):
+        return a

@@ -1,0 +1,28 @@
+"""Fixture: legitimate conjugation sites that must NOT be flagged."""
+
+import numpy as np
+
+
+class Block:
+    def __init__(self, u: np.ndarray, v: np.ndarray) -> None:
+        self.u = u
+        self.v = v
+
+    def rmatvec(self, x: np.ndarray) -> np.ndarray:
+        # rmatvec IS the adjoint surface (allowed by function name)
+        return self.v @ (self.u.conj().T @ x)
+
+    def conj(self) -> "Block":
+        # defining elementwise conjugation itself is allowed
+        return Block(self.u.conj(), self.v.conj())
+
+
+def hermitian_panel_solve(l00: np.ndarray, v: np.ndarray) -> np.ndarray:
+    """Hermitian panel solve: v <- (L00^-H v^H)^H (docstring-declared)."""
+    import scipy.linalg as sla
+    return sla.solve_triangular(l00, v.conj(), lower=True).conj()
+
+
+def frobenius_norm2(r: np.ndarray) -> float:
+    # self-inner-product: conjugated operand equals the other einsum arg
+    return float(np.einsum("ij,ij->", r.conj(), r).real)

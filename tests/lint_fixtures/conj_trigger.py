@@ -1,0 +1,17 @@
+"""Fixture: conjugation outside the declared adjoint surface (flagged)."""
+
+import numpy as np
+
+
+def plain_product(u: np.ndarray, v: np.ndarray) -> np.ndarray:
+    """Low-rank reconstruction — pure transpose territory."""
+    return u @ v.conj().T                  # conj outside adjoint surface
+
+
+def stray_npconj(x: np.ndarray) -> np.ndarray:
+    return np.conj(x)                      # bare conjugation, no declaration
+
+
+def stray_trans_c(l00: np.ndarray, b: np.ndarray) -> np.ndarray:
+    import scipy.linalg as sla
+    return sla.solve_triangular(l00, b, trans="C")   # adjoint solve, undeclared

@@ -1,0 +1,23 @@
+"""Fixture: dtype-aware allocation idioms that must NOT be flagged."""
+
+import numpy as np
+
+
+def good_workspace(a: np.ndarray) -> np.ndarray:
+    w = np.zeros((a.shape[0], 4), dtype=a.dtype)
+    taus = np.empty(4, dtype=a.dtype)
+    q = np.zeros_like(a)
+    return w + taus.sum() + q
+
+
+def good_literals(a: np.ndarray, n: int) -> np.ndarray:
+    # python float literals do not promote float32 arrays under NEP 50
+    scaled = a * 2.0 + 1.0
+    # np.full derives its dtype from the fill value / dtype= argument
+    filled = np.full(n, 2.0)
+    explicit = np.zeros(n, dtype=np.float64)
+    return scaled.sum() + filled + explicit
+
+
+def good_astype(a: np.ndarray) -> np.ndarray:
+    return a.astype(np.result_type(a, np.float32))

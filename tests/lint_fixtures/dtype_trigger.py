@@ -1,0 +1,26 @@
+"""Fixture: every statement below violates dtype-literal-promotion."""
+
+import numpy as np
+
+
+def bad_workspace(a: np.ndarray) -> np.ndarray:
+    w = np.zeros((a.shape[0], 4))          # no dtype= -> float64
+    taus = np.empty(4)                     # no dtype= -> float64
+    q = np.ones(3)                         # no dtype= -> float64
+    eye = np.eye(4)                        # no dtype= -> float64
+    ident = np.identity(3)                 # no dtype= -> float64
+    return w + taus.sum() + q.sum() + eye.sum() + ident.sum()
+
+
+def bad_builtin_dtype(a: np.ndarray) -> np.ndarray:
+    w = np.zeros(a.shape, dtype=float)     # builtin float == float64
+    z = np.zeros(a.shape, dtype=complex)   # builtin complex == complex128
+    return w + z
+
+
+def bad_astype(a: np.ndarray) -> np.ndarray:
+    return a.astype(float)                 # promotes float32 input
+
+
+def bad_promoting_scalar(a: np.ndarray) -> np.ndarray:
+    return a * np.float64(2.0)             # NEP 50: float64 scalar promotes

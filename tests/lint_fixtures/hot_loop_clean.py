@@ -1,0 +1,18 @@
+"""Fixture: legitimate per-column / bookkeeping loops (NOT flagged)."""
+
+import numpy as np
+
+
+def householder_sweep(w: np.ndarray, taus: np.ndarray) -> np.ndarray:
+    for k in range(w.shape[1]):
+        v = w[k:, k].copy()              # slice read: vectorized step
+        tau = 2.0 / max(float(v @ v), 1.0)
+        taus[k] = tau                    # scalar bookkeeping only
+        w[k:, k:] -= np.outer(v, tau * (v @ w[k:, k:]))
+    return w
+
+
+def block_walk(blocks: list, x: np.ndarray) -> np.ndarray:
+    for i in range(len(blocks)):
+        x = blocks[i] @ x                # per-block, not per-element
+    return x

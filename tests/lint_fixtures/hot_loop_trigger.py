@@ -1,0 +1,15 @@
+"""Fixture: per-element Python loops over ndarrays (flagged)."""
+
+import numpy as np
+
+
+def axpy_elementwise(a: np.ndarray, x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    for i in range(y.shape[0]):
+        y[i] = y[i] + a[i] * x[i]        # element read+write per iteration
+    return y
+
+
+def accumulate_elementwise(h: np.ndarray, n: int) -> np.ndarray:
+    for j in range(n):
+        h[j, 0] += h[j, 1]               # AugAssign counts too
+    return h

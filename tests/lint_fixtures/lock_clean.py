@@ -1,0 +1,32 @@
+"""Fixture: disciplined scheduler-worker code that must NOT be flagged."""
+
+import queue
+import threading
+from typing import Dict, List
+
+
+def run_locked(n: int) -> Dict[int, int]:
+    lock = threading.Lock()
+    done: Dict[int, int] = {}
+    errors: List[BaseException] = []
+    tasks: "queue.Queue[int]" = queue.Queue()
+
+    def worker(tid: int) -> None:
+        local_count = 0                   # locals are thread-owned: fine
+        local_count += 1
+        try:
+            with lock:
+                done[tid] = tid * 2       # shared mutation under the lock
+            tasks.put(tid)                # queue.Queue is thread-safe
+        except Exception as exc:
+            with lock:
+                errors.append(exc)        # recorded, not swallowed
+
+    threads = [threading.Thread(target=worker, args=(i,)) for i in range(n)]
+    for th in threads:
+        th.start()
+    for th in threads:
+        th.join()
+    if errors:
+        raise errors[0]
+    return done

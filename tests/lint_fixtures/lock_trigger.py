@@ -1,0 +1,32 @@
+"""Fixture: scheduler-worker mutations violating lock-discipline."""
+
+import threading
+from typing import Dict, List
+
+
+def run_unlocked(n: int) -> Dict[int, int]:
+    lock = threading.Lock()
+    done: Dict[int, int] = {}
+    errors: List[BaseException] = []
+
+    def worker(tid: int) -> None:
+        try:
+            done[tid] = tid * 2          # shared mutation WITHOUT the lock
+            errors.append(RuntimeError("x"))  # shared append WITHOUT the lock
+        except Exception:
+            pass                          # swallowed worker exception
+
+    threads = [threading.Thread(target=worker, args=(i,)) for i in range(n)]
+    for th in threads:
+        th.start()
+    for th in threads:
+        th.join()
+    assert lock is not None
+    return done
+
+
+def bare_except(x: int) -> int:
+    try:
+        return 1 // x
+    except:                               # bare except hides KeyboardInterrupt
+        return 0

@@ -1,0 +1,39 @@
+"""Fixture: suppression pragma placements for the machinery tests."""
+
+import numpy as np
+
+
+def same_line(n: int) -> np.ndarray:
+    return np.zeros(n)  # solverlint: ignore[dtype-literal-promotion] -- fixture: same-line pragma
+
+
+def previous_line(n: int) -> np.ndarray:
+    # solverlint: ignore[dtype-literal-promotion] -- fixture: previous-line pragma
+    return np.zeros(n)
+
+
+def statement_opener(n: int) -> np.ndarray:
+    w = np.zeros(  # solverlint: ignore[dtype-literal-promotion] -- fixture: multi-line statement opener
+        (n,
+         n),
+    )
+    return w
+
+
+def unjustified(n: int) -> np.ndarray:
+    return np.empty(n)  # solverlint: ignore[dtype-literal-promotion]
+
+
+def unused_pragma(n: int) -> np.ndarray:
+    # solverlint: ignore[dtype-literal-promotion] -- fixture: nothing fires here
+    return np.zeros(n, dtype=np.float32)
+
+
+def foreign_rule_pragma(n: int) -> np.ndarray:
+    # a pragma for a rule not in the current run must never count as unused
+    # solverlint: ignore[python-hot-loop] -- fixture: foreign-rule pragma
+    return np.zeros(n, dtype=np.float32)
+
+
+def unknown_rule(n: int) -> np.ndarray:
+    return np.zeros(n, dtype=np.float32)  # solverlint: ignore[no-such-rule] -- fixture: unknown rule name

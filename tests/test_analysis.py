@@ -1,6 +1,5 @@
 """Tests for the analysis package (complexity models + metrics)."""
 
-import numpy as np
 import pytest
 
 from repro.analysis.complexity import (

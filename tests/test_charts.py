@@ -1,10 +1,8 @@
 """Tests for the SVG chart renderer."""
 
-import math
 
-import pytest
 
-from repro.analysis.charts import PALETTE, Series, bar_chart, line_chart
+from repro.analysis.charts import Series, bar_chart, line_chart
 from repro.analysis.charts import _nice_ticks
 
 

@@ -2,7 +2,6 @@
 
 import numpy as np
 import pytest
-import scipy.linalg as sla
 
 from repro.core.dense_kernels import (
     cholesky_nopivot,

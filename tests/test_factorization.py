@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.config import SolverConfig
 from repro.core.solver import Solver
 from repro.sparse.generators import (
     convection_diffusion_3d,

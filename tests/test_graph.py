@@ -1,7 +1,6 @@
 """Tests for the adjacency-graph substrate."""
 
 import numpy as np
-import pytest
 
 from repro.ordering.graph import Graph
 from repro.sparse.csc import CSCMatrix

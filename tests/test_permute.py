@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.sparse.csc import CSCMatrix
 from repro.sparse.generators import laplacian_2d
 from repro.sparse.permute import (
     invert_permutation,

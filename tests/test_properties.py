@@ -6,11 +6,9 @@ and the structural invariants of the analysis pipeline.
 """
 
 import numpy as np
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-from repro.lowrank.block import LowRankBlock
 from repro.lowrank.kernels import lr2lr_update, lr_product
 from repro.lowrank.recompress import recompress_rrqr, recompress_svd
 from repro.lowrank.rrqr import rrqr, rrqr_compress, rrqr_lapack

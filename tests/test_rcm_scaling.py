@@ -1,7 +1,6 @@
 """Tests for the RCM ordering and matrix equilibration."""
 
 import numpy as np
-import pytest
 
 from repro.ordering.graph import Graph
 from repro.ordering.rcm import bandwidth, reverse_cuthill_mckee

@@ -1,7 +1,6 @@
 """Tests for the intra-supernode (TSP) reordering of [21]."""
 
 import numpy as np
-import pytest
 
 from repro.ordering.graph import Graph
 from repro.ordering.nested_dissection import nested_dissection

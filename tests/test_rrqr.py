@@ -113,3 +113,56 @@ class TestImplementationAgreement:
             r1 = rrqr(a, 1e-8).q.shape[1]
             r2 = rrqr_lapack(a, 1e-8).q.shape[1]
             assert abs(r1 - r2) <= 1
+
+
+class TestDtypePreservation:
+    """The float32 path must stay float32 end-to-end (no float64 workspaces).
+
+    Regression test for the dtype-unaware workspaces solverlint's
+    dtype-literal-promotion rule caught: ``w``, ``vs``/``taus``, ``r_mat``
+    and ``_form_q``'s accumulator all allocated float64 regardless of the
+    input dtype, silently doubling memory traffic and destroying the
+    mixed-precision storage win on single-precision blocks.
+    """
+
+    def _tracking_zeros(self, record):
+        real_zeros = np.zeros
+
+        def zeros(*args, **kwargs):
+            out = real_zeros(*args, **kwargs)
+            record.append(out.dtype)
+            return out
+
+        return zeros
+
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64])
+    def test_householder_result_dtypes(self, rng, dtype):
+        a = random_lowrank(rng, 30, 24, 8).astype(dtype)
+        res = rrqr(a, 1e-3)
+        assert res.q.dtype == dtype
+        assert res.r.dtype == dtype
+
+    def test_no_float64_intermediates_on_float32(self, rng, monkeypatch):
+        import importlib
+        rrqr_mod = importlib.import_module("repro.lowrank.rrqr")
+        a = random_lowrank(rng, 30, 24, 8).astype(np.float32)
+        allocated = []
+        monkeypatch.setattr(rrqr_mod.np, "zeros",
+                            self._tracking_zeros(allocated))
+        res = rrqr_mod.rrqr(a, 1e-3)
+        assert res.converged
+        assert allocated, "tracking hook never fired"
+        assert all(dt == np.float32 for dt in allocated), allocated
+
+    def test_compress_preserves_float32(self, rng):
+        a = random_lowrank(rng, 30, 24, 6).astype(np.float32)
+        for impl in ("householder", "lapack"):
+            lr = rrqr_compress(a, 1e-3, impl=impl)
+            assert lr.u.dtype == np.float32
+            assert lr.v.dtype == np.float32
+
+    def test_integer_input_promotes_once_to_float64(self):
+        a = np.arange(12, dtype=np.int64).reshape(4, 3)
+        res = rrqr(a, 1e-10)
+        assert res.q.dtype == np.float64
+        assert res.r.dtype == np.float64

@@ -1,7 +1,6 @@
 """Tests for vertex separators."""
 
 import numpy as np
-import pytest
 
 from repro.ordering.graph import Graph
 from repro.ordering.separator import check_separator, find_vertex_separator

@@ -9,12 +9,11 @@ import json
 import threading
 import time
 
-import numpy as np
 import pytest
 
 from repro.analysis.charts import gantt_chart
 from repro.core.solver import Solver
-from repro.runtime.trace import TaskTracer, TraceEvent
+from repro.runtime.trace import TaskTracer
 from repro.sparse.generators import laplacian_2d, laplacian_3d
 from tests.conftest import tiny_blr_config
 

@@ -1,7 +1,6 @@
 """Tests for the mixed dense/low-rank triangular solves."""
 
 import numpy as np
-import pytest
 
 from repro.core.solver import Solver
 from repro.core.trisolve import solve_factored

@@ -1,6 +1,5 @@
 """Tests for the symbolic-structure renderers."""
 
-import numpy as np
 import pytest
 
 from repro.analysis.visualize import (

@@ -1,0 +1,1 @@
+"""Developer tooling for the repro solver (not shipped with the package)."""

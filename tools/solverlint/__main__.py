@@ -1,0 +1,8 @@
+"""``python -m tools.solverlint`` entry point."""
+
+import sys
+
+from tools.solverlint.cli import run
+
+if __name__ == "__main__":
+    sys.exit(run())

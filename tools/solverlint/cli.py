@@ -1,0 +1,109 @@
+"""Command-line entry point: ``python -m tools.solverlint [paths...]``.
+
+Exit status is 0 when every finding is suppressed (or none fire) and 1
+otherwise, so the command slots straight into CI.  ``--format json`` emits a
+machine-readable report; ``--list-rules`` documents each rule and the
+invariant it enforces.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional, Sequence
+
+from tools.solverlint.core import Finding, all_rules, lint_paths
+
+DEFAULT_PATHS = ("src/repro",)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m tools.solverlint",
+        description="Domain-specific static analysis for the repro solver "
+                    "(see docs/static-analysis.md).",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=list(DEFAULT_PATHS),
+        help="files or directories to lint (default: src/repro)")
+    parser.add_argument(
+        "--format", choices=("human", "json"), default="human",
+        help="output format (default: human)")
+    parser.add_argument(
+        "--rules", default=None,
+        help="comma-separated subset of rules to run (default: all)")
+    parser.add_argument(
+        "--no-scope", action="store_true",
+        help="apply every rule to every file, ignoring per-rule scopes "
+             "(used by the fixture tests)")
+    parser.add_argument(
+        "--show-suppressed", action="store_true",
+        help="also print findings silenced by pragmas")
+    parser.add_argument(
+        "--no-warn-unused-ignores", dest="warn_unused", action="store_false",
+        help="do not flag pragmas that suppress nothing")
+    parser.add_argument(
+        "--no-require-justification", dest="require_justification",
+        action="store_false",
+        help="allow suppression pragmas without a ' -- reason' tail")
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="describe every registered rule and exit")
+    return parser
+
+
+def _list_rules() -> str:
+    lines: List[str] = []
+    for name, rule in sorted(all_rules().items()):
+        scope = ("/".join(rule.scope_dirs) if rule.scope_dirs
+                 else "package-wide")
+        lines.append(f"{name}  [scope: {scope}]")
+        lines.append(f"  {rule.description}")
+        lines.append(f"  invariant: {rule.invariant}")
+    return "\n".join(lines)
+
+
+def run(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        print(_list_rules())
+        return 0
+    rules = None
+    if args.rules:
+        registry = all_rules()
+        wanted = [r.strip() for r in args.rules.split(",") if r.strip()]
+        unknown = [r for r in wanted if r not in registry]
+        if unknown:
+            print(f"unknown rule(s): {', '.join(unknown)}", file=sys.stderr)
+            return 2
+        rules = [registry[r] for r in wanted]
+    findings = lint_paths(
+        args.paths,
+        rules=rules,
+        enforce_scope=not args.no_scope,
+        warn_unused_ignores=args.warn_unused,
+        require_justification=args.require_justification,
+    )
+    active = [f for f in findings if not f.suppressed]
+    shown = findings if args.show_suppressed else active
+    if args.format == "json":
+        print(json.dumps(
+            {
+                "findings": [f.to_json() for f in shown],
+                "total": len(active),
+                "suppressed": sum(1 for f in findings if f.suppressed),
+            },
+            indent=2,
+        ))
+    else:
+        for f in shown:
+            print(f.format())
+        nsup = sum(1 for f in findings if f.suppressed)
+        print(f"solverlint: {len(active)} finding(s), {nsup} suppressed")
+    return 1 if active else 0
+
+
+def describe_findings(findings: Sequence[Finding]) -> str:
+    """Human summary used by the test-suite on failure."""
+    return "\n".join(f.format() for f in findings)

@@ -1,0 +1,17 @@
+"""Rule modules; importing this package registers every rule."""
+
+from tools.solverlint.rules import (  # noqa: F401  -- registration side effect
+    annotations,
+    conjugation,
+    dtype_promotion,
+    hot_loop,
+    lock_discipline,
+)
+
+__all__ = [
+    "annotations",
+    "conjugation",
+    "dtype_promotion",
+    "hot_loop",
+    "lock_discipline",
+]

@@ -1,0 +1,63 @@
+"""``missing-annotations`` — the strict-typing gate.
+
+``src/repro`` ships ``py.typed`` and is held to ``mypy --strict``; the
+first thing strict mode demands is that every definition is fully annotated
+(``disallow_untyped_defs`` / ``disallow_incomplete_defs``).  mypy itself is
+not importable in every environment this repo builds in, so this rule
+enforces the annotation part of the contract with zero dependencies: every
+function — including nested helpers and closures — must annotate all
+parameters (``self``/``cls`` excepted) and its return type.
+
+This does not replace mypy (no inference, no call-site checking — CI runs
+the real ``mypy --strict`` gate); it guarantees the *surface* stays fully
+annotated so strict mode has something to check.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple
+
+from tools.solverlint.core import FileContext, Rule, register
+from tools.solverlint.rules.common import FunctionNode, walk_functions
+
+
+@register
+class MissingAnnotationsRule(Rule):
+    name = "missing-annotations"
+    description = (
+        "every function (nested ones included) must annotate all "
+        "parameters and its return type"
+    )
+    invariant = (
+        "src/repro passes mypy --strict; fully annotated definitions are "
+        "the precondition"
+    )
+    scope_dirs = None  # package-wide
+
+    def check(self, ctx: FileContext) -> Iterator[Tuple[int, int, str]]:
+        for fn, stack in walk_functions(ctx.tree):
+            missing = self._missing_of(fn, stack)
+            if missing:
+                yield (
+                    fn.lineno, fn.col_offset,
+                    f"'{fn.name}' is missing annotations: "
+                    + ", ".join(missing),
+                )
+
+    @staticmethod
+    def _missing_of(fn: FunctionNode, stack: List[FunctionNode]) -> List[str]:
+        missing: List[str] = []
+        args = fn.args
+        ordered = [*args.posonlyargs, *args.args]
+        skip_first = bool(ordered) and ordered[0].arg in ("self", "cls")
+        params = ordered[1:] if skip_first else ordered
+        for a in (*params, *args.kwonlyargs):
+            if a.annotation is None:
+                missing.append(f"parameter '{a.arg}'")
+        if args.vararg is not None and args.vararg.annotation is None:
+            missing.append(f"parameter '*{args.vararg.arg}'")
+        if args.kwarg is not None and args.kwarg.annotation is None:
+            missing.append(f"parameter '**{args.kwarg.arg}'")
+        if fn.returns is None:
+            missing.append("return type")
+        return missing

@@ -1,0 +1,123 @@
+"""Small AST helpers shared by the rules."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set, Tuple, Union
+
+FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+#: module aliases numpy is imported under in this codebase
+NUMPY_NAMES = ("np", "numpy", "_np")
+
+
+def numpy_attr(node: ast.expr) -> Optional[str]:
+    """``np.foo`` / ``numpy.foo`` → ``"foo"``; anything else → None."""
+    if (isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id in NUMPY_NAMES):
+        return node.attr
+    return None
+
+
+def call_keyword(node: ast.Call, name: str) -> Optional[ast.expr]:
+    """The value of keyword argument ``name``, or None."""
+    for kw in node.keywords:
+        if kw.arg == name:
+            return kw.value
+    return None
+
+
+def walk_functions(tree: ast.Module) -> Iterator[Tuple[FunctionNode, List[FunctionNode]]]:
+    """Yield every function with its stack of enclosing functions."""
+    stack: List[FunctionNode] = []
+
+    def visit(node: ast.AST) -> Iterator[Tuple[FunctionNode, List[FunctionNode]]]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield child, list(stack)
+                stack.append(child)
+                yield from visit(child)
+                stack.pop()
+            else:
+                yield from visit(child)
+
+    yield from visit(tree)
+
+
+def local_names(fn: FunctionNode) -> Set[str]:
+    """Names bound inside ``fn`` itself: parameters, assignment targets,
+    loop/with/except/comprehension bindings and nested def/class names.
+
+    Bindings inside nested functions are *not* locals of ``fn``.
+    """
+    names: Set[str] = set()
+    args = fn.args
+    for a in (*args.posonlyargs, *args.args, *args.kwonlyargs):
+        names.add(a.arg)
+    if args.vararg:
+        names.add(args.vararg.arg)
+    if args.kwarg:
+        names.add(args.kwarg.arg)
+
+    def collect_target(t: ast.expr) -> None:
+        if isinstance(t, ast.Name):
+            names.add(t.id)
+        elif isinstance(t, (ast.Tuple, ast.List)):
+            for el in t.elts:
+                collect_target(el)
+        elif isinstance(t, ast.Starred):
+            collect_target(t.value)
+
+    def visit(node: ast.AST) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                  ast.ClassDef)):
+                names.add(child.name)
+                continue  # nested scopes bind their own locals
+            if isinstance(child, (ast.Assign, ast.For, ast.AsyncFor)):
+                targets = (child.targets if isinstance(child, ast.Assign)
+                           else [child.target])
+                for t in targets:
+                    collect_target(t)
+            elif isinstance(child, ast.AnnAssign):
+                collect_target(child.target)
+            elif isinstance(child, ast.AugAssign):
+                collect_target(child.target)
+            elif isinstance(child, (ast.With, ast.AsyncWith)):
+                for item in child.items:
+                    if item.optional_vars is not None:
+                        collect_target(item.optional_vars)
+            elif isinstance(child, ast.ExceptHandler):
+                if child.name:
+                    names.add(child.name)
+            elif isinstance(child, (ast.ListComp, ast.SetComp, ast.DictComp,
+                                    ast.GeneratorExp)):
+                continue  # comprehensions have their own scope (py3)
+            elif isinstance(child, ast.NamedExpr):
+                collect_target(child.target)
+            visit(child)
+
+    visit(fn)
+    return names
+
+
+def base_name(node: ast.expr) -> Optional[str]:
+    """The root ``Name`` of a ``name[...]`` / ``name.attr`` chain."""
+    while isinstance(node, (ast.Subscript, ast.Attribute)):
+        node = node.value
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def get_docstring(node: ast.AST) -> str:
+    try:
+        return ast.get_docstring(node) or ""  # type: ignore[arg-type]
+    except TypeError:
+        return ""
+
+
+def dump_no_ctx(node: ast.expr) -> str:
+    """Structural fingerprint of an expression, ignoring load/store ctx."""
+    return ast.dump(node, annotate_fields=False, include_attributes=False)

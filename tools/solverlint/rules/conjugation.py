@@ -1,0 +1,152 @@
+"""``conjugation-at-adjoint`` — conjugate only at declared Hermitian adjoints.
+
+Low-rank blocks are stored as the *pure transpose* product ``u @ v.T`` even
+for complex data (PaStiX z-kernel convention); every structural product —
+updates, trisolve panels, ``lr_product`` — is conjugation-free.  Conjugation
+is mathematically required only at the Hermitian adjoint surface: ``rmatvec``,
+Hermitian panel solves, recompression projections, Hermitian residual norms.
+A stray ``.conj()`` elsewhere silently corrupts complex factorizations (it
+still "works" for real data, which is why review misses it); a missing one
+is caught by tests, a superfluous one is caught here.
+
+A conjugation site is **allowed** when any of these hold:
+
+* it sits inside a function literally named ``rmatvec`` or ``conj`` (the
+  adjoint operators themselves);
+* the enclosing function's docstring mentions ``Hermitian`` or ``adjoint``
+  (case-insensitive) — the adjoint surface is *declared where it lives*, so
+  a reviewer can audit it by reading the docstring;
+* it is a self-inner-product norm: ``np.einsum(spec, x.conj(), x)`` or
+  ``np.vdot(x, x)``, where both operands are structurally identical — ⟨x, x⟩
+  is real and conjugation-correct by construction.
+
+Everything else needs a justified pragma.  The rule flags ``.conj()`` /
+``.conjugate()`` / ``np.conj`` / ``np.conjugate`` and conjugate-transpose
+triangular solves (``trans="C"``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Tuple
+
+from tools.solverlint.core import FileContext, Rule, register
+from tools.solverlint.rules.common import (
+    FunctionNode,
+    dump_no_ctx,
+    get_docstring,
+    numpy_attr,
+)
+
+#: function names that *are* the adjoint surface
+ADJOINT_FUNCTION_NAMES = frozenset({"rmatvec", "conj", "conjugate"})
+
+#: docstring markers declaring a function part of the adjoint surface
+ADJOINT_MARKERS = ("hermitian", "adjoint")
+
+
+def _is_conj_call(node: ast.Call) -> bool:
+    if isinstance(node.func, ast.Attribute) and node.func.attr in (
+            "conj", "conjugate") and not node.args:
+        return True
+    return numpy_attr(node.func) in ("conj", "conjugate")
+
+
+def _conj_operand(node: ast.expr) -> Optional[ast.expr]:
+    """For a conjugation expression, the conjugated operand."""
+    if isinstance(node, ast.Call) and _is_conj_call(node):
+        if isinstance(node.func, ast.Attribute) and not node.args:
+            return node.func.value
+        if node.args:
+            return node.args[0]
+    return None
+
+
+def _is_self_inner_product(call: ast.Call, conj_node: ast.Call) -> bool:
+    """``np.einsum(spec, x.conj(), x)`` / ``np.vdot(x, x)``-style norms."""
+    attr = numpy_attr(call.func)
+    if attr not in ("einsum", "vdot", "inner", "tensordot"):
+        return False
+    operand = _conj_operand(conj_node)
+    if operand is None:
+        return False
+    fingerprint = dump_no_ctx(operand)
+    for arg in call.args:
+        if arg is conj_node:
+            continue
+        if dump_no_ctx(arg) == fingerprint:
+            return True
+    return False
+
+
+@register
+class ConjugationAtAdjointRule(Rule):
+    name = "conjugation-at-adjoint"
+    description = (
+        "conjugation is permitted only in the declared Hermitian adjoint "
+        "surface (rmatvec, Hermitian solves, recompression projections, "
+        "self-inner-product norms)"
+    )
+    invariant = (
+        "low-rank storage is a pure-transpose product u @ v.T; conjugation "
+        "appears only where the mathematics demands a Hermitian adjoint"
+    )
+    scope_dirs = ("core", "lowrank", "sparse", "analysis")
+
+    def check(self, ctx: FileContext) -> Iterator[Tuple[int, int, str]]:
+        yield from self._visit(ctx.tree, [])
+
+    def _visit(
+        self, node: ast.AST, fn_stack: List[FunctionNode]
+    ) -> Iterator[Tuple[int, int, str]]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                fn_stack.append(child)
+                yield from self._visit(child, fn_stack)
+                fn_stack.pop()
+                continue
+            if isinstance(child, ast.Call) and _is_conj_call(child):
+                if not self._allowed(child, node, fn_stack):
+                    yield (
+                        child.lineno, child.col_offset,
+                        "conjugation outside the declared adjoint surface; "
+                        "if this is a genuine Hermitian adjoint, say so in "
+                        "the enclosing function's docstring (or add a "
+                        "justified pragma)",
+                    )
+                # still recurse: nested conj inside an allowed conj's operand
+                yield from self._visit(child, fn_stack)
+                continue
+            if isinstance(child, ast.keyword) and child.arg == "trans" and (
+                    isinstance(child.value, ast.Constant)
+                    and child.value.value == "C"):
+                if not self._surface_declared(fn_stack):
+                    yield (
+                        child.value.lineno, child.value.col_offset,
+                        'trans="C" is a conjugate-transpose solve outside '
+                        "the declared adjoint surface",
+                    )
+            yield from self._visit(child, fn_stack)
+
+    def _allowed(
+        self,
+        conj_node: ast.Call,
+        parent: ast.AST,
+        fn_stack: List[FunctionNode],
+    ) -> bool:
+        if self._surface_declared(fn_stack):
+            return True
+        if isinstance(parent, ast.Call) and _is_self_inner_product(
+                parent, conj_node):
+            return True
+        return False
+
+    @staticmethod
+    def _surface_declared(fn_stack: List[FunctionNode]) -> bool:
+        for fn in fn_stack:
+            if fn.name in ADJOINT_FUNCTION_NAMES:
+                return True
+            doc = get_docstring(fn).lower()
+            if any(marker in doc for marker in ADJOINT_MARKERS):
+                return True
+        return False

@@ -1,0 +1,106 @@
+"""``dtype-literal-promotion`` — no silent 64-bit promotion in kernels.
+
+The numeric core is dtype-generic (PR 2): a float32 or complex64
+factorization must run float32/complex64 end to end.  The ways that breaks
+silently are all allocation-shaped:
+
+* ``np.zeros(...)`` / ``np.empty(...)`` / ``np.ones(...)`` / ``np.eye(...)``
+  / ``np.identity(...)`` default to float64 — a workspace allocated this way
+  runs the whole kernel in double (this is exactly the bug solverlint was
+  built to catch, ``repro/lowrank/rrqr.py`` pre-fix);
+* ``dtype=float`` / ``dtype=complex`` (or ``.astype(float)`` /
+  ``.astype(complex)``) hard-code the 64-bit Python scalar types;
+* a ``np.float64(...)`` / ``np.complex128(...)`` scalar inside array
+  arithmetic promotes every narrower operand under NEP 50.
+
+``np.full`` and ``np.array``/``np.asarray`` are exempt (their dtype derives
+from the value argument), as are ``*_like`` allocators and ``np.arange``
+(index arithmetic).  Allocations whose dtype genuinely *is* a fixed integer,
+bool or deliberate 64-bit type satisfy the rule by saying so explicitly
+with ``dtype=``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Tuple
+
+from tools.solverlint.core import FileContext, Rule, register
+from tools.solverlint.rules.common import call_keyword, numpy_attr
+
+#: allocators whose default dtype is float64 regardless of their inputs
+DEFAULT_FLOAT64_ALLOCATORS = frozenset(
+    {"zeros", "empty", "ones", "eye", "identity"}
+)
+
+#: Python builtin type names that force 64-bit when used as a dtype
+BUILTIN_64BIT = frozenset({"float", "complex"})
+
+#: numpy scalar constructors that promote narrower arrays under NEP 50
+PROMOTING_SCALARS = frozenset({"float64", "complex128", "longdouble",
+                               "clongdouble"})
+
+
+@register
+class DtypeLiteralPromotionRule(Rule):
+    name = "dtype-literal-promotion"
+    description = (
+        "allocations and casts in the numeric core must carry an explicit "
+        "dtype derived from an input array"
+    )
+    invariant = (
+        "dtype-generic kernels never silently promote: a float32/complex64 "
+        "factorization stays in its precision end to end"
+    )
+    scope_dirs = ("core", "lowrank", "sparse")
+
+    def check(self, ctx: FileContext) -> Iterator[Tuple[int, int, str]]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                yield from self._check_call(node)
+            elif isinstance(node, ast.keyword) and node.arg == "dtype":
+                yield from self._check_dtype_value(node.value)
+            elif isinstance(node, ast.BinOp):
+                yield from self._check_binop(node)
+
+    def _check_call(self, node: ast.Call) -> Iterator[Tuple[int, int, str]]:
+        attr = numpy_attr(node.func)
+        if attr in DEFAULT_FLOAT64_ALLOCATORS:
+            if call_keyword(node, "dtype") is None:
+                yield (
+                    node.lineno, node.col_offset,
+                    f"np.{attr}(...) without dtype= allocates float64; "
+                    "derive the dtype from an input array "
+                    "(e.g. dtype=a.dtype)",
+                )
+        elif (isinstance(node.func, ast.Attribute)
+                and node.func.attr == "astype"
+                and node.args
+                and isinstance(node.args[0], ast.Name)
+                and node.args[0].id in BUILTIN_64BIT):
+            yield (
+                node.lineno, node.col_offset,
+                f".astype({node.args[0].id}) forces 64-bit; cast to a dtype "
+                "derived from an input array instead",
+            )
+
+    def _check_dtype_value(self, value: ast.expr) -> Iterator[Tuple[int, int, str]]:
+        if isinstance(value, ast.Name) and value.id in BUILTIN_64BIT:
+            yield (
+                value.lineno, value.col_offset,
+                f"dtype={value.id} is the 64-bit Python scalar type; use an "
+                "input array's dtype (or an explicit np.float64 if 64-bit "
+                "is genuinely intended)",
+            )
+
+    def _check_binop(self, node: ast.BinOp) -> Iterator[Tuple[int, int, str]]:
+        for side in (node.left, node.right):
+            if isinstance(side, ast.Call):
+                attr = numpy_attr(side.func)
+                if attr in PROMOTING_SCALARS:
+                    yield (
+                        side.lineno, side.col_offset,
+                        f"np.{attr}(...) scalar inside arithmetic promotes "
+                        "narrower arrays to 64-bit (NEP 50); build the "
+                        "scalar in the operand's dtype",
+                    )

@@ -1,0 +1,97 @@
+"""``python-hot-loop`` — no per-element Python loops in numeric kernels.
+
+The factorization/compression kernels are the Θ(n³)-adjacent hot paths; a
+per-element Python loop there is 100-1000× slower than the vectorized or
+BLAS form and silently dominates the runtime on large problems.  Legitimate
+*per-column* / *per-block* loops (a Householder sweep doing vectorized work
+per step) are fine — the smell is element-wise indexing on **both** sides of
+an assignment inside a ``for i in range(...)`` loop, i.e.
+
+    for i in range(n):
+        y[i] = y[i] + a[i] * x[i]      # flagged: element-wise in Python
+
+    for k in range(rank):              # not flagged: vectorized body
+        w[k:, k:] -= np.outer(v, tau * (v @ w[k:, k:]))
+
+Mechanically: a ``for`` whose iterator is ``range(...)`` is flagged when its
+body contains an assignment whose *target* subscripts with the loop variable
+as a bare (scalar, non-slice) index **and** whose *value* also subscripts
+with the loop variable — reading and writing single elements per iteration.
+Scalar bookkeeping (``taus[k] = tau``) and slice assignments are exempt.
+
+Scope: the numeric kernels (``core``/``lowrank``) minus the orchestration
+modules (scheduler/solver/serialize), whose Python loops walk task graphs,
+not array elements.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Tuple
+
+from tools.solverlint.core import FileContext, Rule, register
+
+
+def _range_loop_var(node: ast.For) -> Optional[str]:
+    it = node.iter
+    if (isinstance(it, ast.Call) and isinstance(it.func, ast.Name)
+            and it.func.id == "range"
+            and isinstance(node.target, ast.Name)):
+        return node.target.id
+    return None
+
+
+def _subscripts_with_var(expr: ast.expr, var: str) -> bool:
+    """True when ``expr`` contains ``x[.., var, ..]`` with ``var`` a bare
+    scalar index element (not inside a slice bound)."""
+    for node in ast.walk(expr):
+        if not isinstance(node, ast.Subscript):
+            continue
+        index = node.slice
+        elements = index.elts if isinstance(index, ast.Tuple) else [index]
+        for el in elements:
+            if isinstance(el, ast.Name) and el.id == var:
+                return True
+    return False
+
+
+@register
+class PythonHotLoopRule(Rule):
+    name = "python-hot-loop"
+    description = (
+        "per-element Python loops over ndarrays are forbidden in "
+        "factorization/compression kernels"
+    )
+    invariant = (
+        "hot-path work runs vectorized (numpy/BLAS); Python-level loops may "
+        "step over columns/blocks, never over elements"
+    )
+    scope_dirs = ("core", "lowrank")
+    scope_exclude = ("scheduler.py", "solver.py", "serialize.py")
+
+    def check(self, ctx: FileContext) -> Iterator[Tuple[int, int, str]]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.For):
+                continue
+            var = _range_loop_var(node)
+            if var is None:
+                continue
+            for stmt in ast.walk(node):
+                if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue
+                if isinstance(stmt, (ast.Assign, ast.AugAssign)):
+                    targets = (stmt.targets if isinstance(stmt, ast.Assign)
+                               else [stmt.target])
+                    value_hits = _subscripts_with_var(stmt.value, var)
+                    if not value_hits:
+                        continue
+                    for t in targets:
+                        if isinstance(t, ast.Subscript) and \
+                                _subscripts_with_var(t, var):
+                            yield (
+                                stmt.lineno, stmt.col_offset,
+                                f"per-element loop over '{var}': reads and "
+                                "writes single array elements each "
+                                "iteration; vectorize this kernel",
+                            )
+                            break

@@ -1,0 +1,219 @@
+"""``lock-discipline`` — pull-mode ownership or the designated lock.
+
+The threaded schedulers owe their bit-identical factors to pull-mode
+ownership (PR 1): per-column-block storage is mutated only by the one task
+that owns the block, and the *shared* scheduler state — pending counters,
+progress/tick counters, error lists, stop flags — is mutated only under the
+single designated lock (``threading.Lock`` / ``threading.Condition``).  A
+mutation of captured state outside the lock reintroduces exactly the data
+races the pull-mode rewrite removed, and a swallowed worker exception turns
+a crash into a silent hang (the sentinel never fires).
+
+Mechanically, for every function passed as ``target=`` to
+``threading.Thread`` (a *worker*):
+
+* assignments and augmented assignments through a subscript/attribute whose
+  base is a **free variable** (captured from the enclosing scope) must be
+  lexically inside ``with <lock>:`` where ``<lock>`` was created in the
+  enclosing scope via ``threading.Lock/RLock/Condition/Semaphore``;
+* mutator method calls (``append``, ``extend``, ``add``, ``update``,
+  ``insert``, ``pop``, ``remove``, ``clear``) on free variables likewise —
+  except on ``queue.Queue`` objects, which are thread-safe by contract;
+* every ``except`` handler must either re-raise or record the exception
+  (append/put it somewhere) — a pass-through handler swallows worker
+  failures.
+
+Bare ``except:`` is flagged anywhere in scope (worker or not): it captures
+``SystemExit``/``KeyboardInterrupt`` and hides scheduler shutdown bugs.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from tools.solverlint.core import FileContext, Rule, register
+from tools.solverlint.rules.common import (
+    FunctionNode,
+    base_name,
+    local_names,
+    walk_functions,
+)
+
+LOCK_CONSTRUCTORS = frozenset({"Lock", "RLock", "Condition", "Semaphore",
+                               "BoundedSemaphore"})
+QUEUE_CONSTRUCTORS = frozenset({"Queue", "LifoQueue", "PriorityQueue",
+                                "SimpleQueue", "deque"})
+MUTATOR_METHODS = frozenset({"append", "extend", "add", "update", "insert",
+                             "pop", "popleft", "remove", "discard", "clear",
+                             "setdefault"})
+#: methods allowed on lock objects themselves (wait/notify under ``with``)
+LOCK_METHODS = frozenset({"acquire", "release", "wait", "notify",
+                          "notify_all", "wait_for"})
+
+
+def _constructor_of(value: ast.expr) -> Optional[str]:
+    """``threading.Lock()`` → ``"Lock"``; ``queue.Queue()`` → ``"Queue"``."""
+    if not isinstance(value, ast.Call):
+        return None
+    func = value.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return None
+
+
+def _scope_bindings(fn: FunctionNode) -> Tuple[Set[str], Set[str]]:
+    """Names bound to locks / queues by simple assignment inside ``fn``."""
+    locks: Set[str] = set()
+    queues: Set[str] = set()
+    for node in ast.walk(fn):
+        targets: List[ast.expr] = []
+        value: Optional[ast.expr] = None
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        if value is None:
+            continue
+        ctor = _constructor_of(value)
+        if ctor is None:
+            continue
+        for t in targets:
+            if isinstance(t, ast.Name):
+                if ctor in LOCK_CONSTRUCTORS:
+                    locks.add(t.id)
+                elif ctor in QUEUE_CONSTRUCTORS:
+                    queues.add(t.id)
+    return locks, queues
+
+
+def _thread_targets(fn: FunctionNode) -> Set[str]:
+    """Names of functions passed as ``target=`` to ``threading.Thread``."""
+    out: Set[str] = set()
+    for node in ast.walk(fn):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        is_thread = (isinstance(func, ast.Attribute) and func.attr == "Thread") \
+            or (isinstance(func, ast.Name) and func.id == "Thread")
+        if not is_thread:
+            continue
+        for kw in node.keywords:
+            if kw.arg == "target" and isinstance(kw.value, ast.Name):
+                out.add(kw.value.id)
+    return out
+
+
+@register
+class LockDisciplineRule(Rule):
+    name = "lock-discipline"
+    description = (
+        "scheduler workers mutate shared state only under the designated "
+        "lock; worker exceptions must be aggregated, never swallowed"
+    )
+    invariant = (
+        "pull-mode ownership: per-block storage is mutated by its owning "
+        "task only, shared counters/flags/error lists under one lock — the "
+        "basis of bit-identical threaded factors"
+    )
+    scope_dirs = ("core", "runtime")
+
+    def check(self, ctx: FileContext) -> Iterator[Tuple[int, int, str]]:
+        # bare except: flagged everywhere in scope
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ExceptHandler) and node.type is None:
+                yield (
+                    node.lineno, node.col_offset,
+                    "bare 'except:' swallows SystemExit/KeyboardInterrupt; "
+                    "catch a concrete exception type",
+                )
+        # worker-function analysis
+        workers: Dict[str, Tuple[FunctionNode, FunctionNode]] = {}
+        for fn, stack in walk_functions(ctx.tree):
+            target_names = _thread_targets(fn)
+            if not target_names:
+                continue
+            for nested, nstack in walk_functions(ctx.tree):
+                if nested.name in target_names and nstack and nstack[-1] is fn:
+                    workers[nested.name] = (nested, fn)
+        for worker, owner in workers.values():
+            yield from self._check_worker(worker, owner)
+
+    def _check_worker(
+        self, worker: FunctionNode, owner: FunctionNode
+    ) -> Iterator[Tuple[int, int, str]]:
+        locks, queues = _scope_bindings(owner)
+        locals_ = local_names(worker)
+
+        def is_free(name: Optional[str]) -> bool:
+            return name is not None and name not in locals_
+
+        findings: List[Tuple[int, int, str]] = []
+
+        def visit(node: ast.AST, lock_depth: int) -> None:
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    continue  # nested helpers audited via their own callers
+                depth = lock_depth
+                if isinstance(child, ast.With):
+                    for item in child.items:
+                        cname = None
+                        if isinstance(item.context_expr, ast.Name):
+                            cname = item.context_expr.id
+                        if cname in locks:
+                            depth += 1
+                if isinstance(child, (ast.Assign, ast.AugAssign)):
+                    targets = (child.targets
+                               if isinstance(child, ast.Assign)
+                               else [child.target])
+                    for t in targets:
+                        if isinstance(t, (ast.Subscript, ast.Attribute)):
+                            name = base_name(t)
+                            if is_free(name) and depth == 0:
+                                findings.append((
+                                    child.lineno, child.col_offset,
+                                    f"worker '{worker.name}' mutates shared "
+                                    f"'{name}' outside the designated lock "
+                                    "(pull-mode state must be thread-owned "
+                                    "or lock-protected)",
+                                ))
+                elif isinstance(child, ast.Call) and isinstance(
+                        child.func, ast.Attribute):
+                    name = base_name(child.func.value)
+                    meth = child.func.attr
+                    if (is_free(name) and depth == 0
+                            and meth in MUTATOR_METHODS
+                            and name not in queues and name not in locks):
+                        findings.append((
+                            child.lineno, child.col_offset,
+                            f"worker '{worker.name}' calls mutating "
+                            f"'{name}.{meth}()' outside the designated lock",
+                        ))
+                elif isinstance(child, ast.ExceptHandler):
+                    if not self._handler_records(child):
+                        findings.append((
+                            child.lineno, child.col_offset,
+                            f"worker '{worker.name}' exception handler "
+                            "neither re-raises nor records the error; "
+                            "aggregate it under the state lock so the "
+                            "scheduler can surface every failure",
+                        ))
+                visit(child, depth)
+
+        visit(worker, 0)
+        yield from findings
+
+    @staticmethod
+    def _handler_records(handler: ast.ExceptHandler) -> bool:
+        """True when the handler re-raises or stores the exception."""
+        for node in ast.walk(handler):
+            if isinstance(node, ast.Raise):
+                return True
+            if isinstance(node, ast.Call) and isinstance(
+                    node.func, ast.Attribute):
+                if node.func.attr in ("append", "extend", "put",
+                                      "put_nowait", "add"):
+                    return True
+        return False
