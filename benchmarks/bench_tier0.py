@@ -4,22 +4,33 @@ Unlike the paper-artifact benches (Tables 1/2, Figures 5-8), this harness
 exists to track the *trajectory* of the solver's performance across PRs: a
 single fixed workload — the 16³ 3D Laplacian under the Just-In-Time
 strategy at τ=1e-6 — factored and solved in float64, float32, and float64
-with mixed-precision float32 storage.  It emits ``BENCH_tier0.json`` at the
-repository root so CI (and humans diffing two commits) can compare factor
-time, solve time, and compressed factor bytes without re-deriving a
-configuration.
+with mixed-precision float32 storage.
+
+Each run *appends* a timestamped record to the ``history`` array of
+``BENCH_tier0.json`` at the repository root, so the file accumulates the
+performance trajectory across commits; ``tools/benchdiff`` compares the
+last entries of two such files (CI diffs the fresh run against the
+committed baseline).  A pre-history file (single ``results`` layout) is
+migrated in place on first touch.
 
 Run directly::
 
-    PYTHONPATH=src python benchmarks/bench_tier0.py
+    PYTHONPATH=src python benchmarks/bench_tier0.py [--report run.json]
+
+``--report`` additionally re-runs the float64 variant with a telemetry
+bus attached and writes the full ``RunReport`` artifact (rendered by
+``python -m repro report``).
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 import platform
 import time
+from datetime import datetime, timezone
 from pathlib import Path
+from typing import Any, Dict, List, Optional
 
 import numpy as np
 
@@ -30,6 +41,9 @@ from repro.sparse.generators import laplacian_3d
 GRID = 16
 TOLERANCE = 1e-6
 
+#: keep at most this many history records (oldest dropped first)
+HISTORY_LIMIT = 200
+
 #: (label, config overrides) — the tracked precision variants
 VARIANTS = (
     ("float64", dict()),
@@ -38,13 +52,13 @@ VARIANTS = (
 )
 
 
-def _config(**overrides) -> SolverConfig:
+def _config(**overrides: Any) -> SolverConfig:
     return SolverConfig.laptop_scale(
         strategy="just-in-time", factotype="lu", tolerance=TOLERANCE,
         rank_ratio=1.0, **overrides)
 
 
-def run_variant(a, label: str, overrides: dict) -> dict:
+def run_variant(a: Any, label: str, overrides: Dict[str, Any]) -> dict:
     solver = Solver(a, _config(**overrides))
     solver.analyze()
     t0 = time.perf_counter()
@@ -69,22 +83,82 @@ def run_variant(a, label: str, overrides: dict) -> dict:
     }
 
 
-def main() -> Path:
+def migrate(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Convert a pre-history single-run file into the history layout.
+
+    The old file's ``results`` (and its ``python`` stamp) become history
+    entry zero with a ``null`` timestamp — the run date was never
+    recorded, and inventing one would corrupt the trajectory.
+    """
+    if "history" in payload:
+        return payload
+    entry = {
+        "timestamp": None,
+        "python": payload.pop("python", None),
+        "results": payload.pop("results", []),
+    }
+    payload["history"] = [entry]
+    return payload
+
+
+def load_history(path: Path) -> Dict[str, Any]:
+    """Load (and migrate if needed) the bench file; fresh dict if absent."""
+    if path.exists():
+        return migrate(json.loads(path.read_text(encoding="utf-8")))
+    return {"history": []}
+
+
+def write_run_report(a: Any, path: Path) -> Path:
+    """Re-run the float64 variant with telemetry on; write a RunReport."""
+    from repro.analysis.report import save_run_report
+    from repro.runtime.telemetry import Telemetry
+
+    cfg = _config(telemetry=Telemetry())
+    solver = Solver(a, cfg)
+    solver.factorize()
+    b = np.ones(a.n)
+    x = solver.solve(b)
+    res = solver.refine(b, x0=x)
+    report = solver.run_report(
+        workload=f"laplacian_3d({GRID})",
+        backward_error=float(res.backward_error))
+    return save_run_report(report, path)
+
+
+def main(argv: Optional[List[str]] = None) -> Path:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--report", metavar="FILE",
+                        help="also write a telemetry-enabled RunReport "
+                             "for the float64 variant")
+    parser.add_argument("--output", metavar="FILE", default=None,
+                        help="bench history file (default: repo-root "
+                             "BENCH_tier0.json)")
+    args = parser.parse_args(argv)
+
     a = laplacian_3d(GRID)
     results = [run_variant(a, label, ov) for label, ov in VARIANTS]
-    payload = {
+
+    path = (Path(args.output) if args.output else
+            Path(__file__).resolve().parent.parent / "BENCH_tier0.json")
+    payload = load_history(path)
+    payload.update({
         "bench": "tier0",
         "workload": f"laplacian_3d({GRID})",
         "n": a.n,
         "nnz": a.nnz,
         "strategy": "just-in-time",
         "tolerance": TOLERANCE,
+    })
+    payload["history"].append({
+        "timestamp": datetime.now(timezone.utc).isoformat(),
         "python": platform.python_version(),
         "results": results,
-    }
-    path = Path(__file__).resolve().parent.parent / "BENCH_tier0.json"
+    })
+    payload["history"] = payload["history"][-HISTORY_LIMIT:]
     with open(path, "w") as fh:
         json.dump(payload, fh, indent=2)
+        fh.write("\n")
+
     w = max(len(r["label"]) for r in results)
     print(f"{'variant':>{w}} {'facto(s)':>9} {'solve(s)':>9} "
           f"{'factor MB':>10} {'backward':>10}")
@@ -92,7 +166,11 @@ def main() -> Path:
         print(f"{r['label']:>{w}} {r['facto_time_s']:9.2f} "
               f"{r['solve_time_s']:9.3f} {r['factor_nbytes'] / 1e6:10.2f} "
               f"{r['backward_error']:10.1e}")
-    print(f"-> {path}")
+    print(f"-> {path} ({len(payload['history'])} history entries)")
+
+    if args.report:
+        rpath = write_run_report(a, Path(args.report))
+        print(f"run report -> {rpath}")
     return path
 
 

@@ -16,10 +16,14 @@ Public API highlights:
   and proxies for the paper's SuiteSparse suite).
 * :mod:`repro.lowrank` — the compression and extend-add kernels of §3,
   usable standalone on dense blocks.
+* :class:`~repro.runtime.telemetry.Telemetry` — opt-in metric/event bus
+  (``SolverConfig(telemetry=Telemetry())``) feeding the per-run
+  ``RunReport`` of :mod:`repro.analysis.report`.
 """
 
 from repro.config import SolverConfig
 from repro.core.solver import Solver
+from repro.runtime.telemetry import Telemetry
 from repro.core.refinement import gmres, conjugate_gradient, iterative_refinement
 from repro.sparse.csc import CSCMatrix
 from repro.sparse.generators import (
@@ -36,6 +40,7 @@ __version__ = "1.0.0"
 __all__ = [
     "Solver",
     "SolverConfig",
+    "Telemetry",
     "CSCMatrix",
     "gmres",
     "conjugate_gradient",

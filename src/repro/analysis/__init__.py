@@ -15,10 +15,19 @@ from repro.analysis.complexity import (
 )
 from repro.analysis.metrics import (
     backward_error,
+    cblk_levels,
     compression_report,
     rank_histogram,
+    rank_histogram_by_level,
 )
 from repro.analysis.charts import gantt_chart
+from repro.analysis.report import (
+    build_run_report,
+    load_run_report,
+    render_figures,
+    render_markdown,
+    save_run_report,
+)
 from repro.analysis.visualize import (
     structure_stats_table,
     structure_to_ascii,
@@ -32,10 +41,17 @@ __all__ = [
     "lr2lr_cost_svd",
     "solver_flop_model",
     "backward_error",
+    "cblk_levels",
     "compression_report",
     "rank_histogram",
+    "rank_histogram_by_level",
     "structure_stats_table",
     "structure_to_ascii",
     "structure_to_svg",
     "gantt_chart",
+    "build_run_report",
+    "load_run_report",
+    "render_figures",
+    "render_markdown",
+    "save_run_report",
 ]

@@ -34,6 +34,45 @@ def rank_histogram(fac: NumericFactor) -> Dict[int, int]:
     return hist
 
 
+def cblk_levels(fac: NumericFactor) -> List[int]:
+    """Elimination-tree depth of every column block (roots at level 0).
+
+    The block elimination tree is postordered (children precede parents),
+    so depths resolve in one reverse sweep.
+    """
+    parent = fac.symb.block_etree()
+    ncblk = fac.symb.ncblk
+    levels = [0] * ncblk
+    for k in range(ncblk - 1, -1, -1):
+        p = int(parent[k])
+        levels[k] = 0 if p < 0 else levels[p] + 1
+    return levels
+
+
+def rank_histogram_by_level(fac: NumericFactor) -> Dict[int, Dict[int, int]]:
+    """Per-elimination-level rank histograms: {level: {rank: count}}.
+
+    Level 0 is the root separator (the largest, most compressible
+    supernodes); deeper levels sit closer to the leaves.  Splitting the
+    rank distribution by depth attributes rank growth under LR2LR
+    recompression to its place in the tree, as the paper's §4.1 discussion
+    does when it blames the Minimal Memory rank inflation on the large
+    blocks near the top of the tree.
+    """
+    levels = cblk_levels(fac)
+    hist: Dict[int, Dict[int, int]] = {}
+    for k, nc in enumerate(fac.cblks):
+        lvl = levels[k]
+        for blocks in (nc.lblocks, nc.ublocks):
+            if blocks is None:
+                continue
+            for b in blocks:
+                if isinstance(b, LowRankBlock):
+                    per = hist.setdefault(lvl, {})
+                    per[b.rank] = per.get(b.rank, 0) + 1
+    return hist
+
+
 def compression_report(fac: NumericFactor) -> Dict[str, float]:
     """Summary of where the factor's bytes live.
 

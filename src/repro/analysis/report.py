@@ -1,0 +1,323 @@
+"""Per-run ``RunReport`` artifacts: build, save, render.
+
+A ``RunReport`` is one JSON document that captures *everything measured*
+during a solve campaign: the configuration, the Table 2 kernel breakdown,
+the compression/rank dissection of §4.1, the telemetry snapshot (memory
+high-water timeline, rank-evolution samples, per-iteration refinement
+residuals) and the task-trace summary.  It is the single artifact the
+``repro report`` CLI renders to markdown, the benchmarks attach to their
+history records, and ``tools/benchdiff`` compares across runs.
+
+The document is plain JSON — no pickle, no custom types — so reports are
+diffable, archivable and safe to load from CI artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Union
+
+if TYPE_CHECKING:
+    from repro.core.solver import Solver
+
+#: schema tag written into every report (bump on breaking changes)
+REPORT_SCHEMA = "repro.run_report/1"
+
+
+def build_run_report(solver: "Solver", workload: Optional[str] = None,
+                     backward_error: Optional[float] = None
+                     ) -> Dict[str, Any]:
+    """Aggregate one factorized :class:`~repro.core.solver.Solver` into a
+    JSON-able ``RunReport`` dict.
+
+    ``workload`` is a free-form label (e.g. ``"lap3d:16"``);
+    ``backward_error`` lets the caller attach the residual of a solve it
+    already performed.  The refinement section is filled from
+    ``solver.last_refinement`` whether or not a telemetry bus was
+    attached; the ``telemetry`` section requires
+    ``config.telemetry`` to have been set *before* ``factorize()``.
+    """
+    from dataclasses import asdict, replace
+
+    from repro.analysis.metrics import (
+        compression_report,
+        rank_histogram,
+        rank_histogram_by_level,
+    )
+
+    if solver.factor is None:
+        raise ValueError("build_run_report needs a factorized solver")
+    fac = solver.factor
+    stats = fac.stats
+
+    report: Dict[str, Any] = {
+        "schema": REPORT_SCHEMA,
+        "workload": workload,
+        "matrix": {"n": solver.a.n, "nnz": solver.a.nnz},
+        # the telemetry bus is a live runtime object; the report stores
+        # its *snapshot* below and the config field as null
+        "config": asdict(replace(solver.config, telemetry=None)),
+        "timings": {
+            "analyze_time": solver.analyze_time,
+            "factor_time": stats.total_time,
+            "solve_time": stats.solve_time,
+        },
+        "stats": stats.summary(),
+        "kernels": stats.kernels.as_dict(),
+        "nperturbed": fac.nperturbed,
+        "compression": compression_report(fac),
+        "rank_histogram": {str(r): c
+                           for r, c in sorted(rank_histogram(fac).items())},
+        "rank_histogram_by_level": {
+            str(lvl): {str(r): c for r, c in sorted(per.items())}
+            for lvl, per in sorted(rank_histogram_by_level(fac).items())},
+        "backward_error": backward_error,
+    }
+
+    res = solver.last_refinement
+    report["refinement"] = None if res is None else {
+        "residual_history": res.residual_history,
+        "converged": bool(res.converged),
+        "iterations": int(res.iterations),
+        "backward_error": (float(res.backward_error)
+                           if res.history else None),
+    }
+
+    tele = solver.config.telemetry
+    report["telemetry"] = None if tele is None else tele.snapshot()
+
+    tracer = solver.tracer
+    report["trace"] = None if tracer is None else tracer.summary()
+    return report
+
+
+def save_run_report(report: Dict[str, Any],
+                    path: Union[str, Path]) -> Path:
+    """Write a report as pretty-printed JSON; returns the path."""
+    path = Path(path)
+    path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n",
+                    encoding="utf-8")
+    return path
+
+
+def load_run_report(path: Union[str, Path]) -> Dict[str, Any]:
+    """Load a report saved by :func:`save_run_report` (schema-checked)."""
+    data = json.loads(Path(path).read_text(encoding="utf-8"))
+    if not isinstance(data, dict) or "schema" not in data:
+        raise ValueError(f"{path}: not a RunReport (no schema field)")
+    if data["schema"] != REPORT_SCHEMA:
+        raise ValueError(
+            f"{path}: unsupported RunReport schema {data['schema']!r}")
+    return data
+
+
+# ----------------------------------------------------------------------
+# markdown rendering
+# ----------------------------------------------------------------------
+
+def _fmt(v: Any) -> str:
+    if v is None:
+        return "—"
+    if isinstance(v, bool):
+        return "yes" if v else "no"
+    if isinstance(v, float):
+        if v == 0.0:
+            return "0"
+        if abs(v) >= 1e5 or abs(v) < 1e-3:
+            return f"{v:.3e}"
+        return f"{v:.4g}"
+    return str(v)
+
+
+def _fmt_bytes(v: float) -> str:
+    for unit in ("B", "KB", "MB", "GB"):
+        if abs(v) < 1024.0:
+            return f"{v:.1f} {unit}"
+        v /= 1024.0
+    return f"{v:.1f} TB"
+
+
+def _table(headers: List[str], rows: List[List[Any]]) -> List[str]:
+    out = ["| " + " | ".join(headers) + " |",
+           "|" + "|".join(" --- " for _ in headers) + "|"]
+    for row in rows:
+        out.append("| " + " | ".join(_fmt(c) for c in row) + " |")
+    return out
+
+
+def render_markdown(report: Dict[str, Any],
+                    figures: Optional[List[Path]] = None) -> str:
+    """Render a ``RunReport`` dict to a human-readable markdown document.
+
+    ``figures`` (paths from :func:`render_figures`) are embedded as image
+    links relative to wherever the markdown is written.
+    """
+    cfg = report.get("config", {})
+    matrix = report.get("matrix", {})
+    lines: List[str] = []
+    title = report.get("workload") or "solver run"
+    lines.append(f"# Run report — {title}")
+    lines.append("")
+    lines.append(f"Strategy `{cfg.get('strategy')}` / kernel "
+                 f"`{cfg.get('kernel')}`, τ = {_fmt(cfg.get('tolerance'))}, "
+                 f"factotype `{cfg.get('factotype')}`, "
+                 f"threads {cfg.get('threads')}.")
+    lines.append("")
+
+    lines.append("## Problem and timings")
+    lines.append("")
+    t = report.get("timings", {})
+    lines += _table(
+        ["metric", "value"],
+        [["n", matrix.get("n")],
+         ["nnz", matrix.get("nnz")],
+         ["analyze time (s)", t.get("analyze_time")],
+         ["factor time (s)", t.get("factor_time")],
+         ["solve time (s)", t.get("solve_time")],
+         ["backward error", report.get("backward_error")],
+         ["pivot perturbations", report.get("nperturbed")]])
+    lines.append("")
+
+    kernels = report.get("kernels", {})
+    if kernels:
+        lines.append("## Kernel breakdown (Table 2 rows)")
+        lines.append("")
+        rows = [[cat, d.get("time"), d.get("flops"), d.get("calls")]
+                for cat, d in sorted(kernels.items())]
+        lines += _table(["kernel", "time (s)", "flops", "calls"], rows)
+        lines.append("")
+
+    comp = report.get("compression")
+    if comp:
+        lines.append("## Compression")
+        lines.append("")
+        lines += _table(
+            ["metric", "value"],
+            [["low-rank blocks", comp.get("n_lowrank_blocks")],
+             ["dense blocks", comp.get("n_dense_blocks")],
+             ["factor size", _fmt_bytes(comp.get("total_nbytes", 0))],
+             ["dense-equivalent size",
+              _fmt_bytes(comp.get("dense_factor_nbytes", 0))],
+             ["memory ratio", comp.get("memory_ratio")],
+             ["mean rank", comp.get("mean_rank")],
+             ["max rank", comp.get("max_rank")]])
+        lines.append("")
+
+    by_level = report.get("rank_histogram_by_level") or {}
+    if by_level:
+        lines.append("## Ranks by elimination level")
+        lines.append("")
+        rows = []
+        for lvl, per in sorted(by_level.items(), key=lambda kv: int(kv[0])):
+            ranks = sorted(int(r) for r in per)
+            nblk = sum(per.values())
+            mean = (sum(int(r) * c for r, c in per.items()) / nblk
+                    if nblk else 0.0)
+            rows.append([lvl, nblk, ranks[0] if ranks else 0,
+                         ranks[-1] if ranks else 0, mean])
+        lines += _table(["level", "blocks", "min rank", "max rank",
+                         "mean rank"], rows)
+        lines.append("")
+
+    ref = report.get("refinement")
+    if ref:
+        lines.append("## Refinement")
+        lines.append("")
+        hist = ref.get("residual_history") or []
+        lines += _table(
+            ["metric", "value"],
+            [["iterations", ref.get("iterations")],
+             ["converged", ref.get("converged")],
+             ["final backward error", ref.get("backward_error")]])
+        if hist:
+            lines.append("")
+            lines.append("Residual history: "
+                         + ", ".join(_fmt(h) for h in hist))
+        lines.append("")
+
+    tele = report.get("telemetry")
+    if tele:
+        lines.append("## Telemetry")
+        lines.append("")
+        rows = []
+        for name, children in sorted(tele.get("counters", {}).items()):
+            for child in children:
+                labels = ",".join(f"{k}={v}" for k, v
+                                  in sorted(child["labels"].items()))
+                rows.append([name, labels or "—", child["value"]])
+        if rows:
+            lines += _table(["counter", "labels", "value"], rows)
+            lines.append("")
+        series = tele.get("series", {})
+        if series:
+            rows = [[name, len(pts)] for name, pts in sorted(series.items())]
+            lines += _table(["series", "points"], rows)
+            lines.append("")
+        lines.append(f"Events emitted: {tele.get('events_emitted', 0)}")
+        lines.append("")
+
+    trace = report.get("trace")
+    if trace:
+        lines.append("## Task trace")
+        lines.append("")
+        lines += _table(
+            ["metric", "value"],
+            [[k, trace[k]] for k in sorted(trace)
+             if isinstance(trace[k], (int, float, str, bool))])
+        lines.append("")
+
+    if figures:
+        lines.append("## Figures")
+        lines.append("")
+        for fig in figures:
+            lines.append(f"![{Path(fig).stem}]({fig})")
+        lines.append("")
+
+    return "\n".join(lines).rstrip() + "\n"
+
+
+def render_figures(report: Dict[str, Any],
+                   outdir: Union[str, Path]) -> List[Path]:
+    """Render the report's telemetry series as SVG line charts.
+
+    Produces (when the corresponding series has data) the memory
+    high-water timeline (Figure 7's y-axis over time), the rank-evolution
+    scatter of the Minimal Memory discussion, and the Figure 8-style
+    refinement convergence curve.  Returns the written paths.
+    """
+    from repro.analysis.charts import Series, line_chart
+
+    outdir = Path(outdir)
+    outdir.mkdir(parents=True, exist_ok=True)
+    tele = report.get("telemetry") or {}
+    series = tele.get("series", {})
+    written: List[Path] = []
+
+    mem = series.get("memory_highwater") or []
+    if len(mem) > 1:
+        xs = [p["t"] for p in mem]
+        written.append(line_chart(
+            outdir / "memory_highwater.svg", xs,
+            [Series("peak (MB)", [p["peak"] / 1e6 for p in mem]),
+             Series("current (MB)", [p["current"] / 1e6 for p in mem])],
+            title="Tracked memory high-water timeline",
+            xlabel="seconds", ylabel="MB", markers=False))
+
+    ranks = series.get("rank_evolution") or []
+    if len(ranks) > 1:
+        xs = [p["t"] for p in ranks]
+        written.append(line_chart(
+            outdir / "rank_evolution.svg", xs,
+            [Series("rank after", [max(p["rank_after"], 0) for p in ranks])],
+            title="Rank evolution (compress + recompress sites)",
+            xlabel="seconds", ylabel="rank", markers=True))
+
+    ref = (report.get("refinement") or {}).get("residual_history") or []
+    if len(ref) > 1:
+        written.append(line_chart(
+            outdir / "refinement_residual.svg", list(range(len(ref))),
+            [Series("backward error", list(ref))],
+            title="Refinement convergence",
+            xlabel="iteration", ylabel="backward error", log_y=True))
+    return written

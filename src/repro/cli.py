@@ -12,11 +12,16 @@ Commands
     symbolic block structure — the Figure 1 view.
 ``bench``
     Quick strategy comparison on one matrix (dense vs JIT vs MM).
+``report``
+    Render a ``RunReport`` JSON artifact (written by ``solve --report``)
+    to markdown, optionally regenerating its SVG figures.
 
 Examples::
 
     python -m repro solve --generate lap3d:12 --strategy minimal-memory \
         --tolerance 1e-8 --refine
+    python -m repro solve --generate lap3d:12 --refine --report run.json
+    python -m repro report run.json -o run.md --figures figs/
     python -m repro analyze --generate lap3d:10 --svg structure.svg
     python -m repro solve matrix.mtx --factotype cholesky
 """
@@ -123,7 +128,12 @@ def _add_common(p: argparse.ArgumentParser) -> None:
 
 def cmd_solve(args: argparse.Namespace) -> int:
     a = _load_matrix(args)
-    solver = Solver(a, _config(args))
+    cfg = _config(args)
+    if getattr(args, "report", None):
+        from repro.runtime.telemetry import Telemetry
+
+        cfg = cfg.with_options(telemetry=Telemetry())
+    solver = Solver(a, cfg)
     print(f"n = {a.n}, nnz = {a.nnz}, strategy = {args.strategy}/"
           f"{args.kernel}, tau = {args.tolerance:.0e}")
     t0 = time.perf_counter()
@@ -156,11 +166,43 @@ def cmd_solve(args: argparse.Namespace) -> int:
     rng = np.random.default_rng(args.seed)
     b = np.ones(a.n) if args.rhs == "ones" else rng.standard_normal(a.n)
     x = solver.solve(b)
-    print(f"backward error: {solver.backward_error(x, b):.2e}")
+    err = solver.backward_error(x, b)
+    print(f"backward error: {err:.2e}")
     if args.refine:
         res = solver.refine(b, tol=1e-12, maxiter=20)
         print(f"refined ({res.iterations} iterations): "
               f"{res.backward_error:.2e}")
+        err = res.backward_error
+
+    if getattr(args, "report", None):
+        from repro.analysis.report import save_run_report
+
+        workload = args.generate or args.matrix
+        report = solver.run_report(workload=workload, backward_error=err)
+        path = save_run_report(report, args.report)
+        print(f"run report -> {path}")
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from repro.analysis.report import (
+        load_run_report,
+        render_figures,
+        render_markdown,
+    )
+
+    report = load_run_report(args.report_file)
+    figures = render_figures(report, args.figures) if args.figures else None
+    md = render_markdown(report, figures=figures)
+    if args.output:
+        from pathlib import Path
+
+        Path(args.output).write_text(md, encoding="utf-8")
+        print(f"markdown -> {args.output}")
+        if figures:
+            print(f"{len(figures)} figure(s) -> {args.figures}")
+    else:
+        print(md, end="")
     return 0
 
 
@@ -220,6 +262,10 @@ def main(argv: Optional[list] = None) -> int:
     p_solve.add_argument("--watchdog", type=float, metavar="SECONDS",
                          help="raise DeadlockError (with a pending-counter "
                               "dump) if a threaded run stalls this long")
+    p_solve.add_argument("--report", metavar="FILE",
+                         help="enable telemetry for the run and write a "
+                              "RunReport JSON artifact (render it with "
+                              "'repro report FILE')")
     p_solve.set_defaults(func=cmd_solve)
 
     p_an = sub.add_parser("analyze", help="symbolic structure only")
@@ -234,6 +280,17 @@ def main(argv: Optional[list] = None) -> int:
     _add_common(p_bench)
     p_bench.add_argument("--seed", type=int, default=0)
     p_bench.set_defaults(func=cmd_bench)
+
+    p_rep = sub.add_parser("report",
+                           help="render a RunReport JSON to markdown")
+    p_rep.add_argument("report_file", help="RunReport JSON "
+                       "(from 'repro solve --report')")
+    p_rep.add_argument("-o", "--output", metavar="FILE",
+                       help="write markdown here (default: stdout)")
+    p_rep.add_argument("--figures", metavar="DIR",
+                       help="also render the telemetry series to SVG "
+                            "charts in this directory")
+    p_rep.set_defaults(func=cmd_report)
 
     args = parser.parse_args(argv)
     return args.func(args)

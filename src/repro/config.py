@@ -22,11 +22,13 @@ small-problem presets for laptop-scale runs:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Any, Optional, Union
 
 if TYPE_CHECKING:  # numpy is imported lazily at runtime (keep import light)
     import numpy as np
+
+    from repro.runtime.telemetry import Telemetry
 
 #: valid factorization strategies
 STRATEGIES = ("dense", "minimal-memory", "just-in-time")
@@ -118,6 +120,16 @@ class SolverConfig:
     #: factorization (exposed as ``Solver.tracer``); off by default — the
     #: disabled hooks cost one attribute load per task
     trace: bool = False
+    #: attach a :class:`~repro.runtime.telemetry.Telemetry` bus: every
+    #: layer (compression kernels, LR2LR recompression, memory tracker,
+    #: threaded schedulers, refinement) then publishes metrics, series and
+    #: events through it, and ``Solver.run_report()`` aggregates the lot
+    #: into one RunReport artifact.  ``None`` (the default) disables all
+    #: instrumentation at the cost of one ``is not None`` test per site.
+    #: Excluded from equality/repr — it is a runtime channel, not a
+    #: numerical tunable (serialized factor archives store it as null).
+    telemetry: Optional["Telemetry"] = field(
+        default=None, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.strategy not in STRATEGIES:

@@ -109,8 +109,13 @@ class NumericFactor:
         self.config = config
         self.cblks: List[NumericColumnBlock] = [
             NumericColumnBlock(c) for c in symb.cblks]
-        self.tracker = MemoryTracker()
-        self.stats = FactorizationStats(kernels=KernelStats(locked=True))
+        # the telemetry bus (config.telemetry, None = disabled) rides on
+        # the memory tracker (high-water timeline) and the kernel stats
+        # (compression / recompression metrics) so no kernel signature
+        # changes; the schedulers read it from config directly
+        self.tracker = MemoryTracker(telemetry=config.telemetry)
+        self.stats = FactorizationStats(
+            kernels=KernelStats(locked=True, telemetry=config.telemetry))
         self.nperturbed = 0
         #: arithmetic dtype of the factorization (resolved by
         #: :func:`assemble` from the matrix and ``config.dtype``)

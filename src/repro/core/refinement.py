@@ -28,7 +28,16 @@ def _work_dtype(a: CSCMatrix, b: np.ndarray) -> np.dtype:
 
 @dataclass
 class RefinementResult:
-    """Solution plus convergence trace."""
+    """Solution plus convergence trace.
+
+    ``history`` holds the *full* per-iteration residual record the three
+    schemes append to (``history[0]`` is the residual of the starting
+    guess, ``history[i]`` the residual after iteration ``i``) — the series
+    Figure 8 plots.  :attr:`residual_history` exposes it under its
+    telemetry name; :meth:`~repro.core.solver.Solver.refine` publishes it
+    on the telemetry bus (``refinement_residual`` series + one
+    ``refinement`` event) when a bus is attached.
+    """
 
     x: np.ndarray
     history: List[float] = field(default_factory=list)
@@ -38,6 +47,11 @@ class RefinementResult:
     @property
     def backward_error(self) -> float:
         return self.history[-1] if self.history else np.inf
+
+    @property
+    def residual_history(self) -> List[float]:
+        """Per-iteration residuals (GMRES/CG/IR), starting guess first."""
+        return list(self.history)
 
 
 def _backward_error(a: CSCMatrix, x: np.ndarray, b: np.ndarray,

@@ -216,6 +216,9 @@ def run_threaded(fac: NumericFactor, nthreads: int,
     tr = fac.tracer
     if tr is not None:
         tr.meta.update(engine="threaded-dynamic", threads=nthreads)
+    tele = fac.config.telemetry
+    if tele is not None:
+        tele.gauge("scheduler_threads", engine="dynamic").set_value(nthreads)
 
     pending = [len(symb.contributors(t)) for t in range(ncblk)]
     ready: "queue.Queue[Optional[int]]" = queue.Queue()
@@ -236,7 +239,7 @@ def run_threaded(fac: NumericFactor, nthreads: int,
             for _ in range(nthreads):
                 ready.put(None)
 
-    def worker() -> None:
+    def worker(wid: int) -> None:
         while True:
             k = ready.get()
             if k is None:  # sentinel: shut down
@@ -245,7 +248,20 @@ def run_threaded(fac: NumericFactor, nthreads: int,
                 if stopped[0]:  # failure elsewhere: drain, await sentinel
                     continue
             try:
+                t_task = time.perf_counter()
                 _pull_and_factor(fac, k)
+                if tele is not None:
+                    # queue depth sampled at completion: the instantaneous
+                    # backlog this worker left behind (qsize is advisory
+                    # but race-tolerant — it feeds a trend series, not a
+                    # correctness decision)
+                    tele.counter("scheduler_tasks",
+                                 engine="dynamic").inc()
+                    tele.counter("scheduler_busy_seconds", engine="dynamic",
+                                 worker=str(wid)).inc(
+                        time.perf_counter() - t_task)
+                    tele.series("scheduler_queue_depth").append(
+                        tele.clock(), depth=ready.qsize(), worker=wid)
                 newly_ready: List[int] = []
                 with state:
                     processed[0] += 1
@@ -264,7 +280,7 @@ def run_threaded(fac: NumericFactor, nthreads: int,
                     ticks[0] += 1
                     _shutdown_locked()
 
-    threads = [threading.Thread(target=worker, daemon=True,
+    threads = [threading.Thread(target=worker, args=(i,), daemon=True,
                                 name=f"repro-dyn-{i}")
                for i in range(nthreads)]
     for th in threads:
@@ -387,6 +403,9 @@ def run_threaded_static(fac: NumericFactor, nthreads: int,
     tr = fac.tracer
     if tr is not None:
         tr.meta.update(engine="threaded-static", threads=nthreads)
+    tele = fac.config.telemetry
+    if tele is not None:
+        tele.gauge("scheduler_threads", engine="static").set_value(nthreads)
 
     owner = proportional_mapping(symb, nthreads)
     tasks: List[List[int]] = [[] for _ in range(nthreads)]
@@ -408,7 +427,14 @@ def run_threaded_static(fac: NumericFactor, nthreads: int,
                         cond.wait()
                     if stopped[0]:
                         return
+                t_task = time.perf_counter()
                 _pull_and_factor(fac, k)
+                if tele is not None:
+                    tele.counter("scheduler_tasks",
+                                 engine="static").inc()
+                    tele.counter("scheduler_busy_seconds", engine="static",
+                                 worker=str(tid)).inc(
+                        time.perf_counter() - t_task)
                 with cond:
                     processed[0] += 1
                     ticks[0] += 1

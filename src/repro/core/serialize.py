@@ -18,7 +18,7 @@ from __future__ import annotations
 import io
 import json
 import zipfile
-from dataclasses import asdict
+from dataclasses import asdict, replace
 from pathlib import Path
 from typing import Union
 
@@ -98,7 +98,9 @@ def save_factor(fac: NumericFactor, perm: np.ndarray,
         "dtype": np.dtype(fac.dtype).name,
         "storage_dtype": (np.dtype(fac.storage_dtype).name
                           if fac.storage_dtype is not None else None),
-        "config": asdict(fac.config),
+        # the telemetry bus is a runtime channel (locks, open sinks) —
+        # archives store it as null and a reloaded config starts detached
+        "config": asdict(replace(fac.config, telemetry=None)),
         "symbolic": _symbolic_to_json(fac.symb),
         "kinds": kinds,
         "nperturbed": fac.nperturbed,

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import time
 from pathlib import Path
-from typing import TYPE_CHECKING, Optional, Union
+from typing import TYPE_CHECKING, Any, Dict, Optional, Union
 
 if TYPE_CHECKING:
     from repro.runtime.faults import FaultInjector
@@ -100,6 +100,9 @@ class Solver:
         self.analyze_time: float = 0.0
         #: task trace of the last :meth:`factorize` (``config.trace=True``)
         self.tracer = None
+        #: result of the last :meth:`refine` call (residual history feeds
+        #: :meth:`run_report` even when no telemetry bus is attached)
+        self.last_refinement: Optional[RefinementResult] = None
 
     # ------------------------------------------------------------------
     @property
@@ -242,15 +245,22 @@ class Solver:
         if method is None:
             method = "cg" if self.config.is_symmetric_facto else "gmres"
         if method == "gmres":
-            return gmres(self.a, b, precond=self._precond, tol=tol,
-                         maxiter=maxiter, x0=x0)
-        if method == "cg":
-            return conjugate_gradient(self.a, b, precond=self._precond,
-                                      tol=tol, maxiter=maxiter, x0=x0)
-        if method == "ir":
-            return iterative_refinement(self.a, b, precond=self._precond,
-                                        tol=tol, maxiter=maxiter, x0=x0)
-        raise ValueError(f"unknown refinement method {method!r}")
+            res = gmres(self.a, b, precond=self._precond, tol=tol,
+                        maxiter=maxiter, x0=x0)
+        elif method == "cg":
+            res = conjugate_gradient(self.a, b, precond=self._precond,
+                                     tol=tol, maxiter=maxiter, x0=x0)
+        elif method == "ir":
+            res = iterative_refinement(self.a, b, precond=self._precond,
+                                       tol=tol, maxiter=maxiter, x0=x0)
+        else:
+            raise ValueError(f"unknown refinement method {method!r}")
+        self.last_refinement = res
+        tele = self.config.telemetry
+        if tele is not None:
+            tele.record_refinement(method, res.residual_history,
+                                   res.converged)
+        return res
 
     # -- same-pattern refactorization ----------------------------------------
     def update_values(self, a: CSCMatrix) -> None:
@@ -354,3 +364,23 @@ class Solver:
         Figures 5 and 6."""
         return float(np.linalg.norm(self.a.matvec(x) - b)
                      / np.linalg.norm(b))
+
+    # -- telemetry / reporting -----------------------------------------------
+    def run_report(self, workload: Optional[str] = None,
+                   backward_error: Optional[float] = None
+                   ) -> Dict[str, Any]:
+        """One JSON-able ``RunReport`` artifact for the current run.
+
+        Aggregates the factorization statistics, compression/rank
+        breakdown, telemetry snapshot (metrics, memory high-water
+        timeline, rank-evolution series — when ``config.telemetry`` is
+        attached), refinement residual history and tracer summary.  Render
+        it with ``repro report`` or
+        :func:`repro.analysis.report.render_markdown`.
+        """
+        from repro.analysis.report import build_run_report
+
+        if self.factor is None:
+            self.factorize()
+        return build_run_report(self, workload=workload,
+                                backward_error=backward_error)

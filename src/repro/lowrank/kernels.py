@@ -85,6 +85,10 @@ def compress_block(a: np.ndarray, tol: float, kernel: str,
         raise ValueError(f"unknown kernel {kernel!r}")
     if stats is not None:
         stats.add(category, seconds=time.perf_counter() - t0, flops=fl)
+        if stats.telemetry is not None:
+            stats.telemetry.record_compress(
+                m, n, out.rank if out is not None else -1, kernel,
+                category=category)
     return out
 
 
@@ -223,6 +227,10 @@ def lr2lr_update(target: LowRankBlock, contrib: Block,
               + 2.0 * m_c * (target.rank + contrib.rank) * max(r_new, 1))
     if stats is not None:
         stats.add("lr_addition", seconds=time.perf_counter() - t0, flops=fl)
+        if stats.telemetry is not None:
+            stats.telemetry.record_recompress(
+                m_c, n_c, target.rank,
+                out.rank if out is not None else -1)
     return out
 
 
@@ -277,4 +285,8 @@ def lr2lr_update_multi(target: LowRankBlock,
           + 2.0 * (m_c + n_c) * r_tot * max(r_new, 1))
     if stats is not None:
         stats.add("lr_addition", seconds=time.perf_counter() - t0, flops=fl)
+        if stats.telemetry is not None:
+            stats.telemetry.record_recompress(
+                m_c, n_c, target.rank,
+                out.rank if out is not None else -1)
     return out

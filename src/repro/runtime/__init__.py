@@ -21,6 +21,18 @@ from repro.runtime.stats import KernelStats, FactorizationStats, KERNEL_CATEGORI
 from repro.runtime.memory import MemoryTracker, nbytes_dense, nbytes_lowrank
 from repro.runtime.trace import TaskTracer, TraceEvent
 from repro.runtime.faults import FaultError, FaultInjector
+from repro.runtime.telemetry import (
+    Counter,
+    Gauge,
+    Histogram,
+    JSONLSink,
+    RingBufferSink,
+    SeriesBuffer,
+    Sink,
+    SummarySink,
+    Telemetry,
+    parse_prometheus_text,
+)
 
 __all__ = [
     "Timer",
@@ -35,4 +47,14 @@ __all__ = [
     "TraceEvent",
     "FaultError",
     "FaultInjector",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "JSONLSink",
+    "RingBufferSink",
+    "SeriesBuffer",
+    "Sink",
+    "SummarySink",
+    "Telemetry",
+    "parse_prometheus_text",
 ]

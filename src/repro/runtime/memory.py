@@ -17,8 +17,12 @@ paper performs ("memory used to store the final coefficients").
 from __future__ import annotations
 
 import threading
+from typing import TYPE_CHECKING, Optional
 
 import numpy as np
+
+if TYPE_CHECKING:
+    from repro.runtime.telemetry import Telemetry
 
 #: bytes per element of float64, the *default* arithmetic.  This is only a
 #: default: the solver is dtype-generic (float32/complex64/complex128 too),
@@ -52,18 +56,36 @@ class MemoryTracker:
     The tracker is shared between worker threads during a threaded
     factorization, hence the lock; the per-call cost is negligible compared to
     the BLAS work each call accounts for.
+
+    With a :class:`~repro.runtime.telemetry.Telemetry` bus attached, every
+    *meaningful* new high-water mark (first peak, then growth beyond 1/64
+    of the previous recorded peak) is published to the bounded
+    ``memory_highwater`` series — a time-stamped timeline of the working
+    set, not just the scalar ``peak`` the paper's Figure 7 reduces to.
+    Disabled (``telemetry=None``) the peak update path is unchanged.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, telemetry: Optional["Telemetry"] = None) -> None:
         self.current = 0
         self.peak = 0
         self._lock = threading.Lock()
+        self._telemetry = telemetry
+        self._last_recorded = -1  # force a sample on the first peak
+
+    def _record_peak_locked(self) -> None:
+        """Publish a new high-water mark (caller holds the lock)."""
+        if self._telemetry is None:
+            return
+        if self.peak - self._last_recorded >= max(1, self.peak >> 6):
+            self._last_recorded = self.peak
+            self._telemetry.record_memory(self.current, self.peak)
 
     def alloc(self, nbytes: int) -> None:
         with self._lock:
             self.current += int(nbytes)
             if self.current > self.peak:
                 self.peak = self.current
+                self._record_peak_locked()
 
     def free(self, nbytes: int) -> None:
         with self._lock:
@@ -75,11 +97,13 @@ class MemoryTracker:
             self.current += int(new_nbytes) - int(old_nbytes)
             if self.current > self.peak:
                 self.peak = self.current
+                self._record_peak_locked()
 
     def reset(self) -> None:
         with self._lock:
             self.current = 0
             self.peak = 0
+            self._last_recorded = -1
 
     def checkpoint(self) -> int:
         """Return the current tracked footprint (bytes)."""

@@ -21,9 +21,12 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import TYPE_CHECKING, Dict, Optional
 
 from repro.runtime.timers import CategoryTimers
+
+if TYPE_CHECKING:
+    from repro.runtime.telemetry import Telemetry
 
 #: Kernel categories reported by Table 2 of the paper (in paper row order).
 KERNEL_CATEGORIES = (
@@ -44,11 +47,18 @@ class KernelStats:
     instance per worker thread and merge them, so the hot path is lock-free.
     """
 
-    def __init__(self, locked: bool = False) -> None:
+    def __init__(self, locked: bool = False,
+                 telemetry: Optional["Telemetry"] = None) -> None:
         self.timers = CategoryTimers()
         self.flops: Dict[str, float] = {}
         self.calls: Dict[str, int] = {}
         self._lock = threading.Lock() if locked else None
+        #: optional :class:`~repro.runtime.telemetry.Telemetry` bus carried
+        #: alongside the tallies — the low-rank kernels read it off the
+        #: ``stats`` argument they already receive, so enabling telemetry
+        #: does not change any kernel signature.  ``None`` (default) keeps
+        #: the kernels' telemetry branch at a single attribute test.
+        self.telemetry = telemetry
 
     def add(self, category: str, seconds: float = 0.0, flops: float = 0.0,
             calls: int = 1) -> None:

@@ -1,0 +1,645 @@
+"""Unified telemetry bus: labelled metrics, structured events, sinks.
+
+The paper's whole argument is quantitative — memory peaks (Figures 6/7),
+kernel-time breakdowns (Table 2), rank behaviour under LR2LR recompression
+(§4.1) — and the studies that evaluate BLR solvers in production (JOREK
+over MUMPS/PaStiX, rank-structured Cholesky) do it through longitudinal
+memory/time/rank telemetry.  This module is the single funnel for all of
+it:
+
+* a **metric registry** — labelled :class:`Counter`, :class:`Gauge` and
+  :class:`Histogram` families, exposable as Prometheus text
+  (:meth:`Telemetry.prometheus_text`) and as a JSON snapshot
+  (:meth:`Telemetry.snapshot`);
+* a **structured event bus** — :meth:`Telemetry.emit` fans each event out
+  to pluggable sinks (:class:`RingBufferSink`, :class:`JSONLSink`,
+  :class:`SummarySink`);
+* bounded **time series** (:meth:`Telemetry.series`) for the
+  rank-evolution samples, the memory high-water timeline and the
+  refinement residual history that the per-run ``RunReport``
+  (:mod:`repro.analysis.report`) aggregates.
+
+Design constraints, in order:
+
+1. **Near-zero cost when disabled.**  Telemetry is *off by default*
+   (``SolverConfig.telemetry is None``); every instrumentation site in the
+   solver guards with a single ``is not None`` test, so a disabled run
+   pays one attribute load per site and allocates nothing.
+2. **Thread-safe when enabled.**  Metric children carry their own small
+   locks (the threaded schedulers increment shared counters); series and
+   sinks serialize through the bus lock.  The registry lock is taken only
+   on family/child *creation*, not on updates.
+3. **Self-contained artifacts.**  Snapshots are plain JSON-able dicts;
+   JSONL sinks round-trip through :meth:`JSONLSink.read`; the Prometheus
+   exposition round-trips through :func:`parse_prometheus_text`.
+
+Instrumented layers (each funnels through one ``record_*`` helper so call
+sites stay one guarded line):
+
+========================  =============================================
+layer                     helper / data
+========================  =============================================
+compression kernels       :meth:`Telemetry.record_compress` — per-block
+                          ratio, chosen rank, kernel used
+MM extend-add (LR2LR)     :meth:`Telemetry.record_recompress` — rank
+                          before/after → ``rank_evolution`` series
+``MemoryTracker``         :meth:`Telemetry.record_memory` — time-stamped
+                          high-water timeline
+threaded schedulers       task/busy counters, queue-depth series
+refinement                :meth:`Telemetry.record_refinement` —
+                          per-iteration residual history
+========================  =============================================
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import threading
+import time
+from collections import deque
+from pathlib import Path
+from typing import (
+    IO,
+    Any,
+    Deque,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "JSONLSink",
+    "RingBufferSink",
+    "SeriesBuffer",
+    "Sink",
+    "SummarySink",
+    "Telemetry",
+    "parse_prometheus_text",
+]
+
+#: label set key: sorted ``(name, value)`` pairs
+LabelKey = Tuple[Tuple[str, str], ...]
+
+#: default histogram bucket upper bounds (generic positive quantities:
+#: ratios, seconds, ranks all fit this two-decades-around-1 ladder)
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0,
+    100.0, 250.0, 1000.0)
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _label_key(labels: Dict[str, str]) -> LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def _prom_name(name: str) -> str:
+    """Sanitize a metric name for Prometheus exposition."""
+    out = _NAME_RE.sub("_", name)
+    if out and out[0].isdigit():
+        out = "_" + out
+    return out
+
+
+def _prom_labels(key: LabelKey) -> str:
+    if not key:
+        return ""
+    inner = ",".join(
+        f'{_prom_name(k)}="{v}"'.replace("\\", "\\\\").replace("\n", "\\n")
+        for k, v in key)
+    return "{" + inner + "}"
+
+
+# ----------------------------------------------------------------------
+# metric children
+# ----------------------------------------------------------------------
+
+class Counter:
+    """Monotonically increasing labelled counter."""
+
+    __slots__ = ("_lock", "value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only increase; use a Gauge")
+        with self._lock:
+            self.value += amount
+
+
+class Gauge:
+    """Labelled gauge: a value that can move both ways; tracks its max."""
+
+    __slots__ = ("_lock", "value", "max_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.value: float = 0.0
+        self.max_value: float = 0.0
+
+    def set_value(self, value: float) -> None:
+        with self._lock:
+            self.value = float(value)
+            if self.value > self.max_value:
+                self.max_value = self.value
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self.value += amount
+            if self.value > self.max_value:
+                self.max_value = self.value
+
+
+class Histogram:
+    """Cumulative-bucket histogram (Prometheus semantics: ``le`` bounds)."""
+
+    __slots__ = ("_lock", "buckets", "counts", "total", "count")
+
+    def __init__(self, buckets: Sequence[float] = DEFAULT_BUCKETS) -> None:
+        self._lock = threading.Lock()
+        self.buckets: Tuple[float, ...] = tuple(sorted(buckets))
+        if not self.buckets:
+            raise ValueError("histogram needs at least one bucket bound")
+        self.counts: List[int] = [0] * (len(self.buckets) + 1)  # +Inf last
+        self.total: float = 0.0
+        self.count: int = 0
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            idx = len(self.buckets)
+            for i, bound in enumerate(self.buckets):
+                if value <= bound:
+                    idx = i
+                    break
+            self.counts[idx] += 1
+            self.total += float(value)
+            self.count += 1
+
+    def mean(self) -> float:
+        with self._lock:
+            return self.total / self.count if self.count else 0.0
+
+
+Metric = Union[Counter, Gauge, Histogram]
+
+
+class _Family:
+    """All children of one metric name, keyed by label values."""
+
+    __slots__ = ("name", "kind", "help", "buckets", "children")
+
+    def __init__(self, name: str, kind: str, help_text: str = "",
+                 buckets: Optional[Sequence[float]] = None) -> None:
+        self.name = name
+        self.kind = kind  # "counter" | "gauge" | "histogram"
+        self.help = help_text
+        self.buckets = tuple(buckets) if buckets is not None else None
+        self.children: Dict[LabelKey, Metric] = {}
+
+
+# ----------------------------------------------------------------------
+# event sinks
+# ----------------------------------------------------------------------
+
+class Sink:
+    """Event-sink interface: receives every event emitted on the bus."""
+
+    def handle(self, event: Dict[str, Any]) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Flush/release resources; the bus never calls this implicitly."""
+
+
+class RingBufferSink(Sink):
+    """Keeps the last ``capacity`` events in memory."""
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._events: Deque[Dict[str, Any]] = deque(maxlen=capacity)
+        self.dropped: int = 0
+
+    def handle(self, event: Dict[str, Any]) -> None:
+        if len(self._events) == self.capacity:
+            self.dropped += 1
+        self._events.append(event)
+
+    def events(self) -> List[Dict[str, Any]]:
+        return list(self._events)
+
+
+class JSONLSink(Sink):
+    """Streams one JSON object per line to a file (or file-like object)."""
+
+    def __init__(self, target: Union[str, Path, IO[str]]) -> None:
+        if isinstance(target, (str, Path)):
+            self._fh: IO[str] = open(target, "w", encoding="utf-8")
+            self._owns = True
+        else:
+            self._fh = target
+            self._owns = False
+        self.written: int = 0
+
+    def handle(self, event: Dict[str, Any]) -> None:
+        self._fh.write(json.dumps(event, sort_keys=True) + "\n")
+        self.written += 1
+
+    def close(self) -> None:
+        self._fh.flush()
+        if self._owns:
+            self._fh.close()
+
+    @staticmethod
+    def read(path: Union[str, Path]) -> List[Dict[str, Any]]:
+        """Parse a JSONL event stream back into a list of event dicts."""
+        out: List[Dict[str, Any]] = []
+        for line in Path(path).read_text(encoding="utf-8").splitlines():
+            line = line.strip()
+            if line:
+                out.append(json.loads(line))
+        return out
+
+
+class SummarySink(Sink):
+    """Aggregates event counts (and time extent) per event kind."""
+
+    def __init__(self) -> None:
+        self.counts: Dict[str, int] = {}
+        self.first_t: Optional[float] = None
+        self.last_t: Optional[float] = None
+
+    def handle(self, event: Dict[str, Any]) -> None:
+        kind = str(event.get("kind", "?"))
+        self.counts[kind] = self.counts.get(kind, 0) + 1
+        t = event.get("t")
+        if isinstance(t, (int, float)):
+            if self.first_t is None or t < self.first_t:
+                self.first_t = float(t)
+            if self.last_t is None or t > self.last_t:
+                self.last_t = float(t)
+
+    def summary(self) -> Dict[str, Any]:
+        return {
+            "counts": dict(self.counts),
+            "total": sum(self.counts.values()),
+            "first_t": self.first_t,
+            "last_t": self.last_t,
+        }
+
+
+# ----------------------------------------------------------------------
+# bounded time series
+# ----------------------------------------------------------------------
+
+class SeriesBuffer:
+    """Bounded series of time-stamped points with stride decimation.
+
+    When the buffer fills, every other retained point is dropped and the
+    accept stride doubles, so a series of arbitrary length keeps at most
+    ``maxlen`` roughly uniformly spaced samples — exactly what a memory
+    high-water timeline or a rank-evolution record needs.
+    """
+
+    def __init__(self, name: str, maxlen: int = 4096) -> None:
+        if maxlen < 8:
+            raise ValueError("maxlen must be >= 8")
+        self.name = name
+        self.maxlen = maxlen
+        self._lock = threading.Lock()
+        self._points: List[Dict[str, Any]] = []
+        self._stride = 1
+        self._seen = 0
+
+    def append(self, t: float, **fields: Any) -> None:
+        with self._lock:
+            self._seen += 1
+            if (self._seen - 1) % self._stride:
+                return
+            if len(self._points) >= self.maxlen:
+                self._points = self._points[::2]
+                self._stride *= 2
+                if (self._seen - 1) % self._stride:
+                    return
+            point = {"t": float(t)}
+            point.update(fields)
+            self._points.append(point)
+
+    def points(self) -> List[Dict[str, Any]]:
+        with self._lock:
+            return list(self._points)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._points)
+
+    @property
+    def seen(self) -> int:
+        """How many points were offered (recorded + decimated away)."""
+        with self._lock:
+            return self._seen
+
+
+# ----------------------------------------------------------------------
+# the bus
+# ----------------------------------------------------------------------
+
+class Telemetry:
+    """Metric registry + structured event bus + bounded series.
+
+    One instance accompanies one solver run (attach it via
+    ``SolverConfig(telemetry=...)``).  All methods are thread-safe.
+
+    >>> tele = Telemetry()
+    >>> tele.counter("blocks", kernel="rrqr").inc()
+    >>> tele.gauge("queue_depth").set_value(3)
+    >>> tele.emit("compress", rank=5)
+    >>> tele.snapshot()["counters"]["blocks"][0]["value"]
+    1.0
+    """
+
+    def __init__(self, sinks: Iterable[Sink] = (),
+                 ring_capacity: Optional[int] = 4096) -> None:
+        self._origin = time.perf_counter()
+        self._lock = threading.Lock()       # registry + series creation
+        self._bus_lock = threading.Lock()   # event emission
+        self._families: Dict[str, _Family] = {}
+        self._series: Dict[str, SeriesBuffer] = {}
+        self._sinks: List[Sink] = list(sinks)
+        self.events_emitted: int = 0
+        #: always-on ring buffer so a bare ``Telemetry()`` keeps evidence
+        self.ring: Optional[RingBufferSink] = None
+        if ring_capacity is not None:
+            self.ring = RingBufferSink(ring_capacity)
+            self._sinks.append(self.ring)
+
+    # -- clock ---------------------------------------------------------
+    def clock(self) -> float:
+        """Seconds since this bus was created (monotonic)."""
+        return time.perf_counter() - self._origin
+
+    # -- metric registry -----------------------------------------------
+    def _family(self, name: str, kind: str,
+                buckets: Optional[Sequence[float]] = None) -> _Family:
+        fam = self._families.get(name)
+        if fam is None:
+            with self._lock:
+                fam = self._families.get(name)
+                if fam is None:
+                    fam = _Family(name, kind, buckets=buckets)
+                    self._families[name] = fam
+        if fam.kind != kind:
+            raise TypeError(
+                f"metric {name!r} is a {fam.kind}, not a {kind}")
+        return fam
+
+    def counter(self, name: str, **labels: str) -> Counter:
+        """The labelled counter child (created on first use)."""
+        fam = self._family(name, "counter")
+        key = _label_key(labels)
+        child = fam.children.get(key)
+        if child is None:
+            with self._lock:
+                child = fam.children.setdefault(key, Counter())
+        assert isinstance(child, Counter)
+        return child
+
+    def gauge(self, name: str, **labels: str) -> Gauge:
+        fam = self._family(name, "gauge")
+        key = _label_key(labels)
+        child = fam.children.get(key)
+        if child is None:
+            with self._lock:
+                child = fam.children.setdefault(key, Gauge())
+        assert isinstance(child, Gauge)
+        return child
+
+    def histogram(self, name: str,
+                  buckets: Optional[Sequence[float]] = None,
+                  **labels: str) -> Histogram:
+        fam = self._family(name, "histogram", buckets=buckets)
+        key = _label_key(labels)
+        child = fam.children.get(key)
+        if child is None:
+            with self._lock:
+                child = fam.children.setdefault(
+                    key, Histogram(fam.buckets or DEFAULT_BUCKETS))
+        assert isinstance(child, Histogram)
+        return child
+
+    # -- series --------------------------------------------------------
+    def series(self, name: str, maxlen: int = 4096) -> SeriesBuffer:
+        """The named bounded series (created on first use)."""
+        s = self._series.get(name)
+        if s is None:
+            with self._lock:
+                s = self._series.get(name)
+                if s is None:
+                    s = SeriesBuffer(name, maxlen=maxlen)
+                    self._series[name] = s
+        return s
+
+    # -- event bus -----------------------------------------------------
+    def add_sink(self, sink: Sink) -> Sink:
+        with self._bus_lock:
+            self._sinks.append(sink)
+        return sink
+
+    def remove_sink(self, sink: Sink) -> None:
+        with self._bus_lock:
+            self._sinks = [s for s in self._sinks if s is not sink]
+
+    def emit(self, kind: str, **fields: Any) -> None:
+        """Publish one structured event to every sink."""
+        event: Dict[str, Any] = {"kind": kind, "t": self.clock()}
+        event.update(fields)
+        with self._bus_lock:
+            self.events_emitted += 1
+            for sink in self._sinks:
+                sink.handle(event)
+
+    def close(self) -> None:
+        """Close every sink (flushes JSONL streams)."""
+        with self._bus_lock:
+            for sink in self._sinks:
+                sink.close()
+
+    # -- domain helpers (one guarded call per instrumentation site) -----
+    def record_compress(self, m: int, n: int, rank: int, kernel: str,
+                        category: str = "compress") -> None:
+        """One compression attempt: ``rank < 0`` means 'stored dense'."""
+        outcome = "lowrank" if rank >= 0 else "dense"
+        self.counter("compress_blocks", kernel=kernel,
+                     outcome=outcome, category=category).inc()
+        if rank >= 0:
+            ratio = ((m + n) * rank / (m * n)) if m and n else 1.0
+            self.histogram("compress_ratio").observe(ratio)
+            self.histogram("compress_rank").observe(float(rank))
+            self.series("rank_evolution").append(
+                self.clock(), site="compress", m=m, n=n,
+                rank_before=-1, rank_after=rank)
+            self.emit("compress", m=m, n=n, rank=rank, kernel=kernel,
+                      ratio=ratio, category=category)
+        else:
+            self.emit("compress", m=m, n=n, rank=-1, kernel=kernel,
+                      ratio=1.0, category=category)
+
+    def record_recompress(self, m: int, n: int, rank_before: int,
+                          rank_after: int) -> None:
+        """One LR2LR extend-add recompression (``rank_after < 0``:
+        the rank cap was exceeded and the block densified)."""
+        outcome = "lowrank" if rank_after >= 0 else "densified"
+        self.counter("recompress_blocks", outcome=outcome).inc()
+        if rank_after >= 0:
+            self.histogram("recompress_rank").observe(float(rank_after))
+            grow = rank_after - rank_before
+            if grow > 0:
+                self.counter("recompress_rank_growth").inc(float(grow))
+        self.series("rank_evolution").append(
+            self.clock(), site="recompress", m=m, n=n,
+            rank_before=rank_before, rank_after=rank_after)
+        self.emit("recompress", m=m, n=n, rank_before=rank_before,
+                  rank_after=rank_after)
+
+    def record_memory(self, current: int, peak: int) -> None:
+        """A new tracked-memory high water mark."""
+        self.gauge("memory_peak_bytes").set_value(float(peak))
+        self.series("memory_highwater").append(
+            self.clock(), current=int(current), peak=int(peak))
+
+    def record_refinement(self, method: str, history: Sequence[float],
+                          converged: bool) -> None:
+        """A refinement run's full per-iteration residual history."""
+        series = self.series("refinement_residual")
+        t = self.clock()
+        for i, r in enumerate(history):
+            series.append(t, iteration=i, residual=float(r))
+        self.counter("refinement_runs", method=method,
+                     converged=str(bool(converged)).lower()).inc()
+        self.counter("refinement_iterations", method=method).inc(
+            float(max(len(history) - 1, 0)))
+        self.emit("refinement", method=method, converged=bool(converged),
+                  iterations=max(len(history) - 1, 0),
+                  residual_history=[float(r) for r in history])
+
+    # -- export --------------------------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-able snapshot of all metrics and series."""
+        counters: Dict[str, List[Dict[str, Any]]] = {}
+        gauges: Dict[str, List[Dict[str, Any]]] = {}
+        histograms: Dict[str, List[Dict[str, Any]]] = {}
+        with self._lock:
+            families = list(self._families.values())
+            series = dict(self._series)
+        for fam in families:
+            for key, child in sorted(fam.children.items()):
+                labels = dict(key)
+                if isinstance(child, Counter):
+                    counters.setdefault(fam.name, []).append(
+                        {"labels": labels, "value": child.value})
+                elif isinstance(child, Gauge):
+                    gauges.setdefault(fam.name, []).append(
+                        {"labels": labels, "value": child.value,
+                         "max": child.max_value})
+                else:
+                    histograms.setdefault(fam.name, []).append({
+                        "labels": labels,
+                        "buckets": list(child.buckets),
+                        "counts": list(child.counts),
+                        "sum": child.total,
+                        "count": child.count,
+                        "mean": child.mean(),
+                    })
+        return {
+            "counters": counters,
+            "gauges": gauges,
+            "histograms": histograms,
+            "series": {name: s.points() for name, s in series.items()},
+            "events_emitted": self.events_emitted,
+        }
+
+    def prometheus_text(self) -> str:
+        """Prometheus text exposition (version 0.0.4) of the registry."""
+        lines: List[str] = []
+        with self._lock:
+            families = sorted(self._families.values(),
+                              key=lambda f: f.name)
+        for fam in families:
+            pname = _prom_name(fam.name)
+            if fam.kind == "counter":
+                pname += "_total"
+            lines.append(f"# TYPE {pname} {fam.kind}")
+            for key, child in sorted(fam.children.items()):
+                lab = _prom_labels(key)
+                if isinstance(child, Counter):
+                    lines.append(f"{pname}{lab} {child.value!r}")
+                elif isinstance(child, Gauge):
+                    lines.append(f"{pname}{lab} {child.value!r}")
+                elif isinstance(child, Histogram):
+                    cum = 0
+                    for bound, cnt in zip(child.buckets, child.counts):
+                        cum += cnt
+                        blab = _merge_label(key, "le", _fmt_bound(bound))
+                        lines.append(f"{pname}_bucket{blab} {cum}")
+                    cum += child.counts[-1]
+                    blab = _merge_label(key, "le", "+Inf")
+                    lines.append(f"{pname}_bucket{blab} {cum}")
+                    lines.append(f"{pname}_sum{lab} {child.total!r}")
+                    lines.append(f"{pname}_count{lab} {child.count}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _fmt_bound(bound: float) -> str:
+    return repr(bound) if bound != int(bound) else str(int(bound))
+
+
+def _merge_label(key: LabelKey, name: str, value: str) -> str:
+    return _prom_labels(tuple(sorted(key + ((name, value),))))
+
+
+# ----------------------------------------------------------------------
+# Prometheus text parsing (round-trip verification / scrape testing)
+# ----------------------------------------------------------------------
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?\s+(?P<value>\S+)$")
+_LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="([^"]*)"')
+
+
+def parse_prometheus_text(text: str) -> Dict[str, Any]:
+    """Parse Prometheus text exposition into ``{"types": ..., "samples":
+    ...}``; samples map ``(name, label_key)`` to float values.
+
+    Only the subset :meth:`Telemetry.prometheus_text` produces is
+    supported — enough for round-trip tests and scrape verification.
+    """
+    types: Dict[str, str] = {}
+    samples: Dict[Tuple[str, LabelKey], float] = {}
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split()
+            if len(parts) >= 4 and parts[1] == "TYPE":
+                types[parts[2]] = parts[3]
+            continue
+        m = _SAMPLE_RE.match(line)
+        if m is None:
+            raise ValueError(f"unparseable exposition line: {line!r}")
+        labels = tuple(sorted(_LABEL_RE.findall(m.group("labels") or "")))
+        samples[(m.group("name"), labels)] = float(m.group("value"))
+    return {"types": types, "samples": samples}
