@@ -19,10 +19,14 @@ Public API highlights:
 * :class:`~repro.runtime.telemetry.Telemetry` — opt-in metric/event bus
   (``SolverConfig(telemetry=Telemetry())``) feeding the per-run
   ``RunReport`` of :mod:`repro.analysis.report`.
+* :class:`~repro.runtime.recovery.RecoveryPolicy` — opt-in self-healing
+  (``SolverConfig(recovery=RecoveryPolicy())``): breakdown detection,
+  escalation ladders and checkpoint/restart (``docs/robustness.md``).
 """
 
 from repro.config import SolverConfig
 from repro.core.solver import Solver
+from repro.runtime.recovery import NumericalBreakdown, RecoveryPolicy
 from repro.runtime.telemetry import Telemetry
 from repro.core.refinement import gmres, conjugate_gradient, iterative_refinement
 from repro.sparse.csc import CSCMatrix
@@ -41,6 +45,8 @@ __all__ = [
     "Solver",
     "SolverConfig",
     "Telemetry",
+    "NumericalBreakdown",
+    "RecoveryPolicy",
     "CSCMatrix",
     "gmres",
     "conjugate_gradient",

@@ -80,9 +80,15 @@ def build_run_report(solver: "Solver", workload: Optional[str] = None,
         "residual_history": res.residual_history,
         "converged": bool(res.converged),
         "iterations": int(res.iterations),
+        "stagnated": bool(res.stagnated),
+        "diverged": bool(res.diverged),
         "backward_error": (float(res.backward_error)
                            if res.history else None),
     }
+
+    # self-healing digest of the last recovery-enabled run (already plain
+    # JSON: action dicts + counts), or null when recovery never engaged
+    report["recovery"] = solver.last_recovery
 
     tele = solver.config.telemetry
     report["telemetry"] = None if tele is None else tele.snapshot()
@@ -234,6 +240,22 @@ def render_markdown(report: Dict[str, Any],
             lines.append("")
             lines.append("Residual history: "
                          + ", ".join(_fmt(h) for h in hist))
+        lines.append("")
+
+    rec = report.get("recovery")
+    if rec:
+        lines.append("## Recovery")
+        lines.append("")
+        lines += _table(
+            ["metric", "value"],
+            [["attempts", rec.get("attempts")],
+             ["final tolerance", rec.get("final_tolerance")],
+             ["final strategy", rec.get("final_strategy")]])
+        counts = rec.get("counts") or {}
+        if counts:
+            lines.append("")
+            lines += _table(["action", "count"],
+                            [[k, v] for k, v in sorted(counts.items())])
         lines.append("")
 
     tele = report.get("telemetry")

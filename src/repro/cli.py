@@ -15,6 +15,10 @@ Commands
 ``report``
     Render a ``RunReport`` JSON artifact (written by ``solve --report``)
     to markdown, optionally regenerating its SVG figures.
+``resume``
+    Finish a factorization from a checkpoint archive written by
+    ``solve --checkpoint`` (same matrix required — the archive stores a
+    fingerprint), then solve and optionally refine.
 
 Examples::
 
@@ -31,9 +35,12 @@ from __future__ import annotations
 import argparse
 import sys
 import time
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 import numpy as np
+
+if TYPE_CHECKING:
+    from repro.runtime.faults import FaultInjector
 
 from repro.config import (
     DTYPES,
@@ -86,6 +93,11 @@ def _load_matrix(args: argparse.Namespace) -> CSCMatrix:
 
 
 def _config(args: argparse.Namespace) -> SolverConfig:
+    recovery = None
+    if getattr(args, "recovery", False):
+        from repro.runtime.recovery import RecoveryPolicy
+
+        recovery = RecoveryPolicy()
     return SolverConfig.laptop_scale(
         strategy=args.strategy,
         kernel=args.kernel,
@@ -98,6 +110,7 @@ def _config(args: argparse.Namespace) -> SolverConfig:
         trace=bool(getattr(args, "trace", None)),
         dtype=args.dtype,
         storage_dtype=args.storage_dtype,
+        recovery=recovery,
     )
 
 
@@ -124,6 +137,30 @@ def _add_common(p: argparse.ArgumentParser) -> None:
                    help="store compressed low-rank factors in this narrower "
                         "dtype (mixed precision), e.g. float32 under a "
                         "float64 factorization")
+    p.add_argument("--recovery", action="store_true",
+                   help="arm the self-healing layer (breakdown detection + "
+                        "escalation ladder) with default RecoveryPolicy "
+                        "knobs; see docs/robustness.md")
+
+
+def _arm_chaos(solver: Solver, seed: int) -> "FaultInjector":
+    """Arm one transient fault at each of the three recovery sites.
+
+    Picks pseudo-random column blocks (seeded, so runs are reproducible)
+    and injects a factor-kernel failure, a NaN-poisoned panel and a
+    compression failure — each fires exactly once, then heals.  With
+    ``--recovery`` the solve must still complete; this is the CLI face of
+    the chaos CI job.
+    """
+    from repro.runtime.faults import FaultInjector
+
+    ncblk = solver.analyze().ncblk
+    rng = np.random.default_rng(seed)
+    inj = FaultInjector(seed=seed)
+    inj.fail_factor(int(rng.integers(ncblk)), transient=True)
+    inj.nan_in_panel(int(rng.integers(ncblk)), transient=True)
+    inj.fail_compress(int(rng.integers(ncblk)), transient=True)
+    return inj
 
 
 def cmd_solve(args: argparse.Namespace) -> int:
@@ -136,8 +173,15 @@ def cmd_solve(args: argparse.Namespace) -> int:
     solver = Solver(a, cfg)
     print(f"n = {a.n}, nnz = {a.nnz}, strategy = {args.strategy}/"
           f"{args.kernel}, tau = {args.tolerance:.0e}")
+    faults = None
+    if args.chaos is not None:
+        if not args.recovery:
+            raise SystemExit("--chaos requires --recovery (the injected "
+                             "faults would simply kill the solve)")
+        faults = _arm_chaos(solver, args.chaos)
+        print(f"chaos: 3 transient faults armed (seed {args.chaos})")
     t0 = time.perf_counter()
-    stats = solver.factorize()
+    stats = solver.factorize(faults=faults, checkpoint=args.checkpoint)
     print(f"factorization: {time.perf_counter() - t0:.2f}s "
           f"(analysis {solver.analyze_time:.2f}s)")
     for cat in KERNEL_CATEGORIES:
@@ -148,6 +192,10 @@ def cmd_solve(args: argparse.Namespace) -> int:
     print(f"factor size: {stats.factor_nbytes / 1e6:.2f} MB "
           f"({stats.memory_ratio:.2f}x dense), "
           f"peak {stats.peak_nbytes / 1e6:.2f} MB")
+    if solver.last_recovery is not None:
+        counts = solver.last_recovery.get("counts") or {}
+        acted = ", ".join(f"{k}={v}" for k, v in sorted(counts.items()))
+        print(f"recovery: {acted or 'no actions needed'}")
 
     if args.trace and solver.tracer is not None:
         solver.tracer.to_json(args.trace)
@@ -181,6 +229,31 @@ def cmd_solve(args: argparse.Namespace) -> int:
         report = solver.run_report(workload=workload, backward_error=err)
         path = save_run_report(report, args.report)
         print(f"run report -> {path}")
+    return 0
+
+
+def cmd_resume(args: argparse.Namespace) -> int:
+    from repro.core.serialize import checkpoint_config
+
+    a = _load_matrix(args)
+    cfg = checkpoint_config(args.checkpoint_file)
+    solver = Solver(a, cfg)
+    print(f"n = {a.n}, nnz = {a.nnz}; resuming from {args.checkpoint_file} "
+          f"(strategy {cfg.strategy}/{cfg.kernel}, tau {cfg.tolerance:.0e})")
+    t0 = time.perf_counter()
+    stats = solver.resume_from(args.checkpoint_file)
+    print(f"resumed factorization: {time.perf_counter() - t0:.2f}s")
+    print(f"factor size: {stats.factor_nbytes / 1e6:.2f} MB "
+          f"({stats.memory_ratio:.2f}x dense)")
+
+    rng = np.random.default_rng(args.seed)
+    b = np.ones(a.n) if args.rhs == "ones" else rng.standard_normal(a.n)
+    x = solver.solve(b)
+    print(f"backward error: {solver.backward_error(x, b):.2e}")
+    if args.refine:
+        res = solver.refine(b, tol=1e-12, maxiter=20)
+        print(f"refined ({res.iterations} iterations): "
+              f"{res.backward_error:.2e}")
     return 0
 
 
@@ -266,6 +339,17 @@ def main(argv: Optional[list] = None) -> int:
                          help="enable telemetry for the run and write a "
                               "RunReport JSON artifact (render it with "
                               "'repro report FILE')")
+    p_solve.add_argument("--checkpoint", metavar="FILE",
+                         help="snapshot the partial factorization here "
+                              "(on faults, and every N supernodes when the "
+                              "recovery policy sets a cadence); resume with "
+                              "'repro resume FILE'")
+    p_solve.add_argument("--chaos", type=int, nargs="?", const=0,
+                         default=None, metavar="SEED",
+                         help="inject one transient fault at each recovery "
+                              "site (factor kernel, panel NaN, compression) "
+                              "to exercise the self-healing path; requires "
+                              "--recovery")
     p_solve.set_defaults(func=cmd_solve)
 
     p_an = sub.add_parser("analyze", help="symbolic structure only")
@@ -280,6 +364,22 @@ def main(argv: Optional[list] = None) -> int:
     _add_common(p_bench)
     p_bench.add_argument("--seed", type=int, default=0)
     p_bench.set_defaults(func=cmd_bench)
+
+    p_res = sub.add_parser("resume",
+                           help="finish a checkpointed factorization")
+    p_res.add_argument("checkpoint_file",
+                       help="checkpoint archive written by "
+                            "'repro solve --checkpoint'")
+    p_res.add_argument("matrix", nargs="?",
+                       help="MatrixMarket file (.mtx[.gz]); must be the "
+                            "matrix the checkpoint was taken from")
+    p_res.add_argument("--generate", metavar="NAME:SIZE",
+                       help=f"built-in workload: {sorted(GENERATORS)}")
+    p_res.add_argument("--rhs", choices=("ones", "random"), default="ones")
+    p_res.add_argument("--seed", type=int, default=0)
+    p_res.add_argument("--refine", action="store_true",
+                       help="run preconditioned GMRES/CG afterwards")
+    p_res.set_defaults(func=cmd_resume)
 
     p_rep = sub.add_parser("report",
                            help="render a RunReport JSON to markdown")

@@ -28,6 +28,7 @@ from typing import TYPE_CHECKING, Any, Optional, Union
 if TYPE_CHECKING:  # numpy is imported lazily at runtime (keep import light)
     import numpy as np
 
+    from repro.runtime.recovery import RecoveryPolicy
     from repro.runtime.telemetry import Telemetry
 
 #: valid factorization strategies
@@ -115,6 +116,16 @@ class SolverConfig:
     watchdog_timeout: Optional[float] = None
     seed: Optional[int] = 0
 
+    # --- robustness -----------------------------------------------------
+    #: self-healing policy (:class:`~repro.runtime.recovery.RecoveryPolicy`
+    #: or a dict of its fields, e.g. from a deserialized config): enables
+    #: breakdown sentinels, per-block dense fallback on compression
+    #: failure, local task retries and the whole-solve escalation ladder.
+    #: ``None`` (the default) disables the recovery layer entirely — every
+    #: detection site then costs one ``is not None`` test and the solver's
+    #: failure behaviour is exactly the pre-recovery one.
+    recovery: Optional["RecoveryPolicy"] = None
+
     # --- observability -------------------------------------------------
     #: record a :class:`~repro.runtime.trace.TaskTracer` during
     #: factorization (exposed as ``Solver.tracer``); off by default — the
@@ -164,6 +175,18 @@ class SolverConfig:
                 f"{self.scheduler!r}")
         if self.watchdog_timeout is not None and self.watchdog_timeout <= 0:
             raise ValueError("watchdog_timeout must be positive (or None)")
+        if self.recovery is not None:
+            from repro.runtime.recovery import RecoveryPolicy
+
+            if isinstance(self.recovery, dict):
+                # round-trip support: serialized configs store the policy
+                # as a plain field dict (dataclasses.asdict recurses)
+                object.__setattr__(self, "recovery",
+                                   RecoveryPolicy(**self.recovery))
+            elif not isinstance(self.recovery, RecoveryPolicy):
+                raise TypeError(
+                    "recovery must be a RecoveryPolicy, a dict of its "
+                    f"fields, or None; got {type(self.recovery).__name__}")
         if self.dtype is not None and self.dtype not in DTYPES:
             raise ValueError(
                 f"dtype must be one of {DTYPES} (or None), got {self.dtype!r}")

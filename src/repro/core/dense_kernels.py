@@ -13,10 +13,19 @@ slightly perturbed matrix; iterative refinement absorbs the perturbation).
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 import scipy.linalg as sla
+
+
+def block_all_finite(a: Optional[np.ndarray]) -> bool:
+    """NaN/Inf sentinel used by the recovery layer's breakdown detection.
+
+    ``None`` and empty arrays count as finite; ``np.isfinite`` checks both
+    components of complex arrays, so this is complex-safe.
+    """
+    return a is None or a.size == 0 or bool(np.isfinite(a).all())
 
 
 def flop_scale(dtype: "np.dtype | str") -> float:

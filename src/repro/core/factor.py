@@ -27,9 +27,12 @@ memory measurements are produced.
 
 from __future__ import annotations
 
-from typing import List, Optional, Union
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Union
 
 import numpy as np
+
+if TYPE_CHECKING:
+    from repro.runtime.recovery import RecoveryState
 
 from repro.config import SolverConfig
 from repro.lowrank.block import LowRankBlock
@@ -133,6 +136,10 @@ class NumericFactor:
         #: optional :class:`~repro.runtime.faults.FaultInjector` — fired at
         #: the top of every factor/update task when set
         self.faults = None
+        #: optional :class:`~repro.runtime.recovery.RecoveryState` — armed by
+        #: the solver when ``config.recovery`` is set; every breakdown
+        #: sentinel and fallback in the factorization path is gated on it
+        self.recovery: Optional["RecoveryState"] = None
 
     def fill_column_block(self, k: int) -> None:
         """Left-looking mode: allocate column block ``k``'s dense storage
@@ -287,15 +294,83 @@ def _scatter_panel(a: CSCMatrix, sym: SymbolicColumnBlock,
             panel[offsets, jj] = vv
 
 
+def snapshot_column_block(nc: NumericColumnBlock) -> Dict[str, Any]:
+    """Deep copy of ``nc``'s numerical state (pre-task retry snapshot).
+
+    Only the task factoring ``nc`` mutates its storage (pull-mode fan-in),
+    so a snapshot taken before the task plus :func:`restore_column_block`
+    on failure gives exact local retry semantics.
+    """
+
+    def _copy_block(b: Block) -> Block:
+        if isinstance(b, LowRankBlock):
+            return LowRankBlock(b.u.copy(), b.v.copy())
+        return b.copy()
+
+    return {
+        "diag": nc.diag.copy() if nc.diag is not None else None,
+        "lpanel": nc.lpanel.copy() if nc.lpanel is not None else None,
+        "upanel": nc.upanel.copy() if nc.upanel is not None else None,
+        "lblocks": ([_copy_block(b) for b in nc.lblocks]
+                    if nc.lblocks is not None else None),
+        "ublocks": ([_copy_block(b) for b in nc.ublocks]
+                    if nc.ublocks is not None else None),
+        "factored": nc.factored,
+    }
+
+
+def restore_column_block(fac: NumericFactor, k: int,
+                         snap: Dict[str, Any]) -> None:
+    """Reinstate a :func:`snapshot_column_block` snapshot on column ``k``.
+
+    Fresh copies are installed so the snapshot stays reusable across
+    several retry attempts; the memory tracker is resized to the restored
+    footprint.
+    """
+
+    def _copy_block(b: Block) -> Block:
+        if isinstance(b, LowRankBlock):
+            return LowRankBlock(b.u.copy(), b.v.copy())
+        return b.copy()
+
+    nc = fac.cblks[k]
+    before = nc.nbytes(fac.sides)
+    nc.diag = snap["diag"].copy() if snap["diag"] is not None else None
+    nc.lpanel = snap["lpanel"].copy() if snap["lpanel"] is not None else None
+    nc.upanel = snap["upanel"].copy() if snap["upanel"] is not None else None
+    nc.lblocks = ([_copy_block(b) for b in snap["lblocks"]]
+                  if snap["lblocks"] is not None else None)
+    nc.ublocks = ([_copy_block(b) for b in snap["ublocks"]]
+                  if snap["ublocks"] is not None else None)
+    nc.factored = bool(snap["factored"])
+    fac.tracker.resize(before, nc.nbytes(fac.sides))
+
+
 def _compress_assembled(fac: NumericFactor, nc: NumericColumnBlock,
                         dense: np.ndarray) -> List[Block]:
-    """Compress candidate blocks of a freshly assembled dense scratch."""
+    """Compress candidate blocks of a freshly assembled dense scratch.
+
+    When a fault injector arms the compression site (or a kernel genuinely
+    dies) and the recovery policy allows it, the whole scratch is kept
+    dense — the per-block dense fallback, cheapest rung of the escalation
+    ladder."""
     cfg = fac.config
+    compress_ok = True
+    if fac.faults is not None:
+        try:
+            fac.faults.on_compress(fac, nc.sym.id)
+        except Exception as exc:
+            rec = fac.recovery
+            if rec is None or not rec.policy.dense_fallback:
+                raise
+            rec.record("dense_fallback", site="compress", cblk=nc.sym.id,
+                       error=type(exc).__name__)
+            compress_ok = False
     out: List[Block] = []
     for i, b in enumerate(nc.sym.off_blocks()):
         lo, hi = nc.row_offsets[i], nc.row_offsets[i + 1]
         chunk = dense[lo:hi]
-        if b.lr_candidate:
+        if b.lr_candidate and compress_ok:
             cap = rank_cap(b.nrows, nc.width, cfg.rank_ratio)
             lr = compress_block(chunk, cfg.tolerance, cfg.kernel,
                                 max_rank=cap, stats=fac.stats.kernels)

@@ -26,6 +26,7 @@ import numpy as np
 import scipy.linalg as sla
 
 from repro.core.dense_kernels import (
+    block_all_finite,
     cholesky_nopivot,
     flop_scale,
     gemm_flops,
@@ -42,6 +43,7 @@ from repro.core.dense_kernels import (
     trsm_flops,
 )
 from repro.core.factor import Block, NumericColumnBlock, NumericFactor
+from repro.runtime.recovery import NumericalBreakdown
 from repro.lowrank.block import LowRankBlock
 from repro.lowrank.kernels import (
     compress_block,
@@ -68,6 +70,8 @@ def factor_column_block(fac: NumericFactor, k: int) -> None:
     """
     if fac.faults is not None:
         fac.faults.on_factor(fac, k)
+    if fac.recovery is not None:
+        _breakdown_check_input(fac, k)
     tracer = fac.tracer
     _trace_t0 = tracer.clock() if tracer is not None else 0.0
     cfg = fac.config
@@ -96,6 +100,22 @@ def factor_column_block(fac: NumericFactor, k: int) -> None:
     fac.nperturbed += nperturbed
     stats.add("block_facto", seconds=time.perf_counter() - t0,
               flops=fl * flop_scale(fac.dtype))
+    rec = fac.recovery
+    if rec is not None:
+        if not block_all_finite(nc.diag):
+            rec.record("breakdown", site="factor", cblk=k,
+                       cause="nan-factor")
+            raise NumericalBreakdown(
+                "nan-factor", cblk=k, site="factor",
+                detail="diagonal factorization produced non-finite entries")
+        budget = rec.policy.pivot_budget
+        if budget is not None and nperturbed > budget * w:
+            rec.record("breakdown", site="factor", cblk=k,
+                       cause="pivot-budget", nperturbed=nperturbed)
+            raise NumericalBreakdown(
+                "pivot-budget", cblk=k, site="factor",
+                detail=f"{nperturbed}/{w} pivots perturbed exceeds "
+                       f"budget {budget}")
 
     # --- Just-In-Time: compress the accumulated panels now --------------
     if cfg.strategy == "just-in-time":
@@ -108,10 +128,62 @@ def factor_column_block(fac: NumericFactor, k: int) -> None:
         tracer.record("factor", k, _trace_t0, tag=cfg.factotype)
 
 
+def _first_nonfinite(nc: NumericColumnBlock) -> Optional[str]:
+    """Name of the first storage piece of ``nc`` holding NaN/Inf, or None."""
+    if not block_all_finite(nc.diag):
+        return "diag"
+    if nc.panel_mode:
+        if not block_all_finite(nc.lpanel):
+            return "lpanel"
+        if nc.upanel is not None and not block_all_finite(nc.upanel):
+            return "upanel"
+        return None
+    for side, blocks in (("l", nc.lblocks), ("u", nc.ublocks)):
+        if blocks is None:
+            continue
+        for i, b in enumerate(blocks):
+            if isinstance(b, LowRankBlock):
+                if not (block_all_finite(b.u) and block_all_finite(b.v)):
+                    return f"{side}blocks[{i}]"
+            elif not block_all_finite(b):
+                return f"{side}blocks[{i}]"
+    return None
+
+
+def _breakdown_check_input(fac: NumericFactor, k: int) -> None:
+    """Pre-factor NaN/Inf sentinel: raise a structured breakdown instead of
+    letting a poisoned panel silently contaminate the whole trailing
+    matrix.  Only called when a recovery state is armed."""
+    bad = _first_nonfinite(fac.cblks[k])
+    if bad is not None:
+        rec = fac.recovery
+        if rec is not None:
+            rec.record("breakdown", site="factor", cblk=k,
+                       cause="nan-input", where=bad)
+        raise NumericalBreakdown(
+            "nan-input", cblk=k, site="factor",
+            detail=f"non-finite entries in {bad} before factorization")
+
+
 def _compress_panels_jit(fac: NumericFactor, nc: NumericColumnBlock) -> None:
-    """Algorithm 2 lines 3-4: compress the fully-updated dense panels."""
+    """Algorithm 2 lines 3-4: compress the fully-updated dense panels.
+
+    A compression-site fault (or policy-forbidden kernel failure) keeps the
+    whole panel dense via :meth:`NumericFactor.convert_to_blocks` when the
+    recovery policy allows the per-block dense fallback."""
     if not nc.panel_mode:
         return
+    if fac.faults is not None:
+        try:
+            fac.faults.on_compress(fac, nc.sym.id)
+        except Exception as exc:
+            rec = fac.recovery
+            if rec is None or not rec.policy.dense_fallback:
+                raise
+            rec.record("dense_fallback", site="compress", cblk=nc.sym.id,
+                       error=type(exc).__name__)
+            fac.convert_to_blocks(nc)
+            return
     cfg = fac.config
     stats = fac.stats.kernels
     lblocks: list = []

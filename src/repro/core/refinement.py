@@ -11,8 +11,9 @@ solve` bound with ``refine=False``) and record the backward-error history
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Tuple
 
 import numpy as np
 
@@ -43,6 +44,11 @@ class RefinementResult:
     history: List[float] = field(default_factory=list)
     converged: bool = False
     iterations: int = 0
+    #: no ``drop``× residual reduction over the last ``window`` iterations
+    #: (set by :func:`classify_history` when the scheme does not converge)
+    stagnated: bool = False
+    #: the residual grew well past its best value, or went non-finite
+    diverged: bool = False
 
     @property
     def backward_error(self) -> float:
@@ -52,6 +58,34 @@ class RefinementResult:
     def residual_history(self) -> List[float]:
         """Per-iteration residuals (GMRES/CG/IR), starting guess first."""
         return list(self.history)
+
+
+def classify_history(history: List[float], window: int = 4,
+                     drop: float = 10.0, growth: float = 10.0
+                     ) -> Tuple[bool, bool]:
+    """``(stagnated, diverged)`` verdict on a residual history.
+
+    *Diverged*: the last residual is non-finite, or grew more than
+    ``growth``× past the best residual seen.  *Stagnated*: more than
+    ``window`` recorded iterations and the last residual did not drop
+    ``drop``× below the residual ``window`` iterations ago (the "no 10×
+    drop in k iterations" rule).  The recovery layer treats both as a
+    breakdown of the preconditioner quality and escalates.
+    """
+    if not history:
+        return False, False
+    last = history[-1]
+    if not math.isfinite(last):
+        return False, True
+    if len(history) > 1:
+        best = min(history[:-1])
+        if math.isfinite(best) and last > growth * best:
+            return False, True
+    if len(history) > window:
+        ref = history[-1 - window]
+        if ref != 0.0 and last > ref / drop:
+            return True, False
+    return False, False
 
 
 def _backward_error(a: CSCMatrix, x: np.ndarray, b: np.ndarray,
@@ -81,6 +115,8 @@ def iterative_refinement(a: CSCMatrix, b: np.ndarray,
         res.iterations = it + 1
     res.x = x
     res.converged = res.history[-1] <= tol
+    if not res.converged:
+        res.stagnated, res.diverged = classify_history(res.history)
     return res
 
 
@@ -190,6 +226,8 @@ def gmres(a: CSCMatrix, b: np.ndarray,
     res.x = x
     res.iterations = total_it
     res.converged = res.history[-1] <= tol
+    if not res.converged:
+        res.stagnated, res.diverged = classify_history(res.history)
     return res
 
 
@@ -234,4 +272,6 @@ def conjugate_gradient(a: CSCMatrix, b: np.ndarray,
         p = z + beta * p
     res.x = x
     res.converged = res.history[-1] <= tol
+    if not res.converged:
+        res.stagnated, res.diverged = classify_history(res.history)
     return res

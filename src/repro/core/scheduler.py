@@ -46,10 +46,16 @@ import time
 from typing import TYPE_CHECKING, Callable, List, Optional, Sequence
 
 if TYPE_CHECKING:
+    from repro.core.serialize import CheckpointWriter
     from repro.symbolic.structure import SymbolicFactor
 
-from repro.core.factor import NumericFactor
+from repro.core.factor import (
+    NumericFactor,
+    restore_column_block,
+    snapshot_column_block,
+)
 from repro.core.factorization import apply_updates_from, factor_column_block
+from repro.runtime.recovery import NumericalBreakdown
 
 #: how often (seconds) the joining main thread samples the progress counter
 _WATCHDOG_POLL = 0.05
@@ -76,10 +82,23 @@ class DeadlockError(SchedulerError):
     """
 
 
-def run_sequential(fac: NumericFactor) -> None:
-    """Right-looking elimination, one column block at a time."""
+def run_sequential(fac: NumericFactor,
+                   checkpoint: Optional["CheckpointWriter"] = None) -> None:
+    """Right-looking elimination, one column block at a time.
+
+    With a recovery state or a checkpoint writer armed the engine switches
+    to the pull-mode fan-in loop (:func:`run_sequential_pull`): pull-mode
+    tasks only mutate their own column block, which is what makes pre-task
+    snapshots, local retries, and resumable checkpoints sound.  The two
+    orders are bit-identical (PR 1's determinism guarantee)."""
     if fac.deferred is not None:
+        if checkpoint is not None:
+            raise ValueError("checkpointing does not support the "
+                             "left-looking engine")
         run_left_looking(fac)
+        return
+    if fac.recovery is not None or checkpoint is not None:
+        run_sequential_pull(fac, checkpoint)
         return
     tr = fac.tracer
     if tr is not None:
@@ -87,6 +106,35 @@ def run_sequential(fac: NumericFactor) -> None:
     for k in range(fac.symb.ncblk):
         factor_column_block(fac, k)
         apply_updates_from(fac, k)
+
+
+def run_sequential_pull(fac: NumericFactor,
+                        checkpoint: Optional["CheckpointWriter"] = None
+                        ) -> None:
+    """Pull-mode sequential sweep: per column block, apply contributors'
+    updates (ascending) then factor — bit-identical to the push sweep.
+
+    Skips already-factored column blocks, which is how a checkpoint resume
+    continues a partial factorization: a restored block's updates are
+    *pulled by its dependents* when they run, never re-pushed.  On any
+    failure (including ``KeyboardInterrupt``) the checkpoint writer's
+    fault hook fires before the exception propagates."""
+    tr = fac.tracer
+    if tr is not None:
+        tr.meta.update(engine="sequential-pull", threads=1)
+    try:
+        for k in range(fac.symb.ncblk):
+            if fac.cblks[k].factored:
+                continue
+            _run_task(fac, k)
+            if checkpoint is not None:
+                checkpoint.task_done(fac, k)
+    except BaseException:
+        # deliberately BaseException: a Ctrl-C mid-factorization should
+        # still leave a resumable checkpoint behind
+        if checkpoint is not None:
+            checkpoint.on_fault(fac)
+        raise
 
 
 def run_left_looking(fac: NumericFactor) -> None:
@@ -128,6 +176,39 @@ def _pull_and_factor(fac: NumericFactor, k: int) -> None:
     for c in fac.symb.contributors(k):
         apply_updates_from(fac, c, target=k)
     factor_column_block(fac, k)
+
+
+def _run_task(fac: NumericFactor, k: int) -> None:
+    """Execute the fan-in task for ``k``, with bounded local retries.
+
+    With a recovery state armed (``policy.task_retries > 0``) the task's
+    column block is snapshotted first; a transient failure restores the
+    snapshot, sleeps the seeded backoff, and retries.  Contributors are
+    immutable once factored and only task ``k`` mutates ``k``'s storage
+    (pull-mode invariant), so the snapshot/restore is exact.
+    :class:`NumericalBreakdown` never retries locally — its causes are
+    deterministic, so it goes straight to the solver-level ladder."""
+    rec = fac.recovery
+    if rec is None or rec.policy.task_retries <= 0:
+        _pull_and_factor(fac, k)
+        return
+    retries = rec.policy.task_retries
+    snap = snapshot_column_block(fac.cblks[k])
+    for attempt in range(retries + 1):
+        try:
+            _pull_and_factor(fac, k)
+            return
+        except NumericalBreakdown:
+            raise
+        except Exception as exc:
+            if attempt >= retries:
+                raise
+            rec.record("task_retry", site="scheduler", cblk=k,
+                       attempt=attempt + 1, error=type(exc).__name__)
+            restore_column_block(fac, k, snap)
+            delay = rec.backoff(attempt)
+            if delay > 0.0:
+                time.sleep(delay)
 
 
 def _pending_dump(fac: NumericFactor, pending: List[int], processed: int,
@@ -249,7 +330,7 @@ def run_threaded(fac: NumericFactor, nthreads: int,
                     continue
             try:
                 t_task = time.perf_counter()
-                _pull_and_factor(fac, k)
+                _run_task(fac, k)
                 if tele is not None:
                     # queue depth sampled at completion: the instantaneous
                     # backlog this worker left behind (qsize is advisory
@@ -428,7 +509,7 @@ def run_threaded_static(fac: NumericFactor, nthreads: int,
                     if stopped[0]:
                         return
                 t_task = time.perf_counter()
-                _pull_and_factor(fac, k)
+                _run_task(fac, k)
                 if tele is not None:
                     tele.counter("scheduler_tasks",
                                  engine="static").inc()

@@ -22,6 +22,7 @@ True
 from __future__ import annotations
 
 import time
+from dataclasses import asdict, replace
 from pathlib import Path
 from typing import TYPE_CHECKING, Any, Dict, Optional, Union
 
@@ -34,16 +35,24 @@ from repro.config import SolverConfig
 from repro.core.factor import NumericFactor, assemble
 from repro.core.refinement import (
     RefinementResult,
+    classify_history,
     conjugate_gradient,
     gmres,
     iterative_refinement,
 )
 from repro.core.scheduler import (
     run_sequential,
+    run_sequential_pull,
     run_threaded,
     run_threaded_static,
 )
 from repro.core.trisolve import solve_factored
+from repro.runtime.recovery import (
+    RecoveryPolicy,
+    RecoveryState,
+    escalate_config,
+    find_breakdown,
+)
 from repro.runtime.stats import FactorizationStats
 from repro.sparse.csc import CSCMatrix
 from repro.sparse.permute import permute_symmetric
@@ -103,6 +112,12 @@ class Solver:
         #: result of the last :meth:`refine` call (residual history feeds
         #: :meth:`run_report` even when no telemetry bus is attached)
         self.last_refinement: Optional[RefinementResult] = None
+        #: JSON-able digest of the last recovery-enabled run (escalation
+        #: actions + counts), or ``None`` (feeds :meth:`run_report`)
+        self.last_recovery: Optional[Dict[str, Any]] = None
+        #: the escalated config the current factor was actually built
+        #: under, when it differs from :attr:`config` (``None`` otherwise)
+        self._effective_config: Optional[SolverConfig] = None
 
     # ------------------------------------------------------------------
     @property
@@ -125,34 +140,8 @@ class Solver:
         return self.symbolic
 
     # -- step 3: numerical factorization ------------------------------------
-    def factorize(self, faults: Optional["FaultInjector"] = None
-                  ) -> FactorizationStats:
-        """Assemble and factor under the configured strategy; returns the
-        per-kernel statistics (the rows of Table 2).
-
-        With ``config.trace=True`` a task trace is recorded and left on
-        :attr:`tracer` (see ``docs/observability.md``).  ``faults`` attaches
-        a :class:`~repro.runtime.faults.FaultInjector` for the run — a
-        testing hook, never set in production paths.
-        """
-        self.analyze()
-        a_perm = permute_symmetric(self._a_sym, self.perm)
-        t0 = time.perf_counter()
-        fac = assemble(a_perm, self.symbolic, self.config)
-        if self.config.trace:
-            from repro.runtime.trace import TaskTracer
-
-            self.tracer = fac.tracer = TaskTracer()
-        else:
-            self.tracer = None
-        fac.faults = faults
-        if self.config.threads > 1:
-            if self.config.scheduler == "static":
-                run_threaded_static(fac, self.config.threads)
-            else:
-                run_threaded(fac, self.config.threads)
-        else:
-            run_sequential(fac)
+    def _finalize_stats(self, fac: NumericFactor, t0: float) -> None:
+        """Fill the run-level statistics of a completed factorization."""
         fac.stats.total_time = time.perf_counter() - t0
         fac.stats.factor_nbytes = fac.factor_nbytes()
         fac.stats.dense_factor_nbytes = fac.dense_factor_nbytes()
@@ -171,7 +160,180 @@ class Solver:
                     ndense += 1
         fac.stats.nblocks_compressed = ncomp
         fac.stats.nblocks_dense = ndense
+
+    def _factorize_once(self, cfg: SolverConfig,
+                        faults: Optional["FaultInjector"],
+                        checkpoint: Optional[Union[str, Path]],
+                        state: Optional[RecoveryState]
+                        ) -> FactorizationStats:
+        """One assemble-and-factor attempt under ``cfg`` (one ladder rung)."""
+        self.analyze()
+        a_perm = permute_symmetric(self._a_sym, self.perm)
+        t0 = time.perf_counter()
+        fac = assemble(a_perm, self.symbolic, cfg)
+        if cfg.trace:
+            from repro.runtime.trace import TaskTracer
+
+            self.tracer = fac.tracer = TaskTracer()
+        else:
+            self.tracer = None
+        fac.faults = faults
+        fac.recovery = state
+        writer = None
+        if checkpoint is not None:
+            from repro.core.serialize import (
+                CheckpointWriter,
+                matrix_fingerprint,
+            )
+
+            every = state.policy.checkpoint_every if state is not None else 0
+            on_fault = (state.policy.checkpoint_on_fault
+                        if state is not None else True)
+            writer = CheckpointWriter(checkpoint, self.perm,
+                                      matrix_fingerprint(self._a_sym),
+                                      every=every, write_on_fault=on_fault)
+        if cfg.threads > 1:
+            if cfg.scheduler == "static":
+                run_threaded_static(fac, cfg.threads)
+            else:
+                run_threaded(fac, cfg.threads)
+        else:
+            run_sequential(fac, checkpoint=writer)
+        self._finalize_stats(fac, t0)
         self.factor = fac
+        return fac.stats
+
+    @staticmethod
+    def _recovery_summary(state: RecoveryState, policy: RecoveryPolicy,
+                          cfg: SolverConfig, attempts: int
+                          ) -> Dict[str, Any]:
+        return {"policy": asdict(policy), "attempts": attempts,
+                "final_tolerance": cfg.tolerance,
+                "final_strategy": cfg.strategy,
+                **state.summary()}
+
+    def factorize(self, faults: Optional["FaultInjector"] = None,
+                  checkpoint: Optional[Union[str, Path]] = None
+                  ) -> FactorizationStats:
+        """Assemble and factor under the configured strategy; returns the
+        per-kernel statistics (the rows of Table 2).
+
+        With ``config.trace=True`` a task trace is recorded and left on
+        :attr:`tracer` (see ``docs/observability.md``).  ``faults`` attaches
+        a :class:`~repro.runtime.faults.FaultInjector` for the run — a
+        testing hook, never set in production paths.  ``checkpoint`` names
+        a file partial-factorization snapshots are written to (sequential
+        engine only; see docs/robustness.md), resumable via
+        :meth:`resume_from`.
+
+        With ``config.recovery`` set, a structured
+        :class:`~repro.runtime.recovery.NumericalBreakdown` triggers the
+        escalation ladder: the whole factorization is retried at a
+        tightened tolerance (then a downgraded strategy), at most
+        ``recovery.max_retries`` times; every action lands in
+        :attr:`last_recovery` and on the telemetry bus.
+        """
+        policy = self.config.recovery
+        self.last_recovery = None
+        self._effective_config = None
+        if checkpoint is not None:
+            if self.config.threads > 1:
+                raise ValueError(
+                    "checkpointing requires threads=1 (deterministic "
+                    "sequential engine)")
+            if self.config.left_looking:
+                raise ValueError("checkpointing does not support the "
+                                 "left-looking engine")
+        if policy is None:
+            return self._factorize_once(self.config, faults, checkpoint,
+                                        None)
+        state = RecoveryState(policy, telemetry=self.config.telemetry)
+        cfg = self.config
+        rung = 0
+        while True:
+            try:
+                stats = self._factorize_once(cfg, faults, checkpoint, state)
+                break
+            except Exception as exc:
+                breakdown = find_breakdown(exc)
+                nxt = (escalate_config(cfg, policy)
+                       if breakdown is not None and rung < policy.max_retries
+                       else None)
+                if nxt is None:
+                    self.last_recovery = self._recovery_summary(
+                        state, policy, cfg, rung + 1)
+                    raise
+                rung += 1
+                state.record("refactorize", site="solver",
+                             cause=breakdown.cause, cblk=breakdown.cblk,
+                             tolerance=nxt.tolerance, strategy=nxt.strategy,
+                             rung=rung)
+                cfg = nxt
+        self._effective_config = cfg if cfg is not self.config else None
+        self.last_recovery = self._recovery_summary(state, policy, cfg,
+                                                    rung + 1)
+        return stats
+
+    def resume_from(self, path: Union[str, Path],
+                    faults: Optional["FaultInjector"] = None
+                    ) -> FactorizationStats:
+        """Resume a checkpointed factorization written by
+        :meth:`factorize(checkpoint=...)`.
+
+        The checkpoint's config and matrix fingerprint must match this
+        solver's; completed column blocks are restored as-is and the
+        remaining ones run through the pull-mode sequential sweep, so a
+        resumed float64 run is bit-identical to an uninterrupted one.
+        No escalation ladder runs on a resume — a breakdown propagates
+        (re-run :meth:`factorize` for a fresh escalated attempt).
+        """
+        from repro.core.serialize import (
+            load_checkpoint,
+            matrix_fingerprint,
+            restore_checkpoint,
+        )
+
+        if self.config.threads > 1:
+            raise ValueError("resume requires threads=1 (deterministic "
+                             "sequential engine)")
+        header, arrays = load_checkpoint(path)
+        stored = SolverConfig(**header["config"])
+        if stored != replace(self.config, telemetry=None):
+            raise ValueError(
+                "checkpoint was written under a different configuration; "
+                "resume with the same SolverConfig it was created with")
+        if np.dtype(header["dtype"]) != self.dtype:
+            raise ValueError(
+                f"checkpoint dtype {header['dtype']} does not match this "
+                f"solver's dtype {self.dtype.name}")
+        if header["matrix_fingerprint"] != matrix_fingerprint(self._a_sym):
+            raise ValueError(
+                "checkpoint matrix fingerprint does not match this matrix "
+                "(different values, pattern, or dtype)")
+        from repro.core.serialize import _symbolic_from_json
+
+        self.symbolic = _symbolic_from_json(header["symbolic"])
+        self.perm = np.asarray(arrays["perm"], dtype=np.int64)
+        policy = self.config.recovery
+        state = (RecoveryState(policy, telemetry=self.config.telemetry)
+                 if policy is not None else None)
+        a_perm = permute_symmetric(self._a_sym, self.perm)
+        t0 = time.perf_counter()
+        fac = assemble(a_perm, self.symbolic, self.config)
+        self.tracer = None
+        fac.faults = faults
+        fac.recovery = state
+        restored = restore_checkpoint(fac, header, arrays)
+        fac.nperturbed = int(header["nperturbed"])
+        if state is not None:
+            state.record("resume", site="serialize", completed=restored,
+                         path=str(path))
+        run_sequential_pull(fac)
+        self._finalize_stats(fac, t0)
+        self.factor = fac
+        if state is not None and policy is not None:
+            self.last_recovery = self._recovery_summary(
+                state, policy, self.config, 1)
         return fac.stats
 
     # -- step 4: solves -----------------------------------------------------
@@ -215,7 +377,7 @@ class Solver:
             raise ValueError("right-hand side contains NaN or Inf entries")
         t0 = time.perf_counter()
         pb = b[self.perm]
-        y = solve_factored(self.factor, pb, trans=trans)
+        y = self._solve_factored_retry(pb, trans=trans)
         x = np.empty_like(y)
         x[self.perm] = y
         self.factor.stats.solve_time += time.perf_counter() - t0
@@ -224,26 +386,37 @@ class Solver:
             return res.x
         return x
 
+    def _solve_factored_retry(self, pb: np.ndarray,
+                              trans: bool = False) -> np.ndarray:
+        """Triangular solve with one recovery-policy retry.
+
+        The solve is read-only on the factors, so a transient failure
+        (injected or environmental) is safe to simply re-run; the retry is
+        recorded on the telemetry bus."""
+        policy = self.config.recovery
+        try:
+            return solve_factored(self.factor, pb, trans=trans)
+        except Exception as exc:
+            if policy is None or policy.task_retries <= 0:
+                raise
+            tele = self.config.telemetry
+            if tele is not None:
+                tele.record_recovery("task_retry", site="trisolve",
+                                     error=type(exc).__name__)
+            return solve_factored(self.factor, pb, trans=trans)
+
     def _precond(self, r: np.ndarray) -> np.ndarray:
         """One application of the factorization as a preconditioner."""
         pr = r[self.perm]
-        y = solve_factored(self.factor, pr)
+        y = self._solve_factored_retry(pr)
         z = np.empty_like(y)
         z[self.perm] = y
         return z
 
-    def refine(self, b: np.ndarray, x0: Optional[np.ndarray] = None,
-               method: Optional[str] = None, tol: float = 1e-12,
-               maxiter: int = 20) -> RefinementResult:
-        """Refine a solution with the BLR-preconditioned iterative solver.
-
-        ``method`` defaults to CG for Cholesky factorizations and GMRES
-        otherwise (paper §4.4); ``"ir"`` selects plain iterative refinement.
-        """
-        if self.factor is None:
-            self.factorize()
-        if method is None:
-            method = "cg" if self.config.is_symmetric_facto else "gmres"
+    def _run_refinement(self, method: str, b: np.ndarray,
+                        x0: Optional[np.ndarray], tol: float,
+                        maxiter: int) -> RefinementResult:
+        """Dispatch one refinement run and publish it on the bus."""
         if method == "gmres":
             res = gmres(self.a, b, precond=self._precond, tol=tol,
                         maxiter=maxiter, x0=x0)
@@ -260,6 +433,70 @@ class Solver:
         if tele is not None:
             tele.record_refinement(method, res.residual_history,
                                    res.converged)
+        return res
+
+    def refine(self, b: np.ndarray, x0: Optional[np.ndarray] = None,
+               method: Optional[str] = None, tol: float = 1e-12,
+               maxiter: int = 20) -> RefinementResult:
+        """Refine a solution with the BLR-preconditioned iterative solver.
+
+        ``method`` defaults to CG for Cholesky factorizations and GMRES
+        otherwise (paper §4.4); ``"ir"`` selects plain iterative refinement.
+
+        With ``config.recovery`` set, a run that stagnates (no
+        ``refine_drop``× residual reduction over ``refine_window``
+        iterations) or diverges triggers the escalation ladder: the matrix
+        is re-factored at a tightened tolerance (then a downgraded
+        strategy) and refinement re-runs from the best iterate, at most
+        ``recovery.max_retries`` times.
+        """
+        if self.factor is None:
+            self.factorize()
+        if method is None:
+            method = "cg" if self.config.is_symmetric_facto else "gmres"
+        res = self._run_refinement(method, b, x0, tol, maxiter)
+        policy = self.config.recovery
+        if policy is not None and not res.converged:
+            res = self._refine_escalate(method, b, res, tol, maxiter,
+                                        policy)
+        return res
+
+    def _refine_escalate(self, method: str, b: np.ndarray,
+                         res: RefinementResult, tol: float, maxiter: int,
+                         policy: RecoveryPolicy) -> RefinementResult:
+        """Tighten the preconditioner until refinement stops stalling."""
+        stagnated, diverged = classify_history(
+            res.history, window=policy.refine_window,
+            drop=policy.refine_drop)
+        if not (stagnated or diverged):
+            return res
+        state = RecoveryState(policy, telemetry=self.config.telemetry)
+        cfg = self._effective_config or self.config
+        rungs = 0
+        for _ in range(policy.max_retries):
+            nxt = escalate_config(cfg, policy)
+            if nxt is None:
+                break
+            rungs += 1
+            state.record("refine_escalation", site="refinement",
+                         cause="diverged" if diverged else "stagnated",
+                         tolerance=nxt.tolerance, strategy=nxt.strategy,
+                         backward_error=res.backward_error)
+            self._factorize_once(nxt, None, None, state)
+            cfg = nxt
+            # a diverged iterate is a poor starting guess: restart clean
+            x0 = None if diverged else res.x
+            res = self._run_refinement(method, b, x0, tol, maxiter)
+            if res.converged:
+                break
+            stagnated, diverged = classify_history(
+                res.history, window=policy.refine_window,
+                drop=policy.refine_drop)
+            if not (stagnated or diverged):
+                break
+        self._effective_config = cfg if cfg is not self.config else None
+        self.last_recovery = self._recovery_summary(state, policy, cfg,
+                                                    rungs + 1)
         return res
 
     # -- same-pattern refactorization ----------------------------------------

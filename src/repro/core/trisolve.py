@@ -60,6 +60,8 @@ def solve_factored(fac: NumericFactor, b: np.ndarray,
     factorizations (cholesky/ldlt of complex matrices) are their own
     adjoint, and their backward passes apply ``Lᴴ``.
     """
+    if fac.faults is not None:
+        fac.faults.on_trisolve(fac)
     x = np.array(b, dtype=np.result_type(fac.dtype, np.asarray(b).dtype),
                  copy=True)
     if x.dtype.kind not in "fc":

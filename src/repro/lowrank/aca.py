@@ -50,6 +50,13 @@ def aca_compress(a: np.ndarray, tol: float,
     residual = np.array(a, copy=True)
     if residual.dtype.kind not in "fc":
         residual = residual.astype(np.float64)
+    # termination floor on the pivot magnitude, relative to ||A||_F: once
+    # every residual entry is at roundoff level the cross is numerically
+    # rank-deficient and iterating further only accumulates noise crosses
+    # (an exact `pivot == 0.0` test misses near-singular residuals whose
+    # largest entry is eps-sized but nonzero).  np.finfo of a complex dtype
+    # reports the eps of its real component, and abs() handles both kinds.
+    pivot_floor = float(np.finfo(residual.dtype).eps) * np.sqrt(norm_a2)
     us, vs = [], []
     resid2 = norm_a2
     while resid2 > threshold2:
@@ -61,8 +68,8 @@ def aca_compress(a: np.ndarray, tol: float,
         flat = int(np.argmax(np.abs(residual)))
         i, j = divmod(flat, n)
         pivot = residual[i, j]
-        if pivot == 0.0:
-            break  # exact zero residual despite Frobenius slack
+        if abs(pivot) <= pivot_floor:
+            break  # residual is numerically rank-deficient
         col = residual[:, j].copy()
         row = residual[i, :] / pivot
         residual -= np.outer(col, row)

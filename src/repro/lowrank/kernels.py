@@ -66,23 +66,35 @@ def compress_block(a: np.ndarray, tol: float, kernel: str,
     """
     m, n = a.shape
     t0 = time.perf_counter()
-    if kernel == "svd":
-        out = svd_compress(a, tol, max_rank)
-        fl = svd_flops(m, n)
-    elif kernel == "rrqr":
-        out = rrqr_compress(a, tol, max_rank)
-        r = out.rank if out is not None else (max_rank or min(m, n))
-        fl = rrqr_flops(m, n, max(r, 1))
-    elif kernel == "rsvd":
-        out = rsvd_compress(a, tol, max_rank)
-        r = out.rank if out is not None else (max_rank or min(m, n))
-        fl = rsvd_flops(m, n, max(r, 1))
-    elif kernel == "aca":
-        out = aca_compress(a, tol, max_rank)
-        r = out.rank if out is not None else (max_rank or min(m, n))
-        fl = aca_flops(m, n, max(r, 1))
-    else:
-        raise ValueError(f"unknown kernel {kernel!r}")
+    try:
+        if kernel == "svd":
+            out = svd_compress(a, tol, max_rank)
+            fl = svd_flops(m, n)
+        elif kernel == "rrqr":
+            out = rrqr_compress(a, tol, max_rank)
+            r = out.rank if out is not None else (max_rank or min(m, n))
+            fl = rrqr_flops(m, n, max(r, 1))
+        elif kernel == "rsvd":
+            out = rsvd_compress(a, tol, max_rank)
+            r = out.rank if out is not None else (max_rank or min(m, n))
+            fl = rsvd_flops(m, n, max(r, 1))
+        elif kernel == "aca":
+            out = aca_compress(a, tol, max_rank)
+            r = out.rank if out is not None else (max_rank or min(m, n))
+            fl = aca_flops(m, n, max(r, 1))
+        else:
+            # unknown kernel is a config error, not a numerical failure —
+            # it must not fall through to the keep-dense verdict below
+            raise ValueError(f"unknown kernel {kernel!r}")
+    except np.linalg.LinAlgError as exc:
+        # kernel non-convergence: keep the block dense (always-on verdict,
+        # independent of the recovery policy) and record the failure
+        out = None
+        fl = 0.0
+        if stats is not None and stats.telemetry is not None:
+            stats.telemetry.record_recovery(
+                "compress_failure", site=kernel,
+                error=type(exc).__name__, m=m, n=n)
     if stats is not None:
         stats.add(category, seconds=time.perf_counter() - t0, flops=fl)
         if stats.telemetry is not None:

@@ -63,8 +63,13 @@ def svd_compress(a: np.ndarray, tol: float,
     try:
         u, sigma, vt = sla.svd(a, full_matrices=False,
                                lapack_driver="gesdd", check_finite=False)
-    except np.linalg.LinAlgError:  # pragma: no cover - gesdd rarely fails
-        u, sigma, vt = sla.svd(a, full_matrices=False, lapack_driver="gesvd")
+    except np.linalg.LinAlgError:
+        # gesdd (divide & conquer) occasionally fails to converge where
+        # the slower QR-iteration driver succeeds; a genuine double
+        # failure propagates LinAlgError to compress_block's keep-dense
+        # verdict
+        u, sigma, vt = sla.svd(a, full_matrices=False,
+                               lapack_driver="gesvd", check_finite=False)
     rank = svd_truncate(sigma, tol)
     if max_rank is not None and rank > max_rank:
         return None

@@ -14,8 +14,18 @@ Two further layers make the runtime *observable* and *testable* (see
 ran which task when (per-thread utilization, critical path, Gantt export),
 and :mod:`repro.runtime.faults` injects deterministic failures into the
 factorization drivers so scheduler error paths can be exercised.
+
+:mod:`repro.runtime.recovery` closes the loop: the faults the injector
+(or real arithmetic) produces are detected as structured
+:class:`~repro.runtime.recovery.NumericalBreakdown` events and healed by
+a configurable escalation ladder (see ``docs/robustness.md``).
 """
 
+from repro.runtime.recovery import (
+    NumericalBreakdown,
+    RecoveryPolicy,
+    RecoveryState,
+)
 from repro.runtime.timers import Timer, CategoryTimers
 from repro.runtime.stats import KernelStats, FactorizationStats, KERNEL_CATEGORIES
 from repro.runtime.memory import MemoryTracker, nbytes_dense, nbytes_lowrank
@@ -47,6 +57,9 @@ __all__ = [
     "TraceEvent",
     "FaultError",
     "FaultInjector",
+    "NumericalBreakdown",
+    "RecoveryPolicy",
+    "RecoveryState",
     "Counter",
     "Gauge",
     "Histogram",

@@ -534,6 +534,25 @@ class Telemetry:
                   iterations=max(len(history) - 1, 0),
                   residual_history=[float(r) for r in history])
 
+    def record_recovery(self, action: str, site: str = "",
+                        cblk: Optional[int] = None,
+                        **detail: Any) -> None:
+        """One recovery-layer action (breakdown, retry, fallback, ...).
+
+        Publishes a per-action ``recovery_<action>`` counter (the names
+        surfaced in RunReports and CI chaos artifacts), a labelled
+        aggregate ``recovery_actions`` counter, and one structured
+        ``recovery`` event carrying the full detail.
+        """
+        self.counter(f"recovery_{action}").inc()
+        self.counter("recovery_actions", action=action,
+                     site=site or "-").inc()
+        fields: Dict[str, Any] = {"action": action, "site": site}
+        if cblk is not None:
+            fields["cblk"] = int(cblk)
+        fields.update(detail)
+        self.emit("recovery", **fields)
+
     # -- export --------------------------------------------------------
     def snapshot(self) -> Dict[str, Any]:
         """JSON-able snapshot of all metrics and series."""

@@ -46,6 +46,30 @@ class TestAcaKernel:
         ranks = [aca_compress(a, tol).rank for tol in (1e-2, 1e-6, 1e-10)]
         assert ranks == sorted(ranks)
 
+    def test_roundoff_pivot_terminates(self, rng):
+        """Regression: an exactly rank-1 block under an unreachable
+        tolerance must terminate on the pivot-magnitude floor, not spin
+        through eps-sized noise crosses until it hits max_rank (the old
+        ``pivot == 0.0`` test only stopped on *exact* zeros)."""
+        u = rng.standard_normal(40)
+        v = rng.standard_normal(30)
+        a = np.outer(u, v)
+        lr = aca_compress(a, tol=1e-17, max_rank=8)
+        assert lr is not None, "noise crosses consumed the rank budget"
+        assert lr.rank <= 3
+        err = np.linalg.norm(a - lr.to_dense()) / np.linalg.norm(a)
+        assert err <= 1e-13
+
+    def test_roundoff_pivot_terminates_complex(self, rng):
+        u = rng.standard_normal(32) + 1j * rng.standard_normal(32)
+        v = rng.standard_normal(24) + 1j * rng.standard_normal(24)
+        a = np.outer(u, v)
+        lr = aca_compress(a, tol=1e-17, max_rank=8)
+        assert lr is not None
+        assert lr.rank <= 3
+        err = np.linalg.norm(a - lr.to_dense()) / np.linalg.norm(a)
+        assert err <= 1e-13
+
     def test_smooth_kernel_matrix(self, rng):
         """The BEM-style case ACA is designed for: separated clusters."""
         src = rng.random((60, 3))

@@ -100,6 +100,71 @@ class TestInjectorUnit:
         assert ("factor", 1, None, "stall") in inj.fired
 
 
+class TestNewFaultSites:
+    """Satellite: compression / trisolve / serialization fault sites and
+    the transient (fire-once) mode the recovery layer retries against."""
+
+    def test_transient_fault_fires_exactly_once(self):
+        inj = FaultInjector()
+        inj.fail_factor(0, transient=True)
+        with pytest.raises(FaultError):
+            inj.on_factor(None, 0)
+        inj.on_factor(None, 0)  # healed: second pass is clean
+        assert inj.fired.count(("factor", 0, None, "raise")) == 1
+
+    def test_transient_claim_is_race_safe(self):
+        inj = FaultInjector()
+        inj.fail_trisolve(transient=True)
+        raised = []
+
+        def hit():
+            try:
+                inj.on_trisolve(None)
+            except FaultError:
+                raised.append(1)
+
+        threads = [threading.Thread(target=hit) for _ in range(8)]
+        for th in threads:
+            th.start()
+        for th in threads:
+            th.join()
+        assert len(raised) == 1
+
+    def test_fail_compress_surfaces_in_jit_run(self):
+        a = laplacian_3d(6)
+        s = Solver(a, tiny_blr_config(strategy="just-in-time",
+                                      tolerance=1e-8))
+        s.analyze()
+        inj = FaultInjector()
+        for k in range(s.symbolic.ncblk):
+            inj.fail_compress(k)
+        with pytest.raises(FaultError, match="compression"):
+            s.factorize(faults=inj)
+        assert any(f[0] == "compress" for f in inj.fired)
+
+    def test_fail_trisolve_surfaces_in_solve(self):
+        a = laplacian_3d(5)
+        s = Solver(a, tiny_blr_config(strategy="dense"))
+        s.factorize()
+        inj = FaultInjector()
+        inj.fail_trisolve()
+        s.factor.faults = inj
+        with pytest.raises(FaultError, match="triangular"):
+            s.solve(np.ones(a.n))
+        assert ("trisolve", -1, None, "raise") in inj.fired
+
+    def test_fail_serialize_surfaces_in_save_factor(self, tmp_path):
+        a = laplacian_3d(5)
+        s = Solver(a, tiny_blr_config(strategy="dense"))
+        s.analyze()
+        inj = FaultInjector()
+        s.factorize(faults=inj)
+        inj.fail_serialize()
+        with pytest.raises(FaultError, match="archive"):
+            s.save_factor(tmp_path / "f.blr")
+        assert ("serialize", -1, None, "raise") in inj.fired
+
+
 class TestErrorPropagation:
     """Satellite: injected errors surface, threads join, nothing hangs."""
 

@@ -66,6 +66,64 @@ class TestCompression:
         lr = svd_compress(np.zeros((0, 4)), 1e-8)
         assert lr.shape == (0, 4)
 
+    def test_gesdd_failure_falls_back_to_gesvd(self, rng, monkeypatch):
+        """When the divide-and-conquer driver does not converge, the
+        QR-iteration driver is tried before giving up."""
+        import repro.lowrank.svd as svdmod
+
+        real_svd = svdmod.sla.svd
+        drivers = []
+
+        def flaky(a, **kw):
+            drivers.append(kw.get("lapack_driver"))
+            if kw.get("lapack_driver") == "gesdd":
+                raise np.linalg.LinAlgError("SVD did not converge")
+            return real_svd(a, **kw)
+
+        monkeypatch.setattr(svdmod.sla, "svd", flaky)
+        a = random_lowrank(rng, 30, 20, 10, decay=0.4)
+        lr = svd_compress(a, 1e-8)
+        assert drivers == ["gesdd", "gesvd"]
+        err = np.linalg.norm(a - lr.to_dense()) / np.linalg.norm(a)
+        assert err <= 1e-8 * 1.01
+
+    def test_double_driver_failure_propagates(self, rng, monkeypatch):
+        import repro.lowrank.svd as svdmod
+
+        def broken(a, **kw):
+            raise np.linalg.LinAlgError("SVD did not converge")
+
+        monkeypatch.setattr(svdmod.sla, "svd", broken)
+        with pytest.raises(np.linalg.LinAlgError):
+            svd_compress(rng.standard_normal((12, 10)), 1e-8)
+
+    def test_compress_block_keeps_dense_on_kernel_failure(self, rng,
+                                                          monkeypatch):
+        """compress_block turns a LinAlgError into a keep-dense verdict
+        (and records it on the telemetry bus when one is attached)."""
+        import repro.lowrank.svd as svdmod
+        from repro.lowrank.kernels import compress_block
+        from repro.runtime.stats import KernelStats
+        from repro.runtime.telemetry import Telemetry
+
+        def broken(a, **kw):
+            raise np.linalg.LinAlgError("SVD did not converge")
+
+        monkeypatch.setattr(svdmod.sla, "svd", broken)
+        tele = Telemetry()
+        stats = KernelStats(telemetry=tele)
+        out = compress_block(rng.standard_normal((12, 10)), 1e-8,
+                             kernel="svd", stats=stats)
+        assert out is None
+        assert "recovery_compress_failure" in tele.snapshot()["counters"]
+
+    def test_compress_block_unknown_kernel_still_raises(self, rng):
+        from repro.lowrank.kernels import compress_block
+
+        with pytest.raises(ValueError, match="unknown kernel"):
+            compress_block(rng.standard_normal((4, 4)), 1e-8,
+                           kernel="nope")
+
     def test_smaller_tolerance_larger_rank(self, rng):
         a = random_lowrank(rng, 40, 40, 30, decay=0.6)
         r4 = svd_compress(a, 1e-4).rank
