@@ -1,0 +1,269 @@
+"""Breakdown detection and self-healing escalation policies.
+
+The BLR solver is explicitly a *backward-stable-enough* preconditioner
+(paper §V): a τ-tolerance factorization plus refinement is expected to
+recover full accuracy, and PaStiX's static pivoting can silently degrade
+the factors.  This module supplies the layer between "instrumented" and
+"production": structured *breakdown* signals raised at the point of
+failure, and a bounded, telemetry-logged *escalation ladder* that turns
+those signals into a completed solve instead of an aborted run.
+
+Three kinds of breakdown are detected when a
+:class:`RecoveryPolicy` is attached (``SolverConfig.recovery``):
+
+* **numerical** — NaN/Inf sentinels on each column block's assembled input
+  and factored diagonal, plus a pivot-perturbation budget
+  (:class:`NumericalBreakdown` carries the column block id and cause);
+* **compression** — RRQR/SVD non-convergence or an injected compression
+  fault: the verdict is *keep the block dense* (never propagate garbage);
+* **iterative** — refinement stagnation (no ``refine_drop``× residual
+  reduction over ``refine_window`` iterations) or divergence, classified
+  by :func:`repro.core.refinement.classify_history`.
+
+The escalation ladder (:func:`escalate_config`) retries the whole solve at
+a tightened tolerance (``τ × tau_shrink`` per rung, floored at
+``tau_floor``) and then downgrades the strategy
+(minimal-memory → just-in-time → dense) — at most
+:attr:`RecoveryPolicy.max_retries` rungs, every action recorded through
+:meth:`RecoveryState.record` (``recovery_*`` telemetry counters + one
+``recovery`` event each).  Transient task failures are retried locally
+against a pre-task snapshot (:attr:`RecoveryPolicy.task_retries`, seeded
+backoff) before anything escalates.
+
+Everything is off by default: ``SolverConfig.recovery=None`` leaves every
+hot path with a single ``is not None`` test.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Set
+
+import numpy as np
+
+if TYPE_CHECKING:
+    from repro.config import SolverConfig
+    from repro.runtime.telemetry import Telemetry
+
+__all__ = [
+    "NumericalBreakdown",
+    "RecoveryPolicy",
+    "RecoveryState",
+    "escalate_config",
+    "find_breakdown",
+]
+
+#: strategy downgrade ladder used when tolerance tightening is exhausted
+STRATEGY_LADDER: Dict[str, str] = {
+    "minimal-memory": "just-in-time",
+    "just-in-time": "dense",
+}
+
+#: breakdown causes raised by the detection layer
+BREAKDOWN_CAUSES = (
+    "nan-input",        # non-finite entries in the assembled column block
+    "nan-factor",       # the diagonal factorization produced non-finites
+    "pivot-budget",     # static pivoting perturbed more pivots than allowed
+    "compress-failure", # a compression kernel failed and fallback is off
+)
+
+
+class NumericalBreakdown(RuntimeError):
+    """A detected numerical failure, raised at the point of breakdown.
+
+    Unlike a propagated NaN (which silently poisons everything downstream),
+    a breakdown is *structured*: it names the column block, the cause (one
+    of :data:`BREAKDOWN_CAUSES`) and the site, so the solver-level
+    escalation ladder can decide what to do — and a bug report says where
+    the factorization actually died.
+    """
+
+    def __init__(self, cause: str, cblk: Optional[int] = None,
+                 site: str = "factor", detail: str = "") -> None:
+        msg = f"numerical breakdown [{cause}] at site {site!r}"
+        if cblk is not None:
+            msg += f", column block {cblk}"
+        if detail:
+            msg += f": {detail}"
+        super().__init__(msg)
+        self.cause = cause
+        self.cblk = cblk
+        self.site = site
+        self.detail = detail
+
+
+@dataclass(frozen=True)
+class RecoveryPolicy:
+    """Knobs of the self-healing layer (attach via ``SolverConfig.recovery``).
+
+    The defaults give a production-flavoured posture: sentinels on, dense
+    fallback on compression failure, two local task retries, three
+    whole-solve escalation rungs, no pivot budget (perturbations are
+    counted but tolerated — set :attr:`pivot_budget` to enforce one), and
+    checkpoints written only on fault when a checkpoint path is given.
+    """
+
+    #: whole-solve escalation rungs (tightened τ / downgraded strategy)
+    max_retries: int = 3
+    #: tolerance multiplier per escalation rung (τ → τ × tau_shrink)
+    tau_shrink: float = 0.1
+    #: stop tightening below this tolerance; downgrade the strategy instead
+    tau_floor: float = 1e-14
+    #: after τ is exhausted, walk minimal-memory → just-in-time → dense
+    strategy_downgrade: bool = True
+    #: on compression-kernel failure, keep the block dense instead of
+    #: raising (per-block fallback — the cheapest rung of the ladder)
+    dense_fallback: bool = True
+    #: local retries of a failed factorization task against its pre-task
+    #: snapshot (transient faults); ``NumericalBreakdown`` never retries
+    #: locally — deterministic causes go straight to the solver ladder
+    task_retries: int = 2
+    #: base seconds of the seeded exponential backoff between task retries
+    retry_backoff: float = 0.0
+    #: maximum tolerated fraction of perturbed pivots per diagonal block
+    #: (``nperturbed > pivot_budget * width`` raises a breakdown);
+    #: ``None`` disables the budget
+    pivot_budget: Optional[float] = None
+    #: refinement stagnates when the last ``refine_window`` iterations did
+    #: not shrink the residual by ``refine_drop``×  (the "no 10× drop in k
+    #: iterations" rule)
+    refine_window: int = 4
+    refine_drop: float = 10.0
+    #: write a checkpoint every N completed column blocks when a
+    #: checkpoint path is given (0 = only on fault)
+    checkpoint_every: int = 0
+    #: also write a checkpoint when the factorization dies mid-run
+    checkpoint_on_fault: bool = True
+    #: seed of the retry-backoff jitter generator
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if not (0.0 < self.tau_shrink < 1.0):
+            raise ValueError("tau_shrink must be in (0, 1)")
+        if self.tau_floor <= 0.0:
+            raise ValueError("tau_floor must be positive")
+        if self.task_retries < 0:
+            raise ValueError("task_retries must be >= 0")
+        if self.retry_backoff < 0.0:
+            raise ValueError("retry_backoff must be >= 0")
+        if self.pivot_budget is not None and self.pivot_budget < 0.0:
+            raise ValueError("pivot_budget must be >= 0 (or None)")
+        if self.refine_window < 1:
+            raise ValueError("refine_window must be >= 1")
+        if self.refine_drop <= 1.0:
+            raise ValueError("refine_drop must be > 1")
+        if self.checkpoint_every < 0:
+            raise ValueError("checkpoint_every must be >= 0")
+
+
+class RecoveryState:
+    """Per-run mutable recovery context (attached as ``fac.recovery``).
+
+    Collects every recovery action taken (thread-safe), mirrors each one
+    onto the telemetry bus when present (``recovery_<action>`` counters +
+    a structured ``recovery`` event), and owns the seeded backoff
+    generator so retry timing is reproducible.
+    """
+
+    def __init__(self, policy: RecoveryPolicy,
+                 telemetry: Optional["Telemetry"] = None) -> None:
+        self.policy = policy
+        self.telemetry = telemetry
+        self.actions: List[Dict[str, Any]] = []
+        self._lock = threading.Lock()
+        self._rng = np.random.default_rng(policy.seed)
+
+    def record(self, action: str, site: str = "",
+               cblk: Optional[int] = None, **detail: Any) -> None:
+        """Log one recovery action (list + telemetry, never silent)."""
+        entry: Dict[str, Any] = {"action": action, "site": site}
+        if cblk is not None:
+            entry["cblk"] = int(cblk)
+        entry.update(detail)
+        with self._lock:
+            self.actions.append(entry)
+        if self.telemetry is not None:
+            self.telemetry.record_recovery(action, site=site, cblk=cblk,
+                                           **detail)
+
+    def backoff(self, attempt: int) -> float:
+        """Seeded exponential backoff (seconds) before retry ``attempt``."""
+        base = self.policy.retry_backoff
+        if base <= 0.0:
+            return 0.0
+        with self._lock:
+            jitter = float(self._rng.random())
+        return base * (2.0 ** attempt) * (0.5 + jitter)
+
+    def counts(self) -> Dict[str, int]:
+        """Action-name → occurrence count of everything recorded so far."""
+        with self._lock:
+            actions = list(self.actions)
+        out: Dict[str, int] = {}
+        for a in actions:
+            name = str(a["action"])
+            out[name] = out.get(name, 0) + 1
+        return out
+
+    def summary(self) -> Dict[str, Any]:
+        """JSON-able digest (feeds ``Solver.last_recovery`` / RunReport)."""
+        with self._lock:
+            actions = list(self.actions)
+        counts: Dict[str, int] = {}
+        for a in actions:
+            name = str(a["action"])
+            counts[name] = counts.get(name, 0) + 1
+        return {"actions": actions, "counts": counts}
+
+
+def escalate_config(config: "SolverConfig",
+                    policy: RecoveryPolicy) -> Optional["SolverConfig"]:
+    """The next rung of the escalation ladder, or ``None`` when exhausted.
+
+    Tolerance tightening first (``τ × tau_shrink`` while the result stays
+    at or above ``tau_floor``), then strategy downgrade along
+    :data:`STRATEGY_LADDER`.  The ``dense`` strategy has no rungs left —
+    its accuracy does not depend on τ.
+
+    Escalation reuses the cached symbolic analysis: neither the strategy
+    nor the tolerance participates in ``SymbolicOptions.from_config``.
+    """
+    if config.strategy == "dense":
+        return None
+    new_tol = config.tolerance * policy.tau_shrink
+    if new_tol >= policy.tau_floor:
+        return config.with_options(tolerance=new_tol)
+    if policy.strategy_downgrade:
+        downgraded = STRATEGY_LADDER.get(config.strategy)
+        if downgraded is not None:
+            return config.with_options(strategy=downgraded)
+    return None
+
+
+def find_breakdown(exc: BaseException) -> Optional[NumericalBreakdown]:
+    """The :class:`NumericalBreakdown` buried in ``exc``, if any.
+
+    Walks the exception itself, aggregated scheduler errors
+    (``SchedulerError.errors``) and ``__cause__`` chains — a breakdown
+    raised inside a worker surfaces wrapped, and the solver-level ladder
+    must still recognise it.
+    """
+    seen: Set[int] = set()
+    stack: List[BaseException] = [exc]
+    while stack:
+        e = stack.pop()
+        if id(e) in seen:
+            continue
+        seen.add(id(e))
+        if isinstance(e, NumericalBreakdown):
+            return e
+        nested = getattr(e, "errors", None)
+        if nested:
+            stack.extend(err for err in nested
+                         if isinstance(err, BaseException))
+        if e.__cause__ is not None:
+            stack.append(e.__cause__)
+    return None
