@@ -58,6 +58,10 @@ def _config(**overrides: Any) -> SolverConfig:
         rank_ratio=1.0, **overrides)
 
 
+#: panel width of the multi-RHS variant (compare across commits!)
+MULTIRHS_K = 16
+
+
 def run_variant(a: Any, label: str, overrides: Dict[str, Any]) -> dict:
     solver = Solver(a, _config(**overrides))
     solver.analyze()
@@ -80,6 +84,45 @@ def run_variant(a: Any, label: str, overrides: Dict[str, Any]) -> dict:
         "dense_factor_nbytes": int(stats.dense_factor_nbytes),
         "peak_nbytes": int(stats.peak_nbytes),
         "backward_error": float(solver.backward_error(x, b)),
+    }
+
+
+def run_multirhs(a: Any, k: int = MULTIRHS_K) -> dict:
+    """Blocked ``(n, k)`` solve vs ``k`` sequential single-RHS solves.
+
+    The reported ``multirhs_speedup`` (sequential / blocked wall-clock)
+    is gated by ``tools/benchdiff`` — a blocked solve that decays below
+    the floor (3x) fails the bench regression job.
+    """
+    solver = Solver(a, _config())
+    solver.factorize()
+    rng = np.random.default_rng(0)
+    b = rng.standard_normal((a.n, k))
+    solver.solve(b[:, :1])  # warm the solve path out of the timing
+    t0 = time.perf_counter()
+    x = solver.solve(b)
+    blocked_time = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    cols = [solver.solve(np.ascontiguousarray(b[:, j])) for j in range(k)]
+    seq_time = time.perf_counter() - t0
+    # the blocked panel must be the per-column solves, bit for bit
+    for j in range(k):
+        if not np.array_equal(x[:, j], cols[j]):
+            raise AssertionError(
+                f"blocked column {j} differs from the single-RHS solve")
+    err = max(
+        float(np.linalg.norm(a.matvec(x[:, j]) - b[:, j])
+              / np.linalg.norm(b[:, j]))
+        for j in range(k))
+    return {
+        "label": f"float64-multirhs-k{k}",
+        "dtype": str(solver.factor.dtype),
+        "storage_dtype": None,
+        "nrhs": k,
+        "solve_time_s": blocked_time,
+        "solve_seq_time_s": seq_time,
+        "multirhs_speedup": seq_time / blocked_time,
+        "backward_error": err,
     }
 
 
@@ -137,6 +180,7 @@ def main(argv: Optional[List[str]] = None) -> Path:
 
     a = laplacian_3d(GRID)
     results = [run_variant(a, label, ov) for label, ov in VARIANTS]
+    results.append(run_multirhs(a))
 
     path = (Path(args.output) if args.output else
             Path(__file__).resolve().parent.parent / "BENCH_tier0.json")
@@ -163,9 +207,16 @@ def main(argv: Optional[List[str]] = None) -> Path:
     print(f"{'variant':>{w}} {'facto(s)':>9} {'solve(s)':>9} "
           f"{'factor MB':>10} {'backward':>10}")
     for r in results:
-        print(f"{r['label']:>{w}} {r['facto_time_s']:9.2f} "
-              f"{r['solve_time_s']:9.3f} {r['factor_nbytes'] / 1e6:10.2f} "
-              f"{r['backward_error']:10.1e}")
+        if "facto_time_s" in r:
+            print(f"{r['label']:>{w}} {r['facto_time_s']:9.2f} "
+                  f"{r['solve_time_s']:9.3f} "
+                  f"{r['factor_nbytes'] / 1e6:10.2f} "
+                  f"{r['backward_error']:10.1e}")
+        else:
+            print(f"{r['label']:>{w}} {'-':>9} {r['solve_time_s']:9.3f} "
+                  f"{'-':>10} {r['backward_error']:10.1e}  "
+                  f"({r['multirhs_speedup']:.1f}x vs {r['nrhs']} "
+                  f"sequential solves)")
     print(f"-> {path} ({len(payload['history'])} history entries)")
 
     if args.report:

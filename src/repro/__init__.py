@@ -22,9 +22,18 @@ Public API highlights:
 * :class:`~repro.runtime.recovery.RecoveryPolicy` — opt-in self-healing
   (``SolverConfig(recovery=RecoveryPolicy())``): breakdown detection,
   escalation ladders and checkpoint/restart (``docs/robustness.md``).
+* :mod:`repro.core.backend` — pluggable kernel backends
+  (``SolverConfig(backend="numba")`` / ``$REPRO_BACKEND``) behind a
+  column-stable multi-RHS solve path (``docs/performance.md``).
 """
 
 from repro.config import SolverConfig
+from repro.core.backend import (
+    KernelBackend,
+    available_backends,
+    get_backend,
+    register_backend,
+)
 from repro.core.solver import Solver
 from repro.runtime.recovery import NumericalBreakdown, RecoveryPolicy
 from repro.runtime.telemetry import Telemetry
@@ -48,6 +57,10 @@ __all__ = [
     "NumericalBreakdown",
     "RecoveryPolicy",
     "CSCMatrix",
+    "KernelBackend",
+    "available_backends",
+    "get_backend",
+    "register_backend",
     "gmres",
     "conjugate_gradient",
     "iterative_refinement",

@@ -19,6 +19,9 @@ Commands
     Finish a factorization from a checkpoint archive written by
     ``solve --checkpoint`` (same matrix required — the archive stores a
     fingerprint), then solve and optionally refine.
+``backends``
+    List the registered kernel backends (``--backend`` /
+    ``$REPRO_BACKEND`` select one for any command above).
 
 Examples::
 
@@ -33,6 +36,7 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from typing import TYPE_CHECKING, Optional
@@ -110,6 +114,7 @@ def _config(args: argparse.Namespace) -> SolverConfig:
         trace=bool(getattr(args, "trace", None)),
         dtype=args.dtype,
         storage_dtype=args.storage_dtype,
+        backend=getattr(args, "backend", None),
         recovery=recovery,
     )
 
@@ -137,6 +142,10 @@ def _add_common(p: argparse.ArgumentParser) -> None:
                    help="store compressed low-rank factors in this narrower "
                         "dtype (mixed precision), e.g. float32 under a "
                         "float64 factorization")
+    p.add_argument("--backend", default=None,
+                   help="kernel backend (numpy, numba when installed, or a "
+                        "registered custom one; default: $REPRO_BACKEND or "
+                        "numpy) -- list with 'repro backends'")
     p.add_argument("--recovery", action="store_true",
                    help="arm the self-healing layer (breakdown detection + "
                         "escalation ladder) with default RecoveryPolicy "
@@ -316,6 +325,24 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_backends(args: argparse.Namespace) -> int:
+    from repro.core.backend import (
+        BACKEND_ENV,
+        available_backends,
+        get_backend,
+        numba_available,
+    )
+
+    default = os.environ.get(BACKEND_ENV) or "numpy"
+    for name in available_backends():
+        be = get_backend(name)
+        marker = " (default)" if name == default else ""
+        print(f"{name}{marker}: {type(be).__name__}")
+    if not numba_available():
+        print("numba: not installed (JIT backend unavailable)")
+    return 0
+
+
 def main(argv: Optional[list] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -391,6 +418,10 @@ def main(argv: Optional[list] = None) -> int:
                        help="also render the telemetry series to SVG "
                             "charts in this directory")
     p_rep.set_defaults(func=cmd_report)
+
+    p_be = sub.add_parser("backends",
+                          help="list the registered kernel backends")
+    p_be.set_defaults(func=cmd_backends)
 
     args = parser.parse_args(argv)
     return args.func(args)

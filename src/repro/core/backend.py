@@ -1,0 +1,634 @@
+"""Pluggable kernel backends (gemm / trsm / factorizations / panel solves).
+
+Every numeric hot path of the solver funnels through a
+:class:`KernelBackend`: the diagonal-block factorizations (``getrf`` /
+``potrf`` / ``ldlt`` with static pivoting), the BLAS-3 panel solves
+(``trsm``), the update products (``gemm`` / ``syrk``), and the *panel*
+kernels the triangular solve phase applies to ``(n, k)`` right-hand-side
+blocks (``panel_gemm`` / ``panel_trsm`` / ``lr_apply``).  Backends are
+registered in a process-wide registry and selected by name through
+``SolverConfig.backend`` or the ``REPRO_BACKEND`` environment variable;
+the ``numpy`` backend is always present, and a ``numba`` JIT backend is
+auto-registered when the package is importable.
+
+Two distinct numerical contracts coexist here, and the split is the whole
+design:
+
+* **Factorization kernels** (``gemm``/``trsm``/``getrf``/``potrf``/
+  ``ldlt``/``syrk``) wrap BLAS/LAPACK exactly the way the seed code did —
+  same call patterns, same transpose tricks — so a float64 factorization
+  through the ``numpy`` backend is *bit-identical* to the pre-backend
+  solver (the conformance suite pins sha256 digests on this).
+
+* **Panel kernels** (``panel_gemm``/``panel_trsm``/``lr_apply``) are
+  **column-stable**: column ``j`` of the result depends only on column
+  ``j`` of the input, bit-for-bit, regardless of how many other columns
+  ride in the panel.  BLAS gemm/trsm do *not* have this property (their
+  blocking changes the summation pattern with the panel width), so the
+  solve phase would give different bits for ``solve(B)`` versus
+  ``solve(B[:, j])``.  The numpy backend gets stability from per-column
+  BLAS gemv calls (each column reduced independently, whatever the
+  width) plus row-sweep triangular substitution; the numba backend from
+  naive JIT loops.  This is what makes blocked multi-RHS solves equal
+  column-by-column solves bit-for-bit for float64.
+
+Registering a custom backend::
+
+    from repro.core.backend import NumpyBackend, register_backend
+
+    class MyBackend(NumpyBackend):
+        name = "mine"
+        def gemm(self, a, b, trans_a="N", trans_b="N"):
+            ...
+
+    register_backend(MyBackend())
+    solver = Solver(a, SolverConfig(backend="mine"))
+
+See ``docs/performance.md`` for the full protocol contract.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import os
+from typing import Any, Callable, Dict, Optional, Tuple
+
+import numpy as np
+import scipy.linalg as sla
+
+__all__ = [
+    "KernelBackend",
+    "NumpyBackend",
+    "NumbaBackend",
+    "available_backends",
+    "get_backend",
+    "register_backend",
+]
+
+#: environment variable naming the default backend (overridden by an
+#: explicit ``SolverConfig.backend``)
+BACKEND_ENV = "REPRO_BACKEND"
+
+
+# ----------------------------------------------------------------------
+# reference implementations of the diagonal-block factorizations
+# (static pivoting; previously lived in repro.core.dense_kernels, which
+# now delegates here through the protocol)
+# ----------------------------------------------------------------------
+
+def _lu_nopivot(a: np.ndarray, pivot_threshold: float = 1e-14
+                ) -> Tuple[np.ndarray, int]:
+    """LU without row pivoting (static pivoting), LAPACK packed layout."""
+    lu = np.array(a, copy=True)
+    if lu.dtype.kind not in "fc":
+        lu = lu.astype(np.float64)
+    n = lu.shape[0]
+    if lu.shape[1] != n:
+        raise ValueError("diagonal block must be square")
+    max_diag = float(np.abs(np.diag(lu)).max())
+    floor = pivot_threshold * (max_diag if max_diag > 0 else 1.0)
+    nperturbed = 0
+    # blocked right-looking elimination; block size tuned for BLAS3 payoff
+    bs = 64
+    for k0 in range(0, n, bs):
+        k1 = min(k0 + bs, n)
+        # factor the diagonal sub-block with scalar loop + static pivoting
+        for k in range(k0, k1):
+            piv = lu[k, k]
+            if abs(piv) < floor:
+                if lu.dtype.kind == "c":
+                    # keep the complex phase (floor for an exact zero)
+                    piv = floor if piv == 0 else piv / abs(piv) * floor
+                else:
+                    piv = floor if piv >= 0 else -floor
+                lu[k, k] = piv
+                nperturbed += 1
+            if k + 1 < k1:
+                lu[k + 1:k1, k] /= piv
+                lu[k + 1:k1, k + 1:k1] -= np.outer(lu[k + 1:k1, k],
+                                                   lu[k, k + 1:k1])
+        if k1 < n:
+            diag = lu[k0:k1, k0:k1]
+            # panel solves against the factored sub-block
+            lu[k0:k1, k1:] = sla.solve_triangular(
+                diag, lu[k0:k1, k1:], lower=True, unit_diagonal=True,
+                check_finite=False)
+            lu[k1:, k0:k1] = sla.solve_triangular(
+                diag, lu[k1:, k0:k1].T, trans="T", lower=False,
+                check_finite=False).T
+            # trailing update (the BLAS3 payload)
+            lu[k1:, k1:] -= lu[k1:, k0:k1] @ lu[k0:k1, k1:]
+    return lu, nperturbed
+
+
+def _cholesky_nopivot(a: np.ndarray, pivot_threshold: float = 1e-14
+                      ) -> Tuple[np.ndarray, int]:
+    """Lower Cholesky with static regularization of non-positive pivots.
+
+    Complex blocks are treated as Hermitian (``L Lᴴ`` with a real
+    diagonal), so the rank-1 update conjugates the eliminated column.
+    """
+    n = a.shape[0]
+    try:
+        return np.linalg.cholesky(a), 0
+    except np.linalg.LinAlgError:
+        pass
+    # fall back to a scalar loop with pivot boosting (complex blocks are
+    # treated as Hermitian: L L^H with a real diagonal)
+    l_mat = np.array(a, copy=True)
+    if l_mat.dtype.kind not in "fc":
+        l_mat = l_mat.astype(np.float64)
+    max_diag = float(np.abs(np.diag(a)).max())
+    floor = pivot_threshold * (max_diag if max_diag > 0 else 1.0)
+    nperturbed = 0
+    for k in range(n):
+        d = l_mat[k, k].real
+        if d <= floor:
+            d = floor
+            nperturbed += 1
+        d = np.sqrt(d)
+        l_mat[k, k] = d
+        if k + 1 < n:
+            l_mat[k + 1:, k] /= d
+            l_mat[k + 1:, k + 1:] -= np.outer(l_mat[k + 1:, k],
+                                              l_mat[k + 1:, k].conj())
+    return np.tril(l_mat), nperturbed
+
+
+def _ldlt_nopivot(a: np.ndarray, pivot_threshold: float = 1e-14
+                  ) -> Tuple[np.ndarray, int]:
+    """LDLᵗ (LDLᴴ for complex) without pivoting; unit-lower L packed with
+    D on the diagonal.
+
+    Complex blocks are factored as Hermitian ``L D Lᴴ`` (real ``D``), so
+    the trailing update conjugates the eliminated column.
+    """
+    n = a.shape[0]
+    if a.shape[1] != n:
+        raise ValueError("diagonal block must be square")
+    packed = np.array(a, copy=True)
+    if packed.dtype.kind not in "fc":
+        packed = packed.astype(np.float64)
+    hermitian = packed.dtype.kind == "c"
+    max_diag = float(np.abs(np.diag(a)).max())
+    floor = pivot_threshold * (max_diag if max_diag > 0 else 1.0)
+    nperturbed = 0
+    for k in range(n):
+        # complex blocks are factored as Hermitian L D L^H: D is
+        # mathematically real, so roundoff imaginary parts are dropped
+        d = packed[k, k].real if hermitian else packed[k, k]
+        if abs(d) < floor:
+            d = floor if d >= 0 else -floor
+            nperturbed += 1
+        packed[k, k] = d
+        if k + 1 < n:
+            col = packed[k + 1:, k] / d
+            if hermitian:
+                packed[k + 1:, k + 1:] -= np.outer(col,
+                                                   packed[k + 1:, k].conj())
+            else:
+                packed[k + 1:, k + 1:] -= np.outer(col, packed[k + 1:, k])
+            packed[k + 1:, k] = col
+    return packed, nperturbed
+
+
+# ----------------------------------------------------------------------
+# column-stable panel kernels (numpy reference)
+# ----------------------------------------------------------------------
+
+def _stable_gemm(a: np.ndarray, x: np.ndarray) -> np.ndarray:
+    """``a @ x`` with a per-column-deterministic reduction.
+
+    Each output column is an independent BLAS gemv against the same
+    C-contiguous ``a`` and a contiguous copy of the input column, so its
+    bits cannot depend on the panel width.  A single BLAS gemm (or even
+    ``np.einsum``) does *not* have this property: their blocking / SIMD
+    inner-loop selection changes with the output shape, which changes
+    the summation tree per column.
+    """
+    a = np.ascontiguousarray(a)
+    xt = np.ascontiguousarray(x.T)  # one copy; each row is a contiguous col
+    out = np.empty((a.shape[0], x.shape[1]), dtype=np.result_type(a, x))
+    for j in range(xt.shape[0]):
+        # solverlint: ignore[python-hot-loop] -- one BLAS gemv per column: the per-column independence is the stability contract, and each iteration is a full vectorized matvec, not scalar work
+        out[:, j] = a @ xt[j]
+    return out
+
+
+def _sweep_lower(m: np.ndarray, x: np.ndarray, unit: bool) -> None:
+    """Forward substitution ``m x = b`` (lower triangle of ``m``), in
+    place on the ``(n, k)`` panel ``x``.
+
+    Row ``j`` is finished, then broadcast-eliminated from the remaining
+    rows: every operation is an element-wise broadcast over the ``k``
+    columns, so column ``j`` of the result is bit-identical whether it is
+    solved alone or inside a wider panel.
+    """
+    n = m.shape[0]
+    for j in range(n):
+        if not unit:
+            # solverlint: ignore[python-hot-loop] -- row-sweep substitution: each step is a vectorized broadcast over all k RHS columns; the row order is a data dependence, and the sweep (unlike BLAS trsm) keeps columns bit-independent of the panel width
+            x[j] = x[j] / m[j, j]
+        if j + 1 < n:
+            x[j + 1:] -= m[j + 1:, j][:, None] * x[j][None, :]
+
+
+def _sweep_upper(m: np.ndarray, x: np.ndarray, unit: bool) -> None:
+    """Backward substitution ``m x = b`` (upper triangle of ``m``)."""
+    n = m.shape[0]
+    for j in range(n - 1, -1, -1):
+        if not unit:
+            # solverlint: ignore[python-hot-loop] -- row-sweep substitution (see _sweep_lower): vectorized over RHS columns, sequential over rows by data dependence
+            x[j] = x[j] / m[j, j]
+        if j:
+            x[:j] -= m[:j, j][:, None] * x[j][None, :]
+
+
+# ----------------------------------------------------------------------
+# the protocol
+# ----------------------------------------------------------------------
+
+class KernelBackend:
+    """Abstract kernel backend; subclass and :func:`register_backend`.
+
+    Subclasses implement the nine protocol methods.  Call counts are
+    tallied per operation in :attr:`counts` (best-effort under threads:
+    increments are not locked) and surface as per-backend telemetry
+    counters and ``FactorizationStats.backend_kernel_calls``.
+    """
+
+    #: registry key; subclasses must override
+    name = "abstract"
+
+    def __init__(self) -> None:
+        self.counts: Dict[str, int] = {}
+
+    # -- call accounting ----------------------------------------------
+    def _tick(self, op: str, n: int = 1) -> None:
+        self.counts[op] = self.counts.get(op, 0) + n
+
+    def counts_snapshot(self) -> Dict[str, int]:
+        """Copy of the cumulative per-op call counts."""
+        return dict(self.counts)
+
+    def counts_delta(self, before: Dict[str, int]) -> Dict[str, int]:
+        """Per-op calls since a :meth:`counts_snapshot`."""
+        return {op: n - before.get(op, 0)
+                for op, n in self.counts.items()
+                if n - before.get(op, 0)}
+
+    # -- factorization kernels (BLAS-compatible, bit-stable vs seed) ---
+    def gemm(self, a: np.ndarray, b: np.ndarray,
+             trans_a: str = "N", trans_b: str = "N") -> np.ndarray:
+        """``op(a) @ op(b)`` with ``op`` ∈ {identity, ᵗ, ᴴ} per flag."""
+        raise NotImplementedError
+
+    def syrk(self, a: np.ndarray, herk: bool = False) -> np.ndarray:
+        """``a @ aᵗ`` (``a @ aᴴ`` with ``herk=True``)."""
+        raise NotImplementedError
+
+    def trsm(self, a: np.ndarray, b: np.ndarray, *, side: str = "left",
+             lower: bool = True, trans: str = "N",
+             unit_diagonal: bool = False) -> np.ndarray:
+        """Triangular solve ``op(a) X = b`` (``side='left'``) or
+        ``X op(a) = b`` (``side='right'``); returns ``X``."""
+        raise NotImplementedError
+
+    def getrf(self, a: np.ndarray, pivot_threshold: float = 1e-14
+              ) -> Tuple[np.ndarray, int]:
+        """Statically-pivoted LU of a diagonal block; ``(lu, nperturbed)``."""
+        raise NotImplementedError
+
+    def potrf(self, a: np.ndarray, pivot_threshold: float = 1e-14
+              ) -> Tuple[np.ndarray, int]:
+        """Regularized lower Cholesky; ``(l, nperturbed)``."""
+        raise NotImplementedError
+
+    def ldlt(self, a: np.ndarray, pivot_threshold: float = 1e-14
+             ) -> Tuple[np.ndarray, int]:
+        """Statically-pivoted LDLᵗ/LDLᴴ; ``(packed, nperturbed)``."""
+        raise NotImplementedError
+
+    # -- column-stable panel kernels (the multi-RHS solve path) --------
+    def panel_gemm(self, a: np.ndarray, x: np.ndarray) -> np.ndarray:
+        """``a @ x`` on an ``(m, w) x (w, k)`` panel, column-stable."""
+        raise NotImplementedError
+
+    def panel_trsm(self, a: np.ndarray, b: np.ndarray, *,
+                   lower: bool = True, trans: str = "N",
+                   unit_diagonal: bool = False) -> np.ndarray:
+        """Column-stable triangular panel solve ``op(a) X = b``.
+
+        Only the requested triangle of ``a`` is read, so LAPACK-packed
+        diagonal blocks (L and U sharing storage) can be passed directly.
+        Returns a fresh array; ``b`` is never modified.
+        """
+        raise NotImplementedError
+
+    def lr_apply(self, u: np.ndarray, v: np.ndarray, x: np.ndarray,
+                 mode: str = "n") -> np.ndarray:
+        """Apply a low-rank block ``Â = u vᵗ`` to an ``(·, k)`` panel.
+
+        ``mode='n'``: ``Â x``; ``'t'``: ``Âᵗ x``; ``'h'``: ``Âᴴ x``.
+        Column-stable, rank-0 safe.
+        """
+        raise NotImplementedError
+
+
+class NumpyBackend(KernelBackend):
+    """Default backend: BLAS/LAPACK (via numpy/scipy) for factorization
+    kernels, per-column gemv + row sweeps for the column-stable panel
+    kernels."""
+
+    name = "numpy"
+
+    # -- factorization kernels -----------------------------------------
+    def gemm(self, a: np.ndarray, b: np.ndarray,
+             trans_a: str = "N", trans_b: str = "N") -> np.ndarray:
+        """``op(a) @ op(b)``; flag ``'C'`` takes the Hermitian adjoint."""
+        self._tick("gemm")
+        lhs = a if trans_a == "N" else (a.T if trans_a == "T"
+                                        else a.conj().T)
+        rhs = b if trans_b == "N" else (b.T if trans_b == "T"
+                                        else b.conj().T)
+        return lhs @ rhs
+
+    def syrk(self, a: np.ndarray, herk: bool = False) -> np.ndarray:
+        """``a @ aᵗ``, or the Hermitian ``a @ aᴴ`` when ``herk=True``."""
+        self._tick("herk" if herk else "syrk")
+        return a @ (a.conj().T if herk else a.T)
+
+    def trsm(self, a: np.ndarray, b: np.ndarray, *, side: str = "left",
+             lower: bool = True, trans: str = "N",
+             unit_diagonal: bool = False) -> np.ndarray:
+        """Triangular solve; ``trans='C'`` solves against the Hermitian
+        adjoint ``aᴴ`` via conjugate / transpose-solve / conjugate."""
+        self._tick("trsm")
+        if side == "left":
+            if trans == "C":
+                # op(a) = aᴴ: solve the conjugated system and conjugate
+                # back (a no-copy pass-through for real operands)
+                return sla.solve_triangular(
+                    a, b.conj(), trans="T", lower=lower,
+                    unit_diagonal=unit_diagonal,
+                    check_finite=False).conj()
+            return sla.solve_triangular(
+                a, b, trans=trans, lower=lower,
+                unit_diagonal=unit_diagonal, check_finite=False)
+        if side != "right":
+            raise ValueError(f"side must be 'left' or 'right', got {side!r}")
+        # X op(a) = b  <=>  op(a)ᵗ Xᵗ = bᵗ — exactly the transpose tricks
+        # the pre-backend right-solve helpers used, kept call-for-call so
+        # float64 factorizations stay bit-identical to the seed
+        if trans == "N":
+            flip = "T"
+            out = sla.solve_triangular(
+                a, b.T, trans=flip, lower=lower,
+                unit_diagonal=unit_diagonal, check_finite=False)
+            return out.T
+        if trans == "T":
+            out = sla.solve_triangular(
+                a, b.T, lower=lower, unit_diagonal=unit_diagonal,
+                check_finite=False)
+            return out.T
+        # trans == "C": X aᴴ = b  <=>  a (Xᴴ)ᵗ... — conjugate/solve/conjugate
+        out = sla.solve_triangular(
+            a, b.conj().T, lower=lower, unit_diagonal=unit_diagonal,
+            check_finite=False)
+        return out.conj().T
+
+    def getrf(self, a: np.ndarray, pivot_threshold: float = 1e-14
+              ) -> Tuple[np.ndarray, int]:
+        self._tick("getrf")
+        return _lu_nopivot(a, pivot_threshold)
+
+    def potrf(self, a: np.ndarray, pivot_threshold: float = 1e-14
+              ) -> Tuple[np.ndarray, int]:
+        self._tick("potrf")
+        return _cholesky_nopivot(a, pivot_threshold)
+
+    def ldlt(self, a: np.ndarray, pivot_threshold: float = 1e-14
+             ) -> Tuple[np.ndarray, int]:
+        self._tick("ldlt")
+        return _ldlt_nopivot(a, pivot_threshold)
+
+    # -- column-stable panel kernels -----------------------------------
+    def panel_gemm(self, a: np.ndarray, x: np.ndarray) -> np.ndarray:
+        self._tick("panel_gemm")
+        return _stable_gemm(a, x)
+
+    def panel_trsm(self, a: np.ndarray, b: np.ndarray, *,
+                   lower: bool = True, trans: str = "N",
+                   unit_diagonal: bool = False) -> np.ndarray:
+        """Column-stable panel solve; ``trans='C'`` sweeps against the
+        Hermitian adjoint ``aᴴ``."""
+        self._tick("panel_trsm")
+        if trans == "T":
+            m, eff_lower = a.T, not lower
+        elif trans == "C":
+            m, eff_lower = a.conj().T, not lower
+        else:
+            m, eff_lower = a, lower
+        x = np.array(b, dtype=np.result_type(a, b), copy=True, order="C")
+        if x.shape[1]:
+            if eff_lower:
+                _sweep_lower(m, x, unit_diagonal)
+            else:
+                _sweep_upper(m, x, unit_diagonal)
+        return x
+
+    def lr_apply(self, u: np.ndarray, v: np.ndarray, x: np.ndarray,
+                 mode: str = "n") -> np.ndarray:
+        """Apply ``u vᵗ`` to a panel; ``mode='h'`` applies the Hermitian
+        adjoint ``conj(v) uᴴ``."""
+        self._tick("lr_apply")
+        rank = u.shape[1]
+        if rank == 0:
+            rows = u.shape[0] if mode == "n" else v.shape[0]
+            dt = np.result_type(u, v, x)
+            return np.zeros((rows, x.shape[1]), dtype=dt)
+        if mode == "n":       # u (vᵗ x)
+            t = _stable_gemm(np.ascontiguousarray(v.T), x)
+            return _stable_gemm(u, t)
+        if mode == "t":       # v (uᵗ x)
+            t = _stable_gemm(np.ascontiguousarray(u.T), x)
+            return _stable_gemm(v, t)
+        # mode == "h": conj(v) (uᴴ x)
+        t = _stable_gemm(np.ascontiguousarray(u.conj().T), x)
+        return _stable_gemm(np.ascontiguousarray(v.conj()), t)
+
+
+class NumbaBackend(NumpyBackend):
+    """JIT backend: the panel kernels run as compiled naive loops.
+
+    Registered only when ``numba`` is importable.  The factorization
+    kernels are inherited from :class:`NumpyBackend` unchanged (they are
+    already BLAS-bound; re-JITting them buys nothing and would break the
+    bit-compatibility contract), so only the Python-orchestrated solve
+    path changes engine.  The naive loops are column-stable by
+    construction — each output column is produced by an independent loop
+    nest — which keeps the protocol's multi-RHS contract.
+    """
+
+    name = "numba"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._jit: Optional[Tuple[Callable[..., Any], ...]] = None
+
+    def _kernels(self) -> Tuple[Callable[..., Any], ...]:
+        """Compile (once) and return the JIT panel kernels."""
+        if self._jit is None:
+            import numba  # noqa: PLC0415  (gated: see register below)
+
+            @numba.njit(cache=True)  # type: ignore[misc]
+            def pgemm(a: Any, x: Any, out: Any) -> None:
+                m, w = a.shape
+                k = x.shape[1]
+                for kk in range(k):
+                    for i in range(m):
+                        acc = out.dtype.type(0)
+                        for j in range(w):
+                            acc += a[i, j] * x[j, kk]
+                        out[i, kk] = acc
+
+            @numba.njit(cache=True)  # type: ignore[misc]
+            def sweep_lower(m: Any, x: Any, unit: Any) -> None:
+                n = m.shape[0]
+                k = x.shape[1]
+                for kk in range(k):
+                    for j in range(n):
+                        if not unit:
+                            # solverlint: ignore[python-hot-loop] -- njit body: numba compiles this scalar nest to machine code; the per-column loop IS the column-stability contract
+                            x[j, kk] = x[j, kk] / m[j, j]
+                        for i in range(j + 1, n):
+                            # solverlint: ignore[python-hot-loop] -- njit body (see above)
+                            x[i, kk] -= m[i, j] * x[j, kk]
+
+            @numba.njit(cache=True)  # type: ignore[misc]
+            def sweep_upper(m: Any, x: Any, unit: Any) -> None:
+                n = m.shape[0]
+                k = x.shape[1]
+                for kk in range(k):
+                    for j in range(n - 1, -1, -1):
+                        if not unit:
+                            # solverlint: ignore[python-hot-loop] -- njit body (see sweep_lower)
+                            x[j, kk] = x[j, kk] / m[j, j]
+                        for i in range(j):
+                            # solverlint: ignore[python-hot-loop] -- njit body (see sweep_lower)
+                            x[i, kk] -= m[i, j] * x[j, kk]
+
+            self._jit = (pgemm, sweep_lower, sweep_upper)
+        return self._jit
+
+    def panel_gemm(self, a: np.ndarray, x: np.ndarray) -> np.ndarray:
+        self._tick("panel_gemm")
+        pgemm = self._kernels()[0]
+        dt = np.result_type(a, x)
+        a = np.ascontiguousarray(a, dtype=dt)
+        x = np.ascontiguousarray(x, dtype=dt)
+        out = np.empty((a.shape[0], x.shape[1]), dtype=dt)
+        if out.size:
+            pgemm(a, x, out)
+        else:
+            out[...] = 0
+        return out
+
+    def panel_trsm(self, a: np.ndarray, b: np.ndarray, *,
+                   lower: bool = True, trans: str = "N",
+                   unit_diagonal: bool = False) -> np.ndarray:
+        """JIT panel solve; ``trans='C'`` sweeps against the Hermitian
+        adjoint ``aᴴ``."""
+        self._tick("panel_trsm")
+        _, sweep_lo, sweep_up = self._kernels()
+        dt = np.result_type(a, b)
+        if trans == "T":
+            m, eff_lower = a.T, not lower
+        elif trans == "C":
+            m, eff_lower = a.conj().T, not lower
+        else:
+            m, eff_lower = a, lower
+        m = np.ascontiguousarray(m, dtype=dt)
+        x = np.array(b, dtype=dt, copy=True, order="C")
+        if x.shape[1]:
+            if eff_lower:
+                sweep_lo(m, x, unit_diagonal)
+            else:
+                sweep_up(m, x, unit_diagonal)
+        return x
+
+    def lr_apply(self, u: np.ndarray, v: np.ndarray, x: np.ndarray,
+                 mode: str = "n") -> np.ndarray:
+        """JIT low-rank apply; ``mode='h'`` applies the Hermitian adjoint
+        ``conj(v) uᴴ``."""
+        self._tick("lr_apply")
+        rank = u.shape[1]
+        if rank == 0:
+            rows = u.shape[0] if mode == "n" else v.shape[0]
+            return np.zeros((rows, x.shape[1]),
+                            dtype=np.result_type(u, v, x))
+        if mode == "n":
+            return self.panel_gemm(u, self.panel_gemm(
+                np.ascontiguousarray(v.T), x))
+        if mode == "t":
+            return self.panel_gemm(v, self.panel_gemm(
+                np.ascontiguousarray(u.T), x))
+        return self.panel_gemm(
+            np.ascontiguousarray(v.conj()),
+            self.panel_gemm(np.ascontiguousarray(u.conj().T), x))
+
+
+# ----------------------------------------------------------------------
+# registry
+# ----------------------------------------------------------------------
+
+_REGISTRY: Dict[str, KernelBackend] = {}
+
+
+def register_backend(backend: KernelBackend, replace: bool = False) -> None:
+    """Register a backend instance under ``backend.name``.
+
+    Backends are process-wide singletons (their call counters accumulate
+    across solves); re-registering an existing name requires
+    ``replace=True``.
+    """
+    if not isinstance(backend, KernelBackend):
+        raise TypeError("backend must be a KernelBackend instance")
+    if backend.name in _REGISTRY and not replace:
+        raise ValueError(f"backend {backend.name!r} is already registered "
+                         "(pass replace=True to override)")
+    _REGISTRY[backend.name] = backend
+
+
+def available_backends() -> Tuple[str, ...]:
+    """Names of all registered backends (sorted)."""
+    return tuple(sorted(_REGISTRY))
+
+
+def numba_available() -> bool:
+    """Whether the optional numba JIT backend could be registered."""
+    return importlib.util.find_spec("numba") is not None
+
+
+def get_backend(name: Optional[str] = None) -> KernelBackend:
+    """Resolve a backend: explicit ``name`` > ``$REPRO_BACKEND`` > numpy.
+
+    Raises ``ValueError`` (listing the registered names) for an unknown
+    backend — including ``'numba'`` on interpreters where numba is not
+    installed, since the backend is only registered when importable.
+    """
+    resolved = name or os.environ.get(BACKEND_ENV) or "numpy"
+    try:
+        return _REGISTRY[resolved]
+    except KeyError:
+        hint = ""
+        if resolved == "numba" and not numba_available():
+            hint = " (numba is not installed in this environment)"
+        raise ValueError(
+            f"unknown kernel backend {resolved!r}{hint}; registered "
+            f"backends: {', '.join(available_backends())}") from None
+
+
+register_backend(NumpyBackend())
+if numba_available():  # pragma: no cover - depends on the environment
+    register_backend(NumbaBackend())

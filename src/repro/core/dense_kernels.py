@@ -9,6 +9,14 @@ Pivoting: PaStiX performs *static* pivoting — the elimination order is fixed
 by the analysis step, and a too-small pivot is replaced by a perturbation of
 magnitude ``threshold * max |diag|`` (the factorization then acts on a
 slightly perturbed matrix; iterative refinement absorbs the perturbation).
+
+Since the backend protocol landed (:mod:`repro.core.backend`), this module
+is the *stable public face* of those kernels: the implementations live in
+the registered :class:`~repro.core.backend.KernelBackend` (selected via
+``SolverConfig.backend`` / ``$REPRO_BACKEND``), and the functions here
+delegate to it.  Call them when you have no resolved backend at hand
+(tests, scripts); code inside the factorization keeps a resolved backend
+on the :class:`~repro.core.factor.NumericFactor` and calls it directly.
 """
 
 from __future__ import annotations
@@ -16,7 +24,8 @@ from __future__ import annotations
 from typing import Optional, Tuple
 
 import numpy as np
-import scipy.linalg as sla
+
+from repro.core.backend import get_backend
 
 
 def block_all_finite(a: Optional[np.ndarray]) -> bool:
@@ -51,6 +60,10 @@ def trsm_flops(m: int, n: int) -> float:
     return float(m) * m * n
 
 
+def ldlt_flops(n: int) -> float:
+    return (1.0 / 3.0) * n ** 3
+
+
 def lu_nopivot(a: np.ndarray, pivot_threshold: float = 1e-14
                ) -> Tuple[np.ndarray, int]:
     """In-place-style LU without row pivoting (static pivoting).
@@ -59,47 +72,7 @@ def lu_nopivot(a: np.ndarray, pivot_threshold: float = 1e-14
     the diagonal and U on/above it (LAPACK layout), and ``nperturbed``
     counts pivots replaced by ``±pivot_threshold * max|diag(A)|``.
     """
-    lu = np.array(a, copy=True)
-    if lu.dtype.kind not in "fc":
-        lu = lu.astype(np.float64)
-    n = lu.shape[0]
-    if lu.shape[1] != n:
-        raise ValueError("diagonal block must be square")
-    max_diag = float(np.abs(np.diag(lu)).max())
-    floor = pivot_threshold * (max_diag if max_diag > 0 else 1.0)
-    nperturbed = 0
-    # blocked right-looking elimination; block size tuned for BLAS3 payoff
-    bs = 64
-    for k0 in range(0, n, bs):
-        k1 = min(k0 + bs, n)
-        # factor the diagonal sub-block with scalar loop + static pivoting
-        for k in range(k0, k1):
-            piv = lu[k, k]
-            if abs(piv) < floor:
-                if lu.dtype.kind == "c":
-                    # keep the complex phase (floor for an exact zero)
-                    piv = floor if piv == 0 else piv / abs(piv) * floor
-                else:
-                    piv = floor if piv >= 0 else -floor
-                lu[k, k] = piv
-                nperturbed += 1
-            if k + 1 < k1:
-                lu[k + 1:k1, k] /= piv
-                lu[k + 1:k1, k + 1:k1] -= np.outer(lu[k + 1:k1, k],
-                                                   lu[k, k + 1:k1])
-        if k1 < n:
-            diag = lu[k0:k1, k0:k1]
-            # panel solves against the factored sub-block
-            lu[k0:k1, k1:] = sla.solve_triangular(
-                diag, lu[k0:k1, k1:], lower=True, unit_diagonal=True, check_finite=False)
-            lu[k1:, k0:k1] = sla.solve_triangular(
-                diag, lu[k1:, k0:k1].T, trans="T", lower=False, check_finite=False).T
-            # trailing update (the BLAS3 payload)
-            lu[k1:, k1:] -= lu[k1:, k0:k1] @ lu[k0:k1, k1:]
-        else:
-            # also finish columns within the last block for k rows below k1
-            pass
-    return lu, nperturbed
+    return get_backend().getrf(a, pivot_threshold)
 
 
 def cholesky_nopivot(a: np.ndarray, pivot_threshold: float = 1e-14
@@ -109,31 +82,7 @@ def cholesky_nopivot(a: np.ndarray, pivot_threshold: float = 1e-14
     Complex blocks are factored as Hermitian ``L Lᴴ`` (real diagonal), so
     the rank-1 trailing update conjugates the eliminated column.
     """
-    n = a.shape[0]
-    try:
-        return np.linalg.cholesky(a), 0
-    except np.linalg.LinAlgError:
-        pass
-    # fall back to a scalar loop with pivot boosting (complex blocks are
-    # treated as Hermitian: L L^H with a real diagonal)
-    l_mat = np.array(a, copy=True)
-    if l_mat.dtype.kind not in "fc":
-        l_mat = l_mat.astype(np.float64)
-    max_diag = float(np.abs(np.diag(a)).max())
-    floor = pivot_threshold * (max_diag if max_diag > 0 else 1.0)
-    nperturbed = 0
-    for k in range(n):
-        d = l_mat[k, k].real
-        if d <= floor:
-            d = floor
-            nperturbed += 1
-        d = np.sqrt(d)
-        l_mat[k, k] = d
-        if k + 1 < n:
-            l_mat[k + 1:, k] /= d
-            l_mat[k + 1:, k + 1:] -= np.outer(l_mat[k + 1:, k],
-                                              l_mat[k + 1:, k].conj())
-    return np.tril(l_mat), nperturbed
+    return get_backend().potrf(a, pivot_threshold)
 
 
 def ldlt_nopivot(a: np.ndarray, pivot_threshold: float = 1e-14
@@ -148,42 +97,12 @@ def ldlt_nopivot(a: np.ndarray, pivot_threshold: float = 1e-14
     magnitude than ``pivot_threshold * max|diag(A)|`` are boosted (static
     pivoting), keeping their sign.
     """
-    n = a.shape[0]
-    if a.shape[1] != n:
-        raise ValueError("diagonal block must be square")
-    packed = np.array(a, copy=True)
-    if packed.dtype.kind not in "fc":
-        packed = packed.astype(np.float64)
-    hermitian = packed.dtype.kind == "c"
-    max_diag = float(np.abs(np.diag(a)).max())
-    floor = pivot_threshold * (max_diag if max_diag > 0 else 1.0)
-    nperturbed = 0
-    for k in range(n):
-        # complex blocks are factored as Hermitian L D L^H: D is
-        # mathematically real, so roundoff imaginary parts are dropped
-        d = packed[k, k].real if hermitian else packed[k, k]
-        if abs(d) < floor:
-            d = floor if d >= 0 else -floor
-            nperturbed += 1
-        packed[k, k] = d
-        if k + 1 < n:
-            col = packed[k + 1:, k] / d
-            if hermitian:
-                packed[k + 1:, k + 1:] -= np.outer(col,
-                                                   packed[k + 1:, k].conj())
-            else:
-                packed[k + 1:, k + 1:] -= np.outer(col, packed[k + 1:, k])
-            packed[k + 1:, k] = col
-    return packed, nperturbed
-
-
-def ldlt_flops(n: int) -> float:
-    return (1.0 / 3.0) * n ** 3
+    return get_backend().ldlt(a, pivot_threshold)
 
 
 def solve_upper_right(u: np.ndarray, b: np.ndarray) -> np.ndarray:
     """``X U = B``  →  ``X = B U⁻¹`` for upper-triangular ``U``."""
-    return sla.solve_triangular(u, b.T, trans="T", lower=False, check_finite=False).T
+    return get_backend().trsm(u, b, side="right", lower=False, trans="N")
 
 
 def solve_unit_lower_right(l_mat: np.ndarray, b: np.ndarray) -> np.ndarray:
@@ -191,25 +110,23 @@ def solve_unit_lower_right(l_mat: np.ndarray, b: np.ndarray) -> np.ndarray:
 
     Transposing: ``L Xᵗ = Bᵗ``, a plain forward substitution.
     """
-    return sla.solve_triangular(l_mat, b.T, lower=True,
-                                unit_diagonal=True, check_finite=False).T
+    return get_backend().trsm(l_mat, b, side="right", lower=True,
+                              trans="T", unit_diagonal=True)
 
 
 def solve_lower_right(l_mat: np.ndarray, b: np.ndarray) -> np.ndarray:
     """``X Lᵗ = B``  →  ``X = B L⁻ᵗ`` for (non-unit) lower ``L``."""
-    return sla.solve_triangular(l_mat, b.T, lower=True, check_finite=False).T
+    return get_backend().trsm(l_mat, b, side="right", lower=True, trans="T")
 
 
 def solve_lower_ct_right(l_mat: np.ndarray, b: np.ndarray) -> np.ndarray:
     """``X Lᴴ = B`` for (non-unit) lower ``L`` — the Hermitian-Cholesky
     panel solve.  Coincides bit-for-bit with :func:`solve_lower_right` for
     real blocks (``conj`` is a no-copy pass-through)."""
-    return sla.solve_triangular(l_mat, b.conj().T, lower=True,
-                                check_finite=False).conj().T
+    return get_backend().trsm(l_mat, b, side="right", lower=True, trans="C")
 
 
 def solve_unit_lower_ct_right(l_mat: np.ndarray, b: np.ndarray) -> np.ndarray:
     """``X Lᴴ = B`` for unit-lower ``L`` (Hermitian LDLᴴ panel solve)."""
-    return sla.solve_triangular(l_mat, b.conj().T, lower=True,
-                                unit_diagonal=True,
-                                check_finite=False).conj().T
+    return get_backend().trsm(l_mat, b, side="right", lower=True,
+                              trans="C", unit_diagonal=True)

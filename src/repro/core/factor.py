@@ -35,6 +35,7 @@ if TYPE_CHECKING:
     from repro.runtime.recovery import RecoveryState
 
 from repro.config import SolverConfig
+from repro.core.backend import get_backend
 from repro.lowrank.block import LowRankBlock
 from repro.lowrank.kernels import block_nbytes, compress_block, rank_cap
 from repro.runtime.memory import MemoryTracker, array_nbytes
@@ -110,6 +111,11 @@ class NumericFactor:
     def __init__(self, symb: SymbolicFactor, config: SolverConfig) -> None:
         self.symb = symb
         self.config = config
+        #: resolved kernel backend (``config.backend`` > ``$REPRO_BACKEND``
+        #: > numpy) — every numeric hot path of the factorization and the
+        #: triangular solves calls through it.  Resolved here so factors
+        #: deserialized via :mod:`repro.core.serialize` get one too.
+        self.backend = get_backend(config.backend)
         self.cblks: List[NumericColumnBlock] = [
             NumericColumnBlock(c) for c in symb.cblks]
         # the telemetry bus (config.telemetry, None = disabled) rides on

@@ -23,23 +23,14 @@ import time
 from typing import Any, Callable, Optional
 
 import numpy as np
-import scipy.linalg as sla
 
 from repro.core.dense_kernels import (
     block_all_finite,
-    cholesky_nopivot,
     flop_scale,
     gemm_flops,
     getrf_flops,
     ldlt_flops,
-    ldlt_nopivot,
-    lu_nopivot,
     potrf_flops,
-    solve_lower_ct_right,
-    solve_lower_right,
-    solve_unit_lower_ct_right,
-    solve_unit_lower_right,
-    solve_upper_right,
     trsm_flops,
 )
 from repro.core.factor import Block, NumericColumnBlock, NumericFactor
@@ -80,18 +71,19 @@ def factor_column_block(fac: NumericFactor, k: int) -> None:
     w = nc.width
 
     # --- step 1: diagonal block factorization ---------------------------
+    be = fac.backend
     t0 = time.perf_counter()
     if cfg.factotype == "lu":
-        lu, nperturbed = lu_nopivot(nc.diag, cfg.pivot_threshold)
+        lu, nperturbed = be.getrf(nc.diag, cfg.pivot_threshold)
         nc.diag[...] = lu
         fl = getrf_flops(w)
     elif cfg.factotype == "cholesky":
-        l_mat, nperturbed = cholesky_nopivot(nc.diag, cfg.pivot_threshold)
+        l_mat, nperturbed = be.potrf(nc.diag, cfg.pivot_threshold)
         nc.diag[...] = 0.0
         nc.diag[np.tril_indices(w)] = l_mat[np.tril_indices(w)]
         fl = potrf_flops(w)
     elif cfg.factotype == "ldlt":
-        packed, nperturbed = ldlt_nopivot(nc.diag, cfg.pivot_threshold)
+        packed, nperturbed = be.ldlt(nc.diag, cfg.pivot_threshold)
         nc.diag[...] = np.tril(packed)  # unit-lower L below, D on diagonal
         fl = ldlt_flops(w)
     else:  # pragma: no cover - guarded by SolverConfig validation
@@ -230,6 +222,7 @@ def _panel_solve(fac: NumericFactor, nc: NumericColumnBlock) -> None:
     conjugate back (a no-copy pass-through for real factors).
     """
     cfg = fac.config
+    be = fac.backend
     stats = fac.stats.kernels
     w = nc.width
     t0 = time.perf_counter()
@@ -246,37 +239,44 @@ def _panel_solve(fac: NumericFactor, nc: NumericColumnBlock) -> None:
         l00 = nc.diag  # unit-lower part read in place by the solvers
         if nc.panel_mode:
             if nc.offrows:
-                nc.lpanel[...] = solve_upper_right(u00, nc.lpanel)
-                nc.upanel[...] = solve_unit_lower_right(l00, nc.upanel)
+                nc.lpanel[...] = be.trsm(u00, nc.lpanel, side="right",
+                                         lower=False)
+                nc.upanel[...] = be.trsm(l00, nc.upanel, side="right",
+                                         lower=True, trans="T",
+                                         unit_diagonal=True)
                 fl += 2 * trsm_flops(w, nc.offrows)
         else:
             for i in range(nc.sym.noff):
                 lb = nc.lblocks[i]
                 if isinstance(lb, LowRankBlock):
                     if lb.rank:
-                        lb.v[...] = sla.solve_triangular(
-                            u00, lb.v, trans="T", lower=False, check_finite=False)
+                        lb.v[...] = be.trsm(u00, lb.v, lower=False,
+                                            trans="T")
                     fl += trsm_flops(w, lb.rank)
                 else:
-                    nc.lblocks[i] = store(solve_upper_right(u00, lb))
+                    nc.lblocks[i] = store(be.trsm(u00, lb, side="right",
+                                                  lower=False))
                     fl += trsm_flops(w, lb.shape[0])
                 ub = nc.ublocks[i]
                 if isinstance(ub, LowRankBlock):
                     if ub.rank:
                         # Uᵗ(i),k = u (L00⁻¹ v)ᵗ: forward substitution on v
-                        ub.v[...] = sla.solve_triangular(
-                            l00, ub.v, lower=True, unit_diagonal=True, check_finite=False)
+                        ub.v[...] = be.trsm(l00, ub.v, lower=True,
+                                            unit_diagonal=True)
                     fl += trsm_flops(w, ub.rank)
                 else:
-                    nc.ublocks[i] = store(solve_unit_lower_right(l00, ub))
+                    nc.ublocks[i] = store(be.trsm(l00, ub, side="right",
+                                                  lower=True, trans="T",
+                                                  unit_diagonal=True))
                     fl += trsm_flops(w, ub.shape[0])
     elif cfg.factotype == "cholesky":
         l00 = nc.diag
         hermitian = np.asarray(nc.diag).dtype.kind == "c"
-        solve_right = solve_lower_ct_right if hermitian else solve_lower_right
+        trans_right = "C" if hermitian else "T"
         if nc.panel_mode:
             if nc.offrows:
-                nc.lpanel[...] = solve_right(l00, nc.lpanel)
+                nc.lpanel[...] = be.trsm(l00, nc.lpanel, side="right",
+                                         lower=True, trans=trans_right)
                 fl += trsm_flops(w, nc.offrows)
         else:
             for i in range(nc.sym.noff):
@@ -287,15 +287,15 @@ def _panel_solve(fac: NumericFactor, nc: NumericColumnBlock) -> None:
                         # conj(L00) vᵀ... — equivalently v ← (L00⁻ᴴ vᴴ)ᴴ,
                         # which for real factors is the plain "T" solve
                         if hermitian:
-                            lb.v[...] = sla.solve_triangular(
-                                l00, lb.v.conj(), lower=True,
-                                check_finite=False).conj()
+                            lb.v[...] = be.trsm(l00, lb.v.conj(),
+                                                lower=True).conj()
                         else:
-                            lb.v[...] = sla.solve_triangular(
-                                l00, lb.v, lower=True, check_finite=False)
+                            lb.v[...] = be.trsm(l00, lb.v, lower=True)
                     fl += trsm_flops(w, lb.rank)
                 else:
-                    nc.lblocks[i] = store(solve_right(l00, lb))
+                    nc.lblocks[i] = store(be.trsm(l00, lb, side="right",
+                                                  lower=True,
+                                                  trans=trans_right))
                     fl += trsm_flops(w, lb.shape[0])
     else:  # ldlt: L(i) = A(i) L00⁻ᴴ D⁻¹ (⁻ᵗ for real factors)
         l00 = nc.diag
@@ -303,11 +303,12 @@ def _panel_solve(fac: NumericFactor, nc: NumericColumnBlock) -> None:
         d = np.diag(nc.diag)
         if hermitian:
             d = d.real  # D is real for Hermitian LDLᴴ
-        solve_right = (solve_unit_lower_ct_right if hermitian
-                       else solve_unit_lower_right)
+        trans_right = "C" if hermitian else "T"
         if nc.panel_mode:
             if nc.offrows:
-                nc.lpanel[...] = solve_right(l00, nc.lpanel) / d
+                nc.lpanel[...] = be.trsm(l00, nc.lpanel, side="right",
+                                         lower=True, trans=trans_right,
+                                         unit_diagonal=True) / d
                 fl += trsm_flops(w, nc.offrows)
         else:
             for i in range(nc.sym.noff):
@@ -315,18 +316,19 @@ def _panel_solve(fac: NumericFactor, nc: NumericColumnBlock) -> None:
                 if isinstance(lb, LowRankBlock):
                     if lb.rank:
                         if hermitian:
-                            lb.v[...] = sla.solve_triangular(
+                            lb.v[...] = be.trsm(
                                 l00, lb.v.conj(), lower=True,
-                                unit_diagonal=True,
-                                check_finite=False).conj() / d[:, None]
+                                unit_diagonal=True).conj() / d[:, None]
                         else:
-                            lb.v[...] = sla.solve_triangular(
+                            lb.v[...] = be.trsm(
                                 l00, lb.v, lower=True,
-                                unit_diagonal=True,
-                                check_finite=False) / d[:, None]
+                                unit_diagonal=True) / d[:, None]
                     fl += trsm_flops(w, lb.rank)
                 else:
-                    nc.lblocks[i] = store(solve_right(l00, lb) / d)
+                    nc.lblocks[i] = store(be.trsm(l00, lb, side="right",
+                                                  lower=True,
+                                                  trans=trans_right,
+                                                  unit_diagonal=True) / d)
                     fl += trsm_flops(w, lb.shape[0])
     stats.add("panel_solve", seconds=time.perf_counter() - t0,
               flops=fl * flop_scale(fac.dtype))
@@ -401,11 +403,13 @@ def _updates_from_panel(fac: NumericFactor, nc: NumericColumnBlock,
             ub_j = nc.lpanel[jlo:jhi]
         if hermitian:
             ub_j = ub_j.conj()
-        w_l = nc.lpanel[tail] @ ub_j.T           # all (i) >= (j) at once
+        be = fac.backend
+        # all (i) >= (j) at once
+        w_l = be.gemm(nc.lpanel[tail], ub_j, trans_b="T")
         fl = gemm_flops(nc.offrows - jlo, bj.nrows, nc.width)
         w_u = None
         if is_lu:
-            w_u = nc.upanel[tail] @ nc.lpanel[jlo:jhi].T
+            w_u = be.gemm(nc.upanel[tail], nc.lpanel[jlo:jhi], trans_b="T")
             fl += gemm_flops(nc.offrows - jlo, bj.nrows, nc.width)
         stats.add("dense_update", seconds=time.perf_counter() - t0,
                   flops=fl * flop_scale(fac.dtype))
@@ -481,7 +485,8 @@ def _updates_from_blocks(fac: NumericFactor, nc: NumericColumnBlock,
                     if promote is not None:
                         src_l = _promote(src_l, promote)
                     contrib = lr_product(src_l, ub_j,
-                                         cfg.tolerance, cfg.kernel, stats)
+                                         cfg.tolerance, cfg.kernel, stats,
+                                         backend=fac.backend)
                     if contrib is not None:
                         _scatter(fac, t, bi.first_row, bi.end_row,
                                  bj.first_row, bj.end_row, contrib,
@@ -492,7 +497,7 @@ def _updates_from_blocks(fac: NumericFactor, nc: NumericColumnBlock,
                             src_u = _promote(src_u, promote)
                         contrib_u = lr_product(src_u, lb_j,
                                                cfg.tolerance, cfg.kernel,
-                                               stats)
+                                               stats, backend=fac.backend)
                         if contrib_u is not None:
                             _scatter(fac, t, bi.first_row, bi.end_row,
                                      bj.first_row, bj.end_row, contrib_u,
@@ -515,7 +520,8 @@ def _flush_accumulated(fac: NumericFactor, t: int, acc: dict) -> None:
         tgt = blocks[i]
         if not isinstance(tgt, LowRankBlock):  # densified meanwhile
             for piece, ro, co in contribs:
-                lr2ge_update(tgt, piece, ro, co, stats)
+                lr2ge_update(tgt, piece, ro, co, stats,
+                             backend=fac.backend)
             continue
         block = tsym.blocks[1 + i]
         cap = rank_cap(block.nrows, tsym.ncols, cfg.rank_ratio)
@@ -526,7 +532,8 @@ def _flush_accumulated(fac: NumericFactor, t: int, acc: dict) -> None:
         if new is None:
             dense = np.asarray(tgt.to_dense(), dtype=fac.dtype)
             for piece, ro, co in contribs:
-                lr2ge_update(dense, piece, ro, co, stats)
+                lr2ge_update(dense, piece, ro, co, stats,
+                             backend=fac.backend)
             new = (dense if fac.storage_dtype is None
                    else dense.astype(fac.storage_dtype))
         elif fac.storage_dtype is not None:
@@ -596,9 +603,11 @@ def _scatter(fac: NumericFactor, t: int, rlo: int, rhi: int,
         # region inside the diagonal block of t (always dense)
         rloc = rlo - tsym.first_col
         if side == "l":
-            lr2ge_update(tnc.diag, contrib, rloc, coff, stats)
+            lr2ge_update(tnc.diag, contrib, rloc, coff, stats,
+                         backend=fac.backend)
         else:
-            lr2ge_update(tnc.diag, _transpose(contrib), coff, rloc, stats)
+            lr2ge_update(tnc.diag, _transpose(contrib), coff, rloc, stats,
+                         backend=fac.backend)
         return
 
     cfg = fac.config
@@ -613,7 +622,8 @@ def _scatter(fac: NumericFactor, t: int, rlo: int, rhi: int,
             panel = tnc.lpanel if side == "l" else tnc.upanel
             plo = tnc.row_offsets[i] + row_off_in_block
             m = ohi - olo
-            lr2ge_update(panel[plo:plo + m], piece, 0, coff, stats)
+            lr2ge_update(panel[plo:plo + m], piece, 0, coff, stats,
+                         backend=fac.backend)
         else:
             blocks = tnc.lblocks if side == "l" else tnc.ublocks
             tgt = blocks[i]
@@ -632,11 +642,13 @@ def _scatter(fac: NumericFactor, t: int, rlo: int, rhi: int,
                     # rank exceeded the cap: fall back to dense storage
                     # (updated at full precision, stored at storage_dtype)
                     dense = np.asarray(tgt.to_dense(), dtype=fac.dtype)
-                    lr2ge_update(dense, piece, row_off_in_block, coff, stats)
+                    lr2ge_update(dense, piece, row_off_in_block, coff,
+                                 stats, backend=fac.backend)
                     new = (dense if fac.storage_dtype is None
                            else dense.astype(fac.storage_dtype))
                 elif fac.storage_dtype is not None:
                     new = new.astype(fac.storage_dtype)
                 fac.set_block(tnc, side, i, new)
             else:
-                lr2ge_update(tgt, piece, row_off_in_block, coff, stats)
+                lr2ge_update(tgt, piece, row_off_in_block, coff, stats,
+                             backend=fac.backend)

@@ -38,6 +38,14 @@ class RefinementResult:
     telemetry name; :meth:`~repro.core.solver.Solver.refine` publishes it
     on the telemetry bus (``refinement_residual`` series + one
     ``refinement`` event) when a bus is attached.
+
+    For a multi-RHS panel ``b`` of shape ``(n, k)``, ``x`` is the ``(n,
+    k)`` solution panel, :attr:`col_history` carries the per-column
+    residual records, and ``history`` is their per-iteration *maximum*
+    (shorter columns — frozen once converged — padded with their final
+    residual), so every consumer of the single-RHS history (telemetry,
+    reports, the escalation classifier) keeps working unchanged: the max
+    reaching ``tol`` means every column did.
     """
 
     x: np.ndarray
@@ -49,6 +57,9 @@ class RefinementResult:
     stagnated: bool = False
     #: the residual grew well past its best value, or went non-finite
     diverged: bool = False
+    #: per-column residual histories for panel right-hand sides
+    #: (``None`` for single-RHS runs; zero-norm columns get ``[]``)
+    col_history: Optional[List[List[float]]] = None
 
     @property
     def backward_error(self) -> float:
@@ -56,7 +67,8 @@ class RefinementResult:
 
     @property
     def residual_history(self) -> List[float]:
-        """Per-iteration residuals (GMRES/CG/IR), starting guess first."""
+        """Per-iteration residuals (GMRES/CG/IR), starting guess first;
+        the per-column maximum for panel right-hand sides."""
         return list(self.history)
 
 
@@ -93,11 +105,139 @@ def _backward_error(a: CSCMatrix, x: np.ndarray, b: np.ndarray,
     return float(np.linalg.norm(a.matvec(x) - b) / norm_b)
 
 
+# ----------------------------------------------------------------------
+# multi-RHS panel support
+# ----------------------------------------------------------------------
+
+def _merge_histories(col_history: List[List[float]]) -> List[float]:
+    """Per-iteration maximum over the column histories.
+
+    Columns freeze once converged, so their histories may be shorter;
+    frozen columns contribute their final residual to later iterations
+    (last-value padding).  Zero-norm columns (empty histories, converged
+    by construction) are skipped entirely.
+    """
+    live = [h for h in col_history if h]
+    if not live:
+        return []
+    merged = []
+    for i in range(max(len(h) for h in live)):
+        merged.append(max(h[min(i, len(h) - 1)] for h in live))
+    return merged
+
+
+def _merged_result(a: CSCMatrix, b: np.ndarray,
+                   cols: List[RefinementResult]) -> RefinementResult:
+    """Stack per-column results into one panel :class:`RefinementResult`."""
+    n, k = b.shape
+    if cols:
+        x = np.stack([c.x for c in cols], axis=1)
+    else:
+        x = np.zeros((n, 0), dtype=_work_dtype(a, b))
+    res = RefinementResult(
+        x=x,
+        history=_merge_histories([c.history for c in cols]),
+        converged=all(c.converged for c in cols),
+        iterations=max((c.iterations for c in cols), default=0),
+        stagnated=any(c.stagnated for c in cols),
+        diverged=any(c.diverged for c in cols),
+        col_history=[list(c.history) for c in cols],
+    )
+    return res
+
+
+def _columnwise(single: Callable[..., RefinementResult], a: CSCMatrix,
+                b: np.ndarray, x0: Optional[np.ndarray],
+                **kwargs: object) -> RefinementResult:
+    """Run a single-RHS scheme per panel column and merge the results.
+
+    Each column is passed as a fresh contiguous vector, so the per-column
+    runs are bit-identical to solving that column alone.
+    """
+    cols = []
+    for j in range(b.shape[1]):
+        xj = None if x0 is None else np.ascontiguousarray(x0[:, j])
+        cols.append(single(a, np.ascontiguousarray(b[:, j]), x0=xj,
+                           **kwargs))
+    return _merged_result(a, b, cols)
+
+
+def _refine_panel(a: CSCMatrix, b: np.ndarray,
+                  precond: Callable[[np.ndarray], np.ndarray],
+                  tol: float, maxiter: int,
+                  x0: Optional[np.ndarray]) -> RefinementResult:
+    """Blocked iterative refinement on an ``(n, k)`` panel.
+
+    The residual and correction solves run on the whole panel (one
+    BLAS-3-shaped pass per iteration — the multi-RHS payoff), restricted
+    to the still-active columns; converged columns are frozen exactly
+    where the single-RHS loop would have stopped.  Because the matvec and
+    the preconditioner are column-stable, every column's iterates — and
+    its residual history — are bit-identical to a single-RHS run on that
+    column (for identical dtypes).
+    """
+    n, k = b.shape
+    dt = _work_dtype(a, b)
+    col_hist: List[List[float]] = [[] for _ in range(k)]
+    if k == 0:
+        return RefinementResult(x=np.zeros((n, 0), dtype=dt),
+                                converged=True, col_history=col_hist)
+    # per-column norms of contiguous copies: the same reduction the
+    # single-RHS path performs on its own 1-D right-hand side
+    norm_b = np.array([
+        float(np.linalg.norm(np.ascontiguousarray(b[:, j])))
+        for j in range(k)])
+    nz = [j for j in range(k) if norm_b[j] > 0.0]
+    x = np.zeros((n, k), dtype=dt)
+    if nz:
+        if x0 is None:
+            x[:, nz] = precond(np.ascontiguousarray(b[:, nz]))
+        else:
+            x[:, nz] = np.asarray(x0, dtype=dt)[:, nz]
+    iters = [0] * k
+    for j in nz:
+        col_hist[j].append(_backward_error(
+            a, np.ascontiguousarray(x[:, j]),
+            np.ascontiguousarray(b[:, j]), norm_b[j]))
+    active = [j for j in nz if col_hist[j][-1] > tol]
+    for it in range(maxiter):
+        if not active:
+            break
+        r = b - a.matvec(x)
+        x[:, active] += precond(np.ascontiguousarray(r[:, active]))
+        for j in active:
+            col_hist[j].append(_backward_error(
+                a, np.ascontiguousarray(x[:, j]),
+                np.ascontiguousarray(b[:, j]), norm_b[j]))
+            iters[j] = it + 1
+        active = [j for j in active if col_hist[j][-1] > tol]
+    res = RefinementResult(
+        x=x,
+        history=_merge_histories(col_hist),
+        converged=all(not h or h[-1] <= tol for h in col_hist),
+        iterations=max(iters, default=0),
+        col_history=col_hist,
+    )
+    if not res.converged:
+        flags = [classify_history(h) for h in col_hist
+                 if h and h[-1] > tol]
+        res.stagnated = any(s for s, _ in flags)
+        res.diverged = any(d for _, d in flags)
+    return res
+
+
 def iterative_refinement(a: CSCMatrix, b: np.ndarray,
                          precond: Callable[[np.ndarray], np.ndarray],
                          tol: float = 1e-12, maxiter: int = 20,
                          x0: Optional[np.ndarray] = None) -> RefinementResult:
-    """Classical residual correction: ``x += M⁻¹ (b - A x)``."""
+    """Classical residual correction: ``x += M⁻¹ (b - A x)``.
+
+    ``b`` may be a vector or an ``(n, k)`` panel; panels refine blocked
+    (one residual pass + one preconditioner application per iteration for
+    all still-active columns) with per-column convergence tracking.
+    """
+    if np.asarray(b).ndim == 2:
+        return _refine_panel(a, b, precond, tol, maxiter, x0)
     norm_b = float(np.linalg.norm(b))
     if norm_b == 0.0:
         return RefinementResult(x=np.zeros_like(b), converged=True)
@@ -131,7 +271,13 @@ def gmres(a: CSCMatrix, b: np.ndarray,
     backward error of Figure 8.  Complex systems use the Hermitian inner
     product in the Gram-Schmidt sweep and apply each Givens rotation's
     adjoint (LAPACK ``zrotg`` convention: real cosines, conjugated sines).
+
+    Panel right-hand sides run column by column (the Krylov space is
+    per-column by nature) and merge into one panel result.
     """
+    if np.asarray(b).ndim == 2:
+        return _columnwise(gmres, a, b, x0, precond=precond, tol=tol,
+                           maxiter=maxiter, restart=restart)
     n = a.n
     dt = _work_dtype(a, b)
     complex_arith = dt.kind == "c"
@@ -235,7 +381,13 @@ def conjugate_gradient(a: CSCMatrix, b: np.ndarray,
                        precond: Optional[Callable[[np.ndarray], np.ndarray]] = None,
                        tol: float = 1e-12, maxiter: int = 20,
                        x0: Optional[np.ndarray] = None) -> RefinementResult:
-    """Preconditioned conjugate gradient (for SPD matrices)."""
+    """Preconditioned conjugate gradient (for SPD matrices).
+
+    Panel right-hand sides run column by column and merge into one panel
+    result."""
+    if np.asarray(b).ndim == 2:
+        return _columnwise(conjugate_gradient, a, b, x0, precond=precond,
+                           tol=tol, maxiter=maxiter)
     n = a.n
     dt = _work_dtype(a, b)
     complex_arith = dt.kind == "c"

@@ -171,6 +171,7 @@ class Solver:
         a_perm = permute_symmetric(self._a_sym, self.perm)
         t0 = time.perf_counter()
         fac = assemble(a_perm, self.symbolic, cfg)
+        kernel_calls_before = fac.backend.counts_snapshot()
         if cfg.trace:
             from repro.runtime.trace import TaskTracer
 
@@ -200,6 +201,12 @@ class Solver:
         else:
             run_sequential(fac, checkpoint=writer)
         self._finalize_stats(fac, t0)
+        delta = fac.backend.counts_delta(kernel_calls_before)
+        fac.stats.backend = fac.backend.name
+        fac.stats.add_backend_calls(delta)
+        if cfg.telemetry is not None:
+            cfg.telemetry.record_backend_kernels(fac.backend.name, delta,
+                                                 phase="factorize")
         self.factor = fac
         return fac.stats
 
@@ -342,14 +349,18 @@ class Solver:
               trans: bool = False) -> np.ndarray:
         """Solve ``A x = b`` (single vector or multiple right-hand sides).
 
-        ``trans=True`` solves ``Aᵗ x = b`` instead (same factors, mirrored
-        triangular sweeps — symmetric factorizations are unaffected).
-        With ``refine=True`` one runs the paper's default post-processing:
-        preconditioned GMRES (CG for Cholesky factorizations) until
-        ``refine_tol`` or ``refine_maxiter``.  Refinement supports only a
-        single right-hand side of the untransposed system; asking for it
-        with ``b.ndim > 1`` or ``trans=True`` raises ``ValueError`` (it
-        used to be silently skipped).
+        ``b`` may be a vector ``(n,)`` or a panel ``(n, k)`` of right-hand
+        sides; the result has the same shape.  Panels solve blocked
+        through the column-stable kernels of the configured backend, so a
+        float64 panel solve equals its ``k`` single-RHS solves
+        bit-for-bit.  ``trans=True`` solves ``Aᵗ x = b`` instead (same
+        factors, mirrored triangular sweeps — symmetric factorizations
+        are unaffected).  With ``refine=True`` one runs the paper's
+        default post-processing: preconditioned GMRES (CG for Cholesky
+        factorizations) until ``refine_tol`` or ``refine_maxiter`` —
+        panels refine with per-column convergence tracking.  Refinement
+        of the transposed system is not supported (``trans=True`` with
+        ``refine=True`` raises ``ValueError``).
         """
         if self.factor is None:
             self.factorize()
@@ -362,10 +373,6 @@ class Solver:
                 "would discard imaginary parts; factor with "
                 "config.dtype='complex128' (or solve real/imag parts "
                 "separately)")
-        if refine and b.ndim > 1:
-            raise ValueError(
-                "refine=True supports a single right-hand side; solve each "
-                "column separately or call refine() per column")
         if refine and trans:
             raise ValueError(
                 "refine=True is not implemented for the transposed system "
@@ -376,11 +383,18 @@ class Solver:
         if b.size and not np.isfinite(b).all():
             raise ValueError("right-hand side contains NaN or Inf entries")
         t0 = time.perf_counter()
+        be = self.factor.backend
+        kernel_calls_before = be.counts_snapshot()
         pb = b[self.perm]
         y = self._solve_factored_retry(pb, trans=trans)
         x = np.empty_like(y)
         x[self.perm] = y
         self.factor.stats.solve_time += time.perf_counter() - t0
+        delta = be.counts_delta(kernel_calls_before)
+        self.factor.stats.add_backend_calls(delta)
+        tele = self.config.telemetry
+        if tele is not None:
+            tele.record_backend_kernels(be.name, delta, phase="solve")
         if refine:
             res = self.refine(b, x0=x, tol=refine_tol, maxiter=refine_maxiter)
             return res.x

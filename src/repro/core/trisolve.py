@@ -12,45 +12,62 @@ Conventions (matching :mod:`repro.core.factorization`):
   L blocks).
 * Cholesky: ``P A Pᵗ = L Lᵗ`` with the lower factor in the diagonal blocks.
 
-Right-hand sides may be a vector ``(n,)`` or a block ``(n, k)``.
+Right-hand sides may be a vector ``(n,)`` or a panel ``(n, k)`` — including
+``k = 0``.  The whole solve runs on the *column-stable* panel kernels of the
+factor's :class:`~repro.core.backend.KernelBackend` (``panel_trsm`` /
+``panel_gemm`` / ``lr_apply``): column ``j`` of the result depends only on
+column ``j`` of ``b``, bit-for-bit, so a blocked ``(n, k)`` solve equals
+``k`` single-RHS solves exactly (for identical dtypes).  BLAS gemm/trsm do
+not have that property — their internal blocking changes the summation
+order with the panel width — which is why the solve phase deliberately
+avoids them.  The diagonal blocks are passed packed: the panel kernels read
+only the requested triangle, so no ``np.triu`` copies are taken.
 """
 
 from __future__ import annotations
 
 import numpy as np
-import scipy.linalg as sla
 
+from repro.core.backend import KernelBackend
 from repro.core.factor import Block, NumericFactor
 from repro.lowrank.block import LowRankBlock
 
 
-def _apply_block(block: Block, x_cols: np.ndarray) -> np.ndarray:
-    """``block @ x_cols`` for dense or low-rank block."""
+def _apply_block(be: KernelBackend, block: Block,
+                 x_cols: np.ndarray) -> np.ndarray:
+    """``block @ x_cols`` for dense or low-rank block (column-stable)."""
     if isinstance(block, LowRankBlock):
-        return block.matvec(x_cols)
-    return block @ x_cols
+        return be.lr_apply(block.u, block.v, x_cols, mode="n")
+    return be.panel_gemm(block, x_cols)
 
 
-def _apply_block_t(block: Block, x_rows: np.ndarray) -> np.ndarray:
+def _apply_block_t(be: KernelBackend, block: Block,
+                   x_rows: np.ndarray) -> np.ndarray:
     """``block.T @ x_rows`` (pure transpose — the LU paths)."""
     if isinstance(block, LowRankBlock):
-        return block.tmatvec(x_rows)
-    return block.T @ x_rows
+        return be.lr_apply(block.u, block.v, x_rows, mode="t")
+    return be.panel_gemm(np.ascontiguousarray(block.T), x_rows)
 
 
-def _apply_block_h(block: Block, x_rows: np.ndarray) -> np.ndarray:
+def _apply_block_h(be: KernelBackend, block: Block,
+                   x_rows: np.ndarray) -> np.ndarray:
     """``blockᴴ @ x_rows`` (adjoint — the symmetric backward passes; for
     real blocks ``conj`` is a no-copy pass-through, so this coincides
     bit-for-bit with :func:`_apply_block_t`)."""
     if isinstance(block, LowRankBlock):
-        return block.rmatvec(x_rows)
-    return block.conj().T @ x_rows
+        return be.lr_apply(block.u, block.v, x_rows, mode="h")
+    return be.panel_gemm(np.ascontiguousarray(block.conj().T), x_rows)
 
 
 def solve_factored(fac: NumericFactor, b: np.ndarray,
                    trans: bool = False) -> np.ndarray:
     """Solve ``(P A Pᵗ) x = b`` — or its transpose with ``trans=True`` —
     using the computed factors.
+
+    ``b`` may be ``(n,)`` or an ``(n, k)`` panel; the result has the same
+    shape.  Inputs are normalized to a fresh C-contiguous working copy, so
+    Fortran-ordered or strided right-hand sides give bit-identical results
+    to contiguous ones.
 
     The transposed solve of an LU factorization runs ``Uᵗ z = b`` then
     ``Lᵗ x = z``: the stored ``Uᵗ`` blocks apply *forward* and the ``L``
@@ -63,7 +80,7 @@ def solve_factored(fac: NumericFactor, b: np.ndarray,
     if fac.faults is not None:
         fac.faults.on_trisolve(fac)
     x = np.array(b, dtype=np.result_type(fac.dtype, np.asarray(b).dtype),
-                 copy=True)
+                 copy=True, order="C")
     if x.dtype.kind not in "fc":
         x = x.astype(np.float64)
     single = x.ndim == 1
@@ -88,58 +105,66 @@ def solve_factored(fac: NumericFactor, b: np.ndarray,
 
 def _forward_lu(fac: NumericFactor, x: np.ndarray) -> None:
     """``L y = b`` (unit-lower), overwriting ``x``."""
+    be = fac.backend
     for nc in fac.cblks:
         sym = nc.sym
         lo, hi = sym.first_col, sym.end_col
-        x[lo:hi] = sla.solve_triangular(nc.diag, x[lo:hi], lower=True,
-                                        unit_diagonal=True, check_finite=False)
+        x[lo:hi] = be.panel_trsm(nc.diag, x[lo:hi], lower=True,
+                                 unit_diagonal=True)
         for i, b in enumerate(sym.off_blocks()):
-            x[b.first_row:b.end_row] -= _apply_block(nc.lblock(i), x[lo:hi])
+            x[b.first_row:b.end_row] -= _apply_block(be, nc.lblock(i),
+                                                     x[lo:hi])
 
 
 def _backward_lu(fac: NumericFactor, x: np.ndarray) -> None:
     """``U x = y``; off-diagonal U applied via the stored Uᵗ blocks."""
+    be = fac.backend
     for nc in reversed(fac.cblks):
         sym = nc.sym
         lo, hi = sym.first_col, sym.end_col
         acc = x[lo:hi]
         for i, b in enumerate(sym.off_blocks()):
             # U[k, (i)] = (Uᵗ(i),k)ᵗ
-            acc -= _apply_block_t(nc.ublock(i), x[b.first_row:b.end_row])
-        x[lo:hi] = sla.solve_triangular(np.triu(nc.diag), acc, lower=False, check_finite=False)
+            acc -= _apply_block_t(be, nc.ublock(i), x[b.first_row:b.end_row])
+        x[lo:hi] = be.panel_trsm(nc.diag, acc, lower=False)
 
 
 def _forward_cholesky(fac: NumericFactor, x: np.ndarray) -> None:
+    be = fac.backend
     for nc in fac.cblks:
         sym = nc.sym
         lo, hi = sym.first_col, sym.end_col
-        x[lo:hi] = sla.solve_triangular(nc.diag, x[lo:hi], lower=True, check_finite=False)
+        x[lo:hi] = be.panel_trsm(nc.diag, x[lo:hi], lower=True)
         for i, b in enumerate(sym.off_blocks()):
-            x[b.first_row:b.end_row] -= _apply_block(nc.lblock(i), x[lo:hi])
+            x[b.first_row:b.end_row] -= _apply_block(be, nc.lblock(i),
+                                                     x[lo:hi])
 
 
 def _backward_cholesky(fac: NumericFactor, x: np.ndarray) -> None:
     """``Lᴴ x = y`` using the same L blocks adjoint-applied (``Lᵗ`` for
     real factors)."""
+    be = fac.backend
     trans = "C" if fac.dtype.kind == "c" else "T"
     for nc in reversed(fac.cblks):
         sym = nc.sym
         lo, hi = sym.first_col, sym.end_col
         acc = x[lo:hi]
         for i, b in enumerate(sym.off_blocks()):
-            acc -= _apply_block_h(nc.lblock(i), x[b.first_row:b.end_row])
-        x[lo:hi] = sla.solve_triangular(nc.diag, acc, lower=True, trans=trans, check_finite=False)
+            acc -= _apply_block_h(be, nc.lblock(i), x[b.first_row:b.end_row])
+        x[lo:hi] = be.panel_trsm(nc.diag, acc, lower=True, trans=trans)
 
 
 def _forward_ldlt(fac: NumericFactor, x: np.ndarray) -> None:
     """``L z = b`` with unit-lower L (D shares the diag storage)."""
+    be = fac.backend
     for nc in fac.cblks:
         sym = nc.sym
         lo, hi = sym.first_col, sym.end_col
-        x[lo:hi] = sla.solve_triangular(nc.diag, x[lo:hi], lower=True,
-                                        unit_diagonal=True, check_finite=False)
+        x[lo:hi] = be.panel_trsm(nc.diag, x[lo:hi], lower=True,
+                                 unit_diagonal=True)
         for i, b in enumerate(sym.off_blocks()):
-            x[b.first_row:b.end_row] -= _apply_block(nc.lblock(i), x[lo:hi])
+            x[b.first_row:b.end_row] -= _apply_block(be, nc.lblock(i),
+                                                     x[lo:hi])
 
 
 def _diag_scale_ldlt(fac: NumericFactor, x: np.ndarray) -> None:
@@ -154,36 +179,39 @@ def _diag_scale_ldlt(fac: NumericFactor, x: np.ndarray) -> None:
 
 def _backward_ldlt(fac: NumericFactor, x: np.ndarray) -> None:
     """``Lᴴ x = y`` with the same unit-lower L blocks adjoint-applied."""
+    be = fac.backend
     trans = "C" if fac.dtype.kind == "c" else "T"
     for nc in reversed(fac.cblks):
         sym = nc.sym
         lo, hi = sym.first_col, sym.end_col
         acc = x[lo:hi]
         for i, b in enumerate(sym.off_blocks()):
-            acc -= _apply_block_h(nc.lblock(i), x[b.first_row:b.end_row])
-        x[lo:hi] = sla.solve_triangular(nc.diag, acc, lower=True, trans=trans,
-                                        unit_diagonal=True, check_finite=False)
+            acc -= _apply_block_h(be, nc.lblock(i), x[b.first_row:b.end_row])
+        x[lo:hi] = be.panel_trsm(nc.diag, acc, lower=True, trans=trans,
+                                 unit_diagonal=True)
 
 
 def _forward_ut(fac: NumericFactor, x: np.ndarray) -> None:
     """``Uᵗ z = b`` — Uᵗ is lower triangular and its off-diagonal blocks
     are exactly the stored ``Uᵗ(i),k`` blocks, applied untransposed."""
+    be = fac.backend
     for nc in fac.cblks:
         sym = nc.sym
         lo, hi = sym.first_col, sym.end_col
-        x[lo:hi] = sla.solve_triangular(np.triu(nc.diag), x[lo:hi],
-                                        lower=False, trans="T", check_finite=False)
+        x[lo:hi] = be.panel_trsm(nc.diag, x[lo:hi], lower=False, trans="T")
         for i, b in enumerate(sym.off_blocks()):
-            x[b.first_row:b.end_row] -= _apply_block(nc.ublock(i), x[lo:hi])
+            x[b.first_row:b.end_row] -= _apply_block(be, nc.ublock(i),
+                                                     x[lo:hi])
 
 
 def _backward_lt(fac: NumericFactor, x: np.ndarray) -> None:
     """``Lᵗ x = z`` with the unit-lower L blocks applied transposed."""
+    be = fac.backend
     for nc in reversed(fac.cblks):
         sym = nc.sym
         lo, hi = sym.first_col, sym.end_col
         acc = x[lo:hi]
         for i, b in enumerate(sym.off_blocks()):
-            acc -= _apply_block_t(nc.lblock(i), x[b.first_row:b.end_row])
-        x[lo:hi] = sla.solve_triangular(nc.diag, acc, lower=True, trans="T",
-                                        unit_diagonal=True, check_finite=False)
+            acc -= _apply_block_t(be, nc.lblock(i), x[b.first_row:b.end_row])
+        x[lo:hi] = be.panel_trsm(nc.diag, acc, lower=True, trans="T",
+                                 unit_diagonal=True)

@@ -17,9 +17,12 @@ dispatch follows the paper:
 from __future__ import annotations
 
 import time
-from typing import Optional, Sequence, Union
+from typing import TYPE_CHECKING, Optional, Sequence, Union
 
 import numpy as np
+
+if TYPE_CHECKING:
+    from repro.core.backend import KernelBackend
 
 from repro.lowrank.aca import aca_compress, aca_flops
 from repro.lowrank.block import LowRankBlock
@@ -105,14 +108,21 @@ def compress_block(a: np.ndarray, tol: float, kernel: str,
 
 
 def lr_product(a: Block, b: Block, tol: float, kernel: str,
-               stats: Optional[KernelStats] = None
+               stats: Optional[KernelStats] = None,
+               backend: Optional["KernelBackend"] = None
                ) -> Optional[Block]:
     """Contribution ``a @ b.T`` in the cheapest exact-at-τ representation.
 
     Returns a :class:`LowRankBlock` when at least one operand is low-rank,
     a dense array when both are dense, and ``None`` when the product is
-    numerically zero at the working tolerance.
+    numerically zero at the working tolerance.  The GEMMs run through
+    ``backend`` when given (:mod:`repro.core.backend`), else through the
+    process default.
     """
+    if backend is None:
+        from repro.core.backend import get_backend
+
+        backend = get_backend()
     t0 = time.perf_counter()
     fl = 0.0
     out: Optional[Block]
@@ -120,7 +130,7 @@ def lr_product(a: Block, b: Block, tol: float, kernel: str,
         if a.rank == 0 or b.rank == 0:
             return None
         # eqs. (1)-(4): T = vAᵗ vB, compress T, fold into the orbits
-        t_mat = a.v.T @ b.v                          # (rA, rB)
+        t_mat = backend.gemm(a.v, b.v, trans_a="T")  # (rA, rB)
         fl += 2.0 * a.v.shape[0] * a.rank * b.rank   # (1): Θ(nA rA rB)
         # the T core is tiny (rA x rB): randomized sampling brings nothing
         # there, so 'rsvd' shares the RRQR path
@@ -135,8 +145,8 @@ def lr_product(a: Block, b: Block, tol: float, kernel: str,
         if t_hat.rank == 0:
             out = None
         else:
-            u_ab = a.u @ t_hat.u                     # (3): Θ(mA rA rAB)
-            v_ab = b.u @ t_hat.v                     # (4): Θ(mB rB rAB)
+            u_ab = backend.gemm(a.u, t_hat.u)        # (3): Θ(mA rA rAB)
+            v_ab = backend.gemm(b.u, t_hat.v)        # (4): Θ(mB rB rAB)
             fl += 2.0 * a.m * a.rank * t_hat.rank
             fl += 2.0 * b.m * b.rank * t_hat.rank
             out = LowRankBlock(u_ab, v_ab)
@@ -144,18 +154,18 @@ def lr_product(a: Block, b: Block, tol: float, kernel: str,
         if a.rank == 0:
             return None
         b_arr = b  # dense (m_b, n) — contribution is (a.m, m_b)
-        v_new = b_arr @ a.v                          # (m_b, rA)
+        v_new = backend.gemm(b_arr, a.v)             # (m_b, rA)
         fl += 2.0 * b_arr.shape[0] * b_arr.shape[1] * a.rank
         out = LowRankBlock(a.u, v_new)
     elif isinstance(b, LowRankBlock):
         if b.rank == 0:
             return None
         a_arr = a
-        u_new = a_arr @ b.v                          # (m_a, rB)
+        u_new = backend.gemm(a_arr, b.v)             # (m_a, rB)
         fl += 2.0 * a_arr.shape[0] * a_arr.shape[1] * b.rank
         out = LowRankBlock(u_new, b.u)
     else:
-        out = a @ b.T
+        out = backend.gemm(a, b, trans_b="T")
         fl += 2.0 * a.shape[0] * b.shape[0] * a.shape[1]
     if stats is not None:
         stats.add("lr_product", seconds=time.perf_counter() - t0, flops=fl)
@@ -164,7 +174,8 @@ def lr_product(a: Block, b: Block, tol: float, kernel: str,
 
 def lr2ge_update(target: np.ndarray, contrib: Block,
                  row_off: int, col_off: int,
-                 stats: Optional[KernelStats] = None) -> None:
+                 stats: Optional[KernelStats] = None,
+                 backend: Optional["KernelBackend"] = None) -> None:
     """Subtract ``contrib`` from ``target[row_off:.., col_off:..]`` in place.
 
     The Just-In-Time update kernel: when the contribution is low-rank the
@@ -174,9 +185,13 @@ def lr2ge_update(target: np.ndarray, contrib: Block,
     if isinstance(contrib, LowRankBlock):
         if contrib.rank == 0:
             return
+        if backend is None:
+            from repro.core.backend import get_backend
+
+            backend = get_backend()
         m, n = contrib.m, contrib.n
         target[row_off:row_off + m, col_off:col_off + n] -= \
-            contrib.u @ contrib.v.T
+            backend.gemm(contrib.u, contrib.v, trans_b="T")
         fl = 2.0 * m * n * contrib.rank + m * n
     else:
         m, n = contrib.shape

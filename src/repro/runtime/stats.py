@@ -130,6 +130,10 @@ class FactorizationStats:
         threaded mode).
     nblocks_compressed / nblocks_dense:
         How many off-diagonal blocks ended compressed vs dense.
+    backend / backend_kernel_calls:
+        Name of the kernel backend the run executed on and its per-op call
+        counts (gemm/trsm/getrf/…, accumulated over factorization and
+        solves) — the :mod:`repro.core.backend` accounting.
     """
 
     kernels: KernelStats = field(default_factory=KernelStats)
@@ -140,6 +144,14 @@ class FactorizationStats:
     solve_time: float = 0.0
     nblocks_compressed: int = 0
     nblocks_dense: int = 0
+    backend: str = "numpy"
+    backend_kernel_calls: Dict[str, int] = field(default_factory=dict)
+
+    def add_backend_calls(self, delta: Dict[str, int]) -> None:
+        """Accumulate a per-op call-count delta into the running totals."""
+        for op, n in delta.items():
+            self.backend_kernel_calls[op] = (
+                self.backend_kernel_calls.get(op, 0) + n)
 
     @property
     def memory_ratio(self) -> float:

@@ -66,6 +66,7 @@ from typing import (
     Dict,
     Iterable,
     List,
+    Mapping,
     Optional,
     Sequence,
     Tuple,
@@ -533,6 +534,24 @@ class Telemetry:
         self.emit("refinement", method=method, converged=bool(converged),
                   iterations=max(len(history) - 1, 0),
                   residual_history=[float(r) for r in history])
+
+    def record_backend_kernels(self, backend: str,
+                               calls: Mapping[str, int],
+                               phase: str = "factorize") -> None:
+        """Per-backend kernel call counts of one phase (factorize/solve).
+
+        Publishes one labelled ``backend_kernel_calls`` counter per op
+        (labels: backend name, op, phase) plus a structured
+        ``backend_kernels`` event carrying the whole delta.
+        """
+        total = 0
+        for op, n in calls.items():
+            if n:
+                self.counter("backend_kernel_calls", backend=backend,
+                             op=op, phase=phase).inc(float(n))
+                total += int(n)
+        self.emit("backend_kernels", backend=backend, phase=phase,
+                  total=total, calls={op: int(n) for op, n in calls.items()})
 
     def record_recovery(self, action: str, site: str = "",
                         cblk: Optional[int] = None,

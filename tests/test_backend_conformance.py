@@ -1,0 +1,287 @@
+"""Backend conformance suite.
+
+Every registered :class:`repro.core.backend.KernelBackend` must pass the
+same kernel-level golden checks — gemm / trsm / panel solves on dense and
+low-rank blocks, across all four dtypes — plus the contracts the solver
+relies on:
+
+* **column stability** of the panel kernels: column ``j`` of a blocked
+  result is bit-identical to the single-column result, whatever the
+  panel width;
+* **seed bit-compatibility** of the numpy backend: a float64
+  factorization produces sha256-identical factors to the pre-backend
+  solver (the four pinned digests below were captured from the seed).
+
+A ``numba`` leg is parametrized explicitly so environments with numba
+installed exercise the JIT backend and environments without it report a
+skip (with reason) rather than silently shrinking coverage.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+
+import numpy as np
+import pytest
+
+from repro.core.backend import available_backends, get_backend
+from repro.core.solver import Solver
+from repro.sparse.generators import laplacian_3d
+from tests.conftest import tiny_blr_config
+from tests.test_recovery import factor_digest
+
+DTYPES = (np.float32, np.float64, np.complex64, np.complex128)
+
+#: relative tolerance per dtype for value-level (not bitwise) checks
+RTOL = {
+    np.float32: 5e-5,
+    np.float64: 1e-12,
+    np.complex64: 5e-5,
+    np.complex128: 1e-12,
+}
+
+#: sha256 of the float64 factors on laplacian_3d(6) under the seed code
+#: (tiny_blr_config, tolerance 1e-8) — the numpy backend must reproduce
+#: these bits exactly
+SEED_DIGESTS = {
+    ("just-in-time", "lu"):
+        "f7d30439fcd13c2afdd19ba947a9521a7dff65bdef40c2b083f2aa270270b89a",
+    ("minimal-memory", "lu"):
+        "0ca4df7a8ea8cb789e8bf37cd1677547704bae8cc85777c32d7f5a50fdd9c258",
+    ("dense", "lu"):
+        "560f1a0d8bbf91cbcc47e97efecd295a66ad86b267b44f5a447992b2c3959e1f",
+    ("just-in-time", "cholesky"):
+        "f52daf4d8415a235ea28b374479b40572fb317283894d6a01deb447dbefb86ce",
+}
+
+#: every backend that should be exercised somewhere: registered ones run,
+#: the optional numba leg skips with a reason when not importable
+BACKENDS = sorted(set(available_backends()) | {"numba"})
+
+
+def _backend_param(name):
+    if name == "numba" and importlib.util.find_spec("numba") is None:
+        return pytest.param(
+            name, marks=pytest.mark.skip(
+                reason="numba is not installed; JIT backend unregistered"))
+    return pytest.param(name)
+
+
+backend_names = pytest.mark.parametrize(
+    "backend_name", [_backend_param(n) for n in BACKENDS])
+
+dtypes = pytest.mark.parametrize("dtype", DTYPES,
+                                 ids=lambda d: np.dtype(d).name)
+
+
+def _rand(rng, shape, dtype):
+    a = rng.standard_normal(shape)
+    if np.dtype(dtype).kind == "c":
+        a = a + 1j * rng.standard_normal(shape)
+    return a.astype(dtype)
+
+
+def _tri(rng, n, dtype, lower, unit):
+    """Well-conditioned triangular matrix (unit or dominant diagonal)."""
+    m = _rand(rng, (n, n), dtype)
+    m = np.tril(m) if lower else np.triu(m)
+    if unit:
+        np.fill_diagonal(m, 1.0)
+    else:
+        np.fill_diagonal(m, np.diag(m) + np.array(4.0, dtype=dtype))
+    return m
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(20170529)  # IPDPS'17
+
+
+# ----------------------------------------------------------------------
+# kernel-level goldens, every backend x every dtype
+# ----------------------------------------------------------------------
+
+@backend_names
+@dtypes
+class TestKernelGoldens:
+    def test_gemm(self, backend_name, dtype, rng):
+        be = get_backend(backend_name)
+        a = _rand(rng, (7, 5), dtype)
+        b = _rand(rng, (5, 4), dtype)
+        rtol = RTOL[dtype]
+        np.testing.assert_allclose(be.gemm(a, b), a @ b, rtol=rtol)
+        np.testing.assert_allclose(be.gemm(a, b.T, trans_b="T"),
+                                   a @ b, rtol=rtol)
+        np.testing.assert_allclose(be.gemm(a.T, b, trans_a="T"),
+                                   a @ b, rtol=rtol)
+        np.testing.assert_allclose(be.gemm(a.conj().T, b, trans_a="C"),
+                                   a @ b, rtol=rtol)
+
+    def test_syrk(self, backend_name, dtype, rng):
+        be = get_backend(backend_name)
+        a = _rand(rng, (6, 3), dtype)
+        rtol = RTOL[dtype]
+        np.testing.assert_allclose(be.syrk(a), a @ a.T, rtol=rtol)
+        np.testing.assert_allclose(be.syrk(a, herk=True), a @ a.conj().T,
+                                   rtol=rtol)
+
+    @pytest.mark.parametrize("side", ("left", "right"))
+    @pytest.mark.parametrize("lower", (True, False))
+    @pytest.mark.parametrize("trans", ("N", "T", "C"))
+    @pytest.mark.parametrize("unit", (True, False))
+    def test_trsm(self, backend_name, dtype, rng, side, lower, trans, unit):
+        be = get_backend(backend_name)
+        n, k = 6, 3
+        a = _tri(rng, n, dtype, lower, unit)
+        op = {"N": a, "T": a.T, "C": a.conj().T}[trans]
+        rtol = 200 * RTOL[dtype]
+        if side == "left":
+            b = _rand(rng, (n, k), dtype)
+            x = be.trsm(a, b, side=side, lower=lower, trans=trans,
+                        unit_diagonal=unit)
+            np.testing.assert_allclose(op @ x, b, rtol=rtol, atol=rtol)
+        else:
+            b = _rand(rng, (k, n), dtype)
+            x = be.trsm(a, b, side=side, lower=lower, trans=trans,
+                        unit_diagonal=unit)
+            np.testing.assert_allclose(x @ op, b, rtol=rtol, atol=rtol)
+
+    @pytest.mark.parametrize("lower", (True, False))
+    @pytest.mark.parametrize("trans", ("N", "T", "C"))
+    @pytest.mark.parametrize("unit", (True, False))
+    def test_panel_trsm(self, backend_name, dtype, rng, lower, trans, unit):
+        be = get_backend(backend_name)
+        n, k = 6, 4
+        a = _tri(rng, n, dtype, lower, unit)
+        b = _rand(rng, (n, k), dtype)
+        op = {"N": a, "T": a.T, "C": a.conj().T}[trans]
+        x = be.panel_trsm(a, b, lower=lower, trans=trans,
+                          unit_diagonal=unit)
+        rtol = 200 * RTOL[dtype]
+        np.testing.assert_allclose(op @ x, b, rtol=rtol, atol=rtol)
+
+    def test_panel_trsm_reads_only_requested_triangle(self, backend_name,
+                                                      dtype, rng):
+        """LAPACK-packed diagonal blocks carry L and U in one array; the
+        panel solve must ignore the opposite triangle."""
+        be = get_backend(backend_name)
+        a = _tri(rng, 5, dtype, lower=True, unit=False)
+        packed = a + np.triu(_rand(rng, (5, 5), dtype), 1)  # garbage above
+        b = _rand(rng, (5, 2), dtype)
+        x_clean = be.panel_trsm(a, b, lower=True)
+        x_packed = be.panel_trsm(packed, b, lower=True)
+        np.testing.assert_array_equal(x_clean, x_packed)
+
+    def test_panel_gemm(self, backend_name, dtype, rng):
+        be = get_backend(backend_name)
+        a = _rand(rng, (6, 4), dtype)
+        x = _rand(rng, (4, 3), dtype)
+        np.testing.assert_allclose(be.panel_gemm(a, x), a @ x,
+                                   rtol=RTOL[dtype], atol=RTOL[dtype])
+
+    @pytest.mark.parametrize("mode", ("n", "t", "h"))
+    def test_lr_apply(self, backend_name, dtype, rng, mode):
+        be = get_backend(backend_name)
+        u = _rand(rng, (6, 2), dtype)
+        v = _rand(rng, (5, 2), dtype)
+        x = _rand(rng, (5 if mode == "n" else 6, 3), dtype)
+        block = u @ v.T
+        ref = {"n": block, "t": block.T, "h": block.conj().T}[mode] @ x
+        np.testing.assert_allclose(be.lr_apply(u, v, x, mode=mode), ref,
+                                   rtol=10 * RTOL[dtype],
+                                   atol=10 * RTOL[dtype])
+
+    @pytest.mark.parametrize("mode", ("n", "t", "h"))
+    def test_lr_apply_rank_zero(self, backend_name, dtype, rng, mode):
+        be = get_backend(backend_name)
+        u = np.zeros((6, 0), dtype=dtype)
+        v = np.zeros((5, 0), dtype=dtype)
+        x = _rand(rng, (5 if mode == "n" else 6, 3), dtype)
+        out = be.lr_apply(u, v, x, mode=mode)
+        assert out.shape == ((6, 3) if mode == "n" else (5, 3))
+        assert out.dtype == np.result_type(u, v, x)
+        assert not out.any()
+
+
+# ----------------------------------------------------------------------
+# the column-stability contract (bitwise, every backend x every dtype)
+# ----------------------------------------------------------------------
+
+@backend_names
+@dtypes
+class TestColumnStability:
+    """Panel kernels: column j of a blocked result == the single-column
+    result, bit for bit, at every panel width."""
+
+    def test_panel_trsm_width_invariant(self, backend_name, dtype, rng):
+        be = get_backend(backend_name)
+        n, k = 12, 7
+        a = _tri(rng, n, dtype, lower=True, unit=False)
+        b = _rand(rng, (n, k), dtype)
+        full = be.panel_trsm(a, b, lower=True)
+        for j in range(k):
+            single = be.panel_trsm(a, b[:, j:j + 1], lower=True)
+            np.testing.assert_array_equal(full[:, j:j + 1], single)
+
+    def test_panel_gemm_width_invariant(self, backend_name, dtype, rng):
+        be = get_backend(backend_name)
+        a = _rand(rng, (9, 6), dtype)
+        x = _rand(rng, (6, 5), dtype)
+        full = be.panel_gemm(a, x)
+        for j in range(5):
+            single = be.panel_gemm(a, x[:, j:j + 1])
+            np.testing.assert_array_equal(full[:, j:j + 1], single)
+
+    def test_lr_apply_width_invariant(self, backend_name, dtype, rng):
+        be = get_backend(backend_name)
+        u = _rand(rng, (8, 3), dtype)
+        v = _rand(rng, (6, 3), dtype)
+        x = _rand(rng, (6, 4), dtype)
+        full = be.lr_apply(u, v, x)
+        for j in range(4):
+            single = be.lr_apply(u, v, x[:, j:j + 1])
+            np.testing.assert_array_equal(full[:, j:j + 1], single)
+
+
+# ----------------------------------------------------------------------
+# end-to-end: blocked solves per backend, and the seed digest pins
+# ----------------------------------------------------------------------
+
+@backend_names
+class TestEndToEnd:
+    @pytest.mark.parametrize("strategy",
+                             ("dense", "just-in-time", "minimal-memory"))
+    def test_blocked_solve_matches_columns(self, backend_name, strategy):
+        rng = np.random.default_rng(7)
+        a = laplacian_3d(5)
+        s = Solver(a, tiny_blr_config(strategy=strategy, tolerance=1e-8,
+                                      backend=backend_name))
+        s.factorize()
+        b = rng.standard_normal((a.n, 5))
+        x = s.solve(b)
+        for j in range(5):
+            np.testing.assert_array_equal(
+                x[:, j], s.solve(np.ascontiguousarray(b[:, j])))
+
+    def test_backend_recorded_in_stats(self, backend_name):
+        a = laplacian_3d(4)
+        s = Solver(a, tiny_blr_config(backend=backend_name))
+        s.factorize()
+        assert s.stats.backend == backend_name
+        calls = s.stats.backend_kernel_calls
+        assert calls.get("getrf", 0) > 0
+        s.solve(np.ones(a.n))
+        assert calls.get("panel_trsm", 0) > 0
+
+
+class TestSeedBitCompatibility:
+    """The numpy backend reproduces the pre-backend float64 factors
+    bit-for-bit (sha256 over every factor array)."""
+
+    @pytest.mark.parametrize("strategy,factotype", sorted(SEED_DIGESTS))
+    def test_factor_digest_pinned(self, strategy, factotype):
+        a = laplacian_3d(6)
+        s = Solver(a, tiny_blr_config(strategy=strategy, factotype=factotype,
+                                      tolerance=1e-8, backend="numpy"))
+        s.factorize()
+        assert factor_digest(s.factor) == SEED_DIGESTS[(strategy, factotype)]

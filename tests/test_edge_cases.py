@@ -131,3 +131,69 @@ class TestCliRandomRhs:
         rc = main(["solve", "--generate", "lap3d:4", "--rhs", "random",
                    "--seed", "7"])
         assert rc == 0
+
+
+class TestMultiRhsEdges:
+    """Degenerate panel shapes and layouts through the blocked solve."""
+
+    def test_empty_panel(self, rng):
+        a = laplacian_2d(4)
+        s = Solver(a, tiny_blr_config())
+        s.factorize()
+        b = np.zeros((a.n, 0))
+        x = s.solve(b)
+        assert x.shape == (a.n, 0)
+        x = s.solve(b, refine=True)
+        assert x.shape == (a.n, 0)
+
+    def test_k1_panel_equals_vector_bitwise(self, rng):
+        a = laplacian_3d(5)
+        s = Solver(a, tiny_blr_config(strategy="minimal-memory",
+                                      tolerance=1e-8))
+        s.factorize()
+        b = rng.standard_normal(a.n)
+        x_vec = s.solve(b)
+        x_panel = s.solve(b[:, None])
+        assert x_vec.ndim == 1 and x_panel.shape == (a.n, 1)
+        np.testing.assert_array_equal(x_panel[:, 0], x_vec)
+
+    def test_fortran_order_rhs_bitwise(self, rng):
+        a = laplacian_3d(5)
+        s = Solver(a, tiny_blr_config(strategy="just-in-time",
+                                      tolerance=1e-8))
+        s.factorize()
+        b = rng.standard_normal((a.n, 4))
+        x_c = s.solve(b)
+        x_f = s.solve(np.asfortranarray(b))
+        np.testing.assert_array_equal(x_c, x_f)
+
+    def test_noncontiguous_rhs_bitwise(self, rng):
+        a = laplacian_3d(5)
+        s = Solver(a, tiny_blr_config(strategy="just-in-time",
+                                      tolerance=1e-8))
+        s.factorize()
+        wide = rng.standard_normal((a.n, 8))
+        view = wide[:, ::2]                      # stride-2 view, k=4
+        assert not view.flags["C_CONTIGUOUS"]
+        x_view = s.solve(view)
+        x_copy = s.solve(np.ascontiguousarray(view))
+        np.testing.assert_array_equal(x_view, x_copy)
+
+    def test_complex_panel_against_real_factorization_raises(self, rng):
+        a = laplacian_2d(4)
+        s = Solver(a, tiny_blr_config())
+        s.factorize()
+        b = rng.standard_normal((a.n, 2)).astype(np.complex128)
+        with pytest.raises(ValueError, match="complex right-hand side"):
+            s.solve(b)
+
+    def test_refined_panel_columns_converge(self, rng):
+        a = laplacian_3d(5)
+        s = Solver(a, tiny_blr_config(strategy="minimal-memory",
+                                      tolerance=1e-4))
+        s.factorize()
+        b = rng.standard_normal((a.n, 3))
+        x = s.solve(b, refine=True, refine_tol=1e-12)
+        for j in range(3):
+            rj = np.linalg.norm(a.matvec(x[:, j]) - b[:, j])
+            assert rj / np.linalg.norm(b[:, j]) <= 1e-10

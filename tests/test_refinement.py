@@ -155,3 +155,90 @@ class TestSolverRefineIntegration:
         x_plain = s.solve(b)
         x_ref = s.solve(b, refine=True)
         assert s.backward_error(x_ref, b) <= s.backward_error(x_plain, b)
+
+
+class TestPanelRefinement:
+    """Multi-RHS refinement: ``(n, k)`` panels are refined per column to
+    the same backward error as the corresponding single-RHS runs."""
+
+    def test_panel_matches_single_rhs_backward_error(self, rng):
+        a = laplacian_3d(6)
+        s = Solver(a, tiny_blr_config(strategy="minimal-memory",
+                                      tolerance=1e-4))
+        s.factorize()
+        b = rng.standard_normal((a.n, 4))
+        res = iterative_refinement(a, b, s._precond, tol=1e-12, maxiter=20)
+        assert res.x.shape == (a.n, 4)
+        assert res.converged
+        assert res.col_history is not None and len(res.col_history) == 4
+        for j in range(4):
+            col = iterative_refinement(a, np.ascontiguousarray(b[:, j]),
+                                       s._precond, tol=1e-12, maxiter=20)
+            err_panel = (np.linalg.norm(a.matvec(res.x[:, j]) - b[:, j])
+                         / np.linalg.norm(b[:, j]))
+            err_single = (np.linalg.norm(a.matvec(col.x) - b[:, j])
+                          / np.linalg.norm(b[:, j]))
+            assert err_panel <= max(1e-11, 10 * err_single)
+
+    def test_panel_column_histories_match_single_rhs(self, rng):
+        """Per-column histories equal the single-RHS histories exactly:
+        the active-column bookkeeping must not change the arithmetic."""
+        a = laplacian_3d(5)
+        s = Solver(a, tiny_blr_config(strategy="minimal-memory",
+                                      tolerance=1e-4))
+        s.factorize()
+        b = rng.standard_normal((a.n, 3))
+        res = iterative_refinement(a, b, s._precond, tol=1e-12, maxiter=20)
+        for j in range(3):
+            col = iterative_refinement(a, np.ascontiguousarray(b[:, j]),
+                                       s._precond, tol=1e-12, maxiter=20)
+            assert res.col_history[j] == pytest.approx(list(col.history))
+
+    def test_merged_history_is_per_column_max(self, rng):
+        a = laplacian_3d(5)
+        s = Solver(a, tiny_blr_config(strategy="minimal-memory",
+                                      tolerance=1e-4))
+        s.factorize()
+        b = rng.standard_normal((a.n, 3))
+        res = iterative_refinement(a, b, s._precond, tol=1e-12, maxiter=20)
+        for i, h in enumerate(res.history):
+            per_col = max(c[min(i, len(c) - 1)] for c in res.col_history)
+            assert h == pytest.approx(per_col)
+
+    def test_zero_columns_converge_immediately(self, rng):
+        a = laplacian_2d(4)
+        s = Solver(a, tiny_blr_config())
+        s.factorize()
+        b = np.zeros((a.n, 2))
+        b[:, 1] = rng.standard_normal(a.n)
+        res = iterative_refinement(a, b, s._precond, tol=1e-12, maxiter=20)
+        assert res.converged
+        np.testing.assert_array_equal(res.x[:, 0], 0)
+        assert res.col_history[0] == []
+
+    def test_gmres_panel_runs_per_column(self, rng):
+        a = laplacian_2d(4)
+        b = rng.standard_normal((a.n, 3))
+        res = gmres(a, b, tol=1e-10, maxiter=200, restart=50)
+        assert res.x.shape == (a.n, 3)
+        assert res.converged
+        for j in range(3):
+            rj = np.linalg.norm(a.matvec(res.x[:, j]) - b[:, j])
+            assert rj / np.linalg.norm(b[:, j]) <= 1e-9
+
+    def test_cg_panel_runs_per_column(self, rng):
+        a = laplacian_2d(4)
+        b = rng.standard_normal((a.n, 2))
+        res = conjugate_gradient(a, b, tol=1e-10, maxiter=300)
+        assert res.x.shape == (a.n, 2)
+        assert res.converged
+
+    def test_solver_refine_accepts_panel(self, rng):
+        a = laplacian_3d(5)
+        s = Solver(a, tiny_blr_config(strategy="minimal-memory",
+                                      tolerance=1e-6))
+        s.factorize()
+        b = rng.standard_normal((a.n, 3))
+        res = s.refine(b, tol=1e-12, maxiter=20)
+        assert res.x.shape == (a.n, 3)
+        assert res.backward_error <= 1e-10

@@ -272,6 +272,41 @@ class TestBenchdiff:
         assert findings == []
         assert len(notes) == 2  # one missing, one new
 
+    def test_speedup_floor_fails_absolute(self):
+        base = _bench_payload(multirhs_speedup=8.0)
+        cur = _bench_payload(multirhs_speedup=2.0)
+        findings, _ = compare(base, cur)
+        assert any(f.metric == "multirhs_speedup" and f.severity == "fail"
+                   for f in findings)
+        # above the floor passes even when slower than the baseline
+        cur = _bench_payload(multirhs_speedup=4.0)
+        findings, _ = compare(base, cur)
+        assert not any(f.metric == "multirhs_speedup" for f in findings)
+
+    def test_speedup_floor_applies_without_baseline(self):
+        """A brand-new speedup entry below the floor already fails —
+        the absolute gate must not wait a PR for a baseline."""
+        base = _bench_payload()
+        cur = _bench_payload(multirhs_speedup=1.5)
+        findings, notes = compare(base, cur)
+        fails = [f for f in findings if f.metric == "multirhs_speedup"]
+        assert fails and fails[0].severity == "fail"
+        assert fails[0].baseline == Thresholds().speedup_floor
+        # a new *label* carrying a bad speedup fails too
+        cur2 = _bench_payload(multirhs_speedup=1.5)
+        cur2["history"][-1]["results"][0]["label"] = "multirhs"
+        findings2, _ = compare(base, cur2)
+        assert any(f.metric == "multirhs_speedup" and f.severity == "fail"
+                   for f in findings2)
+
+    def test_speedup_floor_cli_flag(self, tmp_path, capsys):
+        ok = tmp_path / "ok.json"
+        ok.write_text(json.dumps(_bench_payload(multirhs_speedup=5.0)))
+        assert benchdiff_run([str(ok), str(ok)]) == 0
+        assert benchdiff_run([str(ok), str(ok),
+                              "--speedup-floor", "6.0"]) == 1
+        capsys.readouterr()
+
     def test_run_report_inputs(self, tmp_path):
         s = _reported_solver("just-in-time")
         base = s.run_report(workload="w", backward_error=1e-9)

@@ -201,16 +201,22 @@ class TestInputValidation:
 
 
 class TestRefineValidation:
-    """Regression: ``solve(refine=True)`` used to silently skip refinement
-    for multi-RHS or transposed solves — it must now refuse loudly."""
+    """``solve(refine=True)`` refines panels per column (the PR-1 multi-RHS
+    ``ValueError`` is gone) and still refuses the transposed system."""
 
-    def test_refine_rejects_multiple_rhs(self, rng):
+    def test_refine_accepts_multiple_rhs(self, rng):
         a = laplacian_2d(4)
         s = Solver(a, tiny_blr_config())
         s.factorize()
         b = rng.standard_normal((a.n, 3))
-        with pytest.raises(ValueError, match="single right-hand side"):
-            s.solve(b, refine=True)
+        x = s.solve(b, refine=True, refine_tol=1e-12)
+        assert x.shape == b.shape
+        res = s.last_refinement
+        assert res.converged
+        assert res.col_history is not None and len(res.col_history) == 3
+        for j in range(3):
+            rj = np.linalg.norm(a.matvec(x[:, j]) - b[:, j])
+            assert rj / np.linalg.norm(b[:, j]) <= 1e-10
 
     def test_refine_rejects_transpose(self, rng):
         a = laplacian_2d(4)

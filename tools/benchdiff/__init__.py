@@ -12,7 +12,11 @@ deliberately asymmetric across metric classes:
   factorization is reproducible, so growth is a real regression;
 * **accuracy** (``backward_error``) *fails* when it degrades by more than
   a configurable factor — the paper's τ-accuracy contract is the one
-  property a BLR solver must never silently lose.
+  property a BLR solver must never silently lose;
+* **speedup metrics** (``multirhs_speedup``) *fail* when the current
+  value drops below an absolute floor — the blocked multi-RHS solve must
+  stay meaningfully faster than sequential single-RHS solves, regardless
+  of what the baseline measured.
 
 Inputs may be ``BENCH_*.json`` files (both the current history format and
 the legacy single-run layout) or ``RunReport`` artifacts
@@ -38,16 +42,19 @@ __all__ = [
     "render_findings",
 ]
 
-#: metrics compared, with their class ("time" warns, "bytes"/"error" fail)
+#: metrics compared, with their class ("time" warns, "bytes"/"error"
+#: fail on ratio regressions, "speedup" fails below an absolute floor)
 METRIC_CLASSES: Dict[str, str] = {
     "facto_time_s": "time",
     "solve_time_s": "time",
+    "solve_seq_time_s": "time",
     "analyze_time": "time",
     "factor_time": "time",
     "solve_time": "time",
     "factor_nbytes": "bytes",
     "peak_nbytes": "bytes",
     "backward_error": "error",
+    "multirhs_speedup": "speedup",
 }
 
 
@@ -59,12 +66,15 @@ class Thresholds:
     ``bytes_fail=0.10`` fails when a byte metric grows by more than 10 %;
     ``error_fail=10.0`` fails when the backward error degrades by more
     than a factor of 10 (errors are compared multiplicatively — they live
-    on a log scale).
+    on a log scale); ``speedup_floor=3.0`` fails when a speedup metric
+    falls below 3x (an absolute gate, not a baseline ratio — a slow
+    baseline must not grandfather in a slow current run).
     """
 
     time_warn: float = 0.25
     bytes_fail: float = 0.10
     error_fail: float = 10.0
+    speedup_floor: float = 3.0
 
 
 @dataclass(frozen=True)
@@ -143,6 +153,16 @@ def extract_metrics(data: Dict[str, Any]) -> Dict[str, Dict[str, float]]:
     return table
 
 
+def _floor_findings(label: str, metrics: Dict[str, float],
+                    th: Thresholds) -> List[Finding]:
+    """Absolute-floor checks that apply without a baseline (speedups)."""
+    return [
+        Finding("fail", label, metric, th.speedup_floor, cv)
+        for metric, cv in sorted(metrics.items())
+        if METRIC_CLASSES[metric] == "speedup" and cv < th.speedup_floor
+    ]
+
+
 def compare(baseline: Dict[str, Any], current: Dict[str, Any],
             thresholds: Optional[Thresholds] = None
             ) -> Tuple[List[Finding], List[str]]:
@@ -150,6 +170,10 @@ def compare(baseline: Dict[str, Any], current: Dict[str, Any],
 
     ``notes`` reports labels/metrics present on one side only (these are
     informational, never failures: adding a variant must not break CI).
+    The exception is the absolute ``speedup`` class: its floor applies to
+    the *current* value even when the label or metric has no baseline —
+    a brand-new speedup entry below the floor is already a failure (the
+    finding's ``baseline`` field then reports the floor itself).
     """
     th = thresholds or Thresholds()
     base = extract_metrics(baseline)
@@ -163,6 +187,7 @@ def compare(baseline: Dict[str, Any], current: Dict[str, Any],
             continue
         if label not in base:
             notes.append(f"label {label!r} is new (no baseline)")
+            findings.extend(_floor_findings(label, cur[label], th))
             continue
         b, c = base[label], cur[label]
         for metric in sorted(set(b) | set(c)):
@@ -172,6 +197,8 @@ def compare(baseline: Dict[str, Any], current: Dict[str, Any],
                 continue
             if metric not in b:
                 notes.append(f"{label}: metric {metric!r} is new")
+                findings.extend(_floor_findings(
+                    label, {metric: c[metric]}, th))
                 continue
             bv, cv = b[metric], c[metric]
             cls = METRIC_CLASSES[metric]
@@ -180,6 +207,9 @@ def compare(baseline: Dict[str, Any], current: Dict[str, Any],
                     findings.append(Finding("warn", label, metric, bv, cv))
             elif cls == "bytes":
                 if bv > 0 and cv > bv * (1.0 + th.bytes_fail):
+                    findings.append(Finding("fail", label, metric, bv, cv))
+            elif cls == "speedup":
+                if cv < th.speedup_floor:
                     findings.append(Finding("fail", label, metric, bv, cv))
             else:  # error
                 if bv > 0 and cv > bv * th.error_fail:

@@ -4,7 +4,7 @@ Usage::
 
     python -m tools.benchdiff BASELINE CURRENT \
         [--time-warn 0.25] [--bytes-fail 0.10] [--error-fail 10] \
-        [--fail-on-warn]
+        [--speedup-floor 3.0] [--fail-on-warn]
 
 Exit codes: 0 no findings (or warnings only), 1 failures (or warnings
 under ``--fail-on-warn``), 2 usage errors (unreadable/mismatched files).
@@ -37,6 +37,11 @@ def run(argv: Optional[List[str]] = None) -> int:
                         metavar="FACTOR",
                         help="fail when the backward error degrades by "
                              "more than this factor (default 10)")
+    parser.add_argument("--speedup-floor", type=float, default=3.0,
+                        metavar="FACTOR",
+                        help="fail when a speedup metric (e.g. the blocked "
+                             "multi-RHS solve) drops below this absolute "
+                             "factor (default 3.0)")
     parser.add_argument("--fail-on-warn", action="store_true",
                         help="treat warnings as failures (exit 1)")
     try:
@@ -44,7 +49,8 @@ def run(argv: Optional[List[str]] = None) -> int:
     except SystemExit as exc:  # argparse exits 2 on usage errors already
         return int(exc.code or 0)
 
-    if args.time_warn < 0 or args.bytes_fail < 0 or args.error_fail < 1.0:
+    if (args.time_warn < 0 or args.bytes_fail < 0 or args.error_fail < 1.0
+            or args.speedup_floor < 0):
         print("benchdiff: thresholds must be >= 0 (error factor >= 1)",
               file=sys.stderr)
         return 2
@@ -56,7 +62,8 @@ def run(argv: Optional[List[str]] = None) -> int:
             baseline, current,
             Thresholds(time_warn=args.time_warn,
                        bytes_fail=args.bytes_fail,
-                       error_fail=args.error_fail))
+                       error_fail=args.error_fail,
+                       speedup_floor=args.speedup_floor))
     except ValueError as exc:
         print(f"benchdiff: {exc}", file=sys.stderr)
         return 2
