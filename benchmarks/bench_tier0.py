@@ -44,18 +44,26 @@ TOLERANCE = 1e-6
 #: keep at most this many history records (oldest dropped first)
 HISTORY_LIMIT = 200
 
-#: (label, config overrides) — the tracked precision variants
+#: (label, config overrides) — the tracked precision variants plus the
+#: BLR variant-engine ablation (every explicit loop order + adaptive)
 VARIANTS = (
     ("float64", dict()),
     ("float32", dict(dtype="float32")),
     ("float64+float32-storage", dict(storage_dtype="float32")),
+    ("float64-variant-cuf", dict(variant="cuf")),
+    ("float64-variant-ucf", dict(variant="ucf")),
+    ("float64-variant-ufc", dict(variant="ufc")),
+    ("float64-variant-fuc", dict(variant="fuc")),
+    ("float64-adaptive", dict(strategy="adaptive")),
 )
 
 
 def _config(**overrides: Any) -> SolverConfig:
-    return SolverConfig.laptop_scale(
+    base: Dict[str, Any] = dict(
         strategy="just-in-time", factotype="lu", tolerance=TOLERANCE,
-        rank_ratio=1.0, **overrides)
+        rank_ratio=1.0)
+    base.update(overrides)
+    return SolverConfig.laptop_scale(**base)
 
 
 #: panel width of the multi-RHS variant (compare across commits!)

@@ -25,6 +25,11 @@ Public API highlights:
 * :mod:`repro.core.backend` — pluggable kernel backends
   (``SolverConfig(backend="numba")`` / ``$REPRO_BACKEND``) behind a
   column-stable multi-RHS solve path (``docs/performance.md``).
+* :class:`~repro.core.variants.BlrVariant` /
+  :class:`~repro.core.variants.AdaptivePolicy` — the composable variant
+  engine: explicit loop orders (``cuf``/``ucf``/``ufc``/``fuc``), scaled
+  compression thresholds, and per-supernode adaptive strategy selection
+  (``SolverConfig(strategy="adaptive")``; ``docs/variants.md``).
 """
 
 from repro.config import SolverConfig
@@ -35,6 +40,7 @@ from repro.core.backend import (
     register_backend,
 )
 from repro.core.solver import Solver
+from repro.core.variants import AdaptivePolicy, BlrVariant
 from repro.runtime.recovery import NumericalBreakdown, RecoveryPolicy
 from repro.runtime.telemetry import Telemetry
 from repro.core.refinement import gmres, conjugate_gradient, iterative_refinement
@@ -53,6 +59,8 @@ __version__ = "1.0.0"
 __all__ = [
     "Solver",
     "SolverConfig",
+    "AdaptivePolicy",
+    "BlrVariant",
     "Telemetry",
     "NumericalBreakdown",
     "RecoveryPolicy",

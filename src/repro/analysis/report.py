@@ -86,6 +86,30 @@ def build_run_report(solver: "Solver", workload: Optional[str] = None,
                            if res.history else None),
     }
 
+    # resolved BLR variant of the factorization (loop order, threshold
+    # mode, effective compression threshold) plus the adaptive policy's
+    # per-supernode decisions when strategy="adaptive"
+    v = fac.variant
+    decisions = fac.decisions
+    decision_counts: Optional[Dict[str, int]] = None
+    if decisions is not None:
+        decision_counts = {}
+        for d in decisions:
+            decision_counts[d.order] = decision_counts.get(d.order, 0) + 1
+    report["variants"] = {
+        "strategy": solver.config.strategy,
+        "order": None if v is None else v.order,
+        "threshold_mode": None if v is None else v.threshold_mode,
+        "recompress_updates": None if v is None else v.recompress,
+        "comp_tol": fac.comp_tol,
+        "comp_norm_ref": fac.comp_norm_ref,
+        "global_norm": fac.global_norm,
+        "adaptive": decisions is not None,
+        "decision_counts": decision_counts,
+        "decisions": (None if decisions is None
+                      else [d.as_dict() for d in decisions]),
+    }
+
     # self-healing digest of the last recovery-enabled run (already plain
     # JSON: action dicts + counts), or null when recovery never engaged
     report["recovery"] = solver.last_recovery
@@ -240,6 +264,27 @@ def render_markdown(report: Dict[str, Any],
             lines.append("")
             lines.append("Residual history: "
                          + ", ".join(_fmt(h) for h in hist))
+        lines.append("")
+
+    var = report.get("variants")
+    if var:
+        lines.append("## BLR variant")
+        lines.append("")
+        lines += _table(
+            ["metric", "value"],
+            [["loop order", var.get("order") or "dense"],
+             ["threshold mode", var.get("threshold_mode")],
+             ["recompress updates", var.get("recompress_updates")],
+             ["effective τ", var.get("comp_tol")],
+             ["norm reference", var.get("comp_norm_ref")],
+             ["‖A‖_F", var.get("global_norm")]])
+        counts = var.get("decision_counts") or {}
+        if counts:
+            lines.append("")
+            lines.append("Adaptive per-supernode decisions:")
+            lines.append("")
+            lines += _table(["order", "supernodes"],
+                            [[k, v] for k, v in sorted(counts.items())])
         lines.append("")
 
     rec = report.get("recovery")

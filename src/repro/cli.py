@@ -11,7 +11,12 @@ Commands
     Run only the value-free analysis and print (or render to SVG) the
     symbolic block structure — the Figure 1 view.
 ``bench``
-    Quick strategy comparison on one matrix (dense vs JIT vs MM).
+    Quick strategy comparison on one matrix (dense vs JIT vs MM vs
+    adaptive).
+``bench-variants``
+    Ablation over the BLR variant space: every loop order (cuf/ucf/ufc/
+    fuc) crossed with the requested threshold modes, plus the adaptive
+    strategy and the dense reference.
 ``report``
     Render a ``RunReport`` JSON artifact (written by ``solve --report``)
     to markdown, optionally regenerating its SVG figures.
@@ -55,6 +60,7 @@ from repro.config import (
     SolverConfig,
 )
 from repro.core.solver import Solver
+from repro.core.variants import ORDERS, THRESHOLD_MODES
 from repro.runtime.stats import KERNEL_CATEGORIES
 from repro.sparse.csc import CSCMatrix
 from repro.sparse.generators import (
@@ -104,6 +110,9 @@ def _config(args: argparse.Namespace) -> SolverConfig:
         recovery = RecoveryPolicy()
     return SolverConfig.laptop_scale(
         strategy=args.strategy,
+        variant=getattr(args, "variant", None),
+        threshold_mode=getattr(args, "threshold_mode", "local"),
+        recompress_updates=getattr(args, "recompress_updates", True),
         kernel=args.kernel,
         tolerance=args.tolerance,
         factotype=args.factotype,
@@ -124,6 +133,19 @@ def _add_common(p: argparse.ArgumentParser) -> None:
     p.add_argument("--generate", metavar="NAME:SIZE",
                    help=f"built-in workload: {sorted(GENERATORS)}")
     p.add_argument("--strategy", default="just-in-time", choices=STRATEGIES)
+    p.add_argument("--variant", default=None, choices=ORDERS,
+                   help="pin an explicit BLR loop order (cuf/ucf/ufc/fuc) "
+                        "instead of the strategy alias; requires a BLR "
+                        "strategy -- see docs/variants.md")
+    p.add_argument("--threshold-mode", default="local",
+                   dest="threshold_mode", choices=THRESHOLD_MODES,
+                   help="compression threshold scaling (BLR-stability "
+                        "betatype): local block norms, 1/p-scaled, or "
+                        "global ||A||_F referenced")
+    p.add_argument("--no-recompress", action="store_false",
+                   dest="recompress_updates",
+                   help="skip recompression of low-rank update products "
+                        "(faster updates, larger intermediate ranks)")
     p.add_argument("--kernel", default="rrqr", choices=KERNELS)
     p.add_argument("--tolerance", type=float, default=1e-8)
     p.add_argument("--factotype", default="lu", choices=FACTOTYPES)
@@ -325,6 +347,63 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench_variants(args: argparse.Namespace) -> int:
+    """Ablation table over the BLR variant space on one matrix.
+
+    One row per (loop order × threshold mode) combination plus the
+    adaptive strategy and the dense reference — factorization time,
+    factor size, memory ratio and backward error, optionally dumped as
+    JSON for archival/benchdiff-style consumption.
+    """
+    import json
+
+    a = _load_matrix(args)
+    rng = np.random.default_rng(args.seed)
+    b = rng.standard_normal(a.n)
+    modes = [m for m in args.modes.split(",") if m]
+    for m in modes:
+        if m not in THRESHOLD_MODES:
+            raise SystemExit(f"unknown threshold mode {m!r}; choose from "
+                             f"{list(THRESHOLD_MODES)}")
+
+    runs = [(f"{order}/{mode}",
+             dict(strategy="just-in-time", variant=order,
+                  threshold_mode=mode))
+            for order in ORDERS for mode in modes]
+    runs.append(("adaptive", dict(strategy="adaptive", variant=None)))
+    runs.append(("dense", dict(strategy="dense", variant=None,
+                               threshold_mode="local")))
+
+    print(f"{'variant':>22} {'time(s)':>8} {'MB':>9} {'mem':>6} "
+          f"{'backward':>10}")
+    records = []
+    for label, overrides in runs:
+        cfg = _config(args).with_options(**overrides)
+        solver = Solver(a, cfg)
+        t0 = time.perf_counter()
+        stats = solver.factorize()
+        dt = time.perf_counter() - t0
+        err = solver.backward_error(solver.solve(b), b)
+        print(f"{label:>22} {dt:8.2f} {stats.factor_nbytes / 1e6:9.2f} "
+              f"{stats.memory_ratio:6.3f} {err:10.1e}")
+        records.append({"variant": label, "factor_time": dt,
+                        "factor_nbytes": int(stats.factor_nbytes),
+                        "memory_ratio": float(stats.memory_ratio),
+                        "backward_error": float(err)})
+
+    if args.json:
+        from pathlib import Path
+
+        payload = {"workload": args.generate or args.matrix,
+                   "tolerance": args.tolerance, "kernel": args.kernel,
+                   "runs": records}
+        Path(args.json).write_text(json.dumps(payload, indent=2,
+                                              sort_keys=True) + "\n",
+                                   encoding="utf-8")
+        print(f"variant ablation -> {args.json}")
+    return 0
+
+
 def cmd_backends(args: argparse.Namespace) -> int:
     from repro.core.backend import (
         BACKEND_ENV,
@@ -391,6 +470,18 @@ def main(argv: Optional[list] = None) -> int:
     _add_common(p_bench)
     p_bench.add_argument("--seed", type=int, default=0)
     p_bench.set_defaults(func=cmd_bench)
+
+    p_bv = sub.add_parser("bench-variants",
+                          help="ablate the BLR variant space (loop orders "
+                               "x threshold modes + adaptive + dense)")
+    _add_common(p_bv)
+    p_bv.add_argument("--seed", type=int, default=0)
+    p_bv.add_argument("--modes", default="local",
+                      help="comma-separated threshold modes to sweep "
+                           f"(from {list(THRESHOLD_MODES)}; default: local)")
+    p_bv.add_argument("--json", metavar="FILE",
+                      help="also write the ablation table as JSON")
+    p_bv.set_defaults(func=cmd_bench_variants)
 
     p_res = sub.add_parser("resume",
                            help="finish a checkpointed factorization")

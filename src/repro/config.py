@@ -28,11 +28,15 @@ from typing import TYPE_CHECKING, Any, Optional, Union
 if TYPE_CHECKING:  # numpy is imported lazily at runtime (keep import light)
     import numpy as np
 
+    from repro.core.variants import AdaptivePolicy, BlrVariant
     from repro.runtime.recovery import RecoveryPolicy
     from repro.runtime.telemetry import Telemetry
 
-#: valid factorization strategies
-STRATEGIES = ("dense", "minimal-memory", "just-in-time")
+#: valid factorization strategies.  ``minimal-memory`` and
+#: ``just-in-time`` are aliases into the variant space of
+#: :mod:`repro.core.variants` (``cuf`` / ``ucf``); ``adaptive`` picks a
+#: loop order per supernode via :class:`~repro.core.variants.AdaptivePolicy`
+STRATEGIES = ("dense", "minimal-memory", "just-in-time", "adaptive")
 #: valid compression kernel families.  ``rsvd`` (randomized sampling) is
 #: the extension foreshadowed by the paper's conclusion; ``aca`` (adaptive
 #: cross approximation) is the kernel of the dense BEM BLR solvers of §5.
@@ -59,6 +63,26 @@ class SolverConfig:
     strategy: str = "just-in-time"
     kernel: str = "rrqr"
     tolerance: float = 1e-8
+    #: explicit BLR loop order (``"cuf"``/``"ucf"``/``"ufc"``/``"fuc"``,
+    #: see :mod:`repro.core.variants`); ``None`` derives the order from
+    #: :attr:`strategy` (minimal-memory → cuf, just-in-time → ucf).  An
+    #: explicit order is meaningless under the ``dense`` strategy (no
+    #: compression) and under ``adaptive`` (the order is per supernode).
+    variant: Optional[str] = None
+    #: truncation-threshold mode (the ``betatype`` axis): ``"local"``
+    #: (the paper's per-block rule, default), ``"local-scaled"`` (τ/p),
+    #: ``"global"`` (tail measured against ``||A||_F``), or
+    #: ``"global-scaled"`` (both)
+    threshold_mode: str = "local"
+    #: recompress the T core of every LR·LR product (eqs. 1–4); with
+    #: ``False`` the product keeps rank ``min(rA, rB)`` — intermediate
+    #: recompression off, structural LR2LR recompression still on
+    recompress_updates: bool = True
+    #: per-supernode strategy policy
+    #: (:class:`~repro.core.variants.AdaptivePolicy` or a dict of its
+    #: fields); only meaningful with ``strategy="adaptive"`` — ``None``
+    #: there uses the default policy
+    adaptive: Optional["AdaptivePolicy"] = None
     #: maximum admissible rank as a fraction of min(m, n); blocks whose
     #: revealed rank exceeds it are stored dense (paper §3.4 uses 1/4).
     rank_ratio: float = 0.25
@@ -169,10 +193,63 @@ class SolverConfig:
             raise ValueError("threads must be >= 1")
         if not (0.0 < self.rank_ratio <= 1.0):
             raise ValueError("rank_ratio must be in (0, 1]")
-        if self.left_looking and self.strategy == "minimal-memory":
+        from repro.core.variants import (
+            ORDERS,
+            THRESHOLD_MODES,
+            resolve_variant,
+        )
+
+        if self.variant is not None:
+            if self.variant not in ORDERS:
+                raise ValueError(
+                    f"variant must be one of {ORDERS} (or None), got "
+                    f"{self.variant!r}")
+            if self.strategy == "dense":
+                raise ValueError(
+                    "variant selects a BLR loop order, but the 'dense' "
+                    "strategy never compresses; unset one of them")
+            if self.strategy == "adaptive":
+                raise ValueError(
+                    "the 'adaptive' strategy chooses the loop order per "
+                    "supernode; an explicit variant contradicts it")
+        if self.threshold_mode not in THRESHOLD_MODES:
             raise ValueError(
-                "left_looking delays dense panel allocation; minimal-memory "
-                "never allocates dense panels, so the combination is void")
+                f"threshold_mode must be one of {THRESHOLD_MODES}, got "
+                f"{self.threshold_mode!r}")
+        if self.adaptive is not None:
+            from repro.core.variants import AdaptivePolicy
+
+            if isinstance(self.adaptive, dict):
+                # round-trip support: serialized configs store the policy
+                # as a plain field dict (dataclasses.asdict recurses)
+                object.__setattr__(self, "adaptive",
+                                   AdaptivePolicy(**self.adaptive))
+            elif not isinstance(self.adaptive, AdaptivePolicy):
+                raise TypeError(
+                    "adaptive must be an AdaptivePolicy, a dict of its "
+                    f"fields, or None; got {type(self.adaptive).__name__}")
+            if self.strategy != "adaptive":
+                raise ValueError(
+                    "an adaptive policy requires strategy='adaptive'; got "
+                    f"strategy={self.strategy!r}")
+        if self.left_looking:
+            # the incompatible axis is the loop order, not the strategy
+            # name: any order that compresses before the trailing update
+            # (cuf — compress at assembly) never allocates the dense
+            # panels left-looking exists to defer
+            if self.strategy == "adaptive":
+                raise ValueError(
+                    "left_looking delays dense panel allocation; the "
+                    "'adaptive' strategy may pick the 'cuf' loop order "
+                    "(compress before the trailing update) per supernode, "
+                    "which never allocates dense panels")
+            v = resolve_variant(self)
+            if v is not None and v.compress_at_assembly:
+                raise ValueError(
+                    "left_looking delays dense panel allocation, but loop "
+                    f"order 'cuf' (strategy {self.strategy!r}) compresses "
+                    "before the trailing update and never allocates dense "
+                    "panels; pick a ucf/ufc/fuc order")
         if self.left_looking and self.threads > 1:
             raise ValueError("left_looking is implemented sequentially")
         if self.scheduler not in ("dynamic", "static"):
@@ -250,6 +327,13 @@ class SolverConfig:
     @property
     def is_blr(self) -> bool:
         return self.strategy != "dense"
+
+    def resolved_variant(self) -> Optional["BlrVariant"]:
+        """The :class:`~repro.core.variants.BlrVariant` this configuration
+        runs under (``None`` for the dense strategy)."""
+        from repro.core.variants import resolve_variant
+
+        return resolve_variant(self)
 
     @property
     def is_symmetric_facto(self) -> bool:

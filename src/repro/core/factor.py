@@ -27,7 +27,8 @@ memory measurements are produced.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Dict, List, Optional, Union
+import threading
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Set, Union
 
 import numpy as np
 
@@ -36,6 +37,12 @@ if TYPE_CHECKING:
 
 from repro.config import SolverConfig
 from repro.core.backend import get_backend
+from repro.core.variants import (
+    AdaptivePolicy,
+    BlrVariant,
+    VariantDecision,
+    resolve_variant,
+)
 from repro.lowrank.block import LowRankBlock
 from repro.lowrank.kernels import block_nbytes, compress_block, rank_cap
 from repro.runtime.memory import MemoryTracker, array_nbytes
@@ -146,6 +153,69 @@ class NumericFactor:
         #: the solver when ``config.recovery`` is set; every breakdown
         #: sentinel and fallback in the factorization path is gated on it
         self.recovery: Optional["RecoveryState"] = None
+        #: resolved BLR variant of this run (None for the dense strategy)
+        self.variant: Optional[BlrVariant] = resolve_variant(config)
+        #: per-supernode adaptive decisions, indexed by cblk id (filled by
+        #: :func:`assemble` when ``config.strategy == "adaptive"``)
+        self.decisions: Optional[List[VariantDecision]] = None
+        #: Frobenius norm of the permuted input matrix (reference of the
+        #: global threshold modes; set by :func:`assemble`)
+        self.global_norm = 0.0
+        #: effective compression tolerance / norm reference of this run
+        #: (``variant.compress_scale`` of ``config.tolerance``); every
+        #: compression and recompression site reads these instead of the
+        #: raw config tolerance
+        self.comp_tol = config.tolerance
+        self.comp_norm_ref: Optional[float] = None
+        # FUC bookkeeping: per-source set of targets that have consumed
+        # the source's updates (idempotent under task retries), guarded by
+        # a lock for the threaded engines
+        self._pull_lock = threading.Lock()
+        self._pulled: Dict[int, Set[int]] = {}
+        self._pull_targets: Dict[int, int] = {}
+
+    # -- variant dispatch --------------------------------------------------
+    def variant_for(self, k: int) -> Optional[BlrVariant]:
+        """The loop-order policy of column block ``k``.
+
+        The run-wide variant unless an adaptive decision overrides it;
+        ``None`` means "treat this column block dense" (either the dense
+        strategy, or an adaptive ``dense`` decision).
+        """
+        if self.variant is None:
+            return None
+        if self.decisions is not None:
+            d = self.decisions[k]
+            if d.order == "dense":
+                return None
+            return self.variant.with_order(d.order)
+        return self.variant
+
+    def _n_targets_locked(self, k: int) -> int:
+        n = self._pull_targets.get(k)
+        if n is None:
+            n = len({b.facing for b in self.symb.cblks[k].off_blocks()})
+            self._pull_targets[k] = n
+        return n
+
+    def n_targets(self, k: int) -> int:
+        """Distinct facing column blocks of ``k`` (who pulls its updates)."""
+        with self._pull_lock:
+            return self._n_targets_locked(k)
+
+    def note_updates_pulled(self, c: int, k: int) -> bool:
+        """Record that target ``k`` consumed source ``c``'s updates.
+
+        Returns ``True`` exactly once: when the last facing target has
+        consumed them — the FUC compression point for ``c``.  Idempotent
+        per ``(c, k)`` pair, so task retries never double-count.
+        """
+        with self._pull_lock:
+            pulled = self._pulled.setdefault(c, set())
+            if k in pulled:
+                return False
+            pulled.add(k)
+            return len(pulled) == self._n_targets_locked(c)
 
     def fill_column_block(self, k: int) -> None:
         """Left-looking mode: allocate column block ``k``'s dense storage
@@ -220,17 +290,25 @@ class NumericFactor:
 
 
 def assemble(a_perm: CSCMatrix, symb: SymbolicFactor,
-             config: SolverConfig) -> NumericFactor:
+             config: SolverConfig,
+             history: Optional[Dict[int, Dict[str, float]]] = None
+             ) -> NumericFactor:
     """Scatter the permuted matrix into the block structure.
 
-    * Dense / Just-In-Time: every column block gets dense panels
-      (``A`` entries scattered, structural zeros explicit) — the
-      Just-In-Time memory peak therefore matches the dense solver, as §4.3
-      observes.
-    * Minimal Memory: Algorithm 1 lines 1–4 — each low-rank candidate is
-      compressed *directly from its sparse entries* (a transient dense
-      scratch is built, compressed, and freed; only the compressed form is
-      charged to the tracker), so the dense factor structure never exists.
+    * Dense / compress-late orders (``ucf``/``ufc``/``fuc``): every column
+      block gets dense panels (``A`` entries scattered, structural zeros
+      explicit) — the Just-In-Time memory peak therefore matches the dense
+      solver, as §4.3 observes.
+    * Compress-at-assembly (``cuf``, the Minimal Memory alias): Algorithm 1
+      lines 1–4 — each low-rank candidate is compressed *directly from its
+      sparse entries* (a transient dense scratch is built, compressed, and
+      freed; only the compressed form is charged to the tracker), so the
+      dense factor structure never exists.
+    * Adaptive: each supernode is probe-compressed and classified
+      ``cuf``/``ucf``/``dense`` per the configured
+      :class:`~repro.core.variants.AdaptivePolicy`; ``history`` (per-level
+      stats from :func:`~repro.core.variants.history_from_factor` of a
+      previous run over the same structure) replaces the probes when given.
     """
     if not a_perm.is_pattern_symmetric():
         raise ValueError("assemble expects a pattern-symmetric matrix")
@@ -239,31 +317,57 @@ def assemble(a_perm: CSCMatrix, symb: SymbolicFactor,
     fac.storage_dtype = config.resolve_storage_dtype(fac.dtype)
     need_u = not config.is_symmetric_facto
     at_perm = a_perm.transpose() if need_u else None
-    minimal_memory = config.strategy == "minimal-memory"
+    variant = fac.variant
+    fac.global_norm = float(np.linalg.norm(a_perm.values))
+    if variant is not None:
+        fac.comp_tol, fac.comp_norm_ref = variant.compress_scale(
+            config.tolerance, symb.ncblk, fac.global_norm)
 
-    if config.left_looking and not minimal_memory:
+    if config.left_looking:
         # §4.3's left-looking proposal: defer every allocation to the
-        # moment the column block is reached (see fill_column_block)
+        # moment the column block is reached (see fill_column_block).
+        # Config validation forbids compress-at-assembly orders here.
         fac.deferred = (a_perm, at_perm)
         return fac
+
+    adaptive = config.strategy == "adaptive"
+    policy: Optional[AdaptivePolicy] = None
+    levels: Optional[List[int]] = None
+    if adaptive:
+        from repro.analysis.metrics import cblk_levels
+
+        policy = config.adaptive if config.adaptive is not None \
+            else AdaptivePolicy()
+        fac.decisions = []
+        if history is not None and policy.use_history:
+            levels = cblk_levels(fac)
 
     for nc in fac.cblks:
         sym = nc.sym
         w = sym.ncols
         nc.diag = np.zeros((w, w), dtype=fac.dtype)
         fac.tracker.alloc(array_nbytes(nc.diag))
-        if not minimal_memory:
-            nc.lpanel = np.zeros((nc.offrows, w), dtype=fac.dtype)
-            fac.tracker.alloc(array_nbytes(nc.lpanel))
-            _scatter_panel(a_perm, sym, nc.diag, nc.lpanel, nc.row_offsets)
-            if need_u:
-                nc.upanel = np.zeros((nc.offrows, w), dtype=fac.dtype)
-                fac.tracker.alloc(array_nbytes(nc.upanel))
-                _scatter_panel(at_perm, sym, None, nc.upanel, nc.row_offsets)
+        ldense = np.zeros((nc.offrows, w), dtype=fac.dtype)
+        _scatter_panel(a_perm, sym, nc.diag, ldense, nc.row_offsets)
+        if adaptive:
+            assert policy is not None and fac.decisions is not None
+            lvl_hist = (history.get(levels[sym.id])
+                        if history is not None and levels is not None
+                        else None)
+            ratio = (None if lvl_hist is not None
+                     else _probe_ratio(fac, nc, ldense, policy))
+            decision = policy.decide(sym.id, ratio, lvl_hist)
+            fac.decisions.append(decision)
+            tele = config.telemetry
+            if tele is not None:
+                tele.record_variant_decision(
+                    decision.cblk, decision.order, decision.reason,
+                    decision.ratio)
+            compress_now = decision.order == "cuf"
         else:
-            # Minimal Memory: per-block storage, candidates compressed now
-            ldense = np.zeros((nc.offrows, w), dtype=fac.dtype)
-            _scatter_panel(a_perm, sym, nc.diag, ldense, nc.row_offsets)
+            compress_now = variant is not None and variant.compress_at_assembly
+        if compress_now:
+            # per-block storage, candidates compressed from their entries
             nc.lblocks = _compress_assembled(fac, nc, ldense)
             if need_u:
                 udense = np.zeros((nc.offrows, w), dtype=fac.dtype)
@@ -271,7 +375,42 @@ def assemble(a_perm: CSCMatrix, symb: SymbolicFactor,
                 nc.ublocks = _compress_assembled(fac, nc, udense)
             else:
                 nc.ublocks = None
+        else:
+            nc.lpanel = ldense
+            fac.tracker.alloc(array_nbytes(nc.lpanel))
+            if need_u:
+                nc.upanel = np.zeros((nc.offrows, w), dtype=fac.dtype)
+                fac.tracker.alloc(array_nbytes(nc.upanel))
+                _scatter_panel(at_perm, sym, None, nc.upanel, nc.row_offsets)
     return fac
+
+
+def _probe_ratio(fac: NumericFactor, nc: NumericColumnBlock,
+                 dense: np.ndarray,
+                 policy: AdaptivePolicy) -> Optional[float]:
+    """Mean achieved storage ratio of probe-compressing the largest
+    candidate blocks of a freshly assembled supernode (``None`` when it
+    has no low-rank candidates)."""
+    cfg = fac.config
+    candidates = [(i, b) for i, b in enumerate(nc.sym.off_blocks())
+                  if b.lr_candidate]
+    if not candidates:
+        return None
+    candidates.sort(key=lambda ib: ib[1].nrows, reverse=True)
+    ratios = []
+    for i, b in candidates[:policy.probe_blocks]:
+        lo, hi = nc.row_offsets[i], nc.row_offsets[i + 1]
+        chunk = dense[lo:hi]
+        m, n = chunk.shape
+        cap = rank_cap(b.nrows, nc.width, cfg.rank_ratio)
+        lr = compress_block(chunk, fac.comp_tol, cfg.kernel, max_rank=cap,
+                            stats=fac.stats.kernels, category="probe",
+                            norm_ref=fac.comp_norm_ref)
+        if lr is None or not (m and n):
+            ratios.append(1.0)
+        else:
+            ratios.append((m + n) * max(lr.rank, 1) / (m * n))
+    return float(sum(ratios) / len(ratios))
 
 
 def _scatter_panel(a: CSCMatrix, sym: SymbolicColumnBlock,
@@ -378,8 +517,9 @@ def _compress_assembled(fac: NumericFactor, nc: NumericColumnBlock,
         chunk = dense[lo:hi]
         if b.lr_candidate and compress_ok:
             cap = rank_cap(b.nrows, nc.width, cfg.rank_ratio)
-            lr = compress_block(chunk, cfg.tolerance, cfg.kernel,
-                                max_rank=cap, stats=fac.stats.kernels)
+            lr = compress_block(chunk, fac.comp_tol, cfg.kernel,
+                                max_rank=cap, stats=fac.stats.kernels,
+                                norm_ref=fac.comp_norm_ref)
             if lr is not None:
                 if fac.storage_dtype is not None:
                     lr = lr.astype(fac.storage_dtype)

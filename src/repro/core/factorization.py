@@ -109,12 +109,20 @@ def factor_column_block(fac: NumericFactor, k: int) -> None:
                 detail=f"{nperturbed}/{w} pivots perturbed exceeds "
                        f"budget {budget}")
 
-    # --- Just-In-Time: compress the accumulated panels now --------------
-    if cfg.strategy == "just-in-time":
-        _compress_panels_jit(fac, nc)
+    # --- variant dispatch: compression points around the panel solve -----
+    # ``ucf`` (the Just-In-Time alias) compresses the fully-updated panels
+    # before the solve (Algorithm 2 lines 3-4); ``ufc`` solves dense and
+    # compresses the solved panels, so outgoing updates still run low-rank
+    # but the triangular solves keep full accuracy.  ``cuf`` compressed at
+    # assembly and ``fuc`` defers to finalize_updates_from.
+    v = fac.variant_for(k)
+    if v is not None and v.compress_before_solve:
+        _compress_panels(fac, nc)
 
     # --- step 2: panel solves --------------------------------------------
     _panel_solve(fac, nc)
+    if v is not None and v.compress_after_solve:
+        _compress_panels(fac, nc)
     nc.factored = True
     if tracer is not None:
         tracer.record("factor", k, _trace_t0, tag=cfg.factotype)
@@ -157,8 +165,23 @@ def _breakdown_check_input(fac: NumericFactor, k: int) -> None:
             detail=f"non-finite entries in {bad} before factorization")
 
 
-def _compress_panels_jit(fac: NumericFactor, nc: NumericColumnBlock) -> None:
-    """Algorithm 2 lines 3-4: compress the fully-updated dense panels.
+def finalize_updates_from(fac: NumericFactor, k: int) -> None:
+    """FUC compression point: compress column block ``k`` once every one
+    of its outgoing updates has been consumed (pushed by the sequential
+    sweep or pulled by the last facing target).
+
+    No-op for every other loop order — the engines call this
+    unconditionally and the variant decides."""
+    v = fac.variant_for(k)
+    if v is None or not v.compress_after_updates:
+        return
+    _compress_panels(fac, fac.cblks[k])
+
+
+def _compress_panels(fac: NumericFactor, nc: NumericColumnBlock) -> None:
+    """Compress fully-updated dense panels into per-block storage
+    (Algorithm 2 lines 3-4 for ``ucf``; also the ``ufc``/``fuc``
+    compression point, where the panels are additionally solved).
 
     A compression-site fault (or policy-forbidden kernel failure) keeps the
     whole panel dense via :meth:`NumericFactor.convert_to_blocks` when the
@@ -191,8 +214,9 @@ def _compress_panels_jit(fac: NumericFactor, nc: NumericColumnBlock) -> None:
             chunk = panel[lo:hi]
             lr = None
             if b.lr_candidate:
-                lr = compress_block(chunk, cfg.tolerance, cfg.kernel,
-                                    max_rank=cap, stats=stats)
+                lr = compress_block(chunk, fac.comp_tol, cfg.kernel,
+                                    max_rank=cap, stats=stats,
+                                    norm_ref=fac.comp_norm_ref)
             if lr is not None:
                 if fac.storage_dtype is not None:
                     lr = lr.astype(fac.storage_dtype)
@@ -454,6 +478,7 @@ def _updates_from_blocks(fac: NumericFactor, nc: NumericColumnBlock,
     hermitian = (not is_lu) and np.asarray(nc.diag).dtype.kind == "c"
     #: compute dtype to promote narrow-storage operands to (None = no-op)
     promote = fac.dtype if fac.storage_dtype is not None else None
+    recompress = fac.variant.recompress if fac.variant is not None else True
 
     by_target = {}
     for j, bj in enumerate(sym.off_blocks()):
@@ -485,8 +510,10 @@ def _updates_from_blocks(fac: NumericFactor, nc: NumericColumnBlock,
                     if promote is not None:
                         src_l = _promote(src_l, promote)
                     contrib = lr_product(src_l, ub_j,
-                                         cfg.tolerance, cfg.kernel, stats,
-                                         backend=fac.backend)
+                                         fac.comp_tol, cfg.kernel, stats,
+                                         backend=fac.backend,
+                                         recompress=recompress,
+                                         norm_ref=fac.comp_norm_ref)
                     if contrib is not None:
                         _scatter(fac, t, bi.first_row, bi.end_row,
                                  bj.first_row, bj.end_row, contrib,
@@ -496,8 +523,10 @@ def _updates_from_blocks(fac: NumericFactor, nc: NumericColumnBlock,
                         if promote is not None:
                             src_u = _promote(src_u, promote)
                         contrib_u = lr_product(src_u, lb_j,
-                                               cfg.tolerance, cfg.kernel,
-                                               stats, backend=fac.backend)
+                                               fac.comp_tol, cfg.kernel,
+                                               stats, backend=fac.backend,
+                                               recompress=recompress,
+                                               norm_ref=fac.comp_norm_ref)
                         if contrib_u is not None:
                             _scatter(fac, t, bi.first_row, bi.end_row,
                                      bj.first_row, bj.end_row, contrib_u,
@@ -527,8 +556,9 @@ def _flush_accumulated(fac: NumericFactor, t: int, acc: dict) -> None:
         cap = rank_cap(block.nrows, tsym.ncols, cfg.rank_ratio)
         if fac.storage_dtype is not None:
             tgt = tgt.astype(fac.dtype)
-        new = lr2lr_update_multi(tgt, contribs, cfg.tolerance, cfg.kernel,
-                                 max_rank=cap, stats=stats)
+        new = lr2lr_update_multi(tgt, contribs, fac.comp_tol, cfg.kernel,
+                                 max_rank=cap, stats=stats,
+                                 norm_ref=fac.comp_norm_ref)
         if new is None:
             dense = np.asarray(tgt.to_dense(), dtype=fac.dtype)
             for piece, ro, co in contribs:
@@ -636,8 +666,9 @@ def _scatter(fac: NumericFactor, t: int, rlo: int, rhi: int,
                 if fac.storage_dtype is not None:
                     tgt = tgt.astype(fac.dtype)
                 new = lr2lr_update(tgt, piece, row_off_in_block, coff,
-                                   cfg.tolerance, cfg.kernel,
-                                   max_rank=cap, stats=stats)
+                                   fac.comp_tol, cfg.kernel,
+                                   max_rank=cap, stats=stats,
+                                   norm_ref=fac.comp_norm_ref)
                 if new is None:
                     # rank exceeded the cap: fall back to dense storage
                     # (updated at full precision, stored at storage_dtype)

@@ -54,7 +54,11 @@ from repro.core.factor import (
     restore_column_block,
     snapshot_column_block,
 )
-from repro.core.factorization import apply_updates_from, factor_column_block
+from repro.core.factorization import (
+    apply_updates_from,
+    factor_column_block,
+    finalize_updates_from,
+)
 from repro.runtime.recovery import NumericalBreakdown
 
 #: how often (seconds) the joining main thread samples the progress counter
@@ -106,6 +110,8 @@ def run_sequential(fac: NumericFactor,
     for k in range(fac.symb.ncblk):
         factor_column_block(fac, k)
         apply_updates_from(fac, k)
+        # FUC compression point: k's outgoing updates are all pushed
+        finalize_updates_from(fac, k)
 
 
 def run_sequential_pull(fac: NumericFactor,
@@ -153,11 +159,16 @@ def run_left_looking(fac: NumericFactor) -> None:
     tr = fac.tracer
     if tr is not None:
         tr.meta.update(engine="left-looking", threads=1)
+    fuc = fac.variant is not None and fac.variant.compress_after_updates
     for k in range(symb.ncblk):
         fac.fill_column_block(k)
         for c in symb.contributors(k):
             apply_updates_from(fac, c, target=k)
+            if fuc and fac.note_updates_pulled(c, k):
+                finalize_updates_from(fac, c)
         factor_column_block(fac, k)
+        if fuc and fac.n_targets(k) == 0:
+            finalize_updates_from(fac, k)
 
 
 # ----------------------------------------------------------------------
@@ -172,10 +183,22 @@ def _targets_of(fac: NumericFactor, k: int) -> List[int]:
 def _pull_and_factor(fac: NumericFactor, k: int) -> None:
     """One fan-in task: apply all contributors' updates into ``k`` (in
     ascending contributor order — the sequential reduction order), then
-    factor ``k``."""
+    factor ``k``.
+
+    Under the ``fuc`` loop order a contributor is compressed as soon as
+    its *last* facing target has pulled its updates
+    (:meth:`NumericFactor.note_updates_pulled` — all pulls read the
+    still-dense panels, so threaded runs stay bit-identical to the
+    sequential sweep); a column block with no targets compresses right
+    after its own factorization."""
+    fuc = fac.variant is not None and fac.variant.compress_after_updates
     for c in fac.symb.contributors(k):
         apply_updates_from(fac, c, target=k)
+        if fuc and fac.note_updates_pulled(c, k):
+            finalize_updates_from(fac, c)
     factor_column_block(fac, k)
+    if fuc and fac.n_targets(k) == 0:
+        finalize_updates_from(fac, k)
 
 
 def _run_task(fac: NumericFactor, k: int) -> None:

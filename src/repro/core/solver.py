@@ -118,6 +118,11 @@ class Solver:
         #: the escalated config the current factor was actually built
         #: under, when it differs from :attr:`config` (``None`` otherwise)
         self._effective_config: Optional[SolverConfig] = None
+        #: per-level compression history of the last adaptive
+        #: factorization (feeds the AdaptivePolicy history path on a
+        #: refactorization of the same structure, e.g. after
+        #: :meth:`update_values`)
+        self._adaptive_history: Optional[Dict[int, Dict[str, float]]] = None
 
     # ------------------------------------------------------------------
     @property
@@ -170,7 +175,9 @@ class Solver:
         self.analyze()
         a_perm = permute_symmetric(self._a_sym, self.perm)
         t0 = time.perf_counter()
-        fac = assemble(a_perm, self.symbolic, cfg)
+        history = (self._adaptive_history
+                   if cfg.strategy == "adaptive" else None)
+        fac = assemble(a_perm, self.symbolic, cfg, history=history)
         kernel_calls_before = fac.backend.counts_snapshot()
         if cfg.trace:
             from repro.runtime.trace import TaskTracer
@@ -207,6 +214,10 @@ class Solver:
         if cfg.telemetry is not None:
             cfg.telemetry.record_backend_kernels(fac.backend.name, delta,
                                                  phase="factorize")
+        if cfg.strategy == "adaptive":
+            from repro.core.variants import history_from_factor
+
+            self._adaptive_history = history_from_factor(fac)
         self.factor = fac
         return fac.stats
 
@@ -217,6 +228,7 @@ class Solver:
         return {"policy": asdict(policy), "attempts": attempts,
                 "final_tolerance": cfg.tolerance,
                 "final_strategy": cfg.strategy,
+                "final_variant": cfg.variant,
                 **state.summary()}
 
     def factorize(self, faults: Optional["FaultInjector"] = None,

@@ -1,0 +1,315 @@
+"""Composable BLR variant policies (the Higham–Mary variant space).
+
+The paper exposes two compression strategies — Minimal Memory and
+Just-In-Time — but they are only two points in the larger space the BLR
+stability literature enumerates: a *loop order* (when each block is
+compressed relative to the update / factor steps), a *threshold mode*
+(what norm the truncation tolerance is measured against, the
+``betatype`` axis), and an *intermediate recompression* toggle.  This
+module makes the three axes explicit and orthogonal:
+
+**Loop orders** (right-looking, per column block ``k``):
+
+``cuf``  Compress-Update-Factor: candidates are compressed directly from
+         their assembled sparse entries, before any update touches them;
+         trailing updates run in low-rank arithmetic (LR2LR).  This is
+         exactly the paper's *Minimal Memory* strategy — the dense factor
+         structure never exists.
+``ucf``  Update-Compress-Factor: panels accumulate every incoming update
+         dense, are compressed once fully updated, and the panel solve
+         then runs on the compressed ``v`` factors.  This is the paper's
+         *Just-In-Time* strategy (Algorithm 2: the diagonal factorization
+         and the compression commute — both read disjoint storage).
+``ufc``  Update-Factor-Compress: the panel solve runs dense and the
+         *solved* panels are compressed, so outgoing updates still run in
+         low-rank form but the triangular solves keep full accuracy.
+``fuc``  Factor-Update-Compress: compression is deferred until every
+         outgoing update of the column block has been applied (dense,
+         full-accuracy GEMM updates); compression is entirely off the
+         critical path and only reduces the *stored* factor.
+
+**Threshold modes** (``betatype``): the truncation rule of every kernel
+is ``||A - Â||_F <= tol_eff * max(||A||_F, norm_ref)``.  The four modes
+select ``(tol_eff, norm_ref)``:
+
+=================  ===========================  =========================
+mode               tol_eff                      norm_ref
+=================  ===========================  =========================
+``local``          τ                            — (block norm only)
+``local-scaled``   τ / p                        —
+``global``         τ                            ``||A||_F`` (global)
+``global-scaled``  τ / p                        ``||A||_F``
+=================  ===========================  =========================
+
+with ``p`` the number of column blocks.  ``local`` is the paper's rule
+(and the bit-identical default); the scaled modes divide τ by ``p`` so
+the *global* backward error stays at τ-level when per-block errors
+accumulate, per the BLR error analysis; the global modes measure the
+tail against the whole matrix instead of the block, which lets blocks
+that are small relative to ``||A||`` truncate harder.
+
+**Recompression toggle**: with ``recompress=False`` the T core of a
+LR·LR product (eqs. 1–4) is not recompressed — the product keeps rank
+``min(rA, rB)``.  Structural extend-add recompression (LR2LR) is always
+on; the toggle only affects the intermediate product.
+
+The legacy strategy names remain first-class aliases —
+``minimal-memory`` ≡ ``cuf``, ``just-in-time`` ≡ ``ucf`` — and resolve
+through :func:`resolve_variant`; their float64 factorizations are pinned
+bit-identical to the pre-variant engine.  (The issue text glosses the
+mapping as MM≈UCF / JIT≈UFC; operationally Minimal Memory compresses
+*before* any update reaches the block and Just-In-Time compresses *after
+the updates, before the solve*, which by the letter ordering is CUF and
+UCF — the mapping implemented and documented in ``docs/variants.md``.)
+
+:class:`AdaptivePolicy` picks compress-early (``cuf``) vs compress-late
+(``ucf``) vs ``dense`` *per supernode*, from a probe compression of the
+assembled candidate blocks and, when available, per-level rank history
+of a previous factorization of the same structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
+
+if TYPE_CHECKING:
+    from repro.config import SolverConfig
+    from repro.core.factor import NumericFactor
+
+__all__ = [
+    "ORDERS",
+    "ORDER_LADDER",
+    "THRESHOLD_MODES",
+    "AdaptivePolicy",
+    "BlrVariant",
+    "VariantDecision",
+    "history_from_factor",
+    "resolve_variant",
+]
+
+#: the four update/factor/compress loop orders
+ORDERS = ("cuf", "ucf", "ufc", "fuc")
+
+#: the four truncation-threshold modes (the ``betatype`` axis)
+THRESHOLD_MODES = ("local", "local-scaled", "global", "global-scaled")
+
+#: legacy strategy aliases → loop order (``adaptive`` compresses late by
+#: default; its per-supernode decisions override the order)
+ALIAS_ORDERS: Dict[str, str] = {
+    "minimal-memory": "cuf",
+    "just-in-time": "ucf",
+    "adaptive": "ucf",
+}
+
+#: escalation ladder through the variant space: each rung compresses
+#: *later* (hence denser intermediates, better stability) than the one
+#: before; after ``fuc`` the only rung left is the dense strategy
+ORDER_LADDER: Dict[str, Optional[str]] = {
+    "cuf": "ucf",
+    "ucf": "ufc",
+    "ufc": "fuc",
+    "fuc": None,
+}
+
+
+@dataclass(frozen=True)
+class BlrVariant:
+    """One point of the variant space: the three orthogonal axes."""
+
+    order: str = "ucf"
+    threshold_mode: str = "local"
+    recompress: bool = True
+
+    def __post_init__(self) -> None:
+        if self.order not in ORDERS:
+            raise ValueError(
+                f"loop order must be one of {ORDERS}, got {self.order!r}")
+        if self.threshold_mode not in THRESHOLD_MODES:
+            raise ValueError(
+                f"threshold_mode must be one of {THRESHOLD_MODES}, got "
+                f"{self.threshold_mode!r}")
+
+    # -- loop-order predicates (one compression point per order) ---------
+    @property
+    def compress_at_assembly(self) -> bool:
+        """``cuf``: compress candidates from their assembled entries."""
+        return self.order == "cuf"
+
+    @property
+    def compress_before_solve(self) -> bool:
+        """``ucf``: compress the updated panels before the panel solve."""
+        return self.order == "ucf"
+
+    @property
+    def compress_after_solve(self) -> bool:
+        """``ufc``: compress the solved panels before outgoing updates."""
+        return self.order == "ufc"
+
+    @property
+    def compress_after_updates(self) -> bool:
+        """``fuc``: compress once every outgoing update has been applied."""
+        return self.order == "fuc"
+
+    def with_order(self, order: str) -> "BlrVariant":
+        """The same thresholds/recompression with a different loop order."""
+        return replace(self, order=order)
+
+    # -- threshold computation -------------------------------------------
+    def compress_scale(self, tolerance: float, ncblk: int,
+                       global_norm: float
+                       ) -> Tuple[float, Optional[float]]:
+        """The ``(tol_eff, norm_ref)`` pair of this threshold mode.
+
+        Every compression kernel truncates at
+        ``tol_eff * max(||block||_F, norm_ref)``; ``norm_ref=None`` keeps
+        the purely block-local rule (bit-identical to the pre-variant
+        engine for ``local``).
+        """
+        tol_eff = tolerance
+        if self.threshold_mode in ("local-scaled", "global-scaled"):
+            tol_eff = tolerance / max(ncblk, 1)
+        norm_ref: Optional[float] = None
+        if self.threshold_mode in ("global", "global-scaled"):
+            norm_ref = float(global_norm)
+        return tol_eff, norm_ref
+
+
+def resolve_variant(config: "SolverConfig") -> Optional[BlrVariant]:
+    """The :class:`BlrVariant` a configuration runs under.
+
+    ``None`` for the ``dense`` strategy (no compression axis at all).
+    An explicit ``config.variant`` wins over the alias order of
+    ``config.strategy``; ``adaptive`` resolves to its compress-late base
+    order (per-supernode decisions then override it block by block).
+    """
+    if config.strategy == "dense":
+        return None
+    order = config.variant or ALIAS_ORDERS[config.strategy]
+    return BlrVariant(order=order,
+                      threshold_mode=config.threshold_mode,
+                      recompress=config.recompress_updates)
+
+
+# ----------------------------------------------------------------------
+# adaptive per-supernode strategy
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class VariantDecision:
+    """One per-supernode adaptive decision (surfaced in the RunReport)."""
+
+    cblk: int
+    order: str  # "cuf" | "ucf" | "dense"
+    reason: str
+    ratio: Optional[float] = None
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {"cblk": self.cblk, "order": self.order,
+                "reason": self.reason, "ratio": self.ratio}
+
+
+@dataclass(frozen=True)
+class AdaptivePolicy:
+    """Per-supernode strategy selection (``strategy="adaptive"``).
+
+    At assembly each supernode's largest candidate blocks are *probe
+    compressed*; the mean achieved storage ratio ``(m + n) r / (m n)``
+    decides the supernode's loop order:
+
+    * ratio ≤ :attr:`compress_early_ratio` — compress-early (``cuf``):
+      the block is so compressible that low-rank extend-adds stay cheap
+      and the dense panel never needs to exist;
+    * ratio ≤ :attr:`dense_ratio` — compress-late (``ucf``), the
+      Just-In-Time behaviour;
+    * above — ``dense``: compression does not pay, skip the attempts.
+
+    When :attr:`use_history` is set and the solver has per-level rank
+    statistics from a previous factorization of the same structure
+    (:func:`history_from_factor` — e.g. after ``update_values``), the
+    level's history replaces the probe: a level whose candidate blocks
+    mostly stayed dense goes ``dense``, a level with tiny achieved
+    ratios goes ``cuf``, anything else ``ucf``.
+    """
+
+    #: probe/history storage ratio at or below which the supernode
+    #: compresses at assembly (``cuf``)
+    compress_early_ratio: float = 0.15
+    #: probe/history storage ratio above which the supernode stays dense
+    dense_ratio: float = 0.85
+    #: history dense fraction above which the level's supernodes stay dense
+    dense_fraction: float = 0.5
+    #: number of (largest) candidate blocks probed per supernode
+    probe_blocks: int = 2
+    #: consult per-level history of a previous run when available
+    use_history: bool = True
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.compress_early_ratio <= 1.0):
+            raise ValueError("compress_early_ratio must be in [0, 1]")
+        if not (0.0 < self.dense_ratio <= 1.0):
+            raise ValueError("dense_ratio must be in (0, 1]")
+        if self.compress_early_ratio > self.dense_ratio:
+            raise ValueError(
+                "compress_early_ratio must not exceed dense_ratio")
+        if not (0.0 <= self.dense_fraction <= 1.0):
+            raise ValueError("dense_fraction must be in [0, 1]")
+        if self.probe_blocks < 1:
+            raise ValueError("probe_blocks must be >= 1")
+
+    def decide(self, cblk: int, probe_ratio: Optional[float],
+               history: Optional[Dict[str, float]] = None
+               ) -> VariantDecision:
+        """Classify one supernode from its probe ratio / level history."""
+        if self.use_history and history is not None:
+            if history.get("dense_fraction", 0.0) > self.dense_fraction:
+                return VariantDecision(cblk, "dense", "history-dense",
+                                       history.get("ratio"))
+            ratio = history.get("ratio")
+            if ratio is not None and ratio <= self.compress_early_ratio:
+                return VariantDecision(cblk, "cuf", "history-early", ratio)
+            return VariantDecision(cblk, "ucf", "history-late", ratio)
+        if probe_ratio is None:
+            return VariantDecision(cblk, "dense", "no-candidates")
+        if probe_ratio <= self.compress_early_ratio:
+            return VariantDecision(cblk, "cuf", "probe-early", probe_ratio)
+        if probe_ratio <= self.dense_ratio:
+            return VariantDecision(cblk, "ucf", "probe-late", probe_ratio)
+        return VariantDecision(cblk, "dense", "probe-dense", probe_ratio)
+
+
+def history_from_factor(fac: "NumericFactor") -> Dict[int, Dict[str, float]]:
+    """Per-level compression statistics of a completed factorization.
+
+    Returns ``{level: {"ratio": mean storage ratio of the level's
+    low-rank candidate blocks, "dense_fraction": fraction of candidates
+    that ended up dense}}`` — the history :class:`AdaptivePolicy`
+    consults on a refactorization of the same structure.
+    """
+    from repro.analysis.metrics import cblk_levels
+    from repro.lowrank.block import LowRankBlock
+
+    levels = cblk_levels(fac)
+    ratios: Dict[int, List[float]] = {}
+    dense: Dict[int, List[int]] = {}
+    for k, nc in enumerate(fac.cblks):
+        lvl = int(levels[k])
+        for i, b in enumerate(nc.sym.off_blocks()):
+            if not b.lr_candidate:
+                continue
+            m, n = b.nrows, nc.width
+            blk = None if nc.lblocks is None else nc.lblocks[i]
+            if isinstance(blk, LowRankBlock):
+                ratio = ((m + n) * max(blk.rank, 1) / (m * n)
+                         if m and n else 1.0)
+                ratios.setdefault(lvl, []).append(ratio)
+                dense.setdefault(lvl, []).append(0)
+            else:  # dense block, or a column still in panel mode
+                ratios.setdefault(lvl, []).append(1.0)
+                dense.setdefault(lvl, []).append(1)
+    out: Dict[int, Dict[str, float]] = {}
+    for lvl, rr in ratios.items():
+        dd = dense[lvl]
+        out[lvl] = {"ratio": float(sum(rr) / len(rr)),
+                    "dense_fraction": float(sum(dd) / len(dd))}
+    return out

@@ -32,10 +32,12 @@ def aca_flops(m: int, n: int, r: int) -> float:
 
 
 def aca_compress(a: np.ndarray, tol: float,
-                 max_rank: Optional[int] = None) -> Optional[LowRankBlock]:
+                 max_rank: Optional[int] = None,
+                 norm_ref: Optional[float] = None) -> Optional[LowRankBlock]:
     """Fully-pivoted ACA of a dense block at tolerance ``tol``.
 
     Returns ``None`` when the revealed rank exceeds ``max_rank``.
+    ``norm_ref`` raises the stopping reference to ``max(||a||_F, norm_ref)``.
     """
     m, n = a.shape
     if min(m, n) == 0:
@@ -43,7 +45,8 @@ def aca_compress(a: np.ndarray, tol: float,
     norm_a2 = float(np.einsum("ij,ij->", a.conj(), a).real)
     if norm_a2 == 0.0:
         return LowRankBlock.zero(m, n, dtype=a.dtype)
-    threshold2 = (tol ** 2) * norm_a2
+    ref2 = norm_a2 if norm_ref is None else max(norm_a2, float(norm_ref) ** 2)
+    threshold2 = (tol ** 2) * ref2
     kmax = min(m, n)
     limit = kmax if max_rank is None else min(kmax, int(max_rank))
 

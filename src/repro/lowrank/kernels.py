@@ -61,28 +61,32 @@ def block_nbytes(b: Block) -> int:
 def compress_block(a: np.ndarray, tol: float, kernel: str,
                    max_rank: Optional[int] = None,
                    stats: Optional[KernelStats] = None,
-                   category: str = "compress") -> Optional[LowRankBlock]:
+                   category: str = "compress",
+                   norm_ref: Optional[float] = None) -> Optional[LowRankBlock]:
     """Compress a dense block; ``None`` when the rank cap is exceeded.
 
     ``kernel`` selects ``"svd"`` or ``"rrqr"`` (§3.1); flops are charged to
-    ``category`` (``compress`` by default).
+    ``category`` (``compress`` by default).  ``norm_ref`` raises the
+    truncation reference from the block's own Frobenius norm to
+    ``max(||a||_F, norm_ref)`` — how the global threshold modes of
+    :mod:`repro.core.variants` reach every kernel.
     """
     m, n = a.shape
     t0 = time.perf_counter()
     try:
         if kernel == "svd":
-            out = svd_compress(a, tol, max_rank)
+            out = svd_compress(a, tol, max_rank, norm_ref=norm_ref)
             fl = svd_flops(m, n)
         elif kernel == "rrqr":
-            out = rrqr_compress(a, tol, max_rank)
+            out = rrqr_compress(a, tol, max_rank, norm_ref=norm_ref)
             r = out.rank if out is not None else (max_rank or min(m, n))
             fl = rrqr_flops(m, n, max(r, 1))
         elif kernel == "rsvd":
-            out = rsvd_compress(a, tol, max_rank)
+            out = rsvd_compress(a, tol, max_rank, norm_ref=norm_ref)
             r = out.rank if out is not None else (max_rank or min(m, n))
             fl = rsvd_flops(m, n, max(r, 1))
         elif kernel == "aca":
-            out = aca_compress(a, tol, max_rank)
+            out = aca_compress(a, tol, max_rank, norm_ref=norm_ref)
             r = out.rank if out is not None else (max_rank or min(m, n))
             fl = aca_flops(m, n, max(r, 1))
         else:
@@ -109,7 +113,9 @@ def compress_block(a: np.ndarray, tol: float, kernel: str,
 
 def lr_product(a: Block, b: Block, tol: float, kernel: str,
                stats: Optional[KernelStats] = None,
-               backend: Optional["KernelBackend"] = None
+               backend: Optional["KernelBackend"] = None,
+               recompress: bool = True,
+               norm_ref: Optional[float] = None
                ) -> Optional[Block]:
     """Contribution ``a @ b.T`` in the cheapest exact-at-τ representation.
 
@@ -118,6 +124,11 @@ def lr_product(a: Block, b: Block, tol: float, kernel: str,
     numerically zero at the working tolerance.  The GEMMs run through
     ``backend`` when given (:mod:`repro.core.backend`), else through the
     process default.
+
+    ``recompress=False`` disables the intermediate T-core truncation (the
+    BLR variant toggle): the exact core is folded into whichever orbit has
+    the smaller rank, so the product keeps rank ``min(rA, rB)`` instead of
+    the revealed rank of ``T``.
     """
     if backend is None:
         from repro.core.backend import get_backend
@@ -132,10 +143,26 @@ def lr_product(a: Block, b: Block, tol: float, kernel: str,
         # eqs. (1)-(4): T = vAᵗ vB, compress T, fold into the orbits
         t_mat = backend.gemm(a.v, b.v, trans_a="T")  # (rA, rB)
         fl += 2.0 * a.v.shape[0] * a.rank * b.rank   # (1): Θ(nA rA rB)
+        if not recompress:
+            # exact product at rank min(rA, rB): fold T into the smaller
+            # orbit without revealing its numerical rank
+            if a.rank <= b.rank:
+                v_new = backend.gemm(b.u, t_mat, trans_b="T")  # (mB, rA)
+                fl += 2.0 * b.m * b.rank * a.rank
+                out = LowRankBlock(a.u, v_new)
+            else:
+                u_new = backend.gemm(a.u, t_mat)               # (mA, rB)
+                fl += 2.0 * a.m * a.rank * b.rank
+                out = LowRankBlock(u_new, b.u)
+            if stats is not None:
+                stats.add("lr_product",
+                          seconds=time.perf_counter() - t0, flops=fl)
+            return out
         # the T core is tiny (rA x rB): randomized sampling brings nothing
         # there, so 'rsvd' shares the RRQR path
-        t_hat = (svd_compress(t_mat, tol) if kernel == "svd"
-                 else rrqr_compress(t_mat, tol))
+        t_hat = (svd_compress(t_mat, tol, norm_ref=norm_ref)
+                 if kernel == "svd"
+                 else rrqr_compress(t_mat, tol, norm_ref=norm_ref))
         if t_hat is None:  # pragma: no cover - no cap given, cannot happen
             q, r = np.linalg.qr(t_mat)
             t_hat = LowRankBlock(q, r.T.copy())
@@ -205,7 +232,8 @@ def lr2lr_update(target: LowRankBlock, contrib: Block,
                  row_off: int, col_off: int,
                  tol: float, kernel: str,
                  max_rank: Optional[int] = None,
-                 stats: Optional[KernelStats] = None
+                 stats: Optional[KernelStats] = None,
+                 norm_ref: Optional[float] = None
                  ) -> Optional[LowRankBlock]:
     """Extend-add ``target -= contrib`` with both sides low-rank (§3.3.2).
 
@@ -221,7 +249,8 @@ def lr2lr_update(target: LowRankBlock, contrib: Block,
         # dense contributions from uncompressed source blocks: compress
         # first so the extend-add stays in low-rank arithmetic
         lr = compress_block(contrib, tol, kernel,
-                            max_rank=min(contrib.shape), stats=stats)
+                            max_rank=min(contrib.shape), stats=stats,
+                            norm_ref=norm_ref)
         if lr is None:  # incompressible small block: full-rank QR split
             q, r = np.linalg.qr(contrib)
             lr = LowRankBlock(q, r.T.copy())
@@ -238,14 +267,16 @@ def lr2lr_update(target: LowRankBlock, contrib: Block,
     v_pad[col_off:col_off + contrib.n] = contrib.v
 
     if kernel == "svd":
-        out = recompress_svd(target.u, target.v, u_pad, v_pad, tol, max_rank)
+        out = recompress_svd(target.u, target.v, u_pad, v_pad, tol, max_rank,
+                             norm_ref=norm_ref)
         r_tot = target.rank + contrib.rank
         fl = (2.0 * (m_c + n_c) * r_tot * r_tot     # eq. (7) QRs
               + 22.0 * r_tot ** 3                   # small SVD
               + 2.0 * (m_c + n_c) * r_tot *
               (out.rank if out is not None else r_tot))  # eq. (8)
     else:
-        out = recompress_rrqr(target.u, target.v, u_pad, v_pad, tol, max_rank)
+        out = recompress_rrqr(target.u, target.v, u_pad, v_pad, tol, max_rank,
+                              norm_ref=norm_ref)
         r_new = out.rank if out is not None else (max_rank or target.rank)
         fl = (2.0 * m_c * target.rank * contrib.rank      # eq. (9)
               + 2.0 * m_c * contrib.rank * contrib.rank   # QR of E
@@ -265,7 +296,8 @@ def lr2lr_update_multi(target: LowRankBlock,
                        contribs: Sequence[LowRankBlock],
                        tol: float, kernel: str,
                        max_rank: Optional[int] = None,
-                       stats: Optional[KernelStats] = None
+                       stats: Optional[KernelStats] = None,
+                       norm_ref: Optional[float] = None
                        ) -> Optional[LowRankBlock]:
     """Grouped extend-add (the LUAR-like accumulation of BLR-MUMPS, §5).
 
@@ -281,7 +313,8 @@ def lr2lr_update_multi(target: LowRankBlock,
     for contrib, row_off, col_off in contribs:
         if isinstance(contrib, np.ndarray):
             lr = compress_block(contrib, tol, kernel,
-                                max_rank=min(contrib.shape), stats=stats)
+                                max_rank=min(contrib.shape), stats=stats,
+                                norm_ref=norm_ref)
             if lr is None:
                 q, r = np.linalg.qr(contrib)
                 lr = LowRankBlock(q, r.T.copy())
@@ -302,10 +335,11 @@ def lr2lr_update_multi(target: LowRankBlock,
     u_cat = np.hstack(u_parts)
     v_cat = np.hstack(v_parts)
     if kernel == "svd":
-        out = recompress_svd(target.u, target.v, u_cat, v_cat, tol, max_rank)
+        out = recompress_svd(target.u, target.v, u_cat, v_cat, tol, max_rank,
+                             norm_ref=norm_ref)
     else:
         out = recompress_rrqr(target.u, target.v, u_cat, v_cat, tol,
-                              max_rank)
+                              max_rank, norm_ref=norm_ref)
     r_tot = target.rank + u_cat.shape[1]
     r_new = out.rank if out is not None else (max_rank or target.rank)
     fl = (2.0 * (m_c + n_c) * r_tot * r_tot

@@ -43,13 +43,15 @@ def rsvd_flops(m: int, n: int, r: int, oversample: int = 8) -> float:
 def rsvd_compress(a: np.ndarray, tol: float,
                   max_rank: Optional[int] = None,
                   block: int = 8,
-                  seed: int = _SEED) -> Optional[LowRankBlock]:
+                  seed: int = _SEED,
+                  norm_ref: Optional[float] = None) -> Optional[LowRankBlock]:
     """Adaptive randomized compression of ``a`` at tolerance ``tol``.
 
     Returns ``None`` when the revealed rank exceeds ``max_rank`` (caller
     keeps the block dense), mirroring the SVD/RRQR kernels.  The range
     finder projects with ``Qᴴ`` — a Hermitian adjoint, applied via
-    ``q.conj().T`` (a no-copy pass-through for real blocks).
+    ``q.conj().T`` (a no-copy pass-through for real blocks).  ``norm_ref``
+    raises the truncation reference to ``max(||a||_F, norm_ref)``.
     """
     m, n = a.shape
     if min(m, n) == 0:
@@ -57,10 +59,11 @@ def rsvd_compress(a: np.ndarray, tol: float,
     norm2 = float(np.einsum("ij,ij->", a.conj(), a).real)
     if norm2 == 0.0:
         return LowRankBlock.zero(m, n, dtype=a.dtype)
+    ref2 = norm2 if norm_ref is None else max(norm2, float(norm_ref) ** 2)
     # the error budget is split between range capture and core truncation:
     # sqrt(resid² + trunc²) <= tol ||A|| with each stage at tol/sqrt(2)
     tol_stage = tol / np.sqrt(2.0)
-    threshold2 = (tol_stage ** 2) * norm2
+    threshold2 = (tol_stage ** 2) * ref2
     kmax = min(m, n)
     limit = kmax if max_rank is None else min(kmax, int(max_rank))
 
@@ -109,7 +112,7 @@ def rsvd_compress(a: np.ndarray, tol: float,
     if b.shape[0] == 0:
         return LowRankBlock.zero(m, n, dtype=a.dtype)
     uu, sigma, vvt = sla.svd(b, full_matrices=False)
-    rank = svd_truncate(sigma, tol_stage, norm_a=float(np.sqrt(norm2)))
+    rank = svd_truncate(sigma, tol_stage, norm_a=float(np.sqrt(ref2)))
     if max_rank is not None and rank > max_rank:
         return None
     if rank == 0:

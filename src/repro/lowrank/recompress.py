@@ -41,11 +41,14 @@ def _operand_scale(v_c: np.ndarray, v_ab: np.ndarray) -> float:
 def recompress_svd(u_c: np.ndarray, v_c: np.ndarray,
                    u_ab: np.ndarray, v_ab: np.ndarray,
                    tol: float,
-                   max_rank: Optional[int] = None) -> Optional[LowRankBlock]:
+                   max_rank: Optional[int] = None,
+                   norm_ref: Optional[float] = None) -> Optional[LowRankBlock]:
     """SVD extend-add: ``C' = uC vCᵗ − uAB vABᵗ`` recompressed at ``tol``.
 
     ``uAB`` / ``vAB`` must already be padded to C's row/column frame
     (Figure 4).  Complexity Θ((mC + nC)(rC + rAB)² + (rC + rAB)³).
+    ``norm_ref`` folds an external reference (e.g. ``||A||_F`` for the
+    global threshold modes) into the truncation scale.
     """
     u_cat = np.hstack([u_c, u_ab])
     v_cat = np.hstack([v_c, -v_ab])
@@ -58,6 +61,8 @@ def recompress_svd(u_c: np.ndarray, v_c: np.ndarray,
     uu, sigma, vvt = sla.svd(core, full_matrices=False,
                              check_finite=False)
     scale = max(float(np.linalg.norm(sigma)), _operand_scale(v_c, v_ab))
+    if norm_ref is not None:
+        scale = max(scale, float(norm_ref))
     rank = svd_truncate(sigma, tol, norm_a=scale)
     if max_rank is not None and rank > max_rank:
         return None
@@ -71,7 +76,8 @@ def recompress_svd(u_c: np.ndarray, v_c: np.ndarray,
 def recompress_rrqr(u_c: np.ndarray, v_c: np.ndarray,
                     u_ab: np.ndarray, v_ab: np.ndarray,
                     tol: float,
-                    max_rank: Optional[int] = None) -> Optional[LowRankBlock]:
+                    max_rank: Optional[int] = None,
+                    norm_ref: Optional[float] = None) -> Optional[LowRankBlock]:
     """RRQR extend-add (eqs. 9–12).
 
     Requires ``uC`` orthonormal (the solver invariant).  ``uAB``/``vAB``
@@ -86,13 +92,16 @@ def recompress_rrqr(u_c: np.ndarray, v_c: np.ndarray,
     m, n = u_c.shape[0], v_c.shape[0]
     r_c, r_ab = u_c.shape[1], u_ab.shape[1]
     dt = np.result_type(u_c, v_c, u_ab, v_ab)
+    scale = _operand_scale(v_c, v_ab)
+    if norm_ref is not None:
+        scale = max(scale, float(norm_ref))
     if r_ab == 0:
         return LowRankBlock(u_c, v_c)
     if r_c == 0:
         # no existing directions: plain truncated QR of the contribution
         q2, r2 = np.linalg.qr(u_ab)
         core = r2 @ (-v_ab.T)
-        res = rrqr(core, tol, max_rank, norm_ref=_operand_scale(v_c, v_ab))
+        res = rrqr(core, tol, max_rank, norm_ref=scale)
         if not res.converged:
             return None
         rank = res.q.shape[1]
@@ -117,7 +126,7 @@ def recompress_rrqr(u_c: np.ndarray, v_c: np.ndarray,
     bot = -(r2 @ v_ab.T)                   # (rAB, n)
     core = np.vstack([top, bot])
 
-    res = rrqr(core, tol, max_rank, norm_ref=_operand_scale(v_c, v_ab))
+    res = rrqr(core, tol, max_rank, norm_ref=scale)
     if not res.converged:
         return None
     rank = res.q.shape[1]

@@ -210,19 +210,22 @@ def rrqr_lapack(a: np.ndarray, tol: float,
 
 def rrqr_compress(a: np.ndarray, tol: float,
                   max_rank: Optional[int] = None,
-                  impl: str = "lapack") -> Optional[LowRankBlock]:
+                  impl: str = "lapack",
+                  norm_ref: Optional[float] = None) -> Optional[LowRankBlock]:
     """Compress ``a`` into ``u vᵗ`` via truncated RRQR.
 
     ``u = Q_r`` (orthonormal), ``vᵗ = R_r Pᵗ`` (the column permutation
     undone), so ``||a - u vᵗ||_F <= tol ||a||_F``.  Returns ``None`` when
     the rank cap is exceeded.  ``impl`` selects the LAPACK-backed kernel
     (default) or the pure-Python early-exit Householder loop
-    (``"householder"``).
+    (``"householder"``).  ``norm_ref`` raises the truncation reference to
+    ``max(||a||_F, norm_ref)`` for the global threshold modes.
     """
     m, n = a.shape
     if min(m, n) == 0:
         return LowRankBlock.zero(m, n, dtype=a.dtype)
-    res = (rrqr_lapack if impl == "lapack" else rrqr)(a, tol, max_rank)
+    res = (rrqr_lapack if impl == "lapack" else rrqr)(a, tol, max_rank,
+                                                     norm_ref=norm_ref)
     if not res.converged:
         return None
     rank = res.q.shape[1]

@@ -50,12 +50,15 @@ def svd_truncate(sigma: np.ndarray, tol: float, norm_a: Optional[float] = None
 
 
 def svd_compress(a: np.ndarray, tol: float,
-                 max_rank: Optional[int] = None) -> Optional[LowRankBlock]:
+                 max_rank: Optional[int] = None,
+                 norm_ref: Optional[float] = None) -> Optional[LowRankBlock]:
     """Compress ``a`` by truncated SVD.
 
     Returns ``None`` when the revealed rank exceeds ``max_rank`` (the caller
     keeps the block dense, per §3.4 — ranks above ``min(m,n)/4`` make
-    compression pointless).
+    compression pointless).  ``norm_ref`` switches the truncation reference
+    from the block's own norm to ``max(||a||_F, norm_ref)`` — the global
+    threshold modes of the BLR variant space.
     """
     m, n = a.shape
     if min(m, n) == 0:
@@ -70,7 +73,10 @@ def svd_compress(a: np.ndarray, tol: float,
         # verdict
         u, sigma, vt = sla.svd(a, full_matrices=False,
                                lapack_driver="gesvd", check_finite=False)
-    rank = svd_truncate(sigma, tol)
+    norm_a = None
+    if norm_ref is not None:
+        norm_a = max(float(np.linalg.norm(sigma)), float(norm_ref))
+    rank = svd_truncate(sigma, tol, norm_a=norm_a)
     if max_rank is not None and rank > max_rank:
         return None
     if rank == 0:

@@ -54,10 +54,16 @@ __all__ = [
     "find_breakdown",
 ]
 
-#: strategy downgrade ladder used when tolerance tightening is exhausted
+#: legacy strategy-alias downgrade ladder used when tolerance tightening
+#: is exhausted.  Alias-named configs walk this (preserving the historic
+#: MM → JIT → dense behaviour); configs that pin an explicit BLR loop
+#: order instead walk :data:`repro.core.variants.ORDER_LADDER` through
+#: the variant space (compress-later each rung) and only then drop to
+#: dense — see :func:`escalate_config`.
 STRATEGY_LADDER: Dict[str, str] = {
     "minimal-memory": "just-in-time",
     "just-in-time": "dense",
+    "adaptive": "just-in-time",
 }
 
 #: breakdown causes raised by the detection layer
@@ -224,12 +230,18 @@ def escalate_config(config: "SolverConfig",
     """The next rung of the escalation ladder, or ``None`` when exhausted.
 
     Tolerance tightening first (``τ × tau_shrink`` while the result stays
-    at or above ``tau_floor``), then strategy downgrade along
-    :data:`STRATEGY_LADDER`.  The ``dense`` strategy has no rungs left —
-    its accuracy does not depend on τ.
+    at or above ``tau_floor``), then a downgrade through the variant
+    space.  A config with an explicit ``variant`` moves to the next
+    compress-later loop order (:data:`repro.core.variants.ORDER_LADDER` —
+    denser intermediates, better stability) and drops to ``dense`` after
+    ``fuc``; alias-named strategies keep the historic
+    :data:`STRATEGY_LADDER` (MM → JIT → dense, adaptive → JIT).  The
+    ``dense`` strategy has no rungs left — its accuracy does not depend
+    on τ.
 
-    Escalation reuses the cached symbolic analysis: neither the strategy
-    nor the tolerance participates in ``SymbolicOptions.from_config``.
+    Escalation reuses the cached symbolic analysis: neither the strategy,
+    the variant, nor the tolerance participates in
+    ``SymbolicOptions.from_config``.
     """
     if config.strategy == "dense":
         return None
@@ -237,6 +249,13 @@ def escalate_config(config: "SolverConfig",
     if new_tol >= policy.tau_floor:
         return config.with_options(tolerance=new_tol)
     if policy.strategy_downgrade:
+        if config.variant is not None:
+            from repro.core.variants import ORDER_LADDER
+
+            nxt = ORDER_LADDER[config.variant]
+            if nxt is not None:
+                return config.with_options(variant=nxt)
+            return config.with_options(strategy="dense", variant=None)
         downgraded = STRATEGY_LADDER.get(config.strategy)
         if downgraded is not None:
             return config.with_options(strategy=downgraded)

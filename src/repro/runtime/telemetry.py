@@ -514,6 +514,18 @@ class Telemetry:
         self.emit("recompress", m=m, n=n, rank_before=rank_before,
                   rank_after=rank_after)
 
+    def record_variant_decision(self, cblk: int, order: str, reason: str,
+                                ratio: Optional[float] = None) -> None:
+        """One adaptive per-supernode loop-order decision.
+
+        Publishes a labelled ``variant_decisions`` counter (order +
+        reason) plus a structured ``variant_decision`` event carrying the
+        probe/history ratio the decision was based on."""
+        self.counter("variant_decisions", order=order, reason=reason).inc()
+        self.emit("variant_decision", cblk=cblk, order=order,
+                  reason=reason,
+                  ratio=None if ratio is None else float(ratio))
+
     def record_memory(self, current: int, peak: int) -> None:
         """A new tracked-memory high water mark."""
         self.gauge("memory_peak_bytes").set_value(float(peak))

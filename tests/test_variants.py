@@ -1,0 +1,555 @@
+"""Tests for the composable BLR variant engine (``repro.core.variants``).
+
+Covers the three orthogonal axes (loop order, threshold mode,
+recompression toggle), the alias bit-identity pins, the adaptive
+per-supernode policy (probe and history paths), and the variant-space
+escalation ladder.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, replace
+
+import numpy as np
+import pytest
+
+from repro.config import SolverConfig
+from repro.core.solver import Solver
+from repro.core.variants import (
+    ALIAS_ORDERS,
+    ORDER_LADDER,
+    ORDERS,
+    THRESHOLD_MODES,
+    AdaptivePolicy,
+    BlrVariant,
+    history_from_factor,
+    resolve_variant,
+)
+from repro.lowrank.block import LowRankBlock
+from repro.lowrank.kernels import lr_product
+from repro.lowrank.rrqr import rrqr_compress
+from repro.lowrank.svd import svd_compress
+from repro.runtime.recovery import (
+    STRATEGY_LADDER,
+    RecoveryPolicy,
+    escalate_config,
+)
+from repro.sparse.generators import convection_diffusion_3d, laplacian_3d
+from tests.conftest import tiny_blr_config
+from tests.test_backend_conformance import SEED_DIGESTS
+from tests.test_recovery import factor_digest
+
+
+def solve_err(a, cfg):
+    s = Solver(a, cfg)
+    s.factorize()
+    b = np.ones(a.n)
+    return s, s.backward_error(s.solve(b), b)
+
+
+# ----------------------------------------------------------------------
+# the BlrVariant policy object
+# ----------------------------------------------------------------------
+
+class TestBlrVariant:
+    def test_defaults_are_jit_shaped(self):
+        v = BlrVariant()
+        assert (v.order, v.threshold_mode, v.recompress) == \
+            ("ucf", "local", True)
+
+    @pytest.mark.parametrize("order", ORDERS)
+    def test_exactly_one_compression_point(self, order):
+        v = BlrVariant(order=order)
+        points = [v.compress_at_assembly, v.compress_before_solve,
+                  v.compress_after_solve, v.compress_after_updates]
+        assert sum(points) == 1
+
+    def test_invalid_axes_raise(self):
+        with pytest.raises(ValueError, match="loop order"):
+            BlrVariant(order="fcu")
+        with pytest.raises(ValueError, match="threshold_mode"):
+            BlrVariant(threshold_mode="relative")
+
+    def test_with_order_keeps_other_axes(self):
+        v = BlrVariant(order="cuf", threshold_mode="global",
+                       recompress=False)
+        w = v.with_order("fuc")
+        assert (w.order, w.threshold_mode, w.recompress) == \
+            ("fuc", "global", False)
+
+    def test_compress_scale_hand_computed(self):
+        tau, p, norm = 1e-8, 25, 300.0
+        assert BlrVariant(threshold_mode="local").compress_scale(
+            tau, p, norm) == (tau, None)
+        assert BlrVariant(threshold_mode="local-scaled").compress_scale(
+            tau, p, norm) == (tau / 25, None)
+        assert BlrVariant(threshold_mode="global").compress_scale(
+            tau, p, norm) == (tau, 300.0)
+        assert BlrVariant(threshold_mode="global-scaled").compress_scale(
+            tau, p, norm) == (tau / 25, 300.0)
+        # degenerate block counts never divide by zero
+        assert BlrVariant(threshold_mode="local-scaled").compress_scale(
+            tau, 0, norm) == (tau, None)
+
+
+class TestResolveVariant:
+    def test_dense_has_no_variant(self):
+        assert resolve_variant(tiny_blr_config(strategy="dense")) is None
+        assert tiny_blr_config(strategy="dense").resolved_variant() is None
+
+    @pytest.mark.parametrize("strategy,order", sorted(ALIAS_ORDERS.items()))
+    def test_alias_orders(self, strategy, order):
+        v = resolve_variant(tiny_blr_config(strategy=strategy))
+        assert v is not None and v.order == order
+
+    def test_explicit_variant_wins_over_alias(self):
+        cfg = tiny_blr_config(strategy="minimal-memory", variant="fuc")
+        assert resolve_variant(cfg).order == "fuc"
+
+    def test_threshold_axes_forwarded(self):
+        cfg = tiny_blr_config(threshold_mode="global-scaled",
+                              recompress_updates=False)
+        v = resolve_variant(cfg)
+        assert v.threshold_mode == "global-scaled"
+        assert v.recompress is False
+
+
+class TestConfigValidation:
+    def test_variant_requires_blr_strategy(self):
+        with pytest.raises(ValueError, match="dense"):
+            tiny_blr_config(strategy="dense", variant="ucf")
+
+    def test_variant_conflicts_with_adaptive(self):
+        with pytest.raises(ValueError, match="adaptive"):
+            tiny_blr_config(strategy="adaptive", variant="ucf")
+
+    def test_unknown_axes_rejected(self):
+        with pytest.raises(ValueError):
+            tiny_blr_config(variant="xyz")
+        with pytest.raises(ValueError):
+            tiny_blr_config(threshold_mode="xyz")
+
+    def test_adaptive_policy_requires_adaptive_strategy(self):
+        with pytest.raises(ValueError, match="adaptive"):
+            tiny_blr_config(strategy="just-in-time",
+                            adaptive=AdaptivePolicy())
+
+    def test_adaptive_policy_dict_coerced(self):
+        cfg = tiny_blr_config(strategy="adaptive",
+                              adaptive={"probe_blocks": 3})
+        assert isinstance(cfg.adaptive, AdaptivePolicy)
+        assert cfg.adaptive.probe_blocks == 3
+
+    def test_config_roundtrips_through_asdict(self):
+        cfg = tiny_blr_config(strategy="adaptive",
+                              adaptive=AdaptivePolicy(probe_blocks=3))
+        clone = SolverConfig(**asdict(replace(cfg, telemetry=None)))
+        assert clone.adaptive == cfg.adaptive
+        assert clone.variant == cfg.variant
+        assert clone.threshold_mode == cfg.threshold_mode
+
+    @pytest.mark.parametrize("overrides", [
+        dict(strategy="minimal-memory"),
+        dict(strategy="just-in-time", variant="cuf"),
+        dict(strategy="adaptive"),
+    ])
+    def test_left_looking_rejects_assembly_compression(self, overrides):
+        with pytest.raises(ValueError, match="left_looking"):
+            tiny_blr_config(left_looking=True, **overrides)
+
+    @pytest.mark.parametrize("order", ("ucf", "ufc", "fuc"))
+    def test_left_looking_accepts_late_orders(self, order):
+        cfg = tiny_blr_config(left_looking=True, variant=order)
+        assert cfg.resolved_variant().order == order
+
+
+# ----------------------------------------------------------------------
+# bit-identity: explicit loop orders reproduce the strategy-alias seeds
+# ----------------------------------------------------------------------
+
+class TestAliasBitIdentity:
+    """``minimal-memory`` ≡ ``cuf`` and ``just-in-time`` ≡ ``ucf``:
+    pinned sha256-identical float64 factors (same pins as the backend
+    conformance suite)."""
+
+    def _digest(self, **overrides):
+        s = Solver(laplacian_3d(6),
+                   tiny_blr_config(tolerance=1e-8, backend="numpy",
+                                   **overrides))
+        s.factorize()
+        return factor_digest(s.factor)
+
+    def test_explicit_cuf_matches_minimal_memory_pin(self):
+        assert self._digest(strategy="just-in-time", variant="cuf") == \
+            SEED_DIGESTS[("minimal-memory", "lu")]
+
+    def test_explicit_ucf_matches_just_in_time_pin(self):
+        assert self._digest(strategy="just-in-time", variant="ucf") == \
+            SEED_DIGESTS[("just-in-time", "lu")]
+
+    def test_local_mode_and_recompress_are_the_pinned_defaults(self):
+        assert self._digest(strategy="just-in-time", variant="ucf",
+                            threshold_mode="local",
+                            recompress_updates=True) == \
+            SEED_DIGESTS[("just-in-time", "lu")]
+
+
+# ----------------------------------------------------------------------
+# correctness matrix: every order x threshold mode (and dtypes/factotypes)
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("order", ORDERS)
+class TestVariantMatrix:
+    @pytest.mark.parametrize("mode", THRESHOLD_MODES)
+    def test_order_x_threshold_mode(self, order, mode):
+        a = laplacian_3d(6)
+        cfg = tiny_blr_config(variant=order, threshold_mode=mode,
+                              tolerance=1e-8)
+        _, err = solve_err(a, cfg)
+        # scaled modes only tighten; 100x headroom as in the strategy suite
+        assert err <= 1e-6
+
+    @pytest.mark.parametrize("dtype,bound", [("float64", 1e-6),
+                                             ("float32", 5e-3)])
+    def test_order_x_dtype(self, order, dtype, bound):
+        a = laplacian_3d(6)
+        cfg = tiny_blr_config(variant=order, tolerance=1e-8, dtype=dtype)
+        _, err = solve_err(a, cfg)
+        assert err <= bound
+
+    def test_order_cholesky(self, order):
+        a = laplacian_3d(6)
+        cfg = tiny_blr_config(variant=order, factotype="cholesky",
+                              tolerance=1e-8)
+        _, err = solve_err(a, cfg)
+        assert err <= 1e-6
+
+    def test_order_nonsymmetric(self, order):
+        a = convection_diffusion_3d(5, peclet=0.6)
+        cfg = tiny_blr_config(variant=order, tolerance=1e-8)
+        _, err = solve_err(a, cfg)
+        assert err <= 1e-5
+
+    def test_threaded_matches_sequential_bitwise(self, order):
+        """Every loop order keeps the bit-reproducibility contract under
+        both threaded engines (the FUC finalize fires only after the last
+        pull of immutable dense panels)."""
+        a = laplacian_3d(6)
+        digests = set()
+        for threads, sched in ((1, "dynamic"), (4, "dynamic"),
+                               (4, "static")):
+            s = Solver(a, tiny_blr_config(variant=order, tolerance=1e-8,
+                                          threads=threads, scheduler=sched))
+            s.factorize()
+            digests.add(factor_digest(s.factor))
+        assert len(digests) == 1
+
+
+# ----------------------------------------------------------------------
+# threshold modes: hand-computed kernel-level behaviour
+# ----------------------------------------------------------------------
+
+class TestThresholdModes:
+    def test_svd_norm_ref_raises_truncation_threshold(self):
+        # singular values 1, 1e-2, 1e-9: at tol=1e-4 the local rule keeps
+        # rank 2 (tail 1e-9), a norm_ref of 1e3 raises the threshold to
+        # 1e-4 * 1e3 = 0.1 and truncates the 1e-2 mode too
+        a = np.diag([1.0, 1e-2, 1e-9, 0.0, 0.0, 0.0])
+        assert svd_compress(a, 1e-4).rank == 2
+        assert svd_compress(a, 1e-4, norm_ref=1e3).rank == 1
+
+    def test_rrqr_norm_ref_raises_truncation_threshold(self):
+        rng = np.random.default_rng(5)
+        q1 = np.linalg.qr(rng.standard_normal((12, 3)))[0]
+        q2 = np.linalg.qr(rng.standard_normal((8, 3)))[0]
+        a = (q1 * np.array([1.0, 1e-2, 1e-9])) @ q2.T
+        assert rrqr_compress(a, 1e-4).rank == 2
+        assert rrqr_compress(a, 1e-4, norm_ref=1e3).rank == 1
+
+    def test_global_mode_truncates_at_least_as_hard_as_local(self):
+        """norm_ref = ||A||_F >= every block norm, so per-block ranks can
+        only shrink — the compress-once UCF order makes that a deterministic
+        factor-size ordering."""
+        a = laplacian_3d(8)
+        sizes = {}
+        for mode in ("local", "global"):
+            s, err = solve_err(a, tiny_blr_config(variant="ucf",
+                                                  threshold_mode=mode,
+                                                  tolerance=1e-5))
+            sizes[mode] = s.stats.factor_nbytes
+            # the global reference truncates relative to ||A||_F, so the
+            # per-block backward error is allowed to grow accordingly
+            assert err <= 1e-1
+        assert sizes["global"] <= sizes["local"]
+
+    def test_scaled_mode_keeps_at_least_local_accuracy(self):
+        a = laplacian_3d(8)
+        sizes = {}
+        for mode in ("local", "local-scaled"):
+            s, err = solve_err(a, tiny_blr_config(variant="ucf",
+                                                  threshold_mode=mode,
+                                                  tolerance=1e-4))
+            sizes[mode] = s.stats.factor_nbytes
+            assert err <= 1e-2
+        # tau/p only lowers the threshold: ranks (and bytes) cannot shrink
+        assert sizes["local-scaled"] >= sizes["local"]
+
+    def test_effective_threshold_recorded_on_factor(self):
+        a = laplacian_3d(6)
+        cfg = tiny_blr_config(variant="ucf", threshold_mode="global-scaled",
+                              tolerance=1e-8)
+        s = Solver(a, cfg)
+        s.factorize()
+        fac = s.factor
+        p = fac.symb.ncblk
+        assert fac.comp_tol == pytest.approx(1e-8 / p)
+        assert fac.comp_norm_ref == pytest.approx(fac.global_norm)
+        assert fac.global_norm > 0.0
+
+
+# ----------------------------------------------------------------------
+# the recompression toggle
+# ----------------------------------------------------------------------
+
+class TestRecompressToggle:
+    def test_lr_product_without_recompression_is_exact(self):
+        rng = np.random.default_rng(0)
+        a = LowRankBlock(rng.standard_normal((12, 3)),
+                         rng.standard_normal((10, 3)))
+        b = LowRankBlock(rng.standard_normal((9, 5)),
+                         rng.standard_normal((10, 5)))
+        ref = a.to_dense() @ b.to_dense().T
+        out = lr_product(a, b, 1e-12, "svd", recompress=False)
+        # the exact T core is folded into the smaller-rank side
+        assert out.rank == min(a.rank, b.rank)
+        assert np.linalg.norm(out.to_dense() - ref) <= 1e-12 * \
+            np.linalg.norm(ref)
+
+    @pytest.mark.parametrize("strategy", ("minimal-memory", "just-in-time"))
+    def test_end_to_end_without_recompression(self, strategy):
+        a = laplacian_3d(6)
+        cfg = tiny_blr_config(strategy=strategy, recompress_updates=False,
+                              tolerance=1e-8)
+        _, err = solve_err(a, cfg)
+        assert err <= 1e-6
+
+
+# ----------------------------------------------------------------------
+# adaptive per-supernode strategy
+# ----------------------------------------------------------------------
+
+class TestAdaptivePolicyUnit:
+    def test_probe_classification(self):
+        pol = AdaptivePolicy(compress_early_ratio=0.15, dense_ratio=0.85)
+        assert pol.decide(0, None).order == "dense"
+        assert pol.decide(0, None).reason == "no-candidates"
+        assert pol.decide(1, 0.1).order == "cuf"
+        assert pol.decide(2, 0.5).order == "ucf"
+        assert pol.decide(3, 0.9).order == "dense"
+
+    def test_history_classification(self):
+        pol = AdaptivePolicy()
+        hist_dense = {"ratio": 0.9, "dense_fraction": 0.8}
+        hist_early = {"ratio": 0.05, "dense_fraction": 0.0}
+        hist_late = {"ratio": 0.4, "dense_fraction": 0.1}
+        assert pol.decide(0, None, hist_dense).reason == "history-dense"
+        assert pol.decide(0, None, hist_early).order == "cuf"
+        assert pol.decide(0, None, hist_late).order == "ucf"
+        # probe ratio is ignored when history is present
+        assert pol.decide(0, 0.01, hist_dense).order == "dense"
+
+    def test_history_disabled_falls_back_to_probe(self):
+        pol = AdaptivePolicy(use_history=False)
+        hist = {"ratio": 0.9, "dense_fraction": 1.0}
+        assert pol.decide(0, 0.05, hist).order == "cuf"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdaptivePolicy(compress_early_ratio=1.5)
+        with pytest.raises(ValueError):
+            AdaptivePolicy(dense_ratio=0.0)
+        with pytest.raises(ValueError):
+            AdaptivePolicy(compress_early_ratio=0.9, dense_ratio=0.5)
+        with pytest.raises(ValueError):
+            AdaptivePolicy(probe_blocks=0)
+
+
+class TestAdaptiveEndToEnd:
+    def test_decisions_cover_every_supernode(self):
+        a = laplacian_3d(8)
+        s, err = solve_err(a, tiny_blr_config(strategy="adaptive",
+                                              tolerance=1e-4))
+        fac = s.factor
+        assert err <= 1e-2
+        assert fac.decisions is not None
+        assert len(fac.decisions) == fac.symb.ncblk
+        assert {d.order for d in fac.decisions} <= {"cuf", "ucf", "dense"}
+
+    def test_factor_size_no_worse_than_best_static(self):
+        """The acceptance criterion: on a matrix with mixed-rank
+        supernodes the adaptive strategy matches the best static variant
+        byte-for-byte (it picks the same compression point wherever
+        compression pays and skips the attempts where it does not)."""
+        a = laplacian_3d(8)
+        static = {}
+        for order in ORDERS:
+            s, err = solve_err(a, tiny_blr_config(variant=order,
+                                                  tolerance=1e-4))
+            static[order] = s.stats.factor_nbytes
+            assert err <= 1e-2
+        pol = AdaptivePolicy(dense_ratio=1.0)
+        s, err = solve_err(a, tiny_blr_config(strategy="adaptive",
+                                              adaptive=pol,
+                                              tolerance=1e-4))
+        assert err <= 1e-2
+        assert s.stats.factor_nbytes <= min(static.values())
+
+    def test_decisions_surface_in_run_report(self):
+        from repro.analysis.report import render_markdown
+
+        a = laplacian_3d(8)
+        s, err = solve_err(a, tiny_blr_config(strategy="adaptive",
+                                              tolerance=1e-4))
+        rep = s.run_report(workload="lap3d:8", backward_error=err)
+        var = rep["variants"]
+        assert var["strategy"] == "adaptive"
+        assert var["adaptive"] is True
+        assert sum(var["decision_counts"].values()) == s.factor.symb.ncblk
+        assert len(var["decisions"]) == s.factor.symb.ncblk
+        assert {"cblk", "order", "reason", "ratio"} <= \
+            set(var["decisions"][0])
+        md = render_markdown(rep)
+        assert "Adaptive per-supernode decisions" in md
+
+    def test_decisions_recorded_on_telemetry(self):
+        from repro.runtime.telemetry import Telemetry
+
+        a = laplacian_3d(8)
+        cfg = tiny_blr_config(strategy="adaptive", tolerance=1e-4,
+                              telemetry=Telemetry())
+        s = Solver(a, cfg)
+        s.factorize()
+        snap = cfg.telemetry.snapshot()
+        total = sum(c["value"] for c in
+                    snap["counters"].get("variant_decisions", []))
+        assert total == s.factor.symb.ncblk
+
+    def test_refactorization_uses_history(self):
+        a = laplacian_3d(8)
+        s = Solver(a, tiny_blr_config(strategy="adaptive", tolerance=1e-4))
+        s.factorize()
+        hist = history_from_factor(s.factor)
+        assert hist  # compression happened somewhere at tau=1e-4
+        s.update_values(a)
+        s.factorize()
+        reasons = {d.reason for d in s.factor.decisions}
+        assert reasons & {"history-dense", "history-early", "history-late"}
+        b = np.ones(a.n)
+        assert s.backward_error(s.solve(b), b) <= 1e-2
+
+    def test_non_adaptive_runs_make_no_decisions(self):
+        a = laplacian_3d(6)
+        s, _ = solve_err(a, tiny_blr_config(strategy="just-in-time"))
+        assert s.factor.decisions is None
+        rep = s.run_report()
+        assert rep["variants"]["adaptive"] is False
+        assert rep["variants"]["decision_counts"] is None
+
+
+# ----------------------------------------------------------------------
+# escalation ladder in variant terms
+# ----------------------------------------------------------------------
+
+class TestEscalation:
+    #: tolerance already below the floor: the tau-tightening path is
+    #: exhausted and escalate_config goes straight to the downgrade rung
+    POLICY = RecoveryPolicy(tau_floor=1e-10)
+
+    def test_explicit_variant_walks_the_order_ladder(self):
+        cfg = tiny_blr_config(variant="cuf", tolerance=1e-12)
+        seen = []
+        while cfg is not None and cfg.strategy != "dense":
+            cfg = escalate_config(cfg, self.POLICY)
+            seen.append((cfg.strategy, cfg.variant))
+        assert seen == [("just-in-time", "ucf"), ("just-in-time", "ufc"),
+                        ("just-in-time", "fuc"), ("dense", None)]
+        assert escalate_config(cfg, self.POLICY) is None
+
+    def test_order_ladder_is_compress_later(self):
+        order = ["cuf"]
+        while ORDER_LADDER[order[-1]] is not None:
+            order.append(ORDER_LADDER[order[-1]])
+        assert order == list(ORDERS)
+
+    def test_alias_ladder_regression(self):
+        """The historic MM -> JIT -> dense ladder is untouched for
+        alias-named configs."""
+        cfg = tiny_blr_config(strategy="minimal-memory", tolerance=1e-12)
+        rung1 = escalate_config(cfg, self.POLICY)
+        assert rung1.strategy == STRATEGY_LADDER["minimal-memory"]
+        assert rung1.variant is None
+        rung2 = escalate_config(rung1, self.POLICY)
+        assert rung2.strategy == "dense"
+        assert escalate_config(rung2, self.POLICY) is None
+
+    def test_adaptive_downgrades_to_jit(self):
+        cfg = tiny_blr_config(strategy="adaptive", tolerance=1e-12)
+        assert escalate_config(cfg, self.POLICY).strategy == "just-in-time"
+
+    def test_tau_tightening_preserves_variant(self):
+        cfg = tiny_blr_config(variant="fuc", tolerance=1e-6)
+        rung = escalate_config(cfg, RecoveryPolicy())
+        assert rung.variant == "fuc"
+        assert rung.tolerance == pytest.approx(1e-7)
+
+    def test_recovery_completes_under_variant(self):
+        """A poisoned run under an explicit loop order self-heals through
+        the variant ladder."""
+        from repro.runtime.faults import FaultInjector
+
+        a = laplacian_3d(6)
+        cfg = tiny_blr_config(variant="fuc", tolerance=1e-8,
+                              recovery=RecoveryPolicy())
+        s = Solver(a, cfg)
+        inj = FaultInjector(seed=0)
+        inj.fail_factor(2, transient=True)
+        s.factorize(faults=inj)
+        b = np.ones(a.n)
+        assert s.backward_error(s.solve(b), b) <= 1e-6
+
+
+# ----------------------------------------------------------------------
+# CLI surface
+# ----------------------------------------------------------------------
+
+class TestCli:
+    def test_solve_with_variant_flags(self, capsys):
+        from repro.cli import main
+
+        rc = main(["solve", "--generate", "lap3d:5", "--variant", "ufc",
+                   "--threshold-mode", "global", "--no-recompress"])
+        assert rc == 0
+        assert "backward error" in capsys.readouterr().out
+
+    def test_bench_variants_writes_json(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "variants.json"
+        rc = main(["bench-variants", "--generate", "lap3d:5",
+                   "--json", str(out)])
+        assert rc == 0
+        import json
+
+        payload = json.loads(out.read_text())
+        labels = {r["variant"] for r in payload["runs"]}
+        assert {f"{o}/local" for o in ORDERS} <= labels
+        assert {"adaptive", "dense"} <= labels
+        for r in payload["runs"]:
+            assert r["backward_error"] <= 1e-6
+
+    def test_bench_variants_rejects_unknown_mode(self):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["bench-variants", "--generate", "lap3d:5",
+                  "--modes", "bogus"])
