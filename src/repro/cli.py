@@ -27,6 +27,11 @@ Commands
 ``backends``
     List the registered kernel backends (``--backend`` /
     ``$REPRO_BACKEND`` select one for any command above).
+``lint``
+    Run the bundled solverlint static-analysis suite (solver-specific
+    invariants, contract rules, and the shared-state lockset engine) over
+    ``src/repro`` or explicit paths; ``--json`` for machine-readable
+    findings.  Requires a source checkout (``tools/solverlint``).
 
 Examples::
 
@@ -422,6 +427,38 @@ def cmd_backends(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    """Delegate to the bundled solverlint suite (``tools/solverlint``).
+
+    The linter lives outside the installable package — it analyzes the
+    source tree, so it only makes sense from a checkout.  Locate the repo
+    root relative to this file and fail with a clear message otherwise.
+    """
+    from pathlib import Path
+
+    root = Path(__file__).resolve().parents[2]
+    if not (root / "tools" / "solverlint").is_dir():
+        raise SystemExit(
+            "repro lint needs a source checkout: tools/solverlint not "
+            f"found under {root}")
+    if str(root) not in sys.path:
+        sys.path.insert(0, str(root))
+    from tools.solverlint.cli import run
+
+    argv = list(args.paths) or [str(root / "src" / "repro")]
+    if args.json:
+        argv += ["--format", "json"]
+    if args.rules:
+        argv += ["--rules", args.rules]
+    if args.no_scope:
+        argv.append("--no-scope")
+    if args.suppressions:
+        argv += ["--suppressions", args.suppressions]
+    if args.check_suppressions:
+        argv += ["--check-suppressions", args.check_suppressions]
+    return run(argv)
+
+
 def main(argv: Optional[list] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -513,6 +550,25 @@ def main(argv: Optional[list] = None) -> int:
     p_be = sub.add_parser("backends",
                           help="list the registered kernel backends")
     p_be.set_defaults(func=cmd_backends)
+
+    p_lint = sub.add_parser("lint",
+                            help="run the solverlint static-analysis suite")
+    p_lint.add_argument("paths", nargs="*",
+                        help="files/directories to lint "
+                             "(default: the src/repro tree)")
+    p_lint.add_argument("--json", action="store_true",
+                        help="emit findings as a JSON report")
+    p_lint.add_argument("--rules", default=None, metavar="R1,R2",
+                        help="comma-separated subset of rules to run")
+    p_lint.add_argument("--no-scope", action="store_true", dest="no_scope",
+                        help="ignore per-rule directory scoping")
+    p_lint.add_argument("--suppressions", metavar="FILE",
+                        help="write the suppression inventory report and "
+                             "exit")
+    p_lint.add_argument("--check-suppressions", metavar="FILE",
+                        dest="check_suppressions",
+                        help="enforce the suppression budget against FILE")
+    p_lint.set_defaults(func=cmd_lint)
 
     args = parser.parse_args(argv)
     return args.func(args)

@@ -171,6 +171,13 @@ class SolverConfig:
     #: numerical tunable (serialized factor archives store it as null).
     telemetry: Optional["Telemetry"] = field(
         default=None, repr=False, compare=False)
+    #: run the threaded schedulers under the Eraser-style lockset tracker
+    #: (:mod:`repro.runtime.sanitizer`): shared scheduler/factor structures
+    #: record (thread, access, lockset) events and candidate races raise a
+    #: structured :class:`~repro.runtime.sanitizer.RaceReport` after the
+    #: join.  ``$REPRO_TSAN=1`` enables it without touching the config
+    #: (see :meth:`sanitize_enabled`).  Sequential runs ignore it.
+    sanitize: bool = False
 
     def __post_init__(self) -> None:
         if self.strategy not in STRATEGIES:
@@ -323,6 +330,18 @@ class SolverConfig:
     def with_options(self, **overrides: Any) -> "SolverConfig":
         """Return a copy with the given fields replaced."""
         return replace(self, **overrides)
+
+    def sanitize_enabled(self) -> bool:
+        """Is the runtime race sanitizer on for this run?
+
+        True when :attr:`sanitize` is set or ``$REPRO_TSAN`` is a non-empty
+        value other than ``0`` (the CI tsan job exports ``REPRO_TSAN=1`` to
+        rerun the threaded suites instrumented without editing configs).
+        """
+        import os
+
+        return self.sanitize or os.environ.get(
+            "REPRO_TSAN", "") not in ("", "0")
 
     @property
     def is_blr(self) -> bool:

@@ -34,6 +34,7 @@ import numpy as np
 
 if TYPE_CHECKING:
     from repro.runtime.recovery import RecoveryState
+    from repro.runtime.sanitizer import RaceSanitizer
 
 from repro.config import SolverConfig
 from repro.core.backend import get_backend
@@ -133,6 +134,9 @@ class NumericFactor:
         self.stats = FactorizationStats(
             kernels=KernelStats(locked=True, telemetry=config.telemetry))
         self.nperturbed = 0
+        #: guards cross-task counters (``nperturbed``) — worker threads
+        #: factor disjoint column blocks but accumulate into one factor
+        self._counter_lock: Any = threading.Lock()
         #: arithmetic dtype of the factorization (resolved by
         #: :func:`assemble` from the matrix and ``config.dtype``)
         self.dtype = np.dtype(np.float64)
@@ -149,6 +153,11 @@ class NumericFactor:
         #: optional :class:`~repro.runtime.faults.FaultInjector` — fired at
         #: the top of every factor/update task when set
         self.faults = None
+        #: optional :class:`~repro.runtime.sanitizer.RaceSanitizer` — armed
+        #: by the solver via :meth:`attach_sanitizer` when
+        #: ``config.sanitize_enabled()``; the threaded schedulers and the
+        #: pull-set bookkeeping report their shared accesses through it
+        self.sanitizer: Optional["RaceSanitizer"] = None
         #: optional :class:`~repro.runtime.recovery.RecoveryState` — armed by
         #: the solver when ``config.recovery`` is set; every breakdown
         #: sentinel and fallback in the factorization path is gated on it
@@ -170,7 +179,7 @@ class NumericFactor:
         # FUC bookkeeping: per-source set of targets that have consumed
         # the source's updates (idempotent under task retries), guarded by
         # a lock for the threaded engines
-        self._pull_lock = threading.Lock()
+        self._pull_lock: Any = threading.Lock()
         self._pulled: Dict[int, Set[int]] = {}
         self._pull_targets: Dict[int, int] = {}
 
@@ -211,11 +220,26 @@ class NumericFactor:
         per ``(c, k)`` pair, so task retries never double-count.
         """
         with self._pull_lock:
+            if self.sanitizer is not None:
+                self.sanitizer.note("factor.pulled", "write",
+                                    site="factor.py:note_updates_pulled")
             pulled = self._pulled.setdefault(c, set())
             if k in pulled:
                 return False
             pulled.add(k)
             return len(pulled) == self._n_targets_locked(c)
+
+    def attach_sanitizer(self, san: "RaceSanitizer") -> None:
+        """Arm the runtime race sanitizer on this factor's shared state.
+
+        Wraps the pull-set and counter locks so worker locksets are
+        tracked, and exposes the sanitizer to the schedulers
+        (``fac.sanitizer``).  Called by the solver before spawning
+        workers when ``config.sanitize_enabled()``."""
+        self.sanitizer = san
+        self._pull_lock = san.wrap_lock(self._pull_lock, "factor._pull_lock")
+        self._counter_lock = san.wrap_lock(self._counter_lock,
+                                           "factor._counter_lock")
 
     def fill_column_block(self, k: int) -> None:
         """Left-looking mode: allocate column block ``k``'s dense storage
@@ -252,6 +276,16 @@ class NumericFactor:
     def factor_nbytes(self) -> int:
         """Current compressed storage of all blocks."""
         return sum(nc.nbytes(self.sides) for nc in self.cblks)
+
+    def add_perturbed(self, n: int) -> None:
+        """Accumulate perturbed-pivot counts from factor tasks.
+
+        Integer addition under ``_counter_lock``: worker threads factoring
+        different column blocks race on the shared counter otherwise, and
+        the result stays independent of accumulation order."""
+        if n:
+            with self._counter_lock:
+                self.nperturbed += n
 
     # -- block mutation with memory accounting ----------------------------
     def set_block(self, nc: NumericColumnBlock, side: str, i: int,
@@ -318,7 +352,7 @@ def assemble(a_perm: CSCMatrix, symb: SymbolicFactor,
     need_u = not config.is_symmetric_facto
     at_perm = a_perm.transpose() if need_u else None
     variant = fac.variant
-    fac.global_norm = float(np.linalg.norm(a_perm.values))
+    fac.global_norm = float(np.linalg.norm(a_perm.values))  # solverlint: ignore[backend-bypass] -- one norm of the raw CSC value array at assembly; the backend protocol is blocked-matrix only
     if variant is not None:
         fac.comp_tol, fac.comp_norm_ref = variant.compress_scale(
             config.tolerance, symb.ncblk, fac.global_norm)
@@ -363,7 +397,7 @@ def assemble(a_perm: CSCMatrix, symb: SymbolicFactor,
                 tele.record_variant_decision(
                     decision.cblk, decision.order, decision.reason,
                     decision.ratio)
-            compress_now = decision.order == "cuf"
+            compress_now = decision.compress_early
         else:
             compress_now = variant is not None and variant.compress_at_assembly
         if compress_now:

@@ -89,7 +89,7 @@ def factor_column_block(fac: NumericFactor, k: int) -> None:
     else:  # pragma: no cover - guarded by SolverConfig validation
         raise NotImplementedError(
             f"factotype {cfg.factotype!r} is not implemented yet")
-    fac.nperturbed += nperturbed
+    fac.add_perturbed(nperturbed)
     stats.add("block_facto", seconds=time.perf_counter() - t0,
               flops=fl * flop_scale(fac.dtype))
     rec = fac.recovery

@@ -43,7 +43,7 @@ from __future__ import annotations
 import queue
 import threading
 import time
-from typing import TYPE_CHECKING, Callable, List, Optional, Sequence
+from typing import TYPE_CHECKING, Any, Callable, List, Optional, Sequence
 
 if TYPE_CHECKING:
     from repro.core.serialize import CheckpointWriter
@@ -192,10 +192,21 @@ def _pull_and_factor(fac: NumericFactor, k: int) -> None:
     sequential sweep); a column block with no targets compresses right
     after its own factorization."""
     fuc = fac.variant is not None and fac.variant.compress_after_updates
+    san = fac.sanitizer
     for c in fac.symb.contributors(k):
+        if san is not None:
+            san.note(f"cblk[{c}]", "read", site="scheduler.py:_pull_and_factor")
         apply_updates_from(fac, c, target=k)
         if fuc and fac.note_updates_pulled(c, k):
+            if san is not None:
+                # dependency-ordered ownership transfer: the last pulling
+                # task compresses the drained source block
+                san.handoff(f"cblk[{c}]")
+                san.note(f"cblk[{c}]", "write",
+                         site="scheduler.py:_pull_and_factor(finalize)")
             finalize_updates_from(fac, c)
+    if san is not None:
+        san.note(f"cblk[{k}]", "write", site="scheduler.py:_pull_and_factor")
     factor_column_block(fac, k)
     if fuc and fac.n_targets(k) == 0:
         finalize_updates_from(fac, k)
@@ -323,6 +334,7 @@ def run_threaded(fac: NumericFactor, nthreads: int,
     tele = fac.config.telemetry
     if tele is not None:
         tele.gauge("scheduler_threads", engine="dynamic").set_value(nthreads)
+    san = fac.sanitizer
 
     pending = [len(symb.contributors(t)) for t in range(ncblk)]
     ready: "queue.Queue[Optional[int]]" = queue.Queue()
@@ -330,7 +342,12 @@ def run_threaded(fac: NumericFactor, nthreads: int,
         if pending[t] == 0:
             ready.put(t)
 
-    state = threading.Lock()  # guards pending/processed/errors/stopped/ticks
+    # guards pending/processed/errors/stopped/ticks; tracked when the race
+    # sanitizer rides along (ready is a queue.Queue: internally synchronized)
+    state: Any = threading.Lock()
+    if san is not None:
+        state = san.wrap_lock(state, "scheduler.state")
+        san.epoch()
     processed = [0]
     ticks = [0]  # watchdog progress counter (bumped on completion & error)
     errors: List[BaseException] = []
@@ -368,6 +385,9 @@ def run_threaded(fac: NumericFactor, nthreads: int,
                         tele.clock(), depth=ready.qsize(), worker=wid)
                 newly_ready: List[int] = []
                 with state:
+                    if san is not None:
+                        san.note("scheduler.progress", "write",
+                                 site="scheduler.py:worker(dynamic)")
                     processed[0] += 1
                     ticks[0] += 1
                     for t in _targets_of(fac, k):
@@ -380,6 +400,9 @@ def run_threaded(fac: NumericFactor, nthreads: int,
                     ready.put(t)
             except BaseException as exc:
                 with state:
+                    if san is not None:
+                        san.note("scheduler.errors", "write",
+                                 site="scheduler.py:worker(dynamic)")
                     errors.append(exc)
                     ticks[0] += 1
                     _shutdown_locked()
@@ -399,6 +422,9 @@ def run_threaded(fac: NumericFactor, nthreads: int,
             errors)
 
     _join_with_watchdog(threads, watchdog_s, lambda: ticks[0], on_stall)
+    if san is not None:
+        san.epoch()  # join is a sync point: teardown reads are not races
+        san.check()
     _raise_collected(errors)
     if processed[0] != ncblk:  # pragma: no cover - defensive
         raise DeadlockError(
@@ -516,8 +542,12 @@ def run_threaded_static(fac: NumericFactor, nthreads: int,
     for k in range(ncblk):
         tasks[owner[k]].append(k)  # ascending: respects the elimination order
 
+    san = fac.sanitizer
     pending = [len(symb.contributors(t)) for t in range(ncblk)]
-    cond = threading.Condition()
+    cond: Any = threading.Condition()
+    if san is not None:
+        cond = san.wrap_condition(cond, "scheduler.cond")
+        san.epoch()
     processed = [0]
     ticks = [0]
     errors: List[BaseException] = []
@@ -540,6 +570,9 @@ def run_threaded_static(fac: NumericFactor, nthreads: int,
                                  worker=str(tid)).inc(
                         time.perf_counter() - t_task)
                 with cond:
+                    if san is not None:
+                        san.note("scheduler.progress", "write",
+                                 site="scheduler.py:worker(static)")
                     processed[0] += 1
                     ticks[0] += 1
                     for t in _targets_of(fac, k):
@@ -547,6 +580,9 @@ def run_threaded_static(fac: NumericFactor, nthreads: int,
                     cond.notify_all()
         except BaseException as exc:
             with cond:
+                if san is not None:
+                    san.note("scheduler.errors", "write",
+                             site="scheduler.py:worker(static)")
                 errors.append(exc)
                 ticks[0] += 1
                 stopped[0] = True
@@ -568,6 +604,9 @@ def run_threaded_static(fac: NumericFactor, nthreads: int,
             errors)
 
     _join_with_watchdog(threads, watchdog_s, lambda: ticks[0], on_stall)
+    if san is not None:
+        san.epoch()  # join is a sync point: teardown reads are not races
+        san.check()
     _raise_collected(errors)
     if processed[0] != ncblk:  # pragma: no cover - defensive
         raise DeadlockError(

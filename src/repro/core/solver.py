@@ -109,6 +109,9 @@ class Solver:
         self.analyze_time: float = 0.0
         #: task trace of the last :meth:`factorize` (``config.trace=True``)
         self.tracer = None
+        #: race sanitizer of the last threaded factorization
+        #: (``config.sanitize`` / ``$REPRO_TSAN``), or ``None``
+        self.sanitizer: Optional[Any] = None
         #: result of the last :meth:`refine` call (residual history feeds
         #: :meth:`run_report` even when no telemetry bus is attached)
         self.last_refinement: Optional[RefinementResult] = None
@@ -187,6 +190,16 @@ class Solver:
             self.tracer = None
         fac.faults = faults
         fac.recovery = state
+        if cfg.threads > 1 and cfg.sanitize_enabled():
+            from repro.runtime.sanitizer import RaceSanitizer
+
+            san = RaceSanitizer()
+            fac.attach_sanitizer(san)
+            if state is not None:
+                state.attach_sanitizer(san)
+            if cfg.telemetry is not None:
+                cfg.telemetry.attach_sanitizer(san)
+            self.sanitizer = san
         writer = None
         if checkpoint is not None:
             from repro.core.serialize import (
@@ -201,10 +214,18 @@ class Solver:
                                       matrix_fingerprint(self._a_sym),
                                       every=every, write_on_fault=on_fault)
         if cfg.threads > 1:
-            if cfg.scheduler == "static":
-                run_threaded_static(fac, cfg.threads)
-            else:
-                run_threaded(fac, cfg.threads)
+            try:
+                if cfg.scheduler == "static":
+                    run_threaded_static(fac, cfg.threads)
+                else:
+                    run_threaded(fac, cfg.threads)
+            finally:
+                if fac.sanitizer is not None:
+                    import os
+
+                    log = os.environ.get("REPRO_TSAN_LOG", "")
+                    if log:
+                        fac.sanitizer.dump(log)
         else:
             run_sequential(fac, checkpoint=writer)
         self._finalize_stats(fac, t0)
@@ -624,7 +645,8 @@ class Solver:
 
     def backward_error(self, x: np.ndarray, b: np.ndarray) -> float:
         """``||A x - b||₂ / ||b||₂`` — the metric printed above every bar of
-        Figures 5 and 6."""
+        Figures 5 and 6.  Diagnostic cold path: two full-length vector
+        norms per call, outside the blocked-kernel protocol."""
         return float(np.linalg.norm(self.a.matvec(x) - b)
                      / np.linalg.norm(b))
 

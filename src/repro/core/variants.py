@@ -204,6 +204,11 @@ class VariantDecision:
     reason: str
     ratio: Optional[float] = None
 
+    @property
+    def compress_early(self) -> bool:
+        """Compress this supernode at assembly (compress-early orders)."""
+        return self.order == "cuf"
+
     def as_dict(self) -> Dict[str, Any]:
         return {"cblk": self.cblk, "order": self.order,
                 "reason": self.reason, "ratio": self.ratio}

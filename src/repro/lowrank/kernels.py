@@ -28,7 +28,7 @@ from repro.lowrank.aca import aca_compress, aca_flops
 from repro.lowrank.block import LowRankBlock
 from repro.lowrank.randomized import rsvd_compress, rsvd_flops
 from repro.lowrank.recompress import recompress_rrqr, recompress_svd
-from repro.lowrank.rrqr import rrqr_compress, rrqr_flops
+from repro.lowrank.rrqr import qr_split, rrqr_compress, rrqr_flops
 from repro.lowrank.svd import svd_compress, svd_flops
 from repro.runtime.stats import KernelStats
 
@@ -164,8 +164,7 @@ def lr_product(a: Block, b: Block, tol: float, kernel: str,
                  if kernel == "svd"
                  else rrqr_compress(t_mat, tol, norm_ref=norm_ref))
         if t_hat is None:  # pragma: no cover - no cap given, cannot happen
-            q, r = np.linalg.qr(t_mat)
-            t_hat = LowRankBlock(q, r.T.copy())
+            t_hat = qr_split(t_mat)
         fl += (svd_flops(*t_mat.shape) if kernel == "svd"
                else rrqr_flops(t_mat.shape[0], t_mat.shape[1],
                                max(t_hat.rank, 1)))
@@ -252,8 +251,7 @@ def lr2lr_update(target: LowRankBlock, contrib: Block,
                             max_rank=min(contrib.shape), stats=stats,
                             norm_ref=norm_ref)
         if lr is None:  # incompressible small block: full-rank QR split
-            q, r = np.linalg.qr(contrib)
-            lr = LowRankBlock(q, r.T.copy())
+            lr = qr_split(contrib)
         contrib = lr
         t0 = time.perf_counter()  # compression charged separately
     if contrib.rank == 0:
@@ -316,8 +314,7 @@ def lr2lr_update_multi(target: LowRankBlock,
                                 max_rank=min(contrib.shape), stats=stats,
                                 norm_ref=norm_ref)
             if lr is None:
-                q, r = np.linalg.qr(contrib)
-                lr = LowRankBlock(q, r.T.copy())
+                lr = qr_split(contrib)
             contrib = lr
         if contrib.rank == 0:
             continue

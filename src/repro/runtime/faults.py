@@ -79,6 +79,16 @@ class FaultInjector:
         self._trisolve: List[dict] = []
         self._serialize: List[dict] = []
         self._latency: Dict[str, float] = {}
+        #: seeded-race mode (sanitizer regression tests): every factor
+        #: task bumps this counter WITHOUT a lock and reports the access
+        #: to ``fac.sanitizer`` — a deliberately unguarded shared mutation
+        #: the Eraser tracker must flag
+        self.race_counter_enabled = False
+        self.racy_count = 0
+
+    def enable_race_counter(self) -> None:
+        """Arm the deliberately-unguarded counter (sanitizer tests)."""
+        self.race_counter_enabled = True
 
     # -- deterministic choices ----------------------------------------
     def pick_block(self, ncblk: int, low: int = 0) -> int:
@@ -179,6 +189,13 @@ class FaultInjector:
             return True
 
     def on_factor(self, fac: "NumericFactor", k: int) -> None:
+        if self.race_counter_enabled:
+            san = getattr(fac, "sanitizer", None)
+            if san is not None:
+                san.note("faults.racy_count", "write",
+                         site="faults.py:on_factor")
+            # deliberately unguarded read-modify-write across workers
+            self.racy_count += 1  # solverlint: ignore[shared-mutation-lockset] -- seeded race for the sanitizer regression tests, armed only by enable_race_counter()
         lat = self._latency.get("factor", 0.0)
         if lat:
             self._mark("factor", k, None, "delay")

@@ -179,8 +179,14 @@ class RecoveryState:
         self.policy = policy
         self.telemetry = telemetry
         self.actions: List[Dict[str, Any]] = []
-        self._lock = threading.Lock()
+        self._lock: Any = threading.Lock()
+        self._sanitizer: Any = None
         self._rng = np.random.default_rng(policy.seed)
+
+    def attach_sanitizer(self, san: Any) -> None:
+        """Track this state's lock and action log in the race sanitizer."""
+        self._sanitizer = san
+        self._lock = san.wrap_lock(self._lock, "recovery._lock")
 
     def record(self, action: str, site: str = "",
                cblk: Optional[int] = None, **detail: Any) -> None:
@@ -190,6 +196,9 @@ class RecoveryState:
             entry["cblk"] = int(cblk)
         entry.update(detail)
         with self._lock:
+            if self._sanitizer is not None:
+                self._sanitizer.note("recovery.actions", "write",
+                                     site="recovery.py:record")
             self.actions.append(entry)
         if self.telemetry is not None:
             self.telemetry.record_recovery(action, site=site, cblk=cblk,

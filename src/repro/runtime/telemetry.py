@@ -374,8 +374,9 @@ class Telemetry:
     def __init__(self, sinks: Iterable[Sink] = (),
                  ring_capacity: Optional[int] = 4096) -> None:
         self._origin = time.perf_counter()
-        self._lock = threading.Lock()       # registry + series creation
-        self._bus_lock = threading.Lock()   # event emission
+        self._lock: Any = threading.Lock()       # registry + series creation
+        self._bus_lock: Any = threading.Lock()   # event emission
+        self._sanitizer: Any = None
         self._families: Dict[str, _Family] = {}
         self._series: Dict[str, SeriesBuffer] = {}
         self._sinks: List[Sink] = list(sinks)
@@ -391,12 +392,22 @@ class Telemetry:
         """Seconds since this bus was created (monotonic)."""
         return time.perf_counter() - self._origin
 
+    def attach_sanitizer(self, san: Any) -> None:
+        """Track the registry/bus locks and family-map mutations in the
+        race sanitizer (wired by the solver under ``sanitize_enabled``)."""
+        self._sanitizer = san
+        self._lock = san.wrap_lock(self._lock, "telemetry._lock")
+        self._bus_lock = san.wrap_lock(self._bus_lock, "telemetry._bus_lock")
+
     # -- metric registry -----------------------------------------------
     def _family(self, name: str, kind: str,
                 buckets: Optional[Sequence[float]] = None) -> _Family:
         fam = self._families.get(name)
         if fam is None:
             with self._lock:
+                if self._sanitizer is not None:
+                    self._sanitizer.note("telemetry.families", "write",
+                                         site="telemetry.py:_family")
                 fam = self._families.get(name)
                 if fam is None:
                     fam = _Family(name, kind, buckets=buckets)
@@ -467,6 +478,9 @@ class Telemetry:
         event: Dict[str, Any] = {"kind": kind, "t": self.clock()}
         event.update(fields)
         with self._bus_lock:
+            if self._sanitizer is not None:
+                self._sanitizer.note("telemetry.events", "write",
+                                     site="telemetry.py:emit")
             self.events_emitted += 1
             for sink in self._sinks:
                 sink.handle(event)

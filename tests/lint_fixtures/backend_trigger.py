@@ -1,0 +1,20 @@
+"""Trigger fixture: raw numpy/scipy linear algebra outside the backend."""
+
+import numpy as np
+import scipy.linalg as sla
+
+
+def factor_diag(a):
+    return np.linalg.cholesky(a)  # finding: np.linalg call
+
+
+def panel_product(l, u):
+    return np.dot(l, u)  # finding: blocked np top-level kernel
+
+
+def dense_solve(a, b):
+    return sla.solve(a, b)  # finding: scipy call
+
+
+def contract(u, v):
+    return np.einsum("ij,jk->ik", u, v)  # finding: np.einsum

@@ -1,0 +1,52 @@
+"""Clean fixture: every worker-reachable shared mutation holds the same
+lock — directly, through a local alias, or in a nested `with`."""
+
+import threading
+
+
+class Pool:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._aux = threading.Lock()
+        self.counter = 0
+        self.log = []
+        self.nested = 0
+
+    def bump(self):
+        with self._lock:
+            self.counter += 1
+
+    def push(self, item):
+        # lock aliasing through a local: `lk` IS self._lock
+        lk = self._lock
+        with lk:
+            self.log.append(item)
+
+    def deep(self):
+        # nested `with`: the inner mutation holds both locks; the common
+        # lock across all sites of `nested` is still self._lock
+        with self._lock:
+            with self._aux:
+                self.nested += 1
+
+    def scratch(self):
+        # task-owned fresh container: never shared, no lock needed
+        local = []
+        local.append(1)
+        return local
+
+
+def worker(pool):
+    pool.bump()
+    pool.push("x")
+    pool.deep()
+    pool.scratch()
+
+
+def run(pool):
+    threads = [threading.Thread(target=worker, args=(pool,))
+               for _ in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()

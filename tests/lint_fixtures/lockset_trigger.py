@@ -1,0 +1,47 @@
+"""Trigger fixture: worker-reachable shared mutations with empty or
+inconsistent locksets."""
+
+import threading
+
+
+class Pool:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._aux = threading.Lock()
+        self.counter = 0
+        self.log = []
+        self.split = 0
+
+    def bump(self):
+        # finding: unguarded read-modify-write on a shared attribute
+        self.counter += 1
+
+    def push(self, item):
+        # finding: unguarded mutator call on a shared container
+        self.log.append(item)
+
+    def split_a(self):
+        with self._lock:
+            self.split += 1
+
+    def split_b(self):
+        # finding (inconsistent): same attribute guarded by a DIFFERENT
+        # lock than split_a — the two locksets are disjoint
+        with self._aux:
+            self.split += 1
+
+
+def worker(pool):
+    pool.bump()
+    pool.push("x")
+    pool.split_a()
+    pool.split_b()
+
+
+def run(pool):
+    threads = [threading.Thread(target=worker, args=(pool,))
+               for _ in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()

@@ -1,0 +1,33 @@
+"""Clean fixture: every telemetry call dominated by an `is not None` test."""
+
+
+def guarded_direct(fac, k):
+    if fac.telemetry is not None:
+        fac.telemetry.counter("tasks").inc()
+
+
+def guarded_alias(config):
+    tele = config.telemetry
+    if tele is not None:
+        tele.emit("phase", {"name": "factor"})
+
+
+def early_exit(fac):
+    if fac.telemetry is None:
+        return
+    fac.telemetry.event("after-early-exit")
+
+
+def and_chained(fac, verbose):
+    verbose and fac.telemetry is not None and fac.telemetry.event("v")
+
+
+def ternary(fac):
+    return fac.telemetry.snapshot() if fac.telemetry is not None else {}
+
+
+def closure_retests(fac):
+    def task():
+        if fac.telemetry is not None:
+            fac.telemetry.counter("deferred").inc()
+    return task

@@ -1,0 +1,25 @@
+"""Trigger fixture: telemetry calls not dominated by an `is not None` test."""
+
+
+def unguarded_direct(fac, k):
+    fac.telemetry.counter("tasks").inc()  # finding: no None guard
+
+
+def unguarded_alias(config):
+    tele = config.telemetry
+    tele.emit("phase", {"name": "factor"})  # finding: alias never tested
+
+
+def guard_wrong_branch(fac):
+    if fac.telemetry is None:
+        fac.telemetry.event("oops")  # finding: guarded by the WRONG branch
+
+
+def closure_does_not_inherit(fac):
+    if fac.telemetry is not None:
+        def task():
+            # finding: facts do not flow into closures (the closure may run
+            # after telemetry is detached) — it must re-test
+            fac.telemetry.counter("deferred").inc()
+        return task
+    return None

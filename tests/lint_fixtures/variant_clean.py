@@ -1,0 +1,25 @@
+"""Clean fixture: variant decisions consulted through the decision object."""
+
+
+def pick_kernel(decision):
+    if decision.compress_early:
+        return "assemble-compressed"
+    return "assemble-dense"
+
+
+def compress_point(decision):
+    if decision.jit_compression:
+        return "late"
+    return "early"
+
+
+def dense_is_fine(strategy):
+    # "dense" is deliberately not a variant literal — it names the
+    # no-compression baseline, not a BLR loop order
+    return strategy == "dense"
+
+
+def label(order):
+    # building strings from an order is fine; only *comparisons* re-encode
+    # the variant dispatch
+    return "variant-" + order

@@ -71,3 +71,28 @@ class TestBenchCommand:
         out = capsys.readouterr().out
         for strategy in ("dense", "just-in-time", "minimal-memory"):
             assert strategy in out
+
+
+class TestLintCommand:
+    def test_src_tree_is_clean_by_default(self, capsys):
+        rc = main(["lint"])
+        assert rc == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_json_report(self, capsys):
+        import json
+        from pathlib import Path
+        target = (Path(__file__).resolve().parent.parent
+                  / "src" / "repro" / "core" / "variants.py")
+        rc = main(["lint", "--json", str(target)])
+        assert rc == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["total"] == 0
+
+    def test_trigger_fixture_fails(self, capsys):
+        from pathlib import Path
+        trigger = (Path(__file__).resolve().parent
+                   / "lint_fixtures" / "lockset_trigger.py")
+        rc = main(["lint", "--no-scope", "--rules", "shared-mutation-lockset",
+                   str(trigger)])
+        assert rc == 1

@@ -25,6 +25,10 @@ GOLDEN = {
     "lock-discipline": ("lock_trigger.py", "lock_clean.py", 3),
     "python-hot-loop": ("hot_loop_trigger.py", "hot_loop_clean.py", 2),
     "missing-annotations": ("annotations_trigger.py", "annotations_clean.py", 4),
+    "backend-bypass": ("backend_trigger.py", "backend_clean.py", 4),
+    "variant-literal": ("variant_trigger.py", "variant_clean.py", 4),
+    "telemetry-guard": ("teleguard_trigger.py", "teleguard_clean.py", 4),
+    "shared-mutation-lockset": ("lockset_trigger.py", "lockset_clean.py", 3),
 }
 
 
@@ -185,6 +189,107 @@ class TestCli:
         out = capsys.readouterr().out
         for name in all_rules():
             assert name in out
+
+
+class TestLocksetEngine:
+    """Acceptance pair for the dataflow layer: the unguarded fixture must
+    fail the CLI gate and its locked twin must pass it."""
+
+    def test_unguarded_fixture_exits_one(self, capsys):
+        rc = run([str(FIXTURES / "lockset_trigger.py"), "--no-scope",
+                  "--rules", "shared-mutation-lockset"])
+        assert rc == 1
+        assert "shared-mutation-lockset" in capsys.readouterr().out
+
+    def test_locked_twin_exits_zero(self, capsys):
+        rc = run([str(FIXTURES / "lockset_clean.py"), "--no-scope",
+                  "--rules", "shared-mutation-lockset"])
+        assert rc == 0
+
+    def test_unguarded_mutations_name_the_attribute(self):
+        findings = run_rule("shared-mutation-lockset",
+                            FIXTURES / "lockset_trigger.py")
+        unguarded = [f for f in findings if "holds no lock" in f.message]
+        assert {a for f in unguarded for a in ("counter", "log")
+                if f"'self.{a}'" in f.message} == {"counter", "log"}
+
+    def test_inconsistent_locksets_reported_at_every_site(self):
+        findings = run_rule("shared-mutation-lockset",
+                            FIXTURES / "lockset_trigger.py")
+        inconsistent = [f for f in findings if "inconsistent" in f.message]
+        assert len(inconsistent) == 2
+        assert all("split" in f.message for f in inconsistent)
+        # the disjoint locks are named so the fix is obvious
+        assert all("._aux" in f.message and "._lock" in f.message
+                   for f in inconsistent)
+
+    def test_alias_and_nested_with_count_as_guarded(self):
+        # lockset_clean.py guards through `lk = self._lock` aliasing and a
+        # nested `with` — the engine must see through both
+        findings = run_rule("shared-mutation-lockset",
+                            FIXTURES / "lockset_clean.py")
+        assert findings == [], [(f.line, f.message) for f in findings]
+
+
+class TestSuppressionsReport:
+    def _tree(self, tmp_path):
+        mod = tmp_path / "mod.py"
+        mod.write_text(
+            "x = 1  # solverlint: ignore[python-hot-loop] -- fixture reason\n")
+        return mod
+
+    def test_collect_inventories_pragmas(self, tmp_path):
+        from tools.solverlint import suppressions as sup
+        self._tree(tmp_path)
+        entries = sup.collect([str(tmp_path)])
+        assert len(entries) == 1
+        e = entries[0]
+        assert e["rule"] == "python-hot-loop"
+        assert e["reason"] == "fixture reason"
+        assert e["line"] == 1
+
+    def test_budget_passes_when_report_is_current(self, tmp_path):
+        from tools.solverlint import suppressions as sup
+        self._tree(tmp_path)
+        report = tmp_path / "rep.json"
+        sup.write_report([str(tmp_path)], str(report))
+        ok, msg = sup.check_budget([str(tmp_path)], str(report))
+        assert ok, msg
+
+    def test_budget_fails_on_new_pragma(self, tmp_path):
+        from tools.solverlint import suppressions as sup
+        mod = self._tree(tmp_path)
+        report = tmp_path / "rep.json"
+        sup.write_report([str(tmp_path)], str(report))
+        mod.write_text(mod.read_text() +
+                       "y = 2  # solverlint: ignore[backend-bypass] -- new\n")
+        ok, msg = sup.check_budget([str(tmp_path)], str(report))
+        assert not ok
+        assert "backend-bypass" in msg and "--suppressions" in msg
+
+    def test_budget_warns_stale_on_shrinkage(self, tmp_path):
+        from tools.solverlint import suppressions as sup
+        mod = self._tree(tmp_path)
+        report = tmp_path / "rep.json"
+        sup.write_report([str(tmp_path)], str(report))
+        mod.write_text("x = 1\n")
+        ok, msg = sup.check_budget([str(tmp_path)], str(report))
+        assert ok
+        assert "stale" in msg
+
+    def test_cli_roundtrip(self, tmp_path, capsys):
+        self._tree(tmp_path)
+        report = tmp_path / "rep.json"
+        assert run(["--suppressions", str(report), str(tmp_path)]) == 0
+        assert run(["--check-suppressions", str(report),
+                    str(tmp_path)]) == 0
+        capsys.readouterr()
+
+    def test_committed_report_matches_tree(self):
+        from tools.solverlint import suppressions as sup
+        ok, msg = sup.check_budget([str(SRC)],
+                                   str(REPO_ROOT / "lint-suppressions.json"))
+        assert ok, msg
 
 
 class TestRepoIsClean:

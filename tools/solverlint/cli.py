@@ -50,6 +50,14 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--list-rules", action="store_true",
         help="describe every registered rule and exit")
+    parser.add_argument(
+        "--suppressions", metavar="PATH", default=None,
+        help="write a JSON inventory of every suppression pragma (rule, "
+             "file, justification, age-in-commits) to PATH and exit")
+    parser.add_argument(
+        "--check-suppressions", metavar="PATH", default=None,
+        help="budget gate: fail when the tree holds more pragmas than the "
+             "report at PATH records (regenerate with --suppressions)")
     return parser
 
 
@@ -69,6 +77,20 @@ def run(argv: Optional[Sequence[str]] = None) -> int:
     if args.list_rules:
         print(_list_rules())
         return 0
+    if args.suppressions:
+        from tools.solverlint import suppressions
+
+        report = suppressions.write_report(args.paths, args.suppressions)
+        print(f"wrote {report['total']} suppression(s) to "
+              f"{args.suppressions}")
+        return 0
+    if args.check_suppressions:
+        from tools.solverlint import suppressions
+
+        ok, message = suppressions.check_budget(
+            args.paths, args.check_suppressions)
+        print(message, file=sys.stderr if not ok else sys.stdout)
+        return 0 if ok else 1
     rules = None
     if args.rules:
         registry = all_rules()

@@ -1,0 +1,73 @@
+"""``variant-literal`` — strategy decisions go through the variant engine.
+
+PR 7 made the BLR variant space explicit: loop orders (``cuf``/``ucf``/
+``ufc``/``fuc``) and the legacy strategy aliases (``minimal-memory``,
+``just-in-time``) resolve once, in ``core/variants.py`` /
+``config.py``, into a :class:`~repro.core.variants.BlrVariant` whose
+predicates (``compress_at_assembly`` …) drive the engines.  A string
+comparison against one of those literals anywhere else re-implements the
+dispatch ad hoc and silently diverges when the variant space grows (a new
+loop order, a new alias) — exactly the "silent fallback" erosion the
+JOREK study documents.
+
+The rule flags *comparisons* only (``==``/``!=``/``in``/``not in``
+against the known literals).  Dict constructions (``STRATEGY_LADDER``),
+argparse ``choices=...`` lists and docstrings are not comparisons and do
+not fire.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Tuple
+
+from tools.solverlint.core import FileContext, Rule, register
+
+#: strategy aliases and loop orders owned by the variant engine
+VARIANT_LITERALS = frozenset({
+    "minimal-memory", "just-in-time", "cuf", "ucf", "ufc", "fuc",
+})
+
+_COMPARE_OPS = (ast.Eq, ast.NotEq, ast.In, ast.NotIn)
+
+
+def _literals_in(expr: ast.expr) -> Iterator[str]:
+    if isinstance(expr, ast.Constant) and isinstance(expr.value, str):
+        if expr.value in VARIANT_LITERALS:
+            yield expr.value
+    elif isinstance(expr, (ast.Tuple, ast.List, ast.Set)):
+        for elt in expr.elts:
+            yield from _literals_in(elt)
+
+
+@register
+class VariantLiteralRule(Rule):
+    """Variant/strategy literals are compared only inside the engine."""
+
+    name = "variant-literal"
+    description = (
+        "no \"minimal-memory\"/\"just-in-time\"/loop-order string "
+        "comparisons outside core/variants.py and config.py — use the "
+        "BlrVariant predicates or resolve_variant() instead")
+    invariant = (
+        "strategy and loop-order dispatch happens exactly once, through "
+        "the variant engine; growing the variant space cannot silently "
+        "miss an ad-hoc string comparison elsewhere")
+    scope_exclude = ("variants.py", "config.py")
+
+    def check(self, ctx: FileContext) -> Iterator[Tuple[int, int, str]]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            if not any(isinstance(op, _COMPARE_OPS) for op in node.ops):
+                continue
+            hits = set(_literals_in(node.left))
+            for comp in node.comparators:
+                hits.update(_literals_in(comp))
+            if hits:
+                lits = ", ".join(sorted(repr(h) for h in hits))
+                yield (node.lineno, node.col_offset,
+                       f"comparison against variant literal(s) {lits} "
+                       f"outside the variant engine; use BlrVariant "
+                       f"predicates / resolve_variant() so new orders "
+                       f"and aliases cannot be missed")

@@ -1,0 +1,151 @@
+"""Suppression inventory and budget gate.
+
+``--suppressions report.json`` writes a machine-readable inventory of every
+``# solverlint: ignore[...]`` pragma in the tree (rule, file, line,
+justification, and the pragma's age in commits via ``git blame``), so
+suppressions are reviewable artifacts instead of scattered comments.
+
+``--check-suppressions report.json`` is the CI budget gate: it fails when
+the tree holds more pragmas than the committed report records — growing the
+suppression count therefore forces regenerating (and reviewing) the report
+in the same diff.  Shrinkage passes and only warns that the report is stale.
+
+The git queries are best-effort: outside a git checkout (or when blame
+fails) ``age_in_commits`` is ``null`` and the gate still works — it only
+needs the counts.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from tools.solverlint.core import scan_pragmas
+
+
+def _python_files(paths: Iterable[str]) -> List[Path]:
+    files: List[Path] = []
+    for p in paths:
+        path = Path(p)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        elif path.suffix == ".py":
+            files.append(path)
+    return files
+
+
+def _blame_age(path: Path, line: int) -> Optional[int]:
+    """How many commits ago the pragma's line was last touched (0 = HEAD)."""
+    try:
+        blame = subprocess.run(
+            ["git", "blame", "-L", f"{line},{line}", "--line-porcelain",
+             "--", path.name],
+            cwd=path.parent, capture_output=True, text=True, timeout=30)
+        if blame.returncode != 0 or not blame.stdout:
+            return None
+        sha = blame.stdout.split(None, 1)[0]
+        if not sha or set(sha) == {"0"}:
+            return 0  # uncommitted line
+        count = subprocess.run(
+            ["git", "rev-list", "--count", f"{sha}..HEAD"],
+            cwd=path.parent, capture_output=True, text=True, timeout=30)
+        if count.returncode != 0:
+            return None
+        return int(count.stdout.strip())
+    except (OSError, ValueError, subprocess.SubprocessError):
+        return None
+
+
+def collect(paths: Iterable[str]) -> List[Dict[str, object]]:
+    """Every (pragma, rule) pair in the tree, one entry per suppressed rule."""
+    entries: List[Dict[str, object]] = []
+    for f in _python_files(paths):
+        try:
+            source = f.read_text(encoding="utf-8")
+        except OSError:
+            continue
+        pragmas = scan_pragmas(source)
+        if not pragmas:
+            continue
+        for sup in pragmas.values():
+            age = _blame_age(f, sup.line)
+            for rule in sup.rules:
+                entries.append({
+                    "rule": rule,
+                    "file": str(f),
+                    "line": sup.line,
+                    "reason": sup.reason,
+                    "age_in_commits": age,
+                })
+    entries.sort(key=lambda e: (str(e["file"]), int(e["line"]), str(e["rule"])))
+    return entries
+
+
+def build_report(paths: Iterable[str]) -> Dict[str, object]:
+    entries = collect(paths)
+    by_rule: Dict[str, int] = {}
+    for e in entries:
+        by_rule[str(e["rule"])] = by_rule.get(str(e["rule"]), 0) + 1
+    return {
+        "total": len(entries),
+        "by_rule": dict(sorted(by_rule.items())),
+        "suppressions": entries,
+    }
+
+
+def write_report(paths: Iterable[str], out_path: str) -> Dict[str, object]:
+    report = build_report(paths)
+    Path(out_path).write_text(json.dumps(report, indent=2) + "\n",
+                              encoding="utf-8")
+    return report
+
+
+def check_budget(paths: Iterable[str],
+                 report_path: str) -> Tuple[bool, str]:
+    """Gate: the tree may not hold more pragmas than the committed report."""
+    try:
+        recorded = json.loads(Path(report_path).read_text(encoding="utf-8"))
+    except (OSError, ValueError) as exc:
+        return False, (f"cannot read suppression report {report_path!r} "
+                       f"({exc}); regenerate it with --suppressions")
+    current = build_report(paths)
+    rec_total = int(recorded.get("total", 0))
+    cur_total = int(current["total"])
+    if cur_total > rec_total:
+        new = _diff_entries(current, recorded)
+        listing = "\n".join(
+            f"  {e['file']}:{e['line']}: ignore[{e['rule']}] -- "
+            f"{e['reason'] or '(no justification)'}" for e in new)
+        return False, (
+            f"suppression budget exceeded: {cur_total} pragma(s) in tree "
+            f"but {report_path} records {rec_total}.  New suppressions:\n"
+            f"{listing}\n"
+            f"Regenerate the report in the same diff:\n"
+            f"  python -m tools.solverlint --suppressions {report_path}")
+    if cur_total < rec_total:
+        return True, (f"suppression report {report_path} is stale "
+                      f"({rec_total} recorded, {cur_total} in tree) — "
+                      f"consider regenerating")
+    return True, f"suppression budget ok ({cur_total} pragma(s))"
+
+
+def _diff_entries(current: Dict[str, object],
+                  recorded: Dict[str, object]) -> List[Dict[str, object]]:
+    def keys(report: Dict[str, object]) -> Dict[Tuple[str, str], int]:
+        out: Dict[Tuple[str, str], int] = {}
+        for e in report.get("suppressions", []):  # type: ignore[union-attr]
+            k = (str(e["file"]), str(e["rule"]))
+            out[k] = out.get(k, 0) + 1
+        return out
+
+    rec = keys(recorded)
+    new: List[Dict[str, object]] = []
+    for e in current.get("suppressions", []):  # type: ignore[union-attr]
+        k = (str(e["file"]), str(e["rule"]))
+        if rec.get(k, 0) > 0:
+            rec[k] -= 1
+        else:
+            new.append(e)  # type: ignore[arg-type]
+    return new
