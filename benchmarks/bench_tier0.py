@@ -160,11 +160,16 @@ def load_history(path: Path) -> Dict[str, Any]:
 
 
 def write_run_report(a: Any, path: Path) -> Path:
-    """Re-run the float64 variant with telemetry on; write a RunReport."""
+    """Re-run the float64 variant with telemetry + span profiler on;
+    write a RunReport (its ``profile`` section feeds ``repro
+    diff-report`` and the benchdiff guilty-phase attribution)."""
     from repro.analysis.report import save_run_report
+    from repro.runtime.spans import SpanProfiler
     from repro.runtime.telemetry import Telemetry
 
-    cfg = _config(telemetry=Telemetry())
+    telemetry = Telemetry()
+    cfg = _config(telemetry=telemetry,
+                  profiler=SpanProfiler(telemetry=telemetry))
     solver = Solver(a, cfg)
     solver.factorize()
     b = np.ones(a.n)

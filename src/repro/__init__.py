@@ -19,6 +19,11 @@ Public API highlights:
 * :class:`~repro.runtime.telemetry.Telemetry` — opt-in metric/event bus
   (``SolverConfig(telemetry=Telemetry())``) feeding the per-run
   ``RunReport`` of :mod:`repro.analysis.report`.
+* :class:`~repro.runtime.spans.SpanProfiler` — opt-in causal span
+  profiler (``SolverConfig(profiler=SpanProfiler())``): one trace tree
+  per run, identical across sequential and threaded engines, exportable
+  to Chrome ``about:tracing`` and speedscope via
+  :mod:`repro.analysis.profile` (``docs/observability.md``).
 * :class:`~repro.runtime.recovery.RecoveryPolicy` — opt-in self-healing
   (``SolverConfig(recovery=RecoveryPolicy())``): breakdown detection,
   escalation ladders and checkpoint/restart (``docs/robustness.md``).
@@ -42,6 +47,7 @@ from repro.core.backend import (
 from repro.core.solver import Solver
 from repro.core.variants import AdaptivePolicy, BlrVariant
 from repro.runtime.recovery import NumericalBreakdown, RecoveryPolicy
+from repro.runtime.spans import SpanProfiler
 from repro.runtime.telemetry import Telemetry
 from repro.core.refinement import gmres, conjugate_gradient, iterative_refinement
 from repro.sparse.csc import CSCMatrix
@@ -61,6 +67,7 @@ __all__ = [
     "SolverConfig",
     "AdaptivePolicy",
     "BlrVariant",
+    "SpanProfiler",
     "Telemetry",
     "NumericalBreakdown",
     "RecoveryPolicy",

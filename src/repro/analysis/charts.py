@@ -264,8 +264,13 @@ def line_chart(path: Union[str, Path], x_values: Sequence[float],
     return cv.save(path)
 
 
-#: stable colour assignment for the trace event kinds
-_GANTT_KIND_COLORS = {"factor": PALETTE[0], "update": PALETTE[1]}
+#: stable colour assignment for the trace event kinds: the classic
+#: factor/update pair plus the PR-7 variant kinds — "compress" (the ufc
+#: post-panel compression pass) and "finalize" (the fuc
+#: compress-after-updates pass) — so the variant lab's Gantt lanes are
+#: legible instead of falling through to the hashed generic bucket
+_GANTT_KIND_COLORS = {"factor": PALETTE[0], "update": PALETTE[1],
+                      "compress": PALETTE[2], "finalize": PALETTE[5]}
 
 
 def gantt_chart(path: Union[str, Path], events: Sequence[Any],

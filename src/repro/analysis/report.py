@@ -55,9 +55,11 @@ def build_run_report(solver: "Solver", workload: Optional[str] = None,
         "schema": REPORT_SCHEMA,
         "workload": workload,
         "matrix": {"n": solver.a.n, "nnz": solver.a.nnz},
-        # the telemetry bus is a live runtime object; the report stores
-        # its *snapshot* below and the config field as null
-        "config": asdict(replace(solver.config, telemetry=None)),
+        # the telemetry bus and span profiler are live runtime objects;
+        # the report stores their *snapshots* below and the config
+        # fields as null
+        "config": asdict(replace(solver.config, telemetry=None,
+                                 profiler=None)),
         "timings": {
             "analyze_time": solver.analyze_time,
             "factor_time": stats.total_time,
@@ -119,6 +121,14 @@ def build_run_report(solver: "Solver", workload: Optional[str] = None,
 
     tracer = solver.tracer
     report["trace"] = None if tracer is None else tracer.summary()
+
+    prof = solver.config.profiler
+    if prof is None:
+        report["profile"] = None
+    else:
+        from repro.analysis.profile import phase_rollup
+
+        report["profile"] = phase_rollup(prof.to_json())
     return report
 
 
@@ -323,6 +333,45 @@ def render_markdown(report: Dict[str, Any],
             lines.append("")
         lines.append(f"Events emitted: {tele.get('events_emitted', 0)}")
         lines.append("")
+
+    profile = report.get("profile")
+    if profile:
+        lines.append("## Profile")
+        lines.append("")
+        meta = profile.get("meta") or {}
+        engine = meta.get("engine")
+        total = profile.get("total_time")
+        head = f"Span total {_fmt(total)} s"
+        if engine:
+            head += (f" — engine `{engine}`, "
+                     f"{meta.get('threads', '?')} thread(s)")
+        lines.append(head + ".")
+        lines.append("")
+        phases = profile.get("phases") or {}
+        if phases:
+            rows = [[name, d.get("time"), d.get("self_time"),
+                     d.get("count")]
+                    for name, d in sorted(
+                        phases.items(),
+                        key=lambda kv: -kv[1].get("time", 0.0))]
+            lines += _table(["phase", "time (s)", "self (s)", "spans"],
+                            rows)
+            lines.append("")
+        kern = profile.get("kernels") or {}
+        if kern:
+            rows = [[name, d.get("time"), d.get("count")]
+                    for name, d in sorted(
+                        kern.items(),
+                        key=lambda kv: -kv[1].get("time", 0.0))]
+            lines += _table(["kernel spans", "time (s)", "spans"], rows)
+            lines.append("")
+        by_level = profile.get("by_level") or {}
+        if by_level:
+            rows = [[lvl, d.get("time"), d.get("count")]
+                    for lvl, d in sorted(by_level.items(),
+                                         key=lambda kv: int(kv[0]))]
+            lines += _table(["level", "task time (s)", "tasks"], rows)
+            lines.append("")
 
     trace = report.get("trace")
     if trace:

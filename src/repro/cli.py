@@ -20,6 +20,14 @@ Commands
 ``report``
     Render a ``RunReport`` JSON artifact (written by ``solve --report``)
     to markdown, optionally regenerating its SVG figures.
+``flame``
+    Render a span profile (written by ``solve --profile``) to a
+    speedscope flamegraph and, optionally, a Chrome ``trace_event``
+    JSON, printing the per-phase rollup.
+``diff-report``
+    Align two ``RunReport`` artifacts and print a ranked per-phase
+    attribution table: which phases got slower or faster, factor byte
+    deltas, rank-histogram drift and recovery-action deltas.
 ``resume``
     Finish a factorization from a checkpoint archive written by
     ``solve --checkpoint`` (same matrix required — the archive stores a
@@ -206,6 +214,12 @@ def cmd_solve(args: argparse.Namespace) -> int:
         from repro.runtime.telemetry import Telemetry
 
         cfg = cfg.with_options(telemetry=Telemetry())
+    profiler = None
+    if getattr(args, "profile", None):
+        from repro.runtime.spans import SpanProfiler
+
+        profiler = SpanProfiler(telemetry=cfg.telemetry)
+        cfg = cfg.with_options(profiler=profiler)
     solver = Solver(a, cfg)
     print(f"n = {a.n}, nnz = {a.nnz}, strategy = {args.strategy}/"
           f"{args.kernel}, tau = {args.tolerance:.0e}")
@@ -257,6 +271,16 @@ def cmd_solve(args: argparse.Namespace) -> int:
         print(f"refined ({res.iterations} iterations): "
               f"{res.backward_error:.2e}")
         err = res.backward_error
+
+    if profiler is not None:
+        profiler.finish()
+        problems = profiler.check_invariants()
+        if problems:  # pragma: no cover - diagnostic path
+            for p in problems:
+                print(f"profile invariant violation: {p}", file=sys.stderr)
+        doc = profiler.to_json(args.profile)
+        print(f"profile: {len(doc['spans'])} spans -> {args.profile} "
+              f"(render with 'repro flame {args.profile}')")
 
     if getattr(args, "report", None):
         from repro.analysis.report import save_run_report
@@ -315,6 +339,53 @@ def cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_flame(args: argparse.Namespace) -> int:
+    """Render a saved span profile (``solve --profile``) to flamegraphs."""
+    from pathlib import Path
+
+    from repro.analysis.profile import (
+        export_chrome_trace,
+        export_speedscope,
+        phase_rollup,
+    )
+
+    src = args.span_file
+    out = args.output or str(Path(src).with_suffix("")) + ".speedscope.json"
+    path = export_speedscope(src, out, name=Path(src).name)
+    print(f"speedscope flamegraph -> {path}")
+    if args.chrome:
+        print(f"chrome trace -> {export_chrome_trace(src, args.chrome)}")
+    rollup = phase_rollup(src)
+    phases = sorted(rollup["phases"].items(),
+                    key=lambda kv: -kv[1]["time"])
+    for name, slot in phases:
+        print(f"  {name:<12} {slot['time']:8.4f}s  "
+              f"({int(slot['count'])} span(s))")
+    return 0
+
+
+def cmd_diff_report(args: argparse.Namespace) -> int:
+    """Align two RunReports and print the ranked attribution table."""
+    import json
+    from pathlib import Path
+
+    from repro.analysis.profile import (
+        render_attribution,
+        report_attribution,
+    )
+    from repro.analysis.report import load_run_report
+
+    attribution = report_attribution(load_run_report(args.report_a),
+                                     load_run_report(args.report_b))
+    if args.json:
+        Path(args.json).write_text(
+            json.dumps(attribution, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8")
+        print(f"attribution -> {args.json}")
+    print(render_attribution(attribution), end="")
+    return 0
+
+
 def cmd_analyze(args: argparse.Namespace) -> int:
     from repro.analysis.visualize import (
         structure_stats_table,
@@ -358,9 +429,15 @@ def cmd_bench_variants(args: argparse.Namespace) -> int:
     One row per (loop order × threshold mode) combination plus the
     adaptive strategy and the dense reference — factorization time,
     factor size, memory ratio and backward error, optionally dumped as
-    JSON for archival/benchdiff-style consumption.
+    JSON for archival/benchdiff-style consumption.  Every run carries a
+    span profiler, so the JSON records include a per-phase/per-kernel
+    attribution showing *where* the loop orders differ, not just their
+    totals.
     """
     import json
+
+    from repro.analysis.profile import phase_rollup
+    from repro.runtime.spans import SpanProfiler
 
     a = _load_matrix(args)
     rng = np.random.default_rng(args.seed)
@@ -383,18 +460,27 @@ def cmd_bench_variants(args: argparse.Namespace) -> int:
           f"{'backward':>10}")
     records = []
     for label, overrides in runs:
-        cfg = _config(args).with_options(**overrides)
+        prof = SpanProfiler()
+        cfg = _config(args).with_options(profiler=prof, **overrides)
         solver = Solver(a, cfg)
         t0 = time.perf_counter()
         stats = solver.factorize()
         dt = time.perf_counter() - t0
         err = solver.backward_error(solver.solve(b), b)
+        prof.finish()
+        rollup = phase_rollup(prof.to_json())
         print(f"{label:>22} {dt:8.2f} {stats.factor_nbytes / 1e6:9.2f} "
               f"{stats.memory_ratio:6.3f} {err:10.1e}")
         records.append({"variant": label, "factor_time": dt,
                         "factor_nbytes": int(stats.factor_nbytes),
                         "memory_ratio": float(stats.memory_ratio),
-                        "backward_error": float(err)})
+                        "backward_error": float(err),
+                        "phases": {name: slot["time"] for name, slot
+                                   in rollup["phases"].items()},
+                        "kernels": {name: slot["time"] for name, slot
+                                    in rollup["kernels"].items()},
+                        "by_order": {name: slot["time"] for name, slot
+                                     in rollup["by_order"].items()}})
 
     if args.json:
         from pathlib import Path
@@ -482,6 +568,10 @@ def main(argv: Optional[list] = None) -> int:
                          help="enable telemetry for the run and write a "
                               "RunReport JSON artifact (render it with "
                               "'repro report FILE')")
+    p_solve.add_argument("--profile", metavar="FILE",
+                         help="attach the causal span profiler and write "
+                              "the span document as JSON (render it with "
+                              "'repro flame FILE')")
     p_solve.add_argument("--checkpoint", metavar="FILE",
                          help="snapshot the partial factorization here "
                               "(on faults, and every N supernodes when the "
@@ -546,6 +636,28 @@ def main(argv: Optional[list] = None) -> int:
                        help="also render the telemetry series to SVG "
                             "charts in this directory")
     p_rep.set_defaults(func=cmd_report)
+
+    p_fl = sub.add_parser("flame",
+                          help="render a saved span profile to a "
+                               "speedscope flamegraph")
+    p_fl.add_argument("span_file", help="span JSON written by "
+                      "'repro solve --profile'")
+    p_fl.add_argument("-o", "--output", metavar="FILE",
+                      help="speedscope output path (default: "
+                           "<input>.speedscope.json)")
+    p_fl.add_argument("--chrome", metavar="FILE",
+                      help="also write a Chrome trace_event JSON "
+                           "(chrome://tracing / Perfetto)")
+    p_fl.set_defaults(func=cmd_flame)
+
+    p_dr = sub.add_parser("diff-report",
+                          help="attribute the regression between two "
+                               "RunReport artifacts by phase")
+    p_dr.add_argument("report_a", help="baseline RunReport JSON")
+    p_dr.add_argument("report_b", help="candidate RunReport JSON")
+    p_dr.add_argument("--json", metavar="FILE",
+                      help="also write the attribution dict as JSON")
+    p_dr.set_defaults(func=cmd_diff_report)
 
     p_be = sub.add_parser("backends",
                           help="list the registered kernel backends")

@@ -30,6 +30,7 @@ if TYPE_CHECKING:  # numpy is imported lazily at runtime (keep import light)
 
     from repro.core.variants import AdaptivePolicy, BlrVariant
     from repro.runtime.recovery import RecoveryPolicy
+    from repro.runtime.spans import SpanProfiler
     from repro.runtime.telemetry import Telemetry
 
 #: valid factorization strategies.  ``minimal-memory`` and
@@ -170,6 +171,16 @@ class SolverConfig:
     #: Excluded from equality/repr — it is a runtime channel, not a
     #: numerical tunable (serialized factor archives store it as null).
     telemetry: Optional["Telemetry"] = field(
+        default=None, repr=False, compare=False)
+    #: attach a :class:`~repro.runtime.spans.SpanProfiler`: the whole
+    #: pipeline (ordering → symbolic → assembly → per-cblk tasks →
+    #: trisolve → refinement) then records hierarchical, causally-linked
+    #: spans with phase/cblk/level/variant-order attributes, exportable as
+    #: Chrome traces and speedscope flamegraphs
+    #: (:mod:`repro.analysis.profile`).  ``None`` (the default) disables
+    #: profiling at the cost of one ``is not None`` test per site.  Like
+    #: ``telemetry``, excluded from equality/repr and serialized as null.
+    profiler: Optional["SpanProfiler"] = field(
         default=None, repr=False, compare=False)
     #: run the threaded schedulers under the Eraser-style lockset tracker
     #: (:mod:`repro.runtime.sanitizer`): shared scheduler/factor structures

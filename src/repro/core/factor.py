@@ -35,6 +35,7 @@ import numpy as np
 if TYPE_CHECKING:
     from repro.runtime.recovery import RecoveryState
     from repro.runtime.sanitizer import RaceSanitizer
+    from repro.runtime.spans import SpanProfiler
 
 from repro.config import SolverConfig
 from repro.core.backend import get_backend
@@ -150,6 +151,11 @@ class NumericFactor:
         #: optional :class:`~repro.runtime.trace.TaskTracer` — the drivers
         #: record one event per factor/update task when set
         self.tracer = None
+        #: optional :class:`~repro.runtime.spans.SpanProfiler` — mirrored
+        #: from ``config.profiler`` so the engines and kernels pay a single
+        #: attribute load; the schedulers open one causal span per task and
+        #: the kernels nest factor/compress/update/finalize children in it
+        self.profiler: Optional["SpanProfiler"] = config.profiler
         #: optional :class:`~repro.runtime.faults.FaultInjector` — fired at
         #: the top of every factor/update task when set
         self.faults = None

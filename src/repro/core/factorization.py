@@ -20,7 +20,10 @@ through :mod:`repro.lowrank.kernels`.
 from __future__ import annotations
 
 import time
-from typing import Any, Callable, Optional
+from typing import TYPE_CHECKING, Any, Callable, Optional
+
+if TYPE_CHECKING:
+    from repro.runtime.trace import TaskTracer
 
 import numpy as np
 
@@ -45,6 +48,7 @@ from repro.lowrank.kernels import (
     rank_cap,
 )
 from repro.runtime.memory import array_nbytes
+from repro.runtime.spans import LINK_FOLLOWS
 
 
 # ----------------------------------------------------------------------
@@ -65,6 +69,19 @@ def factor_column_block(fac: NumericFactor, k: int) -> None:
         _breakdown_check_input(fac, k)
     tracer = fac.tracer
     _trace_t0 = tracer.clock() if tracer is not None else 0.0
+    prof = fac.profiler
+    _sid = (prof.start("factor", cblk=k, factotype=fac.config.factotype)
+            if prof is not None else None)
+    try:
+        _factor_column_block_body(fac, k, tracer, _trace_t0)
+    finally:
+        if prof is not None:
+            prof.end(_sid)
+
+
+def _factor_column_block_body(fac: NumericFactor, k: int,
+                              tracer: Optional["TaskTracer"],
+                              _trace_t0: float) -> None:
     cfg = fac.config
     nc = fac.cblks[k]
     stats = fac.stats.kernels
@@ -122,10 +139,20 @@ def factor_column_block(fac: NumericFactor, k: int) -> None:
     # --- step 2: panel solves --------------------------------------------
     _panel_solve(fac, nc)
     if v is not None and v.compress_after_solve:
+        if tracer is not None:
+            # close the factor event before the ufc post-panel compression:
+            # events on one thread must not overlap, so the compression is
+            # traced as its own "compress" event (own Gantt color/legend)
+            tracer.record("factor", k, _trace_t0, tag=cfg.factotype)
+            _trace_t0 = tracer.clock()
         _compress_panels(fac, nc)
-    nc.factored = True
-    if tracer is not None:
-        tracer.record("factor", k, _trace_t0, tag=cfg.factotype)
+        nc.factored = True
+        if tracer is not None:
+            tracer.record("compress", k, _trace_t0, tag="ufc")
+    else:
+        nc.factored = True
+        if tracer is not None:
+            tracer.record("factor", k, _trace_t0, tag=cfg.factotype)
 
 
 def _first_nonfinite(nc: NumericColumnBlock) -> Optional[str]:
@@ -171,11 +198,36 @@ def finalize_updates_from(fac: NumericFactor, k: int) -> None:
     sweep or pulled by the last facing target).
 
     No-op for every other loop order — the engines call this
-    unconditionally and the variant decides."""
+    unconditionally and the variant decides.
+
+    One ``"finalize"`` trace event is recorded when it fires.  The span
+    profiler parents the finalize span on the task of the **greatest
+    facing target** — the last puller in the canonical ascending fan-in
+    order, i.e. the task that physically runs it in the sequential sweep —
+    so threaded runs (where the *temporal* last puller is whichever thread
+    got there last) record the same causal edge."""
     v = fac.variant_for(k)
     if v is None or not v.compress_after_updates:
         return
-    _compress_panels(fac, fac.cblks[k])
+    tracer = fac.tracer
+    _trace_t0 = tracer.clock() if tracer is not None else 0.0
+    prof = fac.profiler
+    _sid = None
+    if prof is not None:
+        targets = {b.facing for b in fac.cblks[k].sym.off_blocks()}
+        parent = prof.task_span_of(max(targets)) if targets else None
+        if parent is not None:
+            _sid = prof.start("finalize", parent=parent,
+                              link=LINK_FOLLOWS, cblk=k)
+        else:
+            _sid = prof.start("finalize", cblk=k)
+    try:
+        _compress_panels(fac, fac.cblks[k])
+    finally:
+        if prof is not None:
+            prof.end(_sid)
+        if tracer is not None:
+            tracer.record("finalize", k, _trace_t0, tag="fuc")
 
 
 def _compress_panels(fac: NumericFactor, nc: NumericColumnBlock) -> None:
@@ -199,6 +251,18 @@ def _compress_panels(fac: NumericFactor, nc: NumericColumnBlock) -> None:
                        error=type(exc).__name__)
             fac.convert_to_blocks(nc)
             return
+    prof = fac.profiler
+    _sid = (prof.start("compress", cblk=nc.sym.id, kernel=fac.config.kernel)
+            if prof is not None else None)
+    try:
+        _compress_panels_body(fac, nc)
+    finally:
+        if prof is not None:
+            prof.end(_sid)
+
+
+def _compress_panels_body(fac: NumericFactor,
+                          nc: NumericColumnBlock) -> None:
     cfg = fac.config
     stats = fac.stats.kernels
     lblocks: list = []
@@ -382,10 +446,19 @@ def apply_updates_from(fac: NumericFactor, k: int,
         return
     tracer = fac.tracer
     _trace_t0 = tracer.clock() if tracer is not None else 0.0
-    if nc.panel_mode:
-        _updates_from_panel(fac, nc, target, lock)
-    else:
-        _updates_from_blocks(fac, nc, target, lock)
+    prof = fac.profiler
+    _sid = (prof.start("update", cblk=k,
+                       target=-1 if target is None else target,
+                       mode="panel" if nc.panel_mode else "blocks")
+            if prof is not None else None)
+    try:
+        if nc.panel_mode:
+            _updates_from_panel(fac, nc, target, lock)
+        else:
+            _updates_from_blocks(fac, nc, target, lock)
+    finally:
+        if prof is not None:
+            prof.end(_sid)
     if tracer is not None:
         tracer.record("update", k, _trace_t0,
                       target=-1 if target is None else target,

@@ -43,7 +43,7 @@ from __future__ import annotations
 import queue
 import threading
 import time
-from typing import TYPE_CHECKING, Any, Callable, List, Optional, Sequence
+from typing import TYPE_CHECKING, Any, Callable, List, Optional, Sequence, Tuple
 
 if TYPE_CHECKING:
     from repro.core.serialize import CheckpointWriter
@@ -90,18 +90,22 @@ def run_sequential(fac: NumericFactor,
                    checkpoint: Optional["CheckpointWriter"] = None) -> None:
     """Right-looking elimination, one column block at a time.
 
-    With a recovery state or a checkpoint writer armed the engine switches
-    to the pull-mode fan-in loop (:func:`run_sequential_pull`): pull-mode
-    tasks only mutate their own column block, which is what makes pre-task
-    snapshots, local retries, and resumable checkpoints sound.  The two
-    orders are bit-identical (PR 1's determinism guarantee)."""
+    With a recovery state, a checkpoint writer, or a span profiler armed
+    the engine switches to the pull-mode fan-in loop
+    (:func:`run_sequential_pull`): pull-mode tasks only mutate their own
+    column block, which is what makes pre-task snapshots, local retries,
+    and resumable checkpoints sound — and what gives profiled sequential
+    runs the same causal task structure as the threaded engines, so their
+    span trees compare equal.  The two orders are bit-identical (PR 1's
+    determinism guarantee)."""
     if fac.deferred is not None:
         if checkpoint is not None:
             raise ValueError("checkpointing does not support the "
                              "left-looking engine")
         run_left_looking(fac)
         return
-    if fac.recovery is not None or checkpoint is not None:
+    if fac.recovery is not None or checkpoint is not None \
+            or fac.profiler is not None:
         run_sequential_pull(fac, checkpoint)
         return
     tr = fac.tracer
@@ -128,6 +132,7 @@ def run_sequential_pull(fac: NumericFactor,
     tr = fac.tracer
     if tr is not None:
         tr.meta.update(engine="sequential-pull", threads=1)
+    _begin_profile(fac, engine="sequential-pull", threads=1)
     try:
         for k in range(fac.symb.ncblk):
             if fac.cblks[k].factored:
@@ -159,16 +164,24 @@ def run_left_looking(fac: NumericFactor) -> None:
     tr = fac.tracer
     if tr is not None:
         tr.meta.update(engine="left-looking", threads=1)
+    prof = fac.profiler
+    _begin_profile(fac, engine="left-looking", threads=1)
     fuc = fac.variant is not None and fac.variant.compress_after_updates
     for k in range(symb.ncblk):
-        fac.fill_column_block(k)
-        for c in symb.contributors(k):
-            apply_updates_from(fac, c, target=k)
-            if fuc and fac.note_updates_pulled(c, k):
-                finalize_updates_from(fac, c)
-        factor_column_block(fac, k)
-        if fuc and fac.n_targets(k) == 0:
-            finalize_updates_from(fac, k)
+        sid = (prof.task_start(k, symb.contributors(k), order=_order_of(fac, k))
+               if prof is not None else None)
+        try:
+            fac.fill_column_block(k)
+            for c in symb.contributors(k):
+                apply_updates_from(fac, c, target=k)
+                if fuc and fac.note_updates_pulled(c, k):
+                    finalize_updates_from(fac, c)
+            factor_column_block(fac, k)
+            if fuc and fac.n_targets(k) == 0:
+                finalize_updates_from(fac, k)
+        finally:
+            if prof is not None:
+                prof.end(sid)
 
 
 # ----------------------------------------------------------------------
@@ -178,6 +191,27 @@ def run_left_looking(fac: NumericFactor) -> None:
 def _targets_of(fac: NumericFactor, k: int) -> List[int]:
     """Distinct facing column blocks of ``k``'s off-diagonal blocks."""
     return sorted({b.facing for b in fac.cblks[k].sym.off_blocks()})
+
+
+def _order_of(fac: NumericFactor, k: int) -> str:
+    """Loop-order label of ``k``'s task span (``"dense"`` when untreated)."""
+    v = fac.variant_for(k)
+    return v.order if v is not None else "dense"
+
+
+def _begin_profile(fac: NumericFactor, engine: str, threads: int) -> None:
+    """Arm the span profiler's task registry for one engine run.
+
+    Called from the driving thread while the ``factorize`` phase span is
+    current, so contributor-less tasks attach there; the per-cblk
+    elimination-tree depth feeds each task span's ``level`` attribute.
+    """
+    prof = fac.profiler
+    if prof is not None:
+        from repro.analysis.metrics import cblk_levels
+
+        prof.meta.update(engine=engine, threads=threads)
+        prof.begin_tasks(levels=cblk_levels(fac))
 
 
 def _pull_and_factor(fac: NumericFactor, k: int) -> None:
@@ -212,8 +246,29 @@ def _pull_and_factor(fac: NumericFactor, k: int) -> None:
         finalize_updates_from(fac, k)
 
 
-def _run_task(fac: NumericFactor, k: int) -> None:
-    """Execute the fan-in task for ``k``, with bounded local retries.
+def _run_task(fac: NumericFactor, k: int,
+              released_by: Optional[int] = None) -> None:
+    """Execute the fan-in task for ``k`` under its causal span.
+
+    ``released_by`` is the span id that travelled with the work item on
+    the dynamic scheduler's ready queue (the *temporal* enqueuer); the
+    recorded parent edge is the deterministic one — the span of the
+    greatest contributor — so threaded and sequential trees agree (see
+    :meth:`~repro.runtime.spans.SpanProfiler.task_start`)."""
+    prof = fac.profiler
+    if prof is None:
+        _attempt_task(fac, k)
+        return
+    sid = prof.task_start(k, fac.symb.contributors(k), enqueuer=released_by,
+                          order=_order_of(fac, k))
+    try:
+        _attempt_task(fac, k)
+    finally:
+        prof.end(sid)
+
+
+def _attempt_task(fac: NumericFactor, k: int) -> None:
+    """Run ``k``'s fan-in task, with bounded local retries.
 
     With a recovery state armed (``policy.task_retries > 0``) the task's
     column block is snapshotted first; a transient failure restores the
@@ -335,12 +390,17 @@ def run_threaded(fac: NumericFactor, nthreads: int,
     if tele is not None:
         tele.gauge("scheduler_threads", engine="dynamic").set_value(nthreads)
     san = fac.sanitizer
+    prof = fac.profiler
+    _begin_profile(fac, engine="threaded-dynamic", threads=nthreads)
 
     pending = [len(symb.contributors(t)) for t in range(ncblk)]
-    ready: "queue.Queue[Optional[int]]" = queue.Queue()
+    # work items carry (cblk, releasing span id): when a completed task
+    # unlocks a dependent, its span id travels with the enqueued item —
+    # the cross-thread context propagation of the span profiler
+    ready: "queue.Queue[Optional[Tuple[int, Optional[int]]]]" = queue.Queue()
     for t in range(ncblk):
         if pending[t] == 0:
-            ready.put(t)
+            ready.put((t, None))
 
     # guards pending/processed/errors/stopped/ticks; tracked when the race
     # sanitizer rides along (ready is a queue.Queue: internally synchronized)
@@ -362,15 +422,16 @@ def run_threaded(fac: NumericFactor, nthreads: int,
 
     def worker(wid: int) -> None:
         while True:
-            k = ready.get()
-            if k is None:  # sentinel: shut down
+            item = ready.get()
+            if item is None:  # sentinel: shut down
                 return
+            k, released_by = item
             with state:
                 if stopped[0]:  # failure elsewhere: drain, await sentinel
                     continue
             try:
                 t_task = time.perf_counter()
-                _run_task(fac, k)
+                _run_task(fac, k, released_by)
                 if tele is not None:
                     # queue depth sampled at completion: the instantaneous
                     # backlog this worker left behind (qsize is advisory
@@ -396,8 +457,10 @@ def run_threaded(fac: NumericFactor, nthreads: int,
                             newly_ready.append(t)
                     if processed[0] == ncblk:
                         _shutdown_locked()
+                handoff = (prof.task_span_of(k)
+                           if prof is not None else None)
                 for t in newly_ready:
-                    ready.put(t)
+                    ready.put((t, handoff))
             except BaseException as exc:
                 with state:
                     if san is not None:
@@ -543,6 +606,7 @@ def run_threaded_static(fac: NumericFactor, nthreads: int,
         tasks[owner[k]].append(k)  # ascending: respects the elimination order
 
     san = fac.sanitizer
+    _begin_profile(fac, engine="threaded-static", threads=nthreads)
     pending = [len(symb.contributors(t)) for t in range(ncblk)]
     cond: Any = threading.Condition()
     if san is not None:

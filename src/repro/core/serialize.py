@@ -150,7 +150,8 @@ def save_factor(fac: NumericFactor, perm: np.ndarray,
                           if fac.storage_dtype is not None else None),
         # the telemetry bus is a runtime channel (locks, open sinks) —
         # archives store it as null and a reloaded config starts detached
-        "config": asdict(replace(fac.config, telemetry=None)),
+        "config": asdict(replace(fac.config, telemetry=None,
+                                 profiler=None)),
         "symbolic": _symbolic_to_json(fac.symb),
         "kinds": kinds,
         "nperturbed": fac.nperturbed,
@@ -245,7 +246,8 @@ def save_checkpoint(fac: NumericFactor, perm: np.ndarray,
         "dtype": np.dtype(fac.dtype).name,
         "storage_dtype": (np.dtype(fac.storage_dtype).name
                           if fac.storage_dtype is not None else None),
-        "config": asdict(replace(fac.config, telemetry=None)),
+        "config": asdict(replace(fac.config, telemetry=None,
+                                 profiler=None)),
         "symbolic": _symbolic_to_json(fac.symb),
         "completed": completed,
         "kinds": kinds,

@@ -142,8 +142,15 @@ class Solver:
         if self.symbolic is None:
             t0 = time.perf_counter()
             opts = SymbolicOptions.from_config(self.config)
-            self.symbolic, self.perm = symbolic_factorization(
-                self._a_sym, opts, coords=self.coords)
+            prof = self.config.profiler
+            _sid = (prof.start("analyze", n=self.n)
+                    if prof is not None else None)
+            try:
+                self.symbolic, self.perm = symbolic_factorization(
+                    self._a_sym, opts, coords=self.coords, profiler=prof)
+            finally:
+                if prof is not None:
+                    prof.end(_sid)
             self.analyze_time = time.perf_counter() - t0
         return self.symbolic
 
@@ -176,11 +183,36 @@ class Solver:
                         ) -> FactorizationStats:
         """One assemble-and-factor attempt under ``cfg`` (one ladder rung)."""
         self.analyze()
+        # engine facts (threads, scheduler) live in profiler.meta — span
+        # attrs hold only config-derived facts so threaded and sequential
+        # runs produce identical causal trees
+        prof = cfg.profiler
+        _sid = (prof.start("factorize", strategy=cfg.strategy,
+                           variant=cfg.variant)
+                if prof is not None else None)
+        try:
+            return self._factorize_body(cfg, faults, checkpoint, state)
+        finally:
+            if prof is not None:
+                prof.end(_sid)
+
+    def _factorize_body(self, cfg: SolverConfig,
+                        faults: Optional["FaultInjector"],
+                        checkpoint: Optional[Union[str, Path]],
+                        state: Optional[RecoveryState]
+                        ) -> FactorizationStats:
+        """Body of one factorization attempt (under the "factorize" span)."""
         a_perm = permute_symmetric(self._a_sym, self.perm)
         t0 = time.perf_counter()
         history = (self._adaptive_history
                    if cfg.strategy == "adaptive" else None)
-        fac = assemble(a_perm, self.symbolic, cfg, history=history)
+        prof = cfg.profiler
+        _sid = prof.start("assemble") if prof is not None else None
+        try:
+            fac = assemble(a_perm, self.symbolic, cfg, history=history)
+        finally:
+            if prof is not None:
+                prof.end(_sid)
         kernel_calls_before = fac.backend.counts_snapshot()
         if cfg.trace:
             from repro.runtime.trace import TaskTracer
@@ -338,7 +370,7 @@ class Solver:
                              "sequential engine)")
         header, arrays = load_checkpoint(path)
         stored = SolverConfig(**header["config"])
-        if stored != replace(self.config, telemetry=None):
+        if stored != replace(self.config, telemetry=None, profiler=None):
             raise ValueError(
                 "checkpoint was written under a different configuration; "
                 "resume with the same SolverConfig it was created with")
@@ -418,10 +450,18 @@ class Solver:
         t0 = time.perf_counter()
         be = self.factor.backend
         kernel_calls_before = be.counts_snapshot()
-        pb = b[self.perm]
-        y = self._solve_factored_retry(pb, trans=trans)
-        x = np.empty_like(y)
-        x[self.perm] = y
+        prof = self.config.profiler
+        _sid = (prof.start("solve", nrhs=(1 if b.ndim == 1 else b.shape[1]),
+                           trans=trans)
+                if prof is not None else None)
+        try:
+            pb = b[self.perm]
+            y = self._solve_factored_retry(pb, trans=trans)
+            x = np.empty_like(y)
+            x[self.perm] = y
+        finally:
+            if prof is not None:
+                prof.end(_sid)
         self.factor.stats.solve_time += time.perf_counter() - t0
         delta = be.counts_delta(kernel_calls_before)
         self.factor.stats.add_backend_calls(delta)
@@ -464,17 +504,28 @@ class Solver:
                         x0: Optional[np.ndarray], tol: float,
                         maxiter: int) -> RefinementResult:
         """Dispatch one refinement run and publish it on the bus."""
-        if method == "gmres":
-            res = gmres(self.a, b, precond=self._precond, tol=tol,
-                        maxiter=maxiter, x0=x0)
-        elif method == "cg":
-            res = conjugate_gradient(self.a, b, precond=self._precond,
-                                     tol=tol, maxiter=maxiter, x0=x0)
-        elif method == "ir":
-            res = iterative_refinement(self.a, b, precond=self._precond,
-                                       tol=tol, maxiter=maxiter, x0=x0)
-        else:
-            raise ValueError(f"unknown refinement method {method!r}")
+        prof = self.config.profiler
+        _sid = (prof.start("refinement", method=method)
+                if prof is not None else None)
+        try:
+            if method == "gmres":
+                res = gmres(self.a, b, precond=self._precond, tol=tol,
+                            maxiter=maxiter, x0=x0)
+            elif method == "cg":
+                res = conjugate_gradient(self.a, b, precond=self._precond,
+                                         tol=tol, maxiter=maxiter, x0=x0)
+            elif method == "ir":
+                res = iterative_refinement(self.a, b, precond=self._precond,
+                                           tol=tol, maxiter=maxiter, x0=x0)
+            else:
+                raise ValueError(f"unknown refinement method {method!r}")
+        except BaseException:
+            if prof is not None:
+                prof.end(_sid)
+            raise
+        if prof is not None:
+            prof.end(_sid, converged=res.converged,
+                     iterations=len(res.residual_history))
         self.last_refinement = res
         tele = self.config.telemetry
         if tele is not None:

@@ -86,20 +86,28 @@ def solve_factored(fac: NumericFactor, b: np.ndarray,
     single = x.ndim == 1
     if single:
         x = x[:, None]
-    if fac.config.factotype == "lu":
-        if trans:
-            _forward_ut(fac, x)
-            _backward_lt(fac, x)
-        else:
-            _forward_lu(fac, x)
-            _backward_lu(fac, x)
-    elif fac.config.factotype == "cholesky":
-        _forward_cholesky(fac, x)
-        _backward_cholesky(fac, x)
-    else:  # ldlt: L z = b ; y = D⁻¹ z ; Lᵗ x = y
-        _forward_ldlt(fac, x)
-        _diag_scale_ldlt(fac, x)
-        _backward_ldlt(fac, x)
+    prof = fac.profiler
+    _sid = (prof.start("trisolve", factotype=fac.config.factotype,
+                       nrhs=x.shape[1], trans=trans)
+            if prof is not None else None)
+    try:
+        if fac.config.factotype == "lu":
+            if trans:
+                _forward_ut(fac, x)
+                _backward_lt(fac, x)
+            else:
+                _forward_lu(fac, x)
+                _backward_lu(fac, x)
+        elif fac.config.factotype == "cholesky":
+            _forward_cholesky(fac, x)
+            _backward_cholesky(fac, x)
+        else:  # ldlt: L z = b ; y = D⁻¹ z ; Lᵗ x = y
+            _forward_ldlt(fac, x)
+            _diag_scale_ldlt(fac, x)
+            _backward_ldlt(fac, x)
+    finally:
+        if prof is not None:
+            prof.end(_sid)
     return x[:, 0] if single else x
 
 

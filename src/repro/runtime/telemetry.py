@@ -110,12 +110,17 @@ def _prom_name(name: str) -> str:
     return out
 
 
+def _escape_label_value(value: str) -> str:
+    """Prometheus label-value escaping: ``\\``, ``"`` and newline."""
+    return (value.replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
 def _prom_labels(key: LabelKey) -> str:
     if not key:
         return ""
-    inner = ",".join(
-        f'{_prom_name(k)}="{v}"'.replace("\\", "\\\\").replace("\n", "\\n")
-        for k, v in key)
+    inner = ",".join(f'{_prom_name(k)}="{_escape_label_value(v)}"'
+                     for k, v in key)
     return "{" + inner + "}"
 
 
@@ -243,20 +248,76 @@ class RingBufferSink(Sink):
 
 
 class JSONLSink(Sink):
-    """Streams one JSON object per line to a file (or file-like object)."""
+    """Streams one JSON object per line to a file (or file-like object).
 
-    def __init__(self, target: Union[str, Path, IO[str]]) -> None:
+    ``max_bytes`` bounds the file with *keep-last* semantics (like the
+    race sanitizer's bounded event log): when appending the next line
+    would exceed the budget, the file is rewritten in place with only
+    the most recent lines — trimmed to half the budget, so rotations
+    amortize — and ``rotations`` / ``dropped`` count what happened.
+    The default (``None``) is unlimited, preserving the historical
+    behavior; a non-seekable target silently disables the bound.
+    """
+
+    def __init__(self, target: Union[str, Path, IO[str]],
+                 max_bytes: Optional[int] = None) -> None:
+        if max_bytes is not None and max_bytes < 1024:
+            raise ValueError("max_bytes must be >= 1024 (or None)")
         if isinstance(target, (str, Path)):
             self._fh: IO[str] = open(target, "w", encoding="utf-8")
             self._owns = True
         else:
             self._fh = target
             self._owns = False
+        self.max_bytes = max_bytes
         self.written: int = 0
+        #: completed in-place rewrites / lines discarded by them
+        self.rotations: int = 0
+        self.dropped: int = 0
+        self._nbytes = 0
+        self._nlines = 0
+        self._tail: Deque[str] = deque()
+        self._tail_bytes = 0
 
     def handle(self, event: Dict[str, Any]) -> None:
-        self._fh.write(json.dumps(event, sort_keys=True) + "\n")
+        line = json.dumps(event, sort_keys=True) + "\n"
         self.written += 1
+        if self.max_bytes is not None:
+            self._tail.append(line)
+            self._tail_bytes += len(line)
+            budget = self.max_bytes // 2
+            while self._tail_bytes > budget and len(self._tail) > 1:
+                self._tail_bytes -= len(self._tail.popleft())
+            if self._nbytes + len(line) > self.max_bytes and self._nlines:
+                if self._rotate():
+                    return
+        self._fh.write(line)
+        self._nbytes += len(line)
+        self._nlines += 1
+
+    def _rotate(self) -> bool:
+        """Rewrite the file with only the tail buffer (keep-last)."""
+        try:
+            seekable = self._fh.seekable()
+        except (AttributeError, ValueError):  # pragma: no cover
+            seekable = False
+        if not seekable:
+            # a pipe/socket target cannot truncate: drop the bound and
+            # keep streaming rather than lose events
+            self.max_bytes = None
+            self._tail.clear()
+            self._tail_bytes = 0
+            return False
+        self._fh.seek(0)
+        self._fh.truncate()
+        for line in self._tail:
+            self._fh.write(line)
+        # +1: the event that triggered the rotation is already in _tail
+        self.dropped += self._nlines + 1 - len(self._tail)
+        self._nbytes = self._tail_bytes
+        self._nlines = len(self._tail)
+        self.rotations += 1
+        return True
 
     def close(self) -> None:
         self._fh.flush()
@@ -677,10 +738,32 @@ def _merge_label(key: LabelKey, name: str, value: str) -> str:
 # Prometheus text parsing (round-trip verification / scrape testing)
 # ----------------------------------------------------------------------
 
+# quoted label values may contain escaped quotes/backslashes (and even a
+# literal "}"), so both regexes are escape-sequence aware rather than
+# stopping at the first '"' or '}'
 _SAMPLE_RE = re.compile(
     r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
-    r"(?:\{(?P<labels>[^}]*)\})?\s+(?P<value>\S+)$")
-_LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="([^"]*)"')
+    r'(?:\{(?P<labels>(?:[^"}]|"(?:[^"\\]|\\.)*")*)\})?'
+    r"\s+(?P<value>\S+)$")
+_LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+_UNESCAPES = {"\\": "\\", '"': '"', "n": "\n"}
+
+
+def _unescape_label_value(value: str) -> str:
+    """Invert :func:`_escape_label_value` (``\\\\``, ``\\"``, ``\\n``)."""
+    out: List[str] = []
+    i = 0
+    while i < len(value):
+        c = value[i]
+        if c == "\\" and i + 1 < len(value):
+            nxt = value[i + 1]
+            out.append(_UNESCAPES.get(nxt, "\\" + nxt))
+            i += 2
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
 
 
 def parse_prometheus_text(text: str) -> Dict[str, Any]:
@@ -689,6 +772,9 @@ def parse_prometheus_text(text: str) -> Dict[str, Any]:
 
     Only the subset :meth:`Telemetry.prometheus_text` produces is
     supported — enough for round-trip tests and scrape verification.
+    Escaped label values round-trip (backslash, quote, newline), and
+    ``NaN`` / ``+Inf`` / ``-Inf`` sample values parse to the matching
+    floats.
     """
     types: Dict[str, str] = {}
     samples: Dict[Tuple[str, LabelKey], float] = {}
@@ -704,6 +790,8 @@ def parse_prometheus_text(text: str) -> Dict[str, Any]:
         m = _SAMPLE_RE.match(line)
         if m is None:
             raise ValueError(f"unparseable exposition line: {line!r}")
-        labels = tuple(sorted(_LABEL_RE.findall(m.group("labels") or "")))
+        labels = tuple(sorted(
+            (name, _unescape_label_value(value))
+            for name, value in _LABEL_RE.findall(m.group("labels") or "")))
         samples[(m.group("name"), labels)] = float(m.group("value"))
     return {"types": types, "samples": samples}

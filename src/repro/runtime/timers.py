@@ -39,7 +39,7 @@ class Timer:
     def start(self) -> None:
         if self._start is not None:
             raise RuntimeError("timer already running")
-        self._start = time.perf_counter()
+        self._start = time.perf_counter()  # solverlint: ignore[shared-mutation-lockset] -- name-based call resolution conflates Timer.start with the worker-called SpanProfiler.start; timers only run on the coordinating thread (stats aggregation), never inside workers
 
     def stop(self) -> float:
         if self._start is None:

@@ -13,9 +13,12 @@ factorizations.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import TYPE_CHECKING, List, Optional, Tuple
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.runtime.spans import SpanProfiler
 
 from repro.config import SolverConfig
 from repro.sparse.csc import CSCMatrix
@@ -68,18 +71,46 @@ class SymbolicOptions:
 def symbolic_factorization(a: CSCMatrix,
                            options: Optional[SymbolicOptions] = None,
                            coords: Optional[np.ndarray] = None,
+                           profiler: Optional["SpanProfiler"] = None,
                            ) -> Tuple[SymbolicFactor, np.ndarray]:
     """Run the full analysis pipeline on (the pattern of) ``a``.
 
     Returns ``(symbolic, perm)`` where ``perm`` is new-to-old and
     ``symbolic`` describes the block structure of the factor of
     ``P A Pᵗ``.  ``coords`` (one row per unknown) is required by the
-    ``geometric`` ordering and ignored otherwise.
+    ``geometric`` ordering and ignored otherwise.  ``profiler``
+    (optional) records "ordering" and "symbolic" spans covering the
+    paper's step 1 and step 2 respectively.
     """
     options = options or SymbolicOptions()
     pattern = a if a.is_pattern_symmetric() else a.symmetrize_pattern()
 
-    # --- step 1: global ordering + supernodal partition -----------------
+    _sid = (profiler.start("ordering", method=options.ordering)
+            if profiler is not None else None)
+    try:
+        perm, intervals = _run_ordering(a, pattern, options, coords)
+    finally:
+        if profiler is not None:
+            profiler.end(_sid)
+
+    _sid = (profiler.start("symbolic") if profiler is not None else None)
+    try:
+        symb, perm = _run_symbolic(a, pattern, perm, intervals, options)
+    except BaseException:
+        if profiler is not None:
+            profiler.end(_sid)
+        raise
+    if profiler is not None:
+        profiler.end(_sid, ncblk=len(symb.cblks))
+    return symb, perm
+
+
+def _run_ordering(a: CSCMatrix, pattern: CSCMatrix,
+                  options: SymbolicOptions,
+                  coords: Optional[np.ndarray],
+                  ) -> Tuple[np.ndarray,
+                             Optional[List[Tuple[int, int]]]]:
+    """Step 1: global ordering + supernodal partition."""
     if options.ordering == "nested-dissection":
         g = Graph.from_matrix(pattern)
         nd = nested_dissection(g, cmin=options.cmin)
@@ -105,12 +136,18 @@ def symbolic_factorization(a: CSCMatrix,
         intervals = None
     else:  # pragma: no cover - guarded by SolverConfig validation
         raise ValueError(f"unknown ordering {options.ordering!r}")
+    return perm, intervals
 
+
+def _run_symbolic(a: CSCMatrix, pattern: CSCMatrix, perm: np.ndarray,
+                  intervals: Optional[List[Tuple[int, int]]],
+                  options: SymbolicOptions,
+                  ) -> Tuple[SymbolicFactor, np.ndarray]:
+    """Step 2: quotient symbolic, amalgamation, reordering, splitting."""
     a_perm = permute_symmetric(pattern, perm)
     if intervals is None:
         intervals = detect_fundamental_supernodes(a_perm)
 
-    # --- step 2: quotient symbolic + amalgamation ------------------------
     snodes = supernode_row_sets(a_perm, intervals)
     snodes = amalgamate(snodes, frat=options.frat)
 

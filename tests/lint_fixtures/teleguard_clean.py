@@ -31,3 +31,13 @@ def closure_retests(fac):
         if fac.telemetry is not None:
             fac.telemetry.counter("deferred").inc()
     return task
+
+
+def guarded_profiler(cfg, k):
+    if cfg.profiler is not None:
+        cfg.profiler.start("factor", cblk=k)
+
+
+def profiler_ternary(fac):
+    prof = fac.profiler
+    return prof.start("solve") if prof is not None else None

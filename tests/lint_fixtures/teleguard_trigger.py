@@ -23,3 +23,12 @@ def closure_does_not_inherit(fac):
             fac.telemetry.counter("deferred").inc()
         return task
     return None
+
+
+def unguarded_profiler(cfg, k):
+    cfg.profiler.start("factor", cblk=k)  # finding: span call, no guard
+
+
+def profiler_alias(fac):
+    prof = fac.profiler
+    prof.end(None)  # finding: profiler alias never tested

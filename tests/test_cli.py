@@ -96,3 +96,72 @@ class TestLintCommand:
         rc = main(["lint", "--no-scope", "--rules", "shared-mutation-lockset",
                    str(trigger)])
         assert rc == 1
+
+
+class TestProfileCommands:
+    def _profiled_run(self, tmp_path, capsys, name="spans.json"):
+        spans = tmp_path / name
+        rc = main(["solve", "--generate", "lap2d:10",
+                   "--profile", str(spans)])
+        capsys.readouterr()
+        assert rc == 0
+        return spans
+
+    def test_solve_profile_writes_span_document(self, tmp_path, capsys):
+        import json
+
+        spans = self._profiled_run(tmp_path, capsys)
+        doc = json.loads(spans.read_text())
+        assert doc["version"] == 1
+        names = {s["name"] for s in doc["spans"]}
+        assert {"run", "analyze", "factorize", "solve"} <= names
+
+    def test_flame_exports_speedscope_and_chrome(self, tmp_path, capsys):
+        import json
+
+        spans = self._profiled_run(tmp_path, capsys)
+        chrome = tmp_path / "chrome.json"
+        rc = main(["flame", str(spans), "--chrome", str(chrome)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        ss = tmp_path / "spans.speedscope.json"
+        assert ss.exists(), "default speedscope path derives from input"
+        assert json.loads(ss.read_text())["profiles"]
+        assert json.loads(chrome.read_text())["traceEvents"]
+        assert "factorize" in out
+
+    def test_diff_report_json_output(self, tmp_path, capsys):
+        import json
+        from pathlib import Path
+
+        reports = (Path(__file__).resolve().parent.parent
+                   / "benchmarks" / "reports")
+        att_path = tmp_path / "attribution.json"
+        rc = main(["diff-report",
+                   str(reports / "RUN_tier0_baseline.json"),
+                   str(reports / "RUN_tier0_current.json"),
+                   "--json", str(att_path)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "Regression attribution" in out
+        att = json.loads(att_path.read_text())
+        assert att["phases"]
+        deltas = [abs(r["delta"]) for r in att["phases"]
+                  if r["delta"] is not None]
+        assert deltas == sorted(deltas, reverse=True)
+
+    def test_bench_variants_phase_attribution(self, tmp_path, capsys):
+        import json
+
+        out_json = tmp_path / "variants.json"
+        rc = main(["bench-variants", "--generate", "lap2d:10",
+                   "--json", str(out_json)])
+        capsys.readouterr()
+        assert rc == 0
+        payload = json.loads(out_json.read_text())
+        runs = {r["variant"]: r for r in payload["runs"]}
+        assert "ucf/local" in runs and "adaptive" in runs
+        for rec in payload["runs"]:
+            assert rec["phases"].get("factorize", 0) > 0
+            assert "analyze" in rec["phases"]
+            assert rec["kernels"].get("task", 0) > 0

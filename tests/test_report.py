@@ -8,6 +8,7 @@ rank-evolution samples and a refinement residual history.
 """
 
 import json
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -28,6 +29,8 @@ from repro.sparse.generators import laplacian_2d, laplacian_3d
 from tests.conftest import tiny_blr_config
 from tools.benchdiff import Thresholds, compare, extract_metrics
 from tools.benchdiff.__main__ import run as benchdiff_run
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
 
 
 def _reported_solver(strategy: str, **overrides) -> Solver:
@@ -333,3 +336,82 @@ class TestBenchdiff:
         notjson.write_text("not json")
         assert benchdiff_run([str(ok), str(notjson)]) == 2
         capsys.readouterr()
+
+
+# ----------------------------------------------------------------------
+# profile section and attribution
+# ----------------------------------------------------------------------
+
+class TestProfileSection:
+    def _profiled_solver(self) -> Solver:
+        from repro.runtime.spans import SpanProfiler
+
+        tele = Telemetry()
+        a = laplacian_2d(24)
+        s = Solver(a, tiny_blr_config(strategy="just-in-time",
+                                      telemetry=tele,
+                                      profiler=SpanProfiler(telemetry=tele)))
+        s.factorize()
+        b = np.ones(a.n)
+        x = s.solve(b)
+        s.refine(b, x0=x)
+        return s
+
+    def test_report_carries_phase_rollup(self):
+        report = self._profiled_solver().run_report(workload="prof")
+        profile = report["profile"]
+        assert profile is not None
+        assert {"analyze", "factorize", "solve",
+                "refinement"} <= set(profile["phases"])
+        assert profile["total_time"] > 0
+        assert profile["kernels"]["task"]["count"] > 0
+        json.dumps(report)
+
+    def test_report_without_profiler_has_null_profile(self):
+        report = _reported_solver("just-in-time").run_report()
+        assert report["profile"] is None
+
+    def test_markdown_profile_section(self):
+        report = self._profiled_solver().run_report(workload="prof")
+        md = render_markdown(report)
+        assert "## Profile" in md
+        assert "| factorize |" in md
+
+    def test_committed_tier0_reports_diff(self, capsys):
+        """`repro diff-report` over the two committed tier-0 RunReports
+        prints the ranked per-phase attribution table."""
+        base = REPO_ROOT / "benchmarks" / "reports" / \
+            "RUN_tier0_baseline.json"
+        cur = REPO_ROOT / "benchmarks" / "reports" / \
+            "RUN_tier0_current.json"
+        assert base.exists() and cur.exists(), "committed artifacts missing"
+        rc = main(["diff-report", str(base), str(cur)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "Regression attribution" in out
+        assert "| factorize |" in out
+        assert "Factor bytes:" in out
+
+    def test_benchdiff_names_guilty_phase(self, tmp_path):
+        """A benchdiff gate failure on two profiled RunReports appends
+        the guilty-phase attribution note."""
+        from tools.benchdiff import attribution_notes, load_artifact
+
+        base = load_artifact(REPO_ROOT / "benchmarks" / "reports" /
+                             "RUN_tier0_baseline.json")
+        cur = load_artifact(REPO_ROOT / "benchmarks" / "reports" /
+                            "RUN_tier0_current.json")
+        notes = attribution_notes(base, cur)
+        assert len(notes) == 1
+        assert notes[0].startswith("slowest-moving phase:")
+        # compare() itself appends the note once a finding fires
+        findings, notes2 = compare(base, cur,
+                                   Thresholds(time_warn=-0.99))
+        assert findings
+        assert any(n.startswith("slowest-moving phase:") for n in notes2)
+
+    def test_attribution_skipped_for_bench_files(self):
+        from tools.benchdiff import attribution_notes
+
+        payload = _bench_payload()
+        assert attribution_notes(payload, payload) == []

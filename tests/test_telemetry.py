@@ -354,3 +354,98 @@ class TestDisabledPath:
         assert s2.config.telemetry is None
         b = np.ones(a.n)
         np.testing.assert_allclose(s2.solve(b), s.solve(b), rtol=1e-10)
+
+
+# ----------------------------------------------------------------------
+# JSONL rotation (bounded sinks for long-running services)
+# ----------------------------------------------------------------------
+
+class TestJSONLRotation:
+    def test_max_bytes_validated(self):
+        with pytest.raises(ValueError):
+            JSONLSink(io.StringIO(), max_bytes=100)
+
+    def test_unbounded_by_default(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        sink = JSONLSink(path)
+        assert sink.max_bytes is None
+        for i in range(500):
+            sink.handle({"kind": "tick", "i": i})
+        sink.close()
+        assert len(JSONLSink.read(path)) == 500
+        assert sink.rotations == 0 and sink.dropped == 0
+
+    def test_rotation_keeps_last_events(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        sink = JSONLSink(path, max_bytes=2048)
+        for i in range(1000):
+            sink.handle({"kind": "tick", "i": i})
+        sink.close()
+        assert path.stat().st_size <= 2048
+        events = JSONLSink.read(path)
+        # keep-last semantics: the retained suffix is contiguous and
+        # ends with the final event
+        kept = [e["i"] for e in events]
+        assert kept == list(range(1000 - len(kept), 1000))
+        assert sink.rotations >= 1
+        assert sink.dropped == 1000 - len(kept)
+
+    def test_rotated_file_is_valid_jsonl(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        tele = Telemetry(ring_capacity=None)
+        tele.add_sink(JSONLSink(path, max_bytes=1024))
+        for i in range(300):
+            tele.emit("tick", i=i, payload="x" * 20)
+        tele.close()
+        for line in path.read_text().splitlines():
+            json.loads(line)
+
+    def test_non_seekable_target_disables_bound(self):
+        class Pipe(io.StringIO):
+            def seekable(self):
+                return False
+
+        sink = JSONLSink(Pipe(), max_bytes=1024)
+        for i in range(200):
+            sink.handle({"kind": "tick", "i": i, "pad": "y" * 30})
+        assert sink.max_bytes is None
+        assert sink.rotations == 0 and sink.dropped == 0
+
+
+# ----------------------------------------------------------------------
+# Prometheus exposition edge cases
+# ----------------------------------------------------------------------
+
+class TestPrometheusEdgeCases:
+    def test_escaped_label_values_round_trip(self):
+        tele = Telemetry(ring_capacity=None)
+        tricky = 'back\\slash "quoted"\nnewline'
+        tele.counter("events", source=tricky).inc(2)
+        text = tele.prometheus_text()
+        assert '\\\\' in text and '\\"' in text and '\\n' in text
+        samples = parse_prometheus_text(text)["samples"]
+        assert samples[("events_total", (("source", tricky),))] == 2.0
+
+    def test_label_value_with_braces_and_commas(self):
+        tele = Telemetry(ring_capacity=None)
+        tele.counter("events", expr='{a="1",b="2"}').inc()
+        samples = parse_prometheus_text(tele.prometheus_text())["samples"]
+        assert samples[("events_total",
+                        (("expr", '{a="1",b="2"}'),))] == 1.0
+
+    def test_nan_and_infinities_parse(self):
+        tele = Telemetry(ring_capacity=None)
+        tele.gauge("nan_gauge").set_value(float("nan"))
+        tele.gauge("pos_inf").set_value(float("inf"))
+        tele.gauge("neg_inf").set_value(float("-inf"))
+        samples = parse_prometheus_text(tele.prometheus_text())["samples"]
+        assert np.isnan(samples[("nan_gauge", ())])
+        assert samples[("pos_inf", ())] == float("inf")
+        assert samples[("neg_inf", ())] == float("-inf")
+
+    def test_empty_label_family(self):
+        tele = Telemetry(ring_capacity=None)
+        tele.counter("plain").inc(4)
+        parsed = parse_prometheus_text(tele.prometheus_text())
+        assert parsed["samples"][("plain_total", ())] == 4.0
+        assert parsed["types"]["plain_total"] == "counter"

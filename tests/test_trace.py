@@ -235,3 +235,34 @@ class TestDisabledOverhead:
         t_on = best_of(True)
         assert t_on <= 1.05 * t_off + 0.02, (
             f"tracing overhead too high: off={t_off:.4f}s on={t_on:.4f}s")
+
+
+class TestGanttKindColors:
+    def test_compress_and_finalize_get_stable_legend_colors(self, tmp_path):
+        """The ufc "compress" pass and the fuc "finalize" pass render
+        with their own palette entries (not the hashed fallback), and
+        both appear in the legend."""
+        from repro.analysis.charts import _GANTT_KIND_COLORS, PALETTE
+
+        assert _GANTT_KIND_COLORS["compress"] == PALETTE[2]
+        assert _GANTT_KIND_COLORS["finalize"] == PALETTE[5]
+        assert len(set(_GANTT_KIND_COLORS.values())) == 4
+
+        tr = TaskTracer()
+        t0 = tr.clock()
+        tr.record("factor", 0, t0)
+        tr.record("update", 1, t0, target=2)
+        tr.record("compress", 1, t0, tag="ufc")
+        tr.record("finalize", 2, t0, tag="fuc")
+        out = gantt_chart(tmp_path / "g.svg", tr.events())
+        svg = out.read_text()
+        for kind, color in _GANTT_KIND_COLORS.items():
+            assert kind in svg
+            assert color in svg
+
+    def test_variant_runs_trace_their_extra_kinds(self):
+        a = laplacian_2d(10)
+        ufc = traced_solver(a, strategy="just-in-time", variant="ufc")
+        assert ufc.tracer.task_counts().get("compress", 0) > 0
+        fuc = traced_solver(a, strategy="just-in-time", variant="fuc")
+        assert fuc.tracer.task_counts().get("finalize", 0) > 0

@@ -1,19 +1,21 @@
-"""``telemetry-guard`` — every telemetry call is dominated by a None check.
+"""``telemetry-guard`` — every telemetry/profiler call is dominated by a
+None check.
 
-``SolverConfig.telemetry`` defaults to ``None`` and the whole observability
-layer's contract is "disabled costs one attribute load and a None test".
-Any ``X.telemetry.method(...)`` call not dominated by an
-``is not None`` check crashes every non-instrumented run the moment the
-code path executes — and such paths are exactly the rarely-exercised ones
-(recovery, fault fallbacks).
+``SolverConfig.telemetry`` and ``SolverConfig.profiler`` default to
+``None`` and the whole observability layer's contract is "disabled costs
+one attribute load and a None test".  Any ``X.telemetry.method(...)`` or
+``X.profiler.method(...)`` call not dominated by an ``is not None`` check
+crashes every non-instrumented run the moment the code path executes —
+and such paths are exactly the rarely-exercised ones (recovery, fault
+fallbacks).
 
 The rule tracks, per function:
 
-* direct call chains ``X.telemetry.m(...)`` — guarded when a dominating
-  test established ``X.telemetry is not None``;
-* aliases ``tele = X.telemetry`` (including closures captured by nested
-  worker functions) — calls through the alias are guarded by
-  ``tele is not None``.
+* direct call chains ``X.telemetry.m(...)`` / ``X.profiler.m(...)`` —
+  guarded when a dominating test established the base ``is not None``;
+* aliases ``tele = X.telemetry`` / ``prof = X.profiler`` (including
+  closures captured by nested worker functions) — calls through the
+  alias are guarded by ``tele is not None``.
 
 Recognised guard forms: ``if x is not None: ...``, the early exit
 ``if x is None: return/raise/continue/break``, ``and``-conjoined tests
@@ -30,14 +32,19 @@ from typing import Dict, Iterator, List, Optional, Set, Tuple
 from tools.solverlint.core import FileContext, Rule, register
 from tools.solverlint.rules.common import dump_no_ctx
 
+#: attribute names holding optional observability objects (both default
+#: to None on SolverConfig, with the same one-guarded-test contract)
+_GUARDED_ATTRS = ("telemetry", "profiler")
+
 
 def _key_of(expr: ast.expr, aliases: Dict[str, bool]) -> Optional[str]:
-    """Guard-fact key of an expression that may hold a telemetry bus."""
+    """Guard-fact key of an expression that may hold a telemetry bus
+    or span profiler."""
     if isinstance(expr, ast.Name):
         if expr.id in aliases:
             return f"name:{expr.id}"
         return None
-    if isinstance(expr, ast.Attribute) and expr.attr == "telemetry":
+    if isinstance(expr, ast.Attribute) and expr.attr in _GUARDED_ATTRS:
         return f"expr:{dump_no_ctx(expr)}"
     return None
 
@@ -83,13 +90,14 @@ class TelemetryGuardRule(Rule):
 
     name = "telemetry-guard"
     description = (
-        "every fac.telemetry.* / config.telemetry.* call (and calls "
-        "through a 'tele = x.telemetry' alias) must be dominated by an "
-        "'is not None' check — telemetry defaults to None")
+        "every fac.telemetry.* / config.telemetry.* / x.profiler.* call "
+        "(and calls through a 'tele = x.telemetry' or 'prof = x.profiler' "
+        "alias) must be dominated by an 'is not None' check — telemetry "
+        "and the span profiler default to None")
     invariant = (
-        "a run without a telemetry bus never crashes on an instrumentation "
-        "site: disabled observability costs one attribute load and a None "
-        "test, nothing else")
+        "a run without a telemetry bus or span profiler never crashes on "
+        "an instrumentation site: disabled observability costs one "
+        "attribute load and a None test, nothing else")
 
     def check(self, ctx: FileContext) -> Iterator[Tuple[int, int, str]]:
         self._out: List[Tuple[int, int, str]] = []
@@ -114,7 +122,7 @@ class TelemetryGuardRule(Rule):
                 self._scan(stmt.value, facts, aliases)
                 name = stmt.targets[0].id
                 if (isinstance(stmt.value, ast.Attribute)
-                        and stmt.value.attr == "telemetry"):
+                        and stmt.value.attr in _GUARDED_ATTRS):
                     aliases[name] = True
                 elif (isinstance(stmt.value, ast.Name)
                         and stmt.value.id in aliases):
@@ -193,9 +201,9 @@ class TelemetryGuardRule(Rule):
         base = fn.value
         key: Optional[str] = None
         shown = ""
-        if isinstance(base, ast.Attribute) and base.attr == "telemetry":
+        if isinstance(base, ast.Attribute) and base.attr in _GUARDED_ATTRS:
             key = f"expr:{dump_no_ctx(base)}"
-            shown = f"<...>.telemetry.{fn.attr}"
+            shown = f"<...>.{base.attr}.{fn.attr}"
         elif isinstance(base, ast.Name) and base.id in aliases:
             key = f"name:{base.id}"
             shown = f"{base.id}.{fn.attr}"
@@ -203,6 +211,6 @@ class TelemetryGuardRule(Rule):
             return
         self._out.append(
             (call.lineno, call.col_offset,
-             f"telemetry call {shown}(...) is not dominated by an "
-             f"'is not None' check; a run without a telemetry bus "
-             f"crashes here"))
+             f"observability call {shown}(...) is not dominated by an "
+             f"'is not None' check; a run without a telemetry bus / "
+             f"span profiler crashes here"))
