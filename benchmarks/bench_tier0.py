@@ -55,6 +55,7 @@ VARIANTS = (
     ("float64-variant-ufc", dict(variant="ufc")),
     ("float64-variant-fuc", dict(variant="fuc")),
     ("float64-adaptive", dict(strategy="adaptive")),
+    ("float64-ldlt-pivot", dict(factotype="ldlt", pivoting="threshold")),
 )
 
 

@@ -39,6 +39,24 @@ def factor_slogdet(fac: NumericFactor) -> Tuple[complex, float]:
             # det = prod(L_ii)^2 = prod(|L_ii|^2): always positive (the
             # Hermitian-Cholesky diagonal is real positive)
             logdet += 2.0 * float(np.sum(np.log(np.abs(d))))
+        elif fac.config.factotype == "ldlt" and nc.pivd21 is not None:
+            # threshold-pivoted block: D is block diagonal, so the 2×2
+            # pivots contribute their determinants, not their diagonal
+            # entries (which individually can even be zero)
+            if d.dtype.kind == "c":
+                d = d.real  # Hermitian LDLᴴ: D is Hermitian, dets real
+            idx = np.flatnonzero(nc.pivd21)
+            pair = np.zeros(d.size, dtype=bool)
+            pair[idx] = True
+            pair[idx + 1] = True
+            singles = d[~pair]
+            sign *= float(np.prod(np.sign(singles)))
+            logdet += float(np.sum(np.log(np.abs(singles))))
+            for j in idx:
+                det2 = float(d[j] * d[j + 1]
+                             - np.abs(nc.pivd21[j]) ** 2)
+                sign *= float(np.sign(det2))
+                logdet += float(np.log(np.abs(det2)))
         else:
             # LU (diag of U) and LDLᵗ (D) both live on the packed diagonal
             if d.dtype.kind == "c":
@@ -58,6 +76,14 @@ def factor_inertia(fac: NumericFactor) -> Tuple[int, int, int]:
     By Sylvester's law of inertia the signs of D match the eigenvalue
     signs of the (symmetrically permuted) matrix.  Requires
     ``factotype='ldlt'``; Cholesky implies all-positive by construction.
+
+    Exact zeros in D are counted explicitly (a singular matrix reports a
+    nonzero ``n_zero`` instead of misclassifying the eigenvalue by a sign
+    test), and 2×2 pivot blocks from threshold pivoting are classified by
+    determinant and trace: a negative determinant is one eigenvalue of
+    each sign (the canonical Bunch–Kaufman 2×2), a positive one puts both
+    on the side of the trace, and a singular block contributes one zero
+    plus the sign of its trace.
     """
     if fac.config.factotype == "cholesky":
         n = fac.symb.n
@@ -71,6 +97,31 @@ def factor_inertia(fac: NumericFactor) -> Tuple[int, int, int]:
         if d.dtype.kind == "c":
             # Hermitian LDLᴴ forces D real; drop the zero imaginary part
             d = d.real
+        if nc.pivd21 is not None:
+            idx = np.flatnonzero(nc.pivd21)
+            pair = np.zeros(d.size, dtype=bool)
+            pair[idx] = True
+            pair[idx + 1] = True
+            for j in idx:
+                det2 = float(d[j] * d[j + 1] - np.abs(nc.pivd21[j]) ** 2)
+                trace = float(d[j] + d[j + 1])
+                if det2 < 0:
+                    neg += 1
+                    pos += 1
+                elif det2 > 0:
+                    if trace > 0:
+                        pos += 2
+                    else:
+                        neg += 2
+                else:
+                    zero += 1
+                    if trace > 0:
+                        pos += 1
+                    elif trace < 0:
+                        neg += 1
+                    else:
+                        zero += 1
+            d = d[~pair]
         neg += int(np.sum(d < 0))
         zero += int(np.sum(d == 0))
         pos += int(np.sum(d > 0))

@@ -68,6 +68,13 @@ def build_run_report(solver: "Solver", workload: Optional[str] = None,
         "stats": stats.summary(),
         "kernels": stats.kernels.as_dict(),
         "nperturbed": fac.nperturbed,
+        "pivoting": {
+            "mode": solver.config.pivoting,
+            "swaps": fac.pivot_swaps,
+            "two_by_two": fac.pivots_2x2,
+            "perturbations": fac.nperturbed,
+            "growth": fac.pivot_growth,
+        },
         "compression": compression_report(fac),
         "rank_histogram": {str(r): c
                            for r, c in sorted(rank_histogram(fac).items())},
@@ -218,6 +225,18 @@ def render_markdown(report: Dict[str, Any],
          ["backward error", report.get("backward_error")],
          ["pivot perturbations", report.get("nperturbed")]])
     lines.append("")
+
+    pivoting = report.get("pivoting", {})
+    if pivoting.get("mode") == "threshold":
+        lines.append("## Pivoting (threshold/2x2)")
+        lines.append("")
+        lines += _table(
+            ["metric", "value"],
+            [["pivot swaps", pivoting.get("swaps")],
+             ["2x2 pivots", pivoting.get("two_by_two")],
+             ["perturbations", pivoting.get("perturbations")],
+             ["growth factor", pivoting.get("growth")]])
+        lines.append("")
 
     kernels = report.get("kernels", {})
     if kernels:

@@ -32,6 +32,12 @@ Commands
     Finish a factorization from a checkpoint archive written by
     ``solve --checkpoint`` (same matrix required — the archive stores a
     fingerprint), then solve and optionally refine.
+``scenarios``
+    Replay the committed matrix-zoo scenarios (zoo case x factotype/
+    pivoting x BLR strategy x bare/armed recovery), printing status,
+    backward error and pivot statistics per scenario; ``--json`` writes
+    the results, ``--baseline`` gates pass/fail flips against the
+    committed ``SCENARIOS.json``.
 ``backends``
     List the registered kernel backends (``--backend`` /
     ``$REPRO_BACKEND`` select one for any command above).
@@ -69,6 +75,7 @@ from repro.config import (
     FACTOTYPES,
     KERNELS,
     ORDERINGS,
+    PIVOTINGS,
     STRATEGIES,
     SolverConfig,
 )
@@ -84,6 +91,8 @@ from repro.sparse.generators import (
     heterogeneous_poisson_3d,
     laplacian_2d,
     laplacian_3d,
+    saddle_point_kkt,
+    stretched_mesh_3d,
 )
 from repro.sparse.io import read_matrix_market
 
@@ -98,6 +107,11 @@ GENERATORS = {
     "helmholtz": lambda k: helmholtz_3d(k, wavenumber=0.6),
     # damped (absorbing) Helmholtz: complex symmetric, use lu + complex dtype
     "helmholtz-damped": lambda k: helmholtz_3d(k, wavenumber=0.6, damping=0.5),
+    # saddle-point KKT (k is the grid side of the A block): symmetric
+    # indefinite with an exactly-zero (2,2) block -- ldlt territory
+    "kkt": lambda k: saddle_point_kkt(k),
+    # boundary-layer graded mesh: SPD with strong through-domain anisotropy
+    "stretched": lambda k: stretched_mesh_3d(k),
 }
 
 
@@ -129,6 +143,9 @@ def _config(args: argparse.Namespace) -> SolverConfig:
         kernel=args.kernel,
         tolerance=args.tolerance,
         factotype=args.factotype,
+        pivoting=getattr(args, "pivoting", "static"),
+        **({"pivot_u": args.pivot_u}
+           if getattr(args, "pivot_u", None) is not None else {}),
         ordering=args.ordering,
         threads=args.threads,
         scheduler=args.scheduler,
@@ -162,6 +179,14 @@ def _add_common(p: argparse.ArgumentParser) -> None:
     p.add_argument("--kernel", default="rrqr", choices=KERNELS)
     p.add_argument("--tolerance", type=float, default=1e-8)
     p.add_argument("--factotype", default="lu", choices=FACTOTYPES)
+    p.add_argument("--pivoting", default="static", choices=PIVOTINGS,
+                   help="LDLt pivoting mode: static perturbation or "
+                        "Bunch-Kaufman-style 1x1/2x2 threshold pivoting "
+                        "(indefinite systems) -- see docs/robustness.md")
+    p.add_argument("--pivot-u", type=float, default=None, dest="pivot_u",
+                   metavar="U",
+                   help="threshold-pivoting acceptance threshold in "
+                        "(0, 0.5] (default 0.1)")
     p.add_argument("--ordering", default="nested-dissection",
                    choices=ORDERINGS)
     p.add_argument("--threads", type=int, default=1)
@@ -495,6 +520,164 @@ def cmd_bench_variants(args: argparse.Namespace) -> int:
     return 0
 
 
+def run_scenarios(seed: int = 0, cases: Optional[list] = None,
+                  strategies: tuple = ("dense", "minimal-memory",
+                                       "just-in-time")) -> list:
+    """Run the matrix-zoo scenario sweep and return one record per run.
+
+    Every zoo case is crossed with the admissible factotypes (Cholesky
+    only for declared-positive matrices, LDLᵀ with static *and* threshold
+    pivoting for everything), the requested strategies (``cuf`` =
+    minimal-memory, ``ucf`` = just-in-time), and the recovery axis: bare
+    (no recovery — breakdowns surface as recorded failures) and armed
+    (escalation ladder with a zero perturbation budget, so static
+    pivoting that perturbs must walk the static→threshold rung).
+
+    Each record carries a stable ``id``, an outcome ``status`` (``"ok"``
+    or ``"breakdown:<cause>"``), the raw (unrefined) backward error, the
+    pivot statistics and the recovery attempt count — the replay contract
+    the committed ``SCENARIOS.json`` baseline pins.
+    """
+    from repro.runtime.recovery import RecoveryPolicy
+    from repro.sparse.generators import zoo
+
+    zoo_cases = zoo()
+    if cases:
+        known = {c.name for c in zoo_cases}
+        unknown = set(cases) - known
+        if unknown:
+            raise SystemExit(f"unknown zoo case(s) {sorted(unknown)}; "
+                             f"choose from {sorted(known)}")
+        zoo_cases = [c for c in zoo_cases if c.name in set(cases)]
+
+    blr = dict(cmin=8, frat=0.08, split_size=16, split_min=8,
+               compress_min_width=8, compress_min_height=3,
+               tolerance=1e-10)
+    results = []
+    for case in zoo_cases:
+        a = case.build()
+        rng = np.random.default_rng(seed)
+        b = rng.standard_normal(a.n)
+        combos = []
+        if case.definiteness == "positive":
+            combos.append(("cholesky", "static"))
+        combos += [("ldlt", "static"), ("ldlt", "threshold")]
+        for facto, pivoting in combos:
+            for strategy in strategies:
+                for armed in (False, True):
+                    recovery = (RecoveryPolicy(max_retries=6,
+                                               pivot_budget=0.0)
+                                if armed else None)
+                    cfg = SolverConfig.laptop_scale(
+                        strategy=strategy, factotype=facto,
+                        pivoting=pivoting, recovery=recovery, **blr)
+                    sid = (f"{case.name}/{facto}-{pivoting}/{strategy}/"
+                           f"{'recovery' if armed else 'bare'}")
+                    rec = {"id": sid, "definiteness": case.definiteness}
+                    try:
+                        solver = Solver(a, cfg)
+                        solver.factorize()
+                        x = solver.solve(b)
+                        be = float(np.linalg.norm(b - a.matvec(x))
+                                   / np.linalg.norm(b))
+                        fac = solver.factor
+                        rec["status"] = "ok"
+                        rec["backward_error"] = be
+                        rec["pivoting"] = {
+                            "swaps": int(fac.pivot_swaps),
+                            "two_by_two": int(fac.pivots_2x2),
+                            "perturbations": int(fac.nperturbed),
+                            "growth": float(fac.pivot_growth),
+                        }
+                        if solver.last_recovery is not None:
+                            rec["recovery_attempts"] = int(
+                                solver.last_recovery.get("attempts", 1))
+                    except Exception as exc:
+                        cause = getattr(exc, "cause", None)
+                        rec["status"] = (f"breakdown:{cause}" if cause
+                                         else f"error:{type(exc).__name__}")
+                        rec["backward_error"] = None
+                    results.append(rec)
+    return results
+
+
+def compare_scenarios(current: list, baseline: dict) -> tuple:
+    """Diff a scenario run against the committed baseline.
+
+    Returns ``(failures, warnings)``: a pass/fail flip (or a scenario
+    missing from the run) is a failure — the CI gate exits nonzero — while
+    backward-error drift beyond 10× (above a 1e-14 noise floor) and
+    baseline-less new scenarios only warn.
+    """
+    base = {r["id"]: r for r in baseline.get("scenarios", [])}
+    cur = {r["id"]: r for r in current}
+    failures, warnings = [], []
+    for sid in sorted(cur):
+        rec, old = cur[sid], base.get(sid)
+        if old is None:
+            warnings.append(f"new scenario (no baseline): {sid}")
+            continue
+        now_ok = rec["status"] == "ok"
+        was_ok = old["status"] == "ok"
+        if now_ok != was_ok:
+            failures.append(f"{sid}: {old['status']} -> {rec['status']}")
+        elif now_ok:
+            ob = float(old.get("backward_error") or 0.0)
+            nb = float(rec.get("backward_error") or 0.0)
+            if nb > 10.0 * max(ob, 1e-14):
+                warnings.append(f"{sid}: backward error drift "
+                                f"{ob:.1e} -> {nb:.1e}")
+    for sid in sorted(set(base) - set(cur)):
+        failures.append(f"scenario missing from run: {sid}")
+    return failures, warnings
+
+
+def cmd_scenarios(args: argparse.Namespace) -> int:
+    """Replay the matrix-zoo scenario suite and gate against a baseline."""
+    import json
+    from pathlib import Path
+
+    cases = [c for c in (args.cases or "").split(",") if c] or None
+    results = run_scenarios(seed=args.seed, cases=cases)
+    n_ok = sum(1 for r in results if r["status"] == "ok")
+    for r in results:
+        be = r.get("backward_error")
+        piv = r.get("pivoting") or {}
+        extra = ""
+        if piv.get("swaps") or piv.get("two_by_two") or piv.get(
+                "perturbations"):
+            extra = (f"  [sw={piv['swaps']} 2x2={piv['two_by_two']} "
+                     f"pert={piv['perturbations']}]")
+        if r.get("recovery_attempts", 1) > 1:
+            extra += f"  ({r['recovery_attempts']} attempts)"
+        status = (f"BE={be:.1e}" if be is not None else r["status"])
+        print(f"  {r['id']:<55} {status}{extra}")
+    print(f"{n_ok}/{len(results)} scenarios ok")
+
+    if args.json:
+        payload = {"seed": args.seed, "scenarios": results}
+        Path(args.json).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8")
+        print(f"scenario results -> {args.json}")
+
+    if args.baseline:
+        baseline = json.loads(Path(args.baseline).read_text(
+            encoding="utf-8"))
+        failures, warnings = compare_scenarios(results, baseline)
+        for w in warnings:
+            print(f"warning: {w}")
+        for f in failures:
+            print(f"FAIL: {f}")
+        if failures:
+            print(f"{len(failures)} scenario regression(s) vs "
+                  f"{args.baseline}")
+            return 1
+        print(f"baseline {args.baseline}: no pass/fail flips "
+              f"({len(warnings)} warning(s))")
+    return 0
+
+
 def cmd_backends(args: argparse.Namespace) -> int:
     from repro.core.backend import (
         BACKEND_ENV,
@@ -658,6 +841,24 @@ def main(argv: Optional[list] = None) -> int:
     p_dr.add_argument("--json", metavar="FILE",
                       help="also write the attribution dict as JSON")
     p_dr.set_defaults(func=cmd_diff_report)
+
+    p_sc = sub.add_parser("scenarios",
+                          help="replay the matrix-zoo robustness scenarios "
+                               "(zoo x strategy x factotype x recovery)")
+    p_sc.add_argument("--cases", default=None, metavar="NAME,NAME",
+                      help="comma-separated subset of zoo case names "
+                           "(default: the full committed zoo)")
+    p_sc.add_argument("--seed", type=int, default=0,
+                      help="right-hand-side seed (part of the replay "
+                           "contract; the committed baseline uses 0)")
+    p_sc.add_argument("--json", metavar="FILE",
+                      help="write the scenario records as JSON (the "
+                           "format SCENARIOS.json commits)")
+    p_sc.add_argument("--baseline", metavar="FILE",
+                      help="compare against a committed baseline: "
+                           "pass/fail flips exit 1, backward-error "
+                           "drift >10x warns")
+    p_sc.set_defaults(func=cmd_scenarios)
 
     p_be = sub.add_parser("backends",
                           help="list the registered kernel backends")

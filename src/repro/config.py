@@ -49,6 +49,8 @@ FACTOTYPES = ("lu", "cholesky", "ldlt")
 ORDERINGS = ("nested-dissection", "geometric", "amd", "natural")
 #: valid arithmetic precisions (PaStiX's s/d/c/z)
 DTYPES = ("float32", "float64", "complex64", "complex128")
+#: valid diagonal-block pivoting modes for the ``ldlt`` factotype
+PIVOTINGS = ("static", "threshold")
 
 
 @dataclass(frozen=True)
@@ -118,6 +120,27 @@ class SolverConfig:
     #: static-pivoting threshold: diagonal entries smaller than
     #: ``pivot_threshold * max|diag|`` are perturbed (PaStiX-style)
     pivot_threshold: float = 1e-14
+    #: diagonal-block pivoting mode for ``factotype='ldlt'``:
+    #: ``"static"`` (the paper's PaStiX behaviour — perturb tiny
+    #: diagonals, never permute) or ``"threshold"`` (dynamic
+    #: Bunch–Kaufman-style threshold partial pivoting with 1×1/2×2
+    #: pivots and per-supernode within-panel permutations; see
+    #: docs/robustness.md).  Ignored by ``lu``/``cholesky``.
+    pivoting: str = "static"
+    #: threshold-pivoting parameter ``u`` in (0, 0.5]: a candidate 1×1
+    #: pivot ``d`` is admissible when ``|d| >= u * max|column|``.  Larger
+    #: values bound element growth more tightly (more 2×2 pivots and
+    #: swaps); smaller values pivot less.  0.1 is the sparse-solver
+    #: folklore default (HSL MA57 lineage).
+    pivot_u: float = 0.1
+    #: declare breakdown (cause ``pivot-growth``) when the factorization's
+    #: element growth factor exceeds this bound
+    pivot_growth_limit: float = 1e8
+    #: delayed-pivot fallback: when no admissible pivot exists under
+    #: ``pivot_u``, perturb the offending diagonal entry (static-pivoting
+    #: style) instead of raising ``pivot-failure``.  Off by default; the
+    #: recovery ladder switches it on as its second pivoting rung.
+    pivot_fallback: bool = False
     #: arithmetic precision of the factorization — one of
     #: ``float32``/``float64``/``complex64``/``complex128`` (PaStiX's
     #: s/d/c/z); ``None`` inherits the matrix's dtype (real non-float
@@ -276,6 +299,13 @@ class SolverConfig:
                 f"{self.scheduler!r}")
         if self.watchdog_timeout is not None and self.watchdog_timeout <= 0:
             raise ValueError("watchdog_timeout must be positive (or None)")
+        if self.pivoting not in PIVOTINGS:
+            raise ValueError(
+                f"pivoting must be one of {PIVOTINGS}, got {self.pivoting!r}")
+        if not (0.0 < self.pivot_u <= 0.5):
+            raise ValueError("pivot_u must be in (0, 0.5]")
+        if self.pivot_growth_limit <= 1.0:
+            raise ValueError("pivot_growth_limit must be > 1")
         if self.recovery is not None:
             from repro.runtime.recovery import RecoveryPolicy
 

@@ -60,6 +60,7 @@ __all__ = [
     "KernelBackend",
     "NumpyBackend",
     "NumbaBackend",
+    "PivotError",
     "available_backends",
     "get_backend",
     "register_backend",
@@ -192,6 +193,187 @@ def _ldlt_nopivot(a: np.ndarray, pivot_threshold: float = 1e-14
     return packed, nperturbed
 
 
+class PivotError(RuntimeError):
+    """A pivoting diagonal-block kernel could not complete.
+
+    ``kind`` is ``"pivot-failure"`` (no admissible pivot under the
+    threshold ``u`` — the remaining column is numerically zero) or
+    ``"pivot-growth"`` (the element growth factor exceeded the configured
+    bound).  The factorization layer translates this into a structured
+    :class:`~repro.runtime.recovery.NumericalBreakdown` so the recovery
+    ladder can relax the threshold or fall back to perturbation.
+    """
+
+    def __init__(self, kind: str, col: int, detail: str = "") -> None:
+        super().__init__(detail or kind)
+        self.kind = kind
+        self.col = col
+
+
+def _ldlt_pivot(a: np.ndarray, u: float = 0.1,
+                growth_limit: float = 1e8, fallback: bool = False,
+                pivot_threshold: float = 1e-14
+                ) -> Tuple[np.ndarray, np.ndarray, np.ndarray,
+                           Dict[str, Any]]:
+    """Threshold-pivoted LDLᵗ (LDLᴴ for complex) with 1×1/2×2 pivots.
+
+    Bunch–Kaufman partial pivoting with the fixed α replaced by the
+    caller's threshold ``u`` ∈ (0, 0.5]: a 1×1 pivot ``d`` is admissible
+    when ``|d| ≥ u·λ`` (λ the largest off-diagonal magnitude in its
+    column), otherwise the standard row test promotes either an
+    interchanged 1×1 pivot or a 2×2 pivot built from rows ``(k, r)``.
+    Smaller ``u`` accepts more pivots in place (fewer interchanges,
+    weaker growth bound); the recovery ladder relaxes it on breakdown.
+
+    Returns ``(packed, perm, d21, stats)``:
+
+    * ``packed`` — unit-lower ``L`` strictly below the diagonal, the 1×1
+      pivots / 2×2 pivot *diagonals* on the diagonal (LAPACK ``sytrf``
+      layout, upper triangle unspecified).  The ``L`` entry under a 2×2
+      pivot's first column is exactly zero, so unit-lower triangular
+      solves read the packed array unchanged.
+    * ``perm`` — within-block permutation: row ``i`` of the factored
+      matrix is row ``perm[i]`` of ``a`` (``a[np.ix_(perm, perm)] ≈
+      L D Lᵗ``).
+    * ``d21`` — subdiagonals of the 2×2 pivots: ``d21[k]`` is ``D[k+1,k]``
+      when a 2×2 pivot starts at ``k``, zero elsewhere.
+    * ``stats`` — ``{"swaps", "n2x2", "perturbed", "growth"}``.
+
+    Raises :class:`PivotError` on a numerically-zero column (unless
+    ``fallback=True``, which perturbs it static-pivoting style) and on
+    growth past ``growth_limit``.
+
+    Complex blocks are factored as Hermitian ``L D Lᴴ`` with real 1×1
+    pivots and real 2×2 diagonals, matching :func:`_ldlt_nopivot`.
+    """
+    n = a.shape[0]
+    if a.shape[1] != n:
+        raise ValueError("diagonal block must be square")
+    w = np.array(a, copy=True)
+    if w.dtype.kind not in "fc":
+        w = w.astype(np.float64)
+    hermitian = w.dtype.kind == "c"
+    # Assembled diagonal blocks are only guaranteed in their *lower*
+    # triangle (symmetric updates skip the mirrored upper regions, and
+    # the unpivoted kernel never reads them) — rebuild the upper triangle
+    # from the lower one before any symmetric interchange can mix a stale
+    # upper entry into the active submatrix.
+    lower = np.tril(w, -1)
+    w = lower + (lower.conj().T if hermitian else lower.T)
+    didx = np.arange(n)
+    w[didx, didx] = (np.diag(a).real if hermitian else np.diag(a))
+    perm = np.arange(n, dtype=np.int64)
+    d21 = np.zeros(n, dtype=w.dtype)
+    a0max = float(np.abs(w).max()) if n else 0.0
+    scale = a0max if a0max > 0 else 1.0
+    floor = pivot_threshold * scale
+    swaps = n2x2 = perturbed = 0
+    wmax = a0max
+
+    def _interchange(i: int, j: int) -> None:
+        # full symmetric row+column swap keeps the trailing block
+        # symmetric/Hermitian, so later pivot searches stay valid
+        w[[i, j], :] = w[[j, i], :]
+        w[:, [i, j]] = w[:, [j, i]]
+        perm[[i, j]] = perm[[j, i]]
+
+    k = 0
+    while k < n:
+        absakk = abs(w[k, k])
+        if k + 1 < n:
+            tailcol = np.abs(w[k + 1:, k])
+            imax = k + 1 + int(np.argmax(tailcol))
+            colmax = float(tailcol[imax - k - 1])
+        else:
+            imax, colmax = k, 0.0
+        use2 = False
+        if max(absakk, colmax) <= floor:
+            # numerically-zero column: no admissible pivot at any u
+            if not fallback:
+                raise PivotError(
+                    "pivot-failure", k,
+                    f"column {k}: |diag| {absakk:.3e} and off-diagonal "
+                    f"max {colmax:.3e} both below the pivot floor "
+                    f"{floor:.3e}")
+            w[k, k] = floor if w[k, k].real >= 0 else -floor
+            perturbed += 1
+        elif absakk >= u * colmax:
+            pass  # 1x1 pivot in place
+        else:
+            # row test on the candidate row r = imax (the trailing block
+            # is symmetric, so its row is read from w[imax, k:])
+            rowabs = np.abs(w[imax, k:]).copy()
+            rowabs[imax - k] = 0.0
+            rowmax = float(rowabs.max())
+            if absakk * rowmax >= u * colmax * colmax:
+                pass  # growth of the in-place 1x1 pivot is bounded
+            elif abs(w[imax, imax]) >= u * rowmax:
+                _interchange(k, imax)  # the larger diagonal leads
+                swaps += 1
+            else:
+                if imax != k + 1:
+                    _interchange(k + 1, imax)
+                    swaps += 1
+                use2 = True
+        if use2:
+            d11 = w[k, k].real if hermitian else w[k, k]
+            d22 = w[k + 1, k + 1].real if hermitian else w[k + 1, k + 1]
+            dlo = w[k + 1, k]
+            dup = np.conj(dlo) if hermitian else dlo
+            det = d11 * d22 - dup * dlo
+            if det == 0:
+                # BK guarantees |det| >= (1-u^2) colmax^2 > 0 here; an
+                # exact zero means pathological cancellation
+                if not fallback:
+                    raise PivotError(
+                        "pivot-failure", k,
+                        f"singular 2x2 pivot at column {k}")
+                d11 = d11 + (floor if d11 >= 0 else -floor)
+                det = d11 * d22 - dup * dlo
+                perturbed += 1
+            if k + 2 < n:
+                c = w[k + 2:, k:k + 2].copy()
+                # explicit 2x2 inverse (no LAPACK: keeps the kernel
+                # self-contained and bit-reproducible)
+                l2 = np.empty_like(c)
+                l2[:, 0] = (c[:, 0] * d22 - c[:, 1] * dlo) / det
+                l2[:, 1] = (c[:, 1] * d11 - c[:, 0] * dup) / det
+                ch = c.conj().T if hermitian else c.T
+                w[k + 2:, k + 2:] -= l2 @ ch
+                w[k + 2:, k:k + 2] = l2
+            w[k, k] = d11
+            w[k + 1, k + 1] = d22
+            d21[k] = dlo
+            w[k + 1, k] = 0.0  # L is unit-lower across the 2x2 pivot
+            n2x2 += 1
+            knext = k + 2
+        else:
+            d = w[k, k].real if hermitian else w[k, k]
+            w[k, k] = d
+            if k + 1 < n:
+                col = w[k + 1:, k] / d
+                if hermitian:
+                    w[k + 1:, k + 1:] -= np.outer(col,
+                                                  w[k + 1:, k].conj())
+                else:
+                    w[k + 1:, k + 1:] -= np.outer(col, w[k + 1:, k])
+                w[k + 1:, k] = col
+            knext = k + 1
+        if knext < n:
+            wmax = max(wmax, float(np.abs(w[knext:, knext:]).max()))
+            if wmax / scale > growth_limit:
+                raise PivotError(
+                    "pivot-growth", k,
+                    f"element growth {wmax / scale:.3e} exceeds the "
+                    f"limit {growth_limit:.3e} after column {k}")
+        k = knext
+    stats: Dict[str, Any] = {
+        "swaps": swaps, "n2x2": n2x2, "perturbed": perturbed,
+        "growth": wmax / scale,
+    }
+    return w, perm, d21, stats
+
+
 # ----------------------------------------------------------------------
 # column-stable panel kernels (numpy reference)
 # ----------------------------------------------------------------------
@@ -309,6 +491,16 @@ class KernelBackend:
         """Statically-pivoted LDLᵗ/LDLᴴ; ``(packed, nperturbed)``."""
         raise NotImplementedError
 
+    def ldlt_pivot(self, a: np.ndarray, u: float = 0.1,
+                   growth_limit: float = 1e8, fallback: bool = False,
+                   pivot_threshold: float = 1e-14
+                   ) -> Tuple[np.ndarray, np.ndarray, np.ndarray,
+                              Dict[str, Any]]:
+        """Threshold-pivoted LDLᵗ/LDLᴴ with 1×1/2×2 pivots;
+        ``(packed, perm, d21, stats)`` — see :func:`_ldlt_pivot` for the
+        layout and :class:`PivotError` semantics."""
+        raise NotImplementedError
+
     # -- column-stable panel kernels (the multi-RHS solve path) --------
     def panel_gemm(self, a: np.ndarray, x: np.ndarray) -> np.ndarray:
         """``a @ x`` on an ``(m, w) x (w, k)`` panel, column-stable."""
@@ -411,6 +603,14 @@ class NumpyBackend(KernelBackend):
              ) -> Tuple[np.ndarray, int]:
         self._tick("ldlt")
         return _ldlt_nopivot(a, pivot_threshold)
+
+    def ldlt_pivot(self, a: np.ndarray, u: float = 0.1,
+                   growth_limit: float = 1e8, fallback: bool = False,
+                   pivot_threshold: float = 1e-14
+                   ) -> Tuple[np.ndarray, np.ndarray, np.ndarray,
+                              Dict[str, Any]]:
+        self._tick("ldlt_pivot")
+        return _ldlt_pivot(a, u, growth_limit, fallback, pivot_threshold)
 
     # -- column-stable panel kernels -----------------------------------
     def panel_gemm(self, a: np.ndarray, x: np.ndarray) -> np.ndarray:

@@ -59,7 +59,7 @@ class NumericColumnBlock:
     """Numerical storage of one column block."""
 
     __slots__ = ("sym", "diag", "lpanel", "upanel", "lblocks", "ublocks",
-                 "row_offsets", "offrows", "factored")
+                 "row_offsets", "offrows", "factored", "pivperm", "pivd21")
 
     def __init__(self, sym: SymbolicColumnBlock) -> None:
         self.sym = sym
@@ -68,6 +68,14 @@ class NumericColumnBlock:
         self.upanel: Optional[np.ndarray] = None
         self.lblocks: Optional[List[Block]] = None
         self.ublocks: Optional[List[Block]] = None
+        #: within-block pivot permutation (threshold-pivoted ldlt only):
+        #: row ``i`` of the factored diagonal block is row ``pivperm[i]``
+        #: of the assembled one.  ``None`` = identity (static pivoting).
+        self.pivperm: Optional[np.ndarray] = None
+        #: 2×2 pivot subdiagonals: ``pivd21[j]`` is ``D[j+1, j]`` when a
+        #: 2×2 pivot starts at column ``j``, zero elsewhere.  ``None``
+        #: when the block was factored with 1×1 pivots only.
+        self.pivd21: Optional[np.ndarray] = None
         offs = np.zeros(sym.noff + 1, dtype=np.int64)
         for i, b in enumerate(sym.off_blocks()):
             offs[i + 1] = offs[i] + b.nrows
@@ -135,8 +143,14 @@ class NumericFactor:
         self.stats = FactorizationStats(
             kernels=KernelStats(locked=True, telemetry=config.telemetry))
         self.nperturbed = 0
-        #: guards cross-task counters (``nperturbed``) — worker threads
-        #: factor disjoint column blocks but accumulate into one factor
+        #: run-wide threshold-pivoting aggregates (see
+        #: :meth:`add_pivot_stats`); stay zero under static pivoting
+        self.pivot_swaps = 0
+        self.pivots_2x2 = 0
+        self.pivot_growth = 0.0
+        #: guards cross-task counters (``nperturbed``, pivot stats) —
+        #: worker threads factor disjoint column blocks but accumulate
+        #: into one factor
         self._counter_lock: Any = threading.Lock()
         #: arithmetic dtype of the factorization (resolved by
         #: :func:`assemble` from the matrix and ``config.dtype``)
@@ -292,6 +306,20 @@ class NumericFactor:
         if n:
             with self._counter_lock:
                 self.nperturbed += n
+
+    def add_pivot_stats(self, stats: Dict[str, Any]) -> None:
+        """Accumulate per-block threshold-pivoting statistics.
+
+        ``stats`` is the dict returned by the ``ldlt_pivot`` kernel
+        (swaps / n2x2 / perturbed / growth).  Sums and the growth max are
+        taken under ``_counter_lock`` — worker threads factoring different
+        column blocks share these run-wide aggregates."""
+        with self._counter_lock:
+            self.pivot_swaps += int(stats.get("swaps", 0))
+            self.pivots_2x2 += int(stats.get("n2x2", 0))
+            self.nperturbed += int(stats.get("perturbed", 0))
+            self.pivot_growth = max(self.pivot_growth,
+                                    float(stats.get("growth", 0.0)))
 
     # -- block mutation with memory accounting ----------------------------
     def set_block(self, nc: NumericColumnBlock, side: str, i: int,
@@ -501,6 +529,8 @@ def snapshot_column_block(nc: NumericColumnBlock) -> Dict[str, Any]:
         "ublocks": ([_copy_block(b) for b in nc.ublocks]
                     if nc.ublocks is not None else None),
         "factored": nc.factored,
+        "pivperm": nc.pivperm.copy() if nc.pivperm is not None else None,
+        "pivd21": nc.pivd21.copy() if nc.pivd21 is not None else None,
     }
 
 
@@ -528,6 +558,11 @@ def restore_column_block(fac: NumericFactor, k: int,
     nc.ublocks = ([_copy_block(b) for b in snap["ublocks"]]
                   if snap["ublocks"] is not None else None)
     nc.factored = bool(snap["factored"])
+    # .get(): snapshots predating the pivoting fields restore to identity
+    pivperm = snap.get("pivperm")
+    nc.pivperm = pivperm.copy() if pivperm is not None else None
+    pivd21 = snap.get("pivd21")
+    nc.pivd21 = pivd21.copy() if pivd21 is not None else None
     fac.tracker.resize(before, nc.nbytes(fac.sides))
 
 

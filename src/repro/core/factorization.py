@@ -36,6 +36,7 @@ from repro.core.dense_kernels import (
     potrf_flops,
     trsm_flops,
 )
+from repro.core.backend import PivotError
 from repro.core.factor import Block, NumericColumnBlock, NumericFactor
 from repro.runtime.recovery import NumericalBreakdown
 from repro.lowrank.block import LowRankBlock
@@ -100,8 +101,12 @@ def _factor_column_block_body(fac: NumericFactor, k: int,
         nc.diag[np.tril_indices(w)] = l_mat[np.tril_indices(w)]
         fl = potrf_flops(w)
     elif cfg.factotype == "ldlt":
-        packed, nperturbed = be.ldlt(nc.diag, cfg.pivot_threshold)
-        nc.diag[...] = np.tril(packed)  # unit-lower L below, D on diagonal
+        if cfg.pivoting == "threshold":
+            nperturbed = _ldlt_pivot_diag(fac, nc, k)
+        else:
+            packed, nperturbed = be.ldlt(nc.diag, cfg.pivot_threshold)
+            # unit-lower L below, D on diagonal
+            nc.diag[...] = np.tril(packed)
         fl = ldlt_flops(w)
     else:  # pragma: no cover - guarded by SolverConfig validation
         raise NotImplementedError(
@@ -118,7 +123,12 @@ def _factor_column_block_body(fac: NumericFactor, k: int,
                 "nan-factor", cblk=k, site="factor",
                 detail="diagonal factorization produced non-finite entries")
         budget = rec.policy.pivot_budget
-        if budget is not None and nperturbed > budget * w:
+        # the budget polices *unsanctioned* perturbations; once the
+        # escalation ladder (or the user) explicitly enables the
+        # delayed-pivot fallback, its perturbations are the last resort
+        # and charging them would make that rung unreachable
+        sanctioned = cfg.pivoting == "threshold" and cfg.pivot_fallback
+        if budget is not None and not sanctioned and nperturbed > budget * w:
             rec.record("breakdown", site="factor", cblk=k,
                        cause="pivot-budget", nperturbed=nperturbed)
             raise NumericalBreakdown(
@@ -190,6 +200,123 @@ def _breakdown_check_input(fac: NumericFactor, k: int) -> None:
         raise NumericalBreakdown(
             "nan-input", cblk=k, site="factor",
             detail=f"non-finite entries in {bad} before factorization")
+
+
+def _ldlt_pivot_diag(fac: NumericFactor, nc: NumericColumnBlock,
+                     k: int) -> int:
+    """Threshold (Bunch–Kaufman style) pivoted LDLᵀ of the diagonal block.
+
+    Stores the packed factor on ``nc.diag``, the within-block permutation
+    on ``nc.pivperm`` (``None`` when it collapses to identity) and the
+    2×2 subdiagonal of D on ``nc.pivd21`` (``None`` when every pivot is
+    1×1).  Returns the static-perturbation count — nonzero only in
+    delayed-pivot fallback mode — so the caller's existing pivot-budget
+    check keeps working.  Kernel pivot failures surface as structured
+    :class:`NumericalBreakdown` events carrying the kernel's cause
+    (``pivot-failure`` / ``pivot-growth``) for the recovery ladder.
+    """
+    cfg = fac.config
+    be = fac.backend
+    try:
+        packed, perm, d21, pstats = be.ldlt_pivot(
+            nc.diag, cfg.pivot_u, cfg.pivot_growth_limit,
+            cfg.pivot_fallback, cfg.pivot_threshold)
+    except PivotError as exc:
+        rec = fac.recovery
+        if rec is not None:
+            rec.record("breakdown", site="factor", cblk=k,
+                       cause=exc.kind, column=exc.col)
+        raise NumericalBreakdown(
+            exc.kind, cblk=k, site="factor", detail=str(exc)) from exc
+    nc.diag[...] = np.tril(packed)
+    nc.pivperm = (None if np.array_equal(perm, np.arange(nc.width))
+                  else perm)
+    nc.pivd21 = d21 if int(pstats["n2x2"]) else None
+    fac.add_pivot_stats(pstats)
+    tele = cfg.telemetry
+    if tele is not None:
+        tele.record_pivoting(k, swaps=int(pstats["swaps"]),
+                             two_by_two=int(pstats["n2x2"]),
+                             perturbations=int(pstats["perturbed"]),
+                             growth=float(pstats["growth"]))
+    return int(pstats["perturbed"])
+
+
+def ldlt_d_solve_cols(x: np.ndarray, d: np.ndarray,
+                      d21: Optional[np.ndarray],
+                      hermitian: bool = False) -> np.ndarray:
+    """``x @ D⁻¹`` for the block-diagonal D of a pivoted LDLᵀ.
+
+    ``d`` holds the diagonal of D, ``d21`` the subdiagonal entries of the
+    2×2 pivot blocks (``d21[j] = D[j+1, j]``, zero elsewhere, ``None``
+    when every pivot is 1×1 — then this is exactly the legacy ``x / d``).
+    Each 2×2 block is inverted explicitly via its determinant; Hermitian
+    factorizations use ``D[j, j+1] = conj(D[j+1, j])``.
+    """
+    if d21 is None:
+        return x / d
+    idx = np.flatnonzero(d21)
+    de = d.copy()
+    de[idx] = 1.0
+    de[idx + 1] = 1.0
+    out = x / de
+    for j in idx:
+        dl = d21[j]
+        du = np.conj(dl) if hermitian else dl
+        d1, d2 = d[j], d[j + 1]
+        det = d1 * d2 - du * dl
+        x1 = x[:, j]
+        x2 = x[:, j + 1]
+        out[:, j] = (x1 * d2 - x2 * dl) / det
+        out[:, j + 1] = (x2 * d1 - x1 * du) / det
+    return out
+
+
+def ldlt_d_solve_rows(x: np.ndarray, d: np.ndarray,
+                      d21: Optional[np.ndarray],
+                      hermitian: bool = False) -> np.ndarray:
+    """``D⁻¹ @ x`` for the block-diagonal D of a pivoted LDLᵀ.
+
+    Row-wise sibling of :func:`ldlt_d_solve_cols` (used on low-rank ``v``
+    factors and the trisolve diagonal stage, where D applies to rows).
+    Hermitian factorizations conjugate the 2×2 superdiagonal
+    (``D[j, j+1] = conj(D[j+1, j])`` — D is its own adjoint).
+    """
+    if d21 is None:
+        return x / d[:, None]
+    idx = np.flatnonzero(d21)
+    de = d.copy()
+    de[idx] = 1.0
+    de[idx + 1] = 1.0
+    out = x / de[:, None]
+    for j in idx:
+        dl = d21[j]
+        du = np.conj(dl) if hermitian else dl
+        d1, d2 = d[j], d[j + 1]
+        det = d1 * d2 - du * dl
+        x1 = x[j]
+        x2 = x[j + 1]
+        out[j] = (x1 * d2 - x2 * du) / det
+        out[j + 1] = (x2 * d1 - x1 * dl) / det
+    return out
+
+
+def ldlt_d_mul_cols(x: np.ndarray, d: np.ndarray,
+                    d21: Optional[np.ndarray],
+                    hermitian: bool = False) -> np.ndarray:
+    """``x @ D`` for the block-diagonal D of a pivoted LDLᵀ (the ``L D``
+    operand of the trailing updates).  ``d21 is None`` reduces to the
+    legacy ``x * d`` column scaling; Hermitian factorizations conjugate
+    the 2×2 superdiagonal (``D[j, j+1] = conj(D[j+1, j])``)."""
+    if d21 is None:
+        return x * d
+    out = x * d
+    for j in np.flatnonzero(d21):
+        dl = d21[j]
+        du = np.conj(dl) if hermitian else dl
+        out[:, j] = out[:, j] + x[:, j + 1] * dl
+        out[:, j + 1] = out[:, j + 1] + x[:, j] * du
+    return out
 
 
 def finalize_updates_from(fac: NumericFactor, k: int) -> None:
@@ -385,38 +512,49 @@ def _panel_solve(fac: NumericFactor, nc: NumericColumnBlock) -> None:
                                                   lower=True,
                                                   trans=trans_right))
                     fl += trsm_flops(w, lb.shape[0])
-    else:  # ldlt: L(i) = A(i) L00⁻ᴴ D⁻¹ (⁻ᵗ for real factors)
+    else:  # ldlt: L(i) = A(i) Pᵀ L00⁻ᴴ D⁻¹ (⁻ᵗ for real factors; P = I
+        # without threshold pivoting, so the legacy path is untouched)
         l00 = nc.diag
         hermitian = np.asarray(nc.diag).dtype.kind == "c"
         d = np.diag(nc.diag)
         if hermitian:
             d = d.real  # D is real for Hermitian LDLᴴ
         trans_right = "C" if hermitian else "T"
+        perm = nc.pivperm
+        d21 = nc.pivd21
         if nc.panel_mode:
             if nc.offrows:
-                nc.lpanel[...] = be.trsm(l00, nc.lpanel, side="right",
-                                         lower=True, trans=trans_right,
-                                         unit_diagonal=True) / d
+                panel = nc.lpanel if perm is None else nc.lpanel[:, perm]
+                nc.lpanel[...] = ldlt_d_solve_cols(
+                    be.trsm(l00, panel, side="right", lower=True,
+                            trans=trans_right, unit_diagonal=True),
+                    d, d21, hermitian)
                 fl += trsm_flops(w, nc.offrows)
         else:
             for i in range(nc.sym.noff):
                 lb = nc.lblocks[i]
                 if isinstance(lb, LowRankBlock):
                     if lb.rank:
+                        # A(i) Pᵀ = u (P v)ᵀ: the permutation lands on the
+                        # rows of the v factor before the solve
+                        vv = lb.v if perm is None else lb.v[perm]
                         if hermitian:
-                            lb.v[...] = be.trsm(
-                                l00, lb.v.conj(), lower=True,
-                                unit_diagonal=True).conj() / d[:, None]
+                            lb.v[...] = ldlt_d_solve_rows(
+                                be.trsm(l00, vv.conj(), lower=True,
+                                        unit_diagonal=True),
+                                d, d21, hermitian).conj()
                         else:
-                            lb.v[...] = be.trsm(
-                                l00, lb.v, lower=True,
-                                unit_diagonal=True) / d[:, None]
+                            lb.v[...] = ldlt_d_solve_rows(
+                                be.trsm(l00, vv, lower=True,
+                                        unit_diagonal=True),
+                                d, d21, hermitian)
                     fl += trsm_flops(w, lb.rank)
                 else:
-                    nc.lblocks[i] = store(be.trsm(l00, lb, side="right",
-                                                  lower=True,
-                                                  trans=trans_right,
-                                                  unit_diagonal=True) / d)
+                    blk = lb if perm is None else lb[:, perm]
+                    nc.lblocks[i] = store(ldlt_d_solve_cols(
+                        be.trsm(l00, blk, side="right", lower=True,
+                                trans=trans_right, unit_diagonal=True),
+                        d, d21, hermitian))
                     fl += trsm_flops(w, lb.shape[0])
     stats.add("panel_solve", seconds=time.perf_counter() - t0,
               flops=fl * flop_scale(fac.dtype))
@@ -493,9 +631,11 @@ def _updates_from_panel(fac: NumericFactor, nc: NumericColumnBlock,
         if is_lu:
             ub_j = nc.upanel[jlo:jhi]
         elif d_scale is not None:
-            # L(j) D for LDLᵗ updates; D is real for Hermitian LDLᴴ so
-            # conjugation commutes with the scaling
-            ub_j = nc.lpanel[jlo:jhi] * d_scale
+            # L(j) D for LDLᵗ updates; the within-block pivot permutation
+            # contracts away here (both operands live in the permuted
+            # basis), only the block-diagonal D structure matters
+            ub_j = ldlt_d_mul_cols(nc.lpanel[jlo:jhi], d_scale,
+                                   nc.pivd21, hermitian)
         else:
             ub_j = nc.lpanel[jlo:jhi]
         if hermitian:
@@ -568,7 +708,8 @@ def _updates_from_blocks(fac: NumericFactor, nc: NumericColumnBlock,
                 if is_lu:
                     ub_j = nc.ublocks[j]
                 elif d_scale is not None:
-                    ub_j = _scale_columns(nc.lblocks[j], d_scale)
+                    ub_j = _scale_columns(nc.lblocks[j], d_scale,
+                                          nc.pivd21, hermitian)
                 else:
                     ub_j = nc.lblocks[j]
                 if hermitian:
@@ -659,13 +800,29 @@ def _promote(block: Optional[Block], dtype: np.dtype) -> Optional[Block]:
     return block
 
 
-def _scale_columns(block: Block, d: np.ndarray) -> Block:
-    """Return ``block @ diag(d)`` (the ``L D`` operand of LDLᵗ updates)."""
+def _scale_columns(block: Block, d: np.ndarray,
+                   d21: Optional[np.ndarray] = None,
+                   hermitian: bool = False) -> Block:
+    """Return ``block @ D`` (the ``L D`` operand of LDLᵗ updates).
+
+    ``D`` is diagonal (``d``) plus optional 2×2 pivot blocks whose
+    subdiagonal lives in ``d21``; for a low-rank block ``u vᵀ`` the
+    product lands on the rows of ``v`` (``new_v = Dᵀ v``).  Hermitian
+    factorizations conjugate the 2×2 superdiagonal of D
+    (``D[j, j+1] = conj(D[j+1, j])``).
+    """
     if isinstance(block, LowRankBlock):
         if block.rank == 0:
             return block
-        return LowRankBlock(block.u, block.v * d[:, None])
-    return block * d
+        v = block.v * d[:, None]
+        if d21 is not None:
+            for j in np.flatnonzero(d21):
+                dl = d21[j]
+                du = np.conj(dl) if hermitian else dl
+                v[j] = d[j] * block.v[j] + dl * block.v[j + 1]
+                v[j + 1] = du * block.v[j] + d[j + 1] * block.v[j + 1]
+        return LowRankBlock(block.u, v)
+    return ldlt_d_mul_cols(block, d, d21, hermitian)
 
 
 # ----------------------------------------------------------------------

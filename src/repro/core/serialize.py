@@ -100,6 +100,12 @@ def _pack_cblk(nc: NumericColumnBlock, k: int, arrays: Dict[str, np.ndarray],
     staging dicts (shared by :func:`save_factor` and
     :func:`save_checkpoint`)."""
     arrays[f"d{k}"] = nc.diag
+    # threshold-pivoting sidecars, keyed by presence: archives written by
+    # static-pivoting runs (and older versions) simply omit them
+    if nc.pivperm is not None:
+        arrays[f"pp{k}"] = nc.pivperm
+    if nc.pivd21 is not None:
+        arrays[f"pd{k}"] = nc.pivd21
     for side in ("l", "u"):
         if nc.panel_mode:
             panel = nc.lpanel if side == "l" else nc.upanel
@@ -186,6 +192,8 @@ def load_factor(path: Union[str, Path]) -> tuple:
                    if kind == "panel"}
     for k, nc in enumerate(fac.cblks):
         nc.diag = arrays[f"d{k}"]
+        nc.pivperm = arrays.get(f"pp{k}")
+        nc.pivd21 = arrays.get(f"pd{k}")
         if (k, "l") in panel_sides:
             nc.lpanel = arrays[f"lp{k}"]
             if (k, "u") in panel_sides:
@@ -305,6 +313,8 @@ def restore_checkpoint(fac: NumericFactor, header: dict,
             continue
         nc = fac.cblks[k]
         nc.diag = arrays[f"d{k}"]
+        nc.pivperm = arrays.get(f"pp{k}")
+        nc.pivd21 = arrays.get(f"pd{k}")
         nc.lpanel = nc.upanel = None
         nc.lblocks = nc.ublocks = None
         if (k, "l") in panel_sides:

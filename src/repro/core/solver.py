@@ -328,7 +328,7 @@ class Solver:
                 break
             except Exception as exc:
                 breakdown = find_breakdown(exc)
-                nxt = (escalate_config(cfg, policy)
+                nxt = (escalate_config(cfg, policy, cause=breakdown.cause)
                        if breakdown is not None and rung < policy.max_retries
                        else None)
                 if nxt is None:
@@ -339,6 +339,8 @@ class Solver:
                 state.record("refactorize", site="solver",
                              cause=breakdown.cause, cblk=breakdown.cblk,
                              tolerance=nxt.tolerance, strategy=nxt.strategy,
+                             pivot_u=nxt.pivot_u,
+                             pivot_fallback=nxt.pivot_fallback,
                              rung=rung)
                 cfg = nxt
         self._effective_config = cfg if cfg is not self.config else None

@@ -30,6 +30,7 @@ import numpy as np
 
 from repro.core.backend import KernelBackend
 from repro.core.factor import Block, NumericFactor
+from repro.core.factorization import ldlt_d_solve_rows
 from repro.lowrank.block import LowRankBlock
 
 
@@ -163,12 +164,18 @@ def _backward_cholesky(fac: NumericFactor, x: np.ndarray) -> None:
 
 
 def _forward_ldlt(fac: NumericFactor, x: np.ndarray) -> None:
-    """``L z = b`` with unit-lower L (D shares the diag storage)."""
+    """``L z = b`` with unit-lower L (D shares the diag storage).
+
+    Threshold-pivoted supernodes store the within-block permutation P on
+    ``nc.pivperm``: their global diagonal L block is ``Pᵀ L00``, so the
+    forward step solves ``L00 z = P b`` — permute the local right-hand
+    side rows, then run the usual unit-lower solve."""
     be = fac.backend
     for nc in fac.cblks:
         sym = nc.sym
         lo, hi = sym.first_col, sym.end_col
-        x[lo:hi] = be.panel_trsm(nc.diag, x[lo:hi], lower=True,
+        rhs = x[lo:hi] if nc.pivperm is None else x[lo:hi][nc.pivperm]
+        x[lo:hi] = be.panel_trsm(nc.diag, rhs, lower=True,
                                  unit_diagonal=True)
         for i, b in enumerate(sym.off_blocks()):
             x[b.first_row:b.end_row] -= _apply_block(be, nc.lblock(i),
@@ -176,17 +183,29 @@ def _forward_ldlt(fac: NumericFactor, x: np.ndarray) -> None:
 
 
 def _diag_scale_ldlt(fac: NumericFactor, x: np.ndarray) -> None:
-    """``y = D⁻¹ z`` using the diagonal entries of every diagonal block."""
+    """``y = D⁻¹ z`` using the (block-)diagonal of every diagonal block.
+
+    With threshold pivoting D may carry 2×2 pivot blocks whose
+    subdiagonal lives on ``nc.pivd21``; those are solved via the explicit
+    2×2 inverse (:func:`~repro.core.factorization.ldlt_d_solve_rows`)."""
     for nc in fac.cblks:
         lo, hi = nc.sym.first_col, nc.sym.end_col
         d = np.diag(nc.diag)
-        if d.dtype.kind == "c":
+        hermitian = d.dtype.kind == "c"
+        if hermitian:
             d = d.real  # Hermitian LDLᴴ: D is real by construction
-        x[lo:hi] /= d[:, None]
+        if nc.pivd21 is None:
+            x[lo:hi] /= d[:, None]
+        else:
+            x[lo:hi] = ldlt_d_solve_rows(x[lo:hi], d, nc.pivd21, hermitian)
 
 
 def _backward_ldlt(fac: NumericFactor, x: np.ndarray) -> None:
-    """``Lᴴ x = y`` with the same unit-lower L blocks adjoint-applied."""
+    """``Lᴴ x = y`` with the same unit-lower L blocks adjoint-applied.
+
+    Pivoted supernodes solve ``(Pᵀ L00)ᴴ x = y`` as ``L00ᴴ w = y`` with
+    ``w = P x`` — run the adjoint solve, then scatter the rows back
+    through the permutation (``x[p] = w``)."""
     be = fac.backend
     trans = "C" if fac.dtype.kind == "c" else "T"
     for nc in reversed(fac.cblks):
@@ -195,8 +214,12 @@ def _backward_ldlt(fac: NumericFactor, x: np.ndarray) -> None:
         acc = x[lo:hi]
         for i, b in enumerate(sym.off_blocks()):
             acc -= _apply_block_h(be, nc.lblock(i), x[b.first_row:b.end_row])
-        x[lo:hi] = be.panel_trsm(nc.diag, acc, lower=True, trans=trans,
-                                 unit_diagonal=True)
+        sol = be.panel_trsm(nc.diag, acc, lower=True, trans=trans,
+                            unit_diagonal=True)
+        if nc.pivperm is None:
+            x[lo:hi] = sol
+        else:
+            x[lo:hi][nc.pivperm] = sol
 
 
 def _forward_ut(fac: NumericFactor, x: np.ndarray) -> None:

@@ -71,8 +71,15 @@ BREAKDOWN_CAUSES = (
     "nan-input",        # non-finite entries in the assembled column block
     "nan-factor",       # the diagonal factorization produced non-finites
     "pivot-budget",     # static pivoting perturbed more pivots than allowed
+    "pivot-failure",    # threshold pivoting found no admissible pivot
+    "pivot-growth",     # threshold pivoting exceeded the growth limit
     "compress-failure", # a compression kernel failed and fallback is off
 )
+
+#: the causes for which :func:`escalate_config` walks the pivoting rungs
+#: (relax ``pivot_u`` → delayed-pivot dense fallback) before the legacy
+#: τ-tightening / strategy-downgrade ladder
+PIVOT_CAUSES = ("pivot-failure", "pivot-growth")
 
 
 class NumericalBreakdown(RuntimeError):
@@ -131,6 +138,12 @@ class RecoveryPolicy:
     #: (``nperturbed > pivot_budget * width`` raises a breakdown);
     #: ``None`` disables the budget
     pivot_budget: Optional[float] = None
+    #: multiplier applied to ``pivot_u`` on each relax-threshold rung of
+    #: the pivoting ladder (a smaller ``u`` accepts more pivots in place)
+    pivot_relax: float = 0.25
+    #: stop relaxing ``pivot_u`` below this floor; the next pivoting rung
+    #: turns on the delayed-pivot perturbation fallback instead
+    pivot_u_floor: float = 1e-4
     #: refinement stagnates when the last ``refine_window`` iterations did
     #: not shrink the residual by ``refine_drop``×  (the "no 10× drop in k
     #: iterations" rule)
@@ -157,6 +170,10 @@ class RecoveryPolicy:
             raise ValueError("retry_backoff must be >= 0")
         if self.pivot_budget is not None and self.pivot_budget < 0.0:
             raise ValueError("pivot_budget must be >= 0 (or None)")
+        if not (0.0 < self.pivot_relax < 1.0):
+            raise ValueError("pivot_relax must be in (0, 1)")
+        if self.pivot_u_floor <= 0.0:
+            raise ValueError("pivot_u_floor must be positive")
         if self.refine_window < 1:
             raise ValueError("refine_window must be >= 1")
         if self.refine_drop <= 1.0:
@@ -234,24 +251,50 @@ class RecoveryState:
         return {"actions": actions, "counts": counts}
 
 
-def escalate_config(config: "SolverConfig",
-                    policy: RecoveryPolicy) -> Optional["SolverConfig"]:
+def escalate_config(config: "SolverConfig", policy: RecoveryPolicy,
+                    cause: Optional[str] = None
+                    ) -> Optional["SolverConfig"]:
     """The next rung of the escalation ladder, or ``None`` when exhausted.
 
-    Tolerance tightening first (``τ × tau_shrink`` while the result stays
-    at or above ``tau_floor``), then a downgrade through the variant
-    space.  A config with an explicit ``variant`` moves to the next
-    compress-later loop order (:data:`repro.core.variants.ORDER_LADDER` —
-    denser intermediates, better stability) and drops to ``dense`` after
-    ``fuc``; alias-named strategies keep the historic
-    :data:`STRATEGY_LADDER` (MM → JIT → dense, adaptive → JIT).  The
-    ``dense`` strategy has no rungs left — its accuracy does not depend
-    on τ.
+    A static-pivoting run that blows its perturbation budget
+    (``cause == 'pivot-budget'``) escalates straight to threshold
+    pivoting, which interchanges instead of perturbing.  Pivoting
+    breakdowns (``cause`` in :data:`PIVOT_CAUSES` on a
+    threshold-pivoted config) walk the pivoting rungs first: relax the
+    threshold (``pivot_u × pivot_relax`` while the result stays at or
+    above ``pivot_u_floor`` — a smaller ``u`` accepts more pivots in
+    place, trading growth control for progress), then enable the
+    delayed-pivot perturbation fallback (``pivot_fallback=True``, the
+    dense-style last resort for the block).  Only once those are
+    exhausted does the legacy ladder below take over.
+
+    The legacy ladder: tolerance tightening first (``τ × tau_shrink``
+    while the result stays at or above ``tau_floor``), then a downgrade
+    through the variant space.  A config with an explicit ``variant``
+    moves to the next compress-later loop order
+    (:data:`repro.core.variants.ORDER_LADDER` — denser intermediates,
+    better stability) and drops to ``dense`` after ``fuc``; alias-named
+    strategies keep the historic :data:`STRATEGY_LADDER`
+    (MM → JIT → dense, adaptive → JIT).  The ``dense`` strategy has no τ
+    rungs left — its accuracy does not depend on τ — but pivoting rungs
+    still apply to it (a dense-strategy LDLᵀ can still hit a pivot
+    failure).
 
     Escalation reuses the cached symbolic analysis: neither the strategy,
-    the variant, nor the tolerance participates in
+    the variant, the tolerance, nor the pivoting knobs participate in
     ``SymbolicOptions.from_config``.
     """
+    if cause == "pivot-budget" and config.pivoting == "static":
+        # static perturbation blew its budget: escalate to threshold
+        # pivoting, which reorders instead of perturbing (the budget is
+        # only charged for perturbed pivots, so the retry starts clean)
+        return config.with_options(pivoting="threshold")
+    if cause in PIVOT_CAUSES and config.pivoting == "threshold":
+        relaxed = config.pivot_u * policy.pivot_relax
+        if relaxed >= policy.pivot_u_floor:
+            return config.with_options(pivot_u=relaxed)
+        if not config.pivot_fallback:
+            return config.with_options(pivot_fallback=True)
     if config.strategy == "dense":
         return None
     new_tol = config.tolerance * policy.tau_shrink

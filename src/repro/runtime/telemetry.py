@@ -659,6 +659,30 @@ class Telemetry:
         fields.update(detail)
         self.emit("recovery", **fields)
 
+    def record_pivoting(self, cblk: int, swaps: int = 0,
+                        two_by_two: int = 0, perturbations: int = 0,
+                        growth: float = 0.0) -> None:
+        """Pivot health of one threshold-pivoted diagonal block.
+
+        Publishes the per-run ``pivot_swaps`` / ``pivots_2x2`` /
+        ``pivot_perturbations`` counters, a ``pivot_growth`` gauge whose
+        max-tracking keeps the worst block growth factor of the run, and
+        one structured ``pivoting`` event per block that actually pivoted
+        (identity blocks stay silent to keep the event stream small).
+        """
+        if swaps:
+            self.counter("pivot_swaps").inc(int(swaps))
+        if two_by_two:
+            self.counter("pivots_2x2").inc(int(two_by_two))
+        if perturbations:
+            self.counter("pivot_perturbations").inc(int(perturbations))
+        self.gauge("pivot_growth").set_value(float(growth))
+        if swaps or two_by_two or perturbations:
+            self.emit("pivoting", cblk=int(cblk), swaps=int(swaps),
+                      two_by_two=int(two_by_two),
+                      perturbations=int(perturbations),
+                      growth=float(growth))
+
     # -- export --------------------------------------------------------
     def snapshot(self) -> Dict[str, Any]:
         """JSON-able snapshot of all metrics and series."""

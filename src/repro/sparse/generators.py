@@ -23,7 +23,8 @@ arrays; nnz assembly of a 48³ grid takes milliseconds.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
 
 import numpy as np
 
@@ -371,3 +372,196 @@ def helmholtz_3d(nx: int, ny: Optional[int] = None, nz: Optional[int] = None,
     diag = np.full(base.n, -shift)
     vals = np.concatenate([base.values.astype(diag.dtype), diag])
     return CSCMatrix.from_coo(base.n, rows, cols, vals)
+
+
+# ---------------------------------------------------------------------------
+# Matrix zoo: committed hard cases for the scenario harness
+# ---------------------------------------------------------------------------
+
+
+def saddle_point_kkt(nx: int, m: Optional[int] = None, penalty: float = 0.0,
+                     seed: int = 0) -> CSCMatrix:
+    """Symmetric indefinite KKT / saddle-point system.
+
+    Builds the classic optimality system
+
+    .. code-block:: text
+
+        [ A   Bᵀ ]     A = 2D Laplacian (nx × nx grid, SPD, n = nx²)
+        [ B  -γI ]     B = m × n full-row-rank constraint block
+
+    with ``γ = penalty``.  Each constraint row couples one adjacent pair of
+    unknowns with random weights (disjoint pairs, so B has full row rank m).
+    With ``penalty == 0`` the (2,2) block is *exactly zero* — every
+    constraint row has a structurally zero diagonal entry, the canonical
+    case where static (perturbation-only) pivoting fails and threshold
+    pivoting must build 2×2 pivots.  A small positive ``penalty`` gives the
+    regularized variant with tiny negative diagonal entries instead.
+
+    By Sylvester's law of inertia the system has exactly ``m`` negative and
+    ``n`` positive eigenvalues (for any ``penalty >= 0`` and full-rank B),
+    which the zoo tests check via :func:`repro.analysis.diagnostics.factor_inertia`.
+    """
+    a = laplacian_2d(nx)
+    n = a.n
+    if m is None:
+        m = n // 4
+    if m < 1 or 2 * m > n:
+        raise ValueError("constraint count m must satisfy 1 <= m <= n/2")
+    rng = np.random.default_rng(seed)
+    ntot = n + m
+
+    # A block (top-left, unchanged indices)
+    rows_l = [a.rowind]
+    cols_l = [np.repeat(np.arange(n, dtype=np.int64), np.diff(a.colptr))]
+    vals_l = [np.asarray(a.values, dtype=np.float64)]
+
+    # B block: constraint j couples unknowns (2j, 2j+1)
+    j = np.arange(m, dtype=np.int64)
+    crow = n + j
+    w1 = rng.uniform(0.5, 1.5, size=m)
+    w2 = -rng.uniform(0.5, 1.5, size=m)
+    for col, w in ((2 * j, w1), (2 * j + 1, w2)):
+        rows_l += [crow, col]
+        cols_l += [col, crow]
+        vals_l += [w, w]
+
+    # (2,2) block: -penalty I, with *explicit* zeros when penalty == 0 so
+    # the constraint diagonal entries exist structurally (and assemble to 0)
+    rows_l.append(crow)
+    cols_l.append(crow)
+    vals_l.append(np.full(m, -float(penalty)))
+
+    return CSCMatrix.from_coo(ntot, np.concatenate(rows_l),
+                              np.concatenate(cols_l), np.concatenate(vals_l))
+
+
+def stretched_mesh_3d(nx: int, ny: Optional[int] = None,
+                      nz: Optional[int] = None,
+                      stretch: float = 10.0) -> CSCMatrix:
+    """Laplacian on a geometrically stretched grid (boundary-layer mesh).
+
+    The grid spacing along z grows geometrically from ``1`` at the bottom
+    layer to ``stretch`` at the top (the classic boundary-layer grading),
+    so the +z link weights ``1/h²`` span a ``stretch²`` dynamic range while
+    x/y links keep unit weight.  Unlike :func:`anisotropic_laplacian_3d`
+    (constant coefficients), the anisotropy here varies *through* the
+    domain, which stresses both the scaling robustness of the numerical
+    factorization and the rank structure of separators.  SPD.
+    """
+    ny = nx if ny is None else ny
+    nz = nx if nz is None else nz
+    if nz < 2:
+        raise ValueError("stretched mesh needs nz >= 2")
+    if stretch <= 0:
+        raise ValueError("stretch must be positive")
+    n = nx * ny * nz
+    # spacing between layer k and k+1: geometric from 1 to `stretch`
+    hmid = np.asarray(stretch, dtype=np.float64) ** (
+        (np.arange(nz - 1) + 0.5) / (nz - 1))
+    wz_layer = 1.0 / (hmid * hmid)
+
+    diag = np.zeros(n, dtype=np.float64)
+    rows_l, cols_l, vals_l = [], [], []
+    _, _, kcoord = _grid_index_3d(nx, ny, nz)
+    for axis, (a, b) in enumerate(_stencil_links_3d(nx, ny, nz)):
+        w = wz_layer[kcoord[a]] if axis == 2 else np.full(a.size, 1.0)
+        rows_l += [a, b]
+        cols_l += [b, a]
+        vals_l += [-w, -w]
+        np.add.at(diag, a, w)
+        np.add.at(diag, b, w)
+    # Dirichlet-like shift keeps the operator strictly SPD
+    rows_l.append(np.arange(n))
+    cols_l.append(np.arange(n))
+    vals_l.append(diag * (1.0 + 1e-6) + 1e-8)
+    return CSCMatrix.from_coo(n, np.concatenate(rows_l),
+                              np.concatenate(cols_l), np.concatenate(vals_l))
+
+
+def perturb(base: CSCMatrix, seed: int, magnitude: float = 1e-6) -> CSCMatrix:
+    """Reproducible symmetry-preserving perturbation of ``base``.
+
+    Multiplies every stored entry by ``1 + magnitude · ε(i, j)`` where the
+    noise field ``ε(i, j) = g[i]·h[j] + g[j]·h[i]`` is built from two seeded
+    node vectors — symmetric in (i, j) by construction, so a (skew-)symmetric
+    input stays exactly symmetric, and the sparsity pattern is unchanged
+    (zero entries stay zero).  ``|ε| <= 1/2``, so ``magnitude`` bounds the
+    relative entrywise perturbation.  Same ``(base, seed, magnitude)``
+    always yields the same matrix — the contract the scenario replay
+    harness depends on.
+    """
+    if magnitude < 0:
+        raise ValueError("magnitude must be >= 0")
+    rng = np.random.default_rng(seed)
+    g = rng.uniform(-0.5, 0.5, size=base.n)
+    h = rng.uniform(-0.5, 0.5, size=base.n)
+    rows = base.rowind
+    cols = np.repeat(np.arange(base.n, dtype=np.int64), np.diff(base.colptr))
+    eps = g[rows] * h[cols] + g[cols] * h[rows]
+    vals = base.values * (1.0 + float(magnitude) * eps)
+    return CSCMatrix.from_coo(base.n, rows.copy(), cols, vals)
+
+
+def helmholtz_shift_sweep(nx: int, wavenumbers: Tuple[float, ...] = (1.0, 2.2, 3.0),
+                          damping: float = 0.0
+                          ) -> List[Tuple[str, CSCMatrix]]:
+    """Shifted-Helmholtz sweep: one matrix per wavenumber.
+
+    Returns ``[(label, matrix), ...]`` with labels like ``"helmholtz-k2.2"``.
+    Increasing ``k`` drives the operator from SPD (small shift) through
+    increasingly indefinite regimes — the sweep the scenario harness runs
+    to chart where static pivoting stops being enough.
+    """
+    out: List[Tuple[str, CSCMatrix]] = []
+    for k in wavenumbers:
+        out.append((f"helmholtz-k{k:g}",
+                    helmholtz_3d(nx, wavenumber=float(k), damping=damping)))
+    return out
+
+
+@dataclass(frozen=True)
+class ZooCase:
+    """One committed zoo matrix: a named builder plus declared spectrum.
+
+    ``definiteness`` is the *declared* class ("positive" or "indefinite"),
+    verified by the zoo tests via the factorization's inertia; the scenario
+    harness uses it to pick admissible factotypes.
+    """
+
+    name: str
+    build: Callable[[], CSCMatrix]
+    definiteness: str
+    description: str = ""
+
+
+def zoo() -> List[ZooCase]:
+    """The committed matrix zoo for scenario replay and CI.
+
+    Small, fast instances (hundreds of unknowns) spanning the regimes the
+    robustness machinery must survive: SPD baselines, graded/anisotropic
+    meshes, indefinite Helmholtz shifts, and saddle-point systems whose
+    zero diagonal block defeats static pivoting outright.
+    """
+    return [
+        ZooCase("lap3d", lambda: laplacian_3d(8), "positive",
+                "7-point 3D Laplacian, the SPD baseline"),
+        ZooCase("stretched", lambda: stretched_mesh_3d(8, stretch=50.0),
+                "positive",
+                "boundary-layer graded mesh, 2500x weight contrast"),
+        ZooCase("aniso", lambda: anisotropic_laplacian_3d(8), "positive",
+                "constant-coefficient strong anisotropy (Geo1438 proxy)"),
+        ZooCase("helmholtz-k2.2", lambda: helmholtz_3d(9, wavenumber=2.2),
+                "indefinite",
+                "shifted Helmholtz past the first eigenvalue cluster"),
+        ZooCase("helmholtz-k3", lambda: helmholtz_3d(9, wavenumber=3.0),
+                "indefinite",
+                "deep Helmholtz shift with a near-singular active diagonal: "
+                "static pivoting must perturb, threshold pivoting swaps"),
+        ZooCase("kkt", lambda: saddle_point_kkt(12), "indefinite",
+                "saddle point with an exactly zero (2,2) block; needs 2x2 "
+                "pivots"),
+        ZooCase("kkt-regularized", lambda: saddle_point_kkt(12, penalty=1e-2),
+                "indefinite",
+                "regularized KKT: tiny negative constraint diagonal"),
+    ]

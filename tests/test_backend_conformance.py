@@ -191,6 +191,28 @@ class TestKernelGoldens:
                                    rtol=10 * RTOL[dtype],
                                    atol=10 * RTOL[dtype])
 
+    def test_ldlt_pivot(self, backend_name, dtype, rng):
+        be = get_backend(backend_name)
+        n = 8
+        m = _rand(rng, (n, n), dtype)
+        hermitian = np.dtype(dtype).kind == "c"
+        a = m + (m.conj().T if hermitian else m.T)
+        a[0, 0] = 0.0  # forces at least one interchange or 2x2 pivot
+        packed, perm, d21, stats = be.ldlt_pivot(np.ascontiguousarray(a))
+        assert sorted(perm.tolist()) == list(range(n))
+        assert set(stats) >= {"swaps", "n2x2", "perturbed", "growth"}
+        assert stats["swaps"] + stats["n2x2"] > 0
+        assert stats["perturbed"] == 0
+        lmat = np.tril(packed, -1) + np.eye(n, dtype=packed.dtype)
+        d = np.diag(np.diag(packed)).astype(packed.dtype)
+        for j in np.flatnonzero(d21):
+            d[j + 1, j] = d21[j]
+            d[j, j + 1] = np.conj(d21[j]) if hermitian else d21[j]
+        rec = lmat @ d @ (lmat.conj().T if hermitian else lmat.T)
+        ap = a[np.ix_(perm, perm)]
+        tol = 200 * RTOL[dtype] * np.abs(a).max()
+        np.testing.assert_allclose(rec, ap, rtol=0, atol=tol)
+
     @pytest.mark.parametrize("mode", ("n", "t", "h"))
     def test_lr_apply_rank_zero(self, backend_name, dtype, rng, mode):
         be = get_backend(backend_name)

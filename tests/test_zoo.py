@@ -1,0 +1,240 @@
+"""Matrix zoo: structural invariants, declared definiteness, perturbation
+replay, and the scenario harness that sweeps the committed cases."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.diagnostics import factor_inertia
+from repro.cli import compare_scenarios, run_scenarios
+from repro.config import SolverConfig
+from repro.core.solver import Solver
+from repro.sparse.generators import (
+    helmholtz_shift_sweep,
+    perturb,
+    saddle_point_kkt,
+    stretched_mesh_3d,
+    zoo,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(99)
+
+
+ZOO = {c.name: c for c in zoo()}
+
+
+class TestZooInvariants:
+    @pytest.mark.parametrize("name", sorted(ZOO))
+    def test_symmetric(self, name):
+        d = ZOO[name].build().to_dense()
+        np.testing.assert_allclose(d, d.T, rtol=0, atol=0)
+
+    @pytest.mark.parametrize("name", sorted(ZOO))
+    def test_declared_definiteness_matches_spectrum(self, name):
+        case = ZOO[name]
+        ev = np.linalg.eigvalsh(case.build().to_dense())
+        nneg = int((ev < 0).sum())
+        assert np.abs(ev).min() > 0  # every committed case is nonsingular
+        if case.definiteness == "positive":
+            assert nneg == 0
+        else:
+            assert case.definiteness == "indefinite"
+            assert 0 < nneg < ev.size
+
+    @pytest.mark.parametrize("name", sorted(ZOO))
+    def test_builders_are_deterministic(self, name):
+        a = ZOO[name].build()
+        b = ZOO[name].build()
+        np.testing.assert_array_equal(a.values, b.values)
+        np.testing.assert_array_equal(a.rowind, b.rowind)
+
+    def test_names_unique(self):
+        names = [c.name for c in zoo()]
+        assert len(names) == len(set(names))
+
+
+class TestSaddlePointKKT:
+    def test_inertia_by_construction(self):
+        # n grid unknowns positive, m constraints negative (Sylvester)
+        a = saddle_point_kkt(6, m=6)
+        ev = np.linalg.eigvalsh(a.to_dense())
+        assert int((ev < 0).sum()) == 6
+        assert int((ev > 0).sum()) == 36
+
+    def test_zero_block_is_structural(self):
+        a = saddle_point_kkt(6, m=6)
+        d = a.to_dense()
+        assert np.all(np.diag(d)[36:] == 0.0)
+        # ... but the diagonal entries exist in the pattern (explicit 0)
+        for j in range(36, 42):
+            rows, _ = a.column(j)
+            assert j in rows
+
+    def test_penalty_regularizes(self):
+        a = saddle_point_kkt(6, m=6, penalty=1e-2)
+        assert np.all(np.diag(a.to_dense())[36:] == -1e-2)
+
+    def test_factor_inertia_with_natural_ordering(self, rng):
+        # constraints are numbered last, so natural ordering eliminates
+        # every unknown first and LDLt sees healthy negative diagonals
+        a = saddle_point_kkt(8, m=10)
+        s = Solver(a, SolverConfig(factotype="ldlt", strategy="dense",
+                                   ordering="natural"))
+        s.factorize()
+        assert factor_inertia(s.factor) == (10, 0, 64)
+
+    def test_validates_m(self):
+        with pytest.raises(ValueError):
+            saddle_point_kkt(4, m=100)
+
+
+class TestStretchedMesh:
+    def test_spd(self):
+        a = stretched_mesh_3d(5, stretch=30.0)
+        ev = np.linalg.eigvalsh(a.to_dense())
+        assert ev.min() > 0
+
+    def test_weight_contrast_scales_with_stretch(self):
+        a = stretched_mesh_3d(4, stretch=100.0)
+        off = a.values[a.values < 0]
+        assert np.abs(off).max() / np.abs(off).min() > 1e3
+
+    def test_validates_args(self):
+        with pytest.raises(ValueError):
+            stretched_mesh_3d(4, nz=1)
+        with pytest.raises(ValueError):
+            stretched_mesh_3d(4, stretch=0.0)
+
+
+class TestPerturb:
+    def test_reproducible_by_seed(self):
+        base = ZOO["lap3d"].build()
+        a = perturb(base, seed=5, magnitude=1e-6)
+        b = perturb(base, seed=5, magnitude=1e-6)
+        np.testing.assert_array_equal(a.values, b.values)
+
+    def test_different_seeds_differ(self):
+        base = ZOO["lap3d"].build()
+        a = perturb(base, seed=5, magnitude=1e-6)
+        b = perturb(base, seed=6, magnitude=1e-6)
+        assert not np.array_equal(a.values, b.values)
+
+    def test_preserves_symmetry_and_pattern(self):
+        base = ZOO["kkt"].build()
+        p = perturb(base, seed=1, magnitude=1e-4)
+        d = p.to_dense()
+        np.testing.assert_allclose(d, d.T, rtol=0, atol=0)
+        np.testing.assert_array_equal(p.rowind, base.rowind)
+        np.testing.assert_array_equal(p.colptr, base.colptr)
+
+    def test_magnitude_bounds_relative_change(self):
+        base = ZOO["lap3d"].build()
+        p = perturb(base, seed=3, magnitude=1e-3)
+        rel = np.abs(p.values - base.values) / np.abs(base.values)
+        assert rel.max() <= 1e-3
+        assert rel.max() > 0
+
+    def test_zero_magnitude_is_identity(self):
+        base = ZOO["stretched"].build()
+        p = perturb(base, seed=7, magnitude=0.0)
+        np.testing.assert_array_equal(p.values, base.values)
+
+    def test_rejects_negative_magnitude(self):
+        with pytest.raises(ValueError):
+            perturb(ZOO["lap3d"].build(), seed=0, magnitude=-1.0)
+
+
+class TestHelmholtzSweep:
+    def test_labels_and_shapes(self):
+        sweep = helmholtz_shift_sweep(5, wavenumbers=(1.0, 2.5))
+        assert [label for label, _ in sweep] == ["helmholtz-k1",
+                                                 "helmholtz-k2.5"]
+        assert all(m.n == 125 for _, m in sweep)
+
+
+class TestScenarioHarness:
+    def test_run_scenarios_subset(self):
+        recs = run_scenarios(cases=["lap3d"], strategies=("dense",))
+        # 3 combos (cholesky, ldlt-static, ldlt-threshold) x bare/recovery
+        assert len(recs) == 6
+        assert all(r["status"] == "ok" for r in recs)
+        assert all(r["backward_error"] < 1e-10 for r in recs)
+        ids = {r["id"] for r in recs}
+        assert "lap3d/cholesky-static/dense/bare" in ids
+
+    def test_unknown_case_rejected(self):
+        with pytest.raises(SystemExit):
+            run_scenarios(cases=["no-such-matrix"])
+
+    def test_compare_flags_status_flip(self):
+        cur = [{"id": "a", "status": "ok", "backward_error": 1e-14}]
+        base = {"scenarios": [{"id": "a", "status": "breakdown:x",
+                               "backward_error": None}]}
+        failures, warnings = compare_scenarios(cur, base)
+        assert failures and not warnings
+
+    def test_compare_flags_missing_scenario(self):
+        base = {"scenarios": [{"id": "a", "status": "ok",
+                               "backward_error": 1e-14},
+                              {"id": "b", "status": "ok",
+                               "backward_error": 1e-14}]}
+        cur = [{"id": "a", "status": "ok", "backward_error": 1e-14}]
+        failures, _ = compare_scenarios(cur, base)
+        assert any("missing" in f for f in failures)
+
+    def test_compare_warns_on_drift_and_new(self):
+        base = {"scenarios": [{"id": "a", "status": "ok",
+                               "backward_error": 1e-14}]}
+        cur = [{"id": "a", "status": "ok", "backward_error": 5e-12},
+               {"id": "b", "status": "ok", "backward_error": 1e-14}]
+        failures, warnings = compare_scenarios(cur, base)
+        assert not failures
+        assert len(warnings) == 2  # drift on a, no baseline for b
+
+    def test_compare_identical_is_clean(self):
+        recs = [{"id": "a", "status": "ok", "backward_error": 1e-14},
+                {"id": "b", "status": "breakdown:pivot-failure",
+                 "backward_error": None}]
+        failures, warnings = compare_scenarios(recs, {"scenarios": recs})
+        assert not failures and not warnings
+
+
+class TestIndefiniteZooEndToEnd:
+    """ISSUE satellite: the indefinite committed cases solve at τ-level
+    backward error under the new pivoting, and static pivoting breaches
+    a pivot budget on at least one committed case."""
+
+    @pytest.mark.parametrize("name", ["helmholtz-k2.2", "helmholtz-k3",
+                                      "kkt-regularized"])
+    @pytest.mark.parametrize("strategy", ["dense", "minimal-memory"])
+    def test_threshold_pivoting_reaches_tau(self, name, strategy, rng):
+        from tests.conftest import tiny_blr_config
+
+        a = ZOO[name].build()
+        b = rng.standard_normal(a.n)
+        if strategy == "dense":
+            cfg = SolverConfig(factotype="ldlt", strategy="dense",
+                               pivoting="threshold")
+        else:
+            cfg = tiny_blr_config(factotype="ldlt", strategy=strategy,
+                                  pivoting="threshold", tolerance=1e-12)
+        s = Solver(a, cfg)
+        s.factorize()
+        x = s.solve(b)
+        be = np.linalg.norm(b - a.matvec(x)) / np.linalg.norm(b)
+        assert be < 1e-10
+
+    def test_static_pivoting_breaches_budget_on_committed_case(self):
+        from repro.runtime.recovery import NumericalBreakdown, RecoveryPolicy
+
+        a = ZOO["kkt"].build()
+        cfg = SolverConfig(
+            factotype="ldlt", strategy="dense", pivoting="static",
+            recovery=RecoveryPolicy(pivot_budget=0.0, max_retries=0))
+        with pytest.raises(NumericalBreakdown) as ei:
+            Solver(a, cfg).factorize()
+        assert ei.value.cause == "pivot-budget"
